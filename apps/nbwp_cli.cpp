@@ -1,0 +1,252 @@
+// nbwp_cli — command-line driver for the library.
+//
+//   nbwp_cli info
+//       platform calibration and the Table II dataset catalog.
+//   nbwp_cli estimate   --workload cc|spmm|hh|spmv --dataset <name>
+//       run the Sample -> Identify -> Extrapolate framework and compare
+//       the estimate against the exhaustive oracle and naive baselines.
+//   nbwp_cli exhaustive --workload ... --dataset ...
+//       just the oracle.
+//   nbwp_cli sweep      --workload ... --dataset ... [--csv curve.csv]
+//       full threshold -> makespan curve.
+//   nbwp_cli run        --workload ... --dataset ... --threshold T
+//                       [--trace run.json]
+//       execute the heterogeneous algorithm once, print the phase
+//       breakdown, optionally write a Chrome trace.
+//
+// Datasets resolve against the synthetic Table II catalog, or against
+// --mtx-dir when the original files are present.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/extrapolate.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "hetalg/hetero_spmv.hpp"
+#include "hetsim/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nbwp;
+
+struct Request {
+  std::string workload;
+  std::string dataset;
+  exp::SuiteOptions options;
+  double threshold = -1;
+  std::string csv;
+  std::string trace;
+};
+
+core::SamplingConfig config_for(const std::string& workload,
+                                uint64_t seed) {
+  core::SamplingConfig cfg;
+  cfg.seed = seed;
+  if (workload == "cc") {
+    cfg.method = core::IdentifyMethod::kCoarseToFine;
+  } else if (workload == "spmm" || workload == "spmv") {
+    cfg.sample_factor = 0.25;
+    cfg.method = core::IdentifyMethod::kRaceThenFine;
+  } else {  // hh
+    cfg.method = core::IdentifyMethod::kGradientDescent;
+    cfg.gradient.log_space = true;
+    cfg.gradient.starts = 2;
+    cfg.gradient.max_iterations = 10;
+    cfg.gradient.initial_step_fraction = 0.2;
+  }
+  return cfg;
+}
+
+template <typename Problem, typename Estimate, typename Exhaust>
+int drive(const char* command, const Request& req, const Problem& problem,
+          const Estimate& estimate, const Exhaust& exhaust) {
+  const auto& platform = hetsim::Platform::reference();
+  if (std::strcmp(command, "exhaustive") == 0) {
+    const auto ex = exhaust(problem);
+    std::printf("exhaustive threshold: %.1f  (makespan %.3f ms)\n",
+                ex.best_threshold, ex.best_time_ns / 1e6);
+    return 0;
+  }
+  if (std::strcmp(command, "sweep") == 0) {
+    const auto ex = exhaust(problem);
+    Table table("threshold sweep — " + req.workload + " on " + req.dataset);
+    table.set_header({"threshold", "makespan(ms)"});
+    for (const auto& [t, ns] : ex.curve)
+      table.add_row({Table::num(t, 1), Table::ns_to_ms(ns)});
+    exp::emit(table, req.csv);
+    return 0;
+  }
+  if (std::strcmp(command, "run") == 0) {
+    const double t = req.threshold >= 0
+                         ? req.threshold
+                         : estimate(problem).threshold;
+    const auto report = problem.run(t);
+    std::printf("threshold %.1f: %s\n", t, report.summary().c_str());
+    for (const auto& [k, v] : report.counters())
+      std::printf("  %-18s %.0f\n", k.c_str(), v);
+    if (!req.trace.empty()) {
+      hetsim::write_chrome_trace_file(req.trace, report,
+                                      req.workload + ":" + req.dataset);
+      std::printf("trace written: %s\n", req.trace.c_str());
+    }
+    return 0;
+  }
+  // estimate (default)
+  const auto ex = exhaust(problem);
+  const auto est = estimate(problem);
+  Table table("estimate — " + req.workload + " on " + req.dataset);
+  table.set_header({"strategy", "threshold", "makespan(ms)",
+                    "vs exhaustive"});
+  auto row = [&](const char* name, double t) {
+    const double ns = problem.time_ns(t);
+    table.add_row({name, Table::num(t, 1), Table::ns_to_ms(ns),
+                   Table::pct(100.0 * (ns / ex.best_time_ns - 1.0))});
+  };
+  row("exhaustive", ex.best_threshold);
+  row("sampling estimate", est.threshold);
+  if (problem.threshold_hi() == 100.0) {
+    row("naive static (FLOPS)",
+        core::naive_static_cpu_share_pct(platform));
+  }
+  table.print(std::cout);
+  std::printf("estimation cost: %.3f ms over %d sample runs\n",
+              est.estimation_cost_ns / 1e6, est.evaluations);
+  return 0;
+}
+
+int run_command(const char* command, const Request& req) {
+  const auto& platform = hetsim::Platform::reference();
+  const auto& spec = datasets::spec_by_name(req.dataset);
+  const auto cfg = config_for(req.workload, req.options.sampling_seed);
+
+  if (req.workload == "cc") {
+    const hetalg::HeteroCc problem(exp::load_graph(spec, req.options),
+                                   platform);
+    return drive(command, req, problem,
+                 [&](const hetalg::HeteroCc& p) {
+                   return core::estimate_partition(p, cfg);
+                 },
+                 [](const hetalg::HeteroCc& p) {
+                   return core::exhaustive_search(p, 1.0);
+                 });
+  }
+  if (req.workload == "spmm") {
+    const hetalg::HeteroSpmm problem(exp::load_matrix(spec, req.options),
+                                     platform);
+    return drive(command, req, problem,
+                 [&](const hetalg::HeteroSpmm& p) {
+                   return core::estimate_partition(p, cfg);
+                 },
+                 [](const hetalg::HeteroSpmm& p) {
+                   return core::exhaustive_search(p, 1.0);
+                 });
+  }
+  if (req.workload == "spmv") {
+    const hetalg::HeteroSpmv problem(exp::load_matrix(spec, req.options),
+                                     platform);
+    return drive(command, req, problem,
+                 [&](const hetalg::HeteroSpmv& p) {
+                   return core::estimate_partition(p, cfg);
+                 },
+                 [](const hetalg::HeteroSpmv& p) {
+                   return core::exhaustive_search(p, 1.0);
+                 });
+  }
+  if (req.workload == "hh") {
+    const hetalg::HeteroSpmmHh problem(exp::load_matrix(spec, req.options),
+                                       platform);
+    return drive(command, req, problem,
+                 [&](const hetalg::HeteroSpmmHh& p) {
+                   return core::estimate_partition(
+                       p, cfg,
+                       [](const hetalg::HeteroSpmmHh& full,
+                          const hetalg::HeteroSpmmHh& sample, double ts) {
+                         return core::work_share_extrapolate(full, sample,
+                                                             ts);
+                       });
+                 },
+                 [](const hetalg::HeteroSpmmHh& p) {
+                   return core::exhaustive_search_over(
+                       p, p.candidate_thresholds(192));
+                 });
+  }
+  std::fprintf(stderr, "unknown workload '%s' (cc|spmm|hh|spmv)\n",
+               req.workload.c_str());
+  return 1;
+}
+
+int info() {
+  const auto& platform = hetsim::Platform::reference();
+  std::printf("nbwp — nearly balanced work partitioning\n\n");
+  std::printf("simulated platform (see src/hetsim/calibration.hpp):\n");
+  std::printf("  CPU  %2.0f cores @ %.2f GHz, %.0f/%.0f GB/s stream/random\n",
+              platform.cpu().spec().cores,
+              platform.cpu().spec().freq_hz / 1e9,
+              platform.cpu().spec().bw_stream_bps / 1e9,
+              platform.cpu().spec().bw_random_bps / 1e9);
+  std::printf("  GPU  %4.0f cores @ %.0f MHz, %.0f/%.0f GB/s stream/random\n",
+              platform.gpu().spec().cores,
+              platform.gpu().spec().freq_hz / 1e6,
+              platform.gpu().spec().bw_stream_bps / 1e9,
+              platform.gpu().spec().bw_random_bps / 1e9);
+  std::printf("  PCIe %.0f GB/s, %.0f us latency\n",
+              platform.link().spec().bandwidth_bps / 1e9,
+              platform.link().spec().latency_ns / 1e3);
+  std::printf("  NaiveStatic GPU share: %.1f%%\n\n",
+              platform.naive_static_gpu_share_pct());
+  exp::emit(exp::table_two(0.25, 1));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::printf(
+        "usage: nbwp_cli <info|estimate|exhaustive|sweep|run> [options]\n"
+        "run `nbwp_cli estimate --help` for the option list.\n");
+    return argc < 2 ? 1 : 0;
+  }
+  const char* command = argv[1];
+  if (std::strcmp(command, "info") == 0) return info();
+
+  Cli cli(std::string("nbwp_cli ") + command, "library driver");
+  cli.add_option("workload", "cc", "cc | spmm | hh | spmv");
+  cli.add_option("dataset", "cant", "Table II dataset name");
+  cli.add_option("scale", "0", "generation scale (0 = default)");
+  cli.add_option("seed", "1", "generation seed");
+  cli.add_option("sampling-seed", "24301", "sampling seed");
+  cli.add_option("mtx-dir", "", "directory with original .mtx files");
+  cli.add_option("threshold", "-1", "run: threshold (default: estimate)");
+  cli.add_option("csv", "", "sweep: CSV output path");
+  cli.add_option("trace", "", "run: Chrome trace output path");
+  if (!cli.parse(argc - 1, argv + 1)) return 0;
+
+  Request req;
+  req.workload = cli.str("workload");
+  req.dataset = cli.str("dataset");
+  req.options.scale = cli.real("scale");
+  req.options.seed = static_cast<uint64_t>(cli.integer("seed"));
+  req.options.sampling_seed =
+      static_cast<uint64_t>(cli.integer("sampling-seed"));
+  req.options.mtx_dir = cli.str("mtx-dir");
+  req.threshold = cli.real("threshold");
+  req.csv = cli.str("csv");
+  req.trace = cli.str("trace");
+
+  try {
+    return run_command(command, req);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

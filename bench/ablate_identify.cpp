@@ -1,0 +1,80 @@
+// Ablation (DESIGN.md §7.2) — identification strategies compared on the
+// same samples: the paper's coarse-to-fine grid versus flat grid,
+// golden-section, gradient descent, and (for spmm) race-then-fine.
+// Columns: threshold found, evaluations spent, virtual search cost, and
+// the full-input slowdown the found threshold incurs.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/exhaustive.hpp"
+#include "exp/report.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+
+using namespace nbwp;
+
+namespace {
+
+template <typename Problem>
+void ablate(const char* title, const Problem& problem,
+            const Problem& sample) {
+  const auto ex = core::exhaustive_search(problem, 1.0);
+  core::Evaluator eval;
+  eval.lo = sample.threshold_lo();
+  eval.hi = sample.threshold_hi();
+  eval.objective_ns = [&](double t) { return sample.balance_ns(t); };
+  eval.cost_ns = [&](double t) { return sample.time_ns(t); };
+
+  Table table(title);
+  table.set_header({"strategy", "threshold", "evals", "search cost(ms)",
+                    "slowdown vs exhaustive%"});
+  auto row = [&](const char* name, const core::IdentifyResult& r) {
+    const double t_ns = problem.time_ns(r.best_threshold);
+    table.add_row({name, Table::num(r.best_threshold, 1),
+                   std::to_string(r.evaluations),
+                   Table::ns_to_ms(r.cost_ns),
+                   Table::num(100.0 * (t_ns - ex.best_time_ns) /
+                                  ex.best_time_ns,
+                              1)});
+  };
+  row("coarse-to-fine (paper)", core::coarse_to_fine(eval));
+  row("flat grid step 1", core::flat_grid(eval, 1));
+  row("flat grid step 4", core::flat_grid(eval, 4));
+  row("golden section", core::golden_section(eval));
+  row("gradient descent", core::gradient_descent(eval));
+  if constexpr (requires { sample.device_times_all(); }) {
+    const auto [cpu_ns, gpu_ns] = sample.device_times_all();
+    row("race + fine (paper, spmm)",
+        core::race_then_fine(eval, cpu_ns, gpu_ns));
+  }
+  exp::emit(table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ablate_identify", "identification-strategy ablation");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto options = bench::suite_options(cli);
+  const auto& platform = hetsim::Platform::reference();
+  Rng rng(options.sampling_seed);
+
+  {
+    const auto& spec = datasets::spec_by_name("pwtk");
+    hetalg::HeteroCc problem(
+        datasets::make_graph(spec, exp::default_scale(spec), options.seed),
+        platform);
+    ablate("Identify ablation — CC on pwtk (sample sqrt(n))", problem,
+           problem.make_sample(1.0, rng));
+  }
+  {
+    const auto& spec = datasets::spec_by_name("web-BerkStan");
+    hetalg::HeteroSpmm problem(
+        datasets::make_matrix(spec, exp::default_scale(spec), options.seed),
+        platform);
+    ablate("Identify ablation — spmm on web-BerkStan (sample n/4)", problem,
+           problem.make_sample(0.25, rng));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (DESIGN.md §7) — identification objective: work balance
+// |T_cpu - T_gpu| (the default; the quantity the paper's title promises to
+// equalize) versus raw sample makespan.  On sqrt(n)-sized samples the
+// makespan is dominated by threshold-independent launch/transfer
+// overheads, which drags the makespan-optimizing estimate toward the
+// all-CPU boundary; the balance objective is immune.
+#include "bench/bench_common.hpp"
+#include "core/exhaustive.hpp"
+#include "exp/report.hpp"
+#include "hetalg/hetero_cc.hpp"
+
+using namespace nbwp;
+
+int main(int argc, char** argv) {
+  Cli cli("ablate_objective", "balance vs makespan identification objective");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto options = bench::suite_options(cli);
+  const auto& platform = hetsim::Platform::reference();
+
+  Table table("Objective ablation — CC, sample sqrt(n)");
+  table.set_header({"dataset", "exhaustive t", "balance-obj t",
+                    "makespan-obj t", "balance slowdown%",
+                    "makespan slowdown%"});
+  for (const char* name : {"cant", "pwtk", "delaunay_n22", "asia_osm"}) {
+    const auto& spec = datasets::spec_by_name(name);
+    hetalg::HeteroCc problem(
+        datasets::make_graph(spec, exp::default_scale(spec), options.seed),
+        platform);
+    const auto ex = core::exhaustive_search(problem, 1.0);
+    auto run = [&](core::Objective objective) {
+      core::SamplingConfig cfg;
+      cfg.method = core::IdentifyMethod::kCoarseToFine;
+      cfg.objective = objective;
+      cfg.seed = options.sampling_seed;
+      return core::estimate_partition(problem, cfg);
+    };
+    const auto bal = run(core::Objective::kBalance);
+    const auto mks = run(core::Objective::kMakespan);
+    auto slow = [&](double t) {
+      return 100.0 * (problem.time_ns(t) - ex.best_time_ns) /
+             ex.best_time_ns;
+    };
+    table.add_row({name, Table::num(ex.best_threshold, 1),
+                   Table::num(bal.threshold, 1),
+                   Table::num(mks.threshold, 1),
+                   Table::num(slow(bal.threshold), 1),
+                   Table::num(slow(mks.threshold), 1)});
+  }
+  exp::emit(table);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — sampled static partition versus the dynamic-scheduling
+// families of the related work: StarPU-style shared work queues [2] and
+// Boyer-style profile rebalancing [6], simulated over the same SpGEMM
+// cost model (core/dynamic_baselines.hpp).
+//
+// The paper's claims to check:
+//  * fine-grained queues pay per-chunk dispatch/transfer overheads the
+//    one-shot partition avoids;
+//  * coarse queues leave a device idle on the tail chunk;
+//  * profile rebalancing inherits the probes' bias when early chunks are
+//    not representative (our FEM analogs have a density gradient, so they
+//    are not).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/dynamic_baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "exp/report.hpp"
+#include "hetalg/hetero_spmm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("ablate_schedulers", "static sampled split vs dynamic schedulers");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto options = bench::suite_options(cli);
+  const auto& platform = hetsim::Platform::reference();
+
+  Table table("Schedulers on Algorithm 2's Phase II (makespan, ms)");
+  table.set_header({"dataset", "sampled static", "queue x16", "queue x64",
+                    "queue x256", "profile-rebalance", "static oracle"});
+  for (const char* name : {"cant", "pwtk", "web-BerkStan", "cop20k_A"}) {
+    const auto& spec = datasets::spec_by_name(name);
+    const hetalg::HeteroSpmm problem(exp::load_matrix(spec, options),
+                                     platform);
+    const size_t rows = problem.a().rows();
+
+    core::RangeCosts costs;
+    costs.cpu_ns = [&](size_t f, size_t l) {
+      return problem.range_cost_cpu_ns(static_cast<sparse::Index>(f),
+                                       static_cast<sparse::Index>(l));
+    };
+    costs.gpu_ns = [&](size_t f, size_t l) {
+      return problem.range_cost_gpu_ns(static_cast<sparse::Index>(f),
+                                       static_cast<sparse::Index>(l));
+    };
+    costs.gpu_dispatch_ns = 2.0 * platform.gpu().spec().launch_ns +
+                            platform.link().spec().latency_ns;
+
+    // The sampled static split, priced on the same range-cost model.
+    core::SamplingConfig cfg;
+    cfg.sample_factor = 0.25;
+    cfg.method = core::IdentifyMethod::kRaceThenFine;
+    cfg.seed = options.sampling_seed;
+    const auto est = core::estimate_partition(problem, cfg);
+    const sparse::Index split = problem.split_row(est.threshold);
+    const double sampled = std::max(costs.cpu_ns(0, split),
+                                    costs.gpu_ns(split, rows));
+
+    const auto q16 = core::work_queue_schedule(rows, 16, costs);
+    const auto q64 = core::work_queue_schedule(rows, 64, costs);
+    const auto q256 = core::work_queue_schedule(rows, 256, costs);
+    const auto boyer = core::profile_rebalance_schedule(rows, 0.1, costs);
+    const auto oracle = core::best_static_schedule(rows, costs, 200);
+
+    table.add_row({name, Table::ns_to_ms(sampled),
+                   Table::ns_to_ms(q16.makespan_ns),
+                   Table::ns_to_ms(q64.makespan_ns),
+                   Table::ns_to_ms(q256.makespan_ns),
+                   Table::ns_to_ms(boyer.makespan_ns),
+                   Table::ns_to_ms(oracle.makespan_ns)});
+  }
+  exp::emit(table);
+  std::printf("Expected shape: the sampled static split lands within a few "
+              "percent of the oracle using two dispatches and no runtime "
+              "communication; queues need hundreds of chunks (and their "
+              "dispatch traffic) to match it; profile rebalance suffers on "
+              "the gradient FEM inputs whose early rows are "
+              "unrepresentative of the tail.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared CLI wiring for the bench binaries.
+#pragma once
+
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+
+namespace nbwp::bench {
+
+/// Standard options: --scale (0 = per-dataset default), --seed,
+/// --sampling-seed, --repeats, --csv <path>.
+inline void add_suite_options(Cli& cli) {
+  cli.add_option("scale", "0",
+                 "dataset generation scale; 0 = per-dataset default");
+  cli.add_option("seed", "1", "dataset generation seed");
+  cli.add_option("sampling-seed", "24301", "sampling framework seed");
+  cli.add_option("repeats", "1", "independent samples per estimate");
+  cli.add_option("mtx-dir", "",
+                 "directory with original .mtx files (loaded when present)");
+  cli.add_option("csv", "", "also write results to this CSV path");
+}
+
+inline exp::SuiteOptions suite_options(const Cli& cli) {
+  exp::SuiteOptions o;
+  o.scale = cli.real("scale");
+  o.seed = static_cast<uint64_t>(cli.integer("seed"));
+  o.sampling_seed = static_cast<uint64_t>(cli.integer("sampling-seed"));
+  o.repeats = static_cast<int>(cli.integer("repeats"));
+  o.mtx_dir = cli.str("mtx-dir");
+  return o;
+}
+
+}  // namespace nbwp::bench

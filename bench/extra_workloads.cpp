@@ -1,0 +1,114 @@
+// Extension — the framework on two more heterogeneous workloads from the
+// paper's own reference list:
+//  * SpMV (Indarapu et al. [17]): input-dependent like Algorithm 2;
+//    estimated with the race-then-fine identification on an n/4 sample.
+//  * List ranking (Banerjee & Kothapalli [5]): rate-driven (a list has no
+//    structure); estimated with coarse-to-fine on a sqrt(n) sublist.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/exhaustive.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "exp/report.hpp"
+#include "hetalg/hetero_list_ranking.hpp"
+#include "hetalg/hetero_sort.hpp"
+#include "hetalg/hetero_spmv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("extra_workloads", "framework on SpMV and list ranking");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto options = bench::suite_options(cli);
+  const auto& platform = hetsim::Platform::reference();
+
+  {
+    Table table("Heterogeneous SpMV (32 rounds), race-then-fine estimate");
+    table.set_header({"dataset", "exhaustive r", "estimated r",
+                      "exhaustive(ms)", "estimated(ms)", "slowdown%"});
+    for (const char* name :
+         {"cant", "cop20k_A", "web-BerkStan", "netherlands_osm"}) {
+      const auto& spec = datasets::spec_by_name(name);
+      const hetalg::HeteroSpmv problem(exp::load_matrix(spec, options),
+                                       platform);
+      const auto ex = core::exhaustive_search(problem, 1.0);
+      core::SamplingConfig cfg;
+      cfg.sample_factor = 0.25;
+      cfg.method = core::IdentifyMethod::kRaceThenFine;
+      cfg.seed = options.sampling_seed;
+      const auto est = core::estimate_partition(problem, cfg);
+      const double t_est = problem.time_ns(est.threshold);
+      table.add_row({name, Table::num(ex.best_threshold, 1),
+                     Table::num(est.threshold, 1),
+                     Table::ns_to_ms(ex.best_time_ns),
+                     Table::ns_to_ms(t_est),
+                     Table::num(100.0 * (t_est / ex.best_time_ns - 1.0),
+                                1)});
+    }
+    exp::emit(table);
+  }
+  {
+    Table table("Heterogeneous sort (hybrid sample sort [3])");
+    table.set_header({"n", "distribution", "exhaustive r", "estimated r",
+                      "slowdown%"});
+    for (const char* kind : {"uniform", "skewed"}) {
+      Rng rng(options.seed);
+      const size_t n = 2000000;
+      auto keys = std::string(kind) == "uniform"
+                      ? sort::uniform_keys(n, rng)
+                      : sort::skewed_keys(n, rng);
+      const hetalg::HeteroSort problem(std::move(keys), platform);
+      const auto ex = core::exhaustive_search(problem, 1.0);
+      core::SamplingConfig cfg;
+      cfg.sample_factor = 0.05;
+      cfg.seed = options.sampling_seed;
+      const auto est = core::estimate_partition(problem, cfg);
+      table.add_row({std::to_string(n), kind,
+                     Table::num(ex.best_threshold, 1),
+                     Table::num(est.threshold, 1),
+                     Table::num(100.0 * (problem.time_ns(est.threshold) /
+                                             ex.best_time_ns -
+                                         1.0),
+                                1)});
+    }
+    exp::emit(table);
+  }
+  {
+    Table table("Heterogeneous list ranking, coarse-to-fine estimate");
+    table.set_header({"n", "exhaustive t", "estimated t", "exhaustive(ms)",
+                      "estimated(ms)", "slowdown%"});
+    for (uint32_t n : {100000u, 400000u, 1600000u}) {
+      Rng rng(options.seed);
+      const hetalg::HeteroListRanking problem(
+          graph::random_linked_list(n, rng), platform);
+      const auto ex = core::exhaustive_search(problem, 1.0);
+      core::SamplingConfig cfg;
+      cfg.seed = options.sampling_seed;
+      // Rate-scaling extrapolation: the GPU's per-node cost grows with the
+      // Wyllie round count ~ log2(size), so the rate ratio observed on a
+      // sqrt(n) sublist must be rescaled to the full length (the
+      // Extrapolate step "finding the relation", Section II).
+      const auto est = core::estimate_partition(
+          problem, cfg,
+          [](const hetalg::HeteroListRanking& full,
+             const hetalg::HeteroListRanking& sample, double ts) {
+            const double f = ts / 100.0;
+            if (f <= 0.0 || f >= 1.0) return ts;
+            const double r_s = std::log2(static_cast<double>(sample.size()));
+            const double r_f = std::log2(static_cast<double>(full.size()));
+            const double rho = f / (r_s * (1.0 - f));  // cpu/gpu base ratio
+            return 100.0 * rho * r_f / (1.0 + rho * r_f);
+          });
+      const double t_est = problem.time_ns(est.threshold);
+      table.add_row({std::to_string(n), Table::num(ex.best_threshold, 1),
+                     Table::num(est.threshold, 1),
+                     Table::ns_to_ms(ex.best_time_ns),
+                     Table::ns_to_ms(t_est),
+                     Table::num(100.0 * (t_est / ex.best_time_ns - 1.0),
+                                1)});
+    }
+    exp::emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 3 — connected components (Algorithm 1) across Table II.
+//
+// (a) estimated vs exhaustive thresholds with NaiveStatic / NaiveAverage;
+// (b) times with the GPU-only "Naive" line, slowdown% and overhead%.
+// Thresholds are printed as GPU shares to match the paper's plots.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig3_cc", "Fig. 3: heterogeneous CC thresholds and times");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const auto results =
+      exp::run_cc_suite(hetsim::Platform::reference(), options);
+  exp::emit(exp::threshold_figure(
+                "Fig. 3(a) — CC: estimated vs exhaustive threshold "
+                "(GPU vertex share, %)",
+                results, /*gpu_share=*/true),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".a.csv");
+  exp::emit(exp::time_figure("Fig. 3(b) — CC: times per dataset", results),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".b.csv");
+
+  const auto summary = exp::summarize("CC", results);
+  std::printf("CC averages: threshold diff %.1f pts (paper 7.5), time diff "
+              "%.1f%% (paper 4), overhead %.1f%% (paper 9)\n",
+              summary.threshold_diff_pct, summary.time_diff_pct,
+              summary.overhead_pct);
+  return 0;
+}

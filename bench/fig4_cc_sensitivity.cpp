@@ -1,0 +1,33 @@
+// Fig. 4 — CC sample-size sensitivity: total time (estimation + run at the
+// estimated threshold) versus sample size, sqrt(n)/4 .. 4*sqrt(n), for two
+// graphs.  Expected shape: a U (the paper's "near concave behavior") with
+// the minimum at or near sqrt(n).
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig4_cc_sensitivity", "Fig. 4: CC sample-size sensitivity");
+  bench::add_suite_options(cli);
+  cli.add_option("datasets", "pwtk,web-BerkStan", "two comma-separated names");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const std::vector<double> factors = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::string names = cli.str("datasets");
+  size_t pos = 0;
+  while (pos < names.size()) {
+    const size_t comma = names.find(',', pos);
+    const std::string name =
+        names.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto points = exp::run_sensitivity(
+        hetsim::Platform::reference(), exp::Workload::kCc,
+        datasets::spec_by_name(name), factors, options);
+    exp::emit(exp::sensitivity_figure(
+        "Fig. 4 — CC sensitivity on " + name + " (factor of sqrt(n))",
+        points));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 5 — unstructured SpGEMM (Algorithm 2) across Table II.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig5_spmm", "Fig. 5: split SpGEMM thresholds and times");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const auto results =
+      exp::run_spmm_suite(hetsim::Platform::reference(), options);
+  exp::emit(exp::threshold_figure(
+                "Fig. 5(a) — spmm: estimated vs exhaustive split "
+                "(CPU work share r, %)",
+                results, /*gpu_share=*/false),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".a.csv");
+  exp::emit(exp::time_figure("Fig. 5(b) — spmm: times per dataset", results),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".b.csv");
+
+  const auto summary = exp::summarize("spmm", results);
+  std::printf("spmm averages: threshold diff %.1f pts (paper 10.6), time "
+              "diff %.1f%% (paper 19.1), overhead %.1f%% (paper 13)\n",
+              summary.threshold_diff_pct, summary.time_diff_pct,
+              summary.overhead_pct);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 6 — spmm sample-size sensitivity: n/10 .. 4n/10 (the paper's sweep),
+// for two matrices.  Expected: near-concave total time, minimum around n/4.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig6_spmm_sensitivity", "Fig. 6: spmm sample-size sensitivity");
+  bench::add_suite_options(cli);
+  cli.add_option("datasets", "cant,shipsec1", "two comma-separated names");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const std::vector<double> factors = {0.10, 0.15, 0.20, 0.25, 0.30, 0.40};
+  std::string names = cli.str("datasets");
+  size_t pos = 0;
+  while (pos < names.size()) {
+    const size_t comma = names.find(',', pos);
+    const std::string name =
+        names.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto points = exp::run_sensitivity(
+        hetsim::Platform::reference(), exp::Workload::kSpmm,
+        datasets::spec_by_name(name), factors, options);
+    exp::emit(exp::sensitivity_figure(
+        "Fig. 6 — spmm sensitivity on " + name + " (fraction of n)",
+        points));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 7 — the role of randomness: four predetermined (corner) n/4 x n/4
+// submatrices versus the uniformly random sample, for cant and cop20k_A.
+// Expected shape: the predetermined samples' thresholds scatter away from
+// the exhaustive optimum; the random sample tracks it.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig7_randomness", "Fig. 7: randomized vs predetermined samples");
+  bench::add_suite_options(cli);
+  cli.add_option("datasets", "cant,cop20k_A", "comma-separated names");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  std::string names = cli.str("datasets");
+  size_t pos = 0;
+  while (pos < names.size()) {
+    const size_t comma = names.find(',', pos);
+    const std::string name =
+        names.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto points = exp::run_randomness_study(
+        hetsim::Platform::reference(), datasets::spec_by_name(name), options);
+    exp::emit(exp::randomness_figure(
+        "Fig. 7 — randomness ablation on " + name, points));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return 0;
+}

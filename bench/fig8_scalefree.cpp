@@ -1,0 +1,32 @@
+// Fig. 8 — scale-free SpGEMM with HH-CPU (Algorithm 3).
+//
+// Thresholds here are row-density cutoffs (absolute nnz counts); the
+// |diff|% column is relative to the exhaustive cutoff.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("fig8_scalefree", "Fig. 8: HH-CPU thresholds and times");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const auto results =
+      exp::run_hh_suite(hetsim::Platform::reference(), options);
+  exp::emit(exp::threshold_figure(
+                "Fig. 8(a) — scale-free spmm: estimated vs exhaustive "
+                "row-density cutoff t",
+                results, /*gpu_share=*/false),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".a.csv");
+  exp::emit(exp::time_figure("Fig. 8(b) — scale-free spmm: times", results),
+            cli.str("csv").empty() ? "" : cli.str("csv") + ".b.csv");
+
+  const auto summary = exp::summarize("Scale-free spmm", results);
+  std::printf("scale-free averages: threshold diff %.1f%% (paper 5.25), "
+              "time diff %.1f%% (paper 6.01), overhead %.1f%% (paper 1; see "
+              "EXPERIMENTS.md on the sampling variant)\n",
+              summary.threshold_diff_pct, summary.time_diff_pct,
+              summary.overhead_pct);
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Microbenchmarks (google-benchmark) for the executed kernels: these
+// measure *real* wall-clock throughput of the substrate implementations,
+// complementing the virtual-time experiments.
+#include <benchmark/benchmark.h>
+
+#include "graph/cc.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/sampling.hpp"
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "sparse/sampling.hpp"
+#include "sparse/load_vector.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/spmv.hpp"
+#include "sort/sort_kernels.hpp"
+#include "graph/list_ranking.hpp"
+#include "util/rng.hpp"
+
+using namespace nbwp;
+
+namespace {
+
+graph::CsrGraph make_bench_graph(int64_t n) {
+  Rng rng(7);
+  return graph::banded_mesh(static_cast<graph::Vertex>(n), 16, 64, rng);
+}
+
+sparse::CsrMatrix make_bench_matrix(int64_t n) {
+  Rng rng(7);
+  return sparse::banded_fem(static_cast<sparse::Index>(n), 24, 64, 4, rng);
+}
+
+void BM_CcDfs(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::cc_dfs(g).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcDfs)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_CcShiloachVishkin(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::cc_shiloach_vishkin(g).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcShiloachVishkin)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_CcUnionFind(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::cc_union_find(g).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcUnionFind)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_PrefixCutProfile(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  for (auto _ : state) {
+    graph::PrefixCutProfile profile(g);
+    benchmark::DoNotOptimize(profile.cross_edges(g.num_vertices() / 2));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_PrefixCutProfile)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_SplitByPrefix(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::split_by_prefix(g, g.num_vertices() / 5).cross_edges.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SplitByPrefix)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const auto g = make_bench_graph(state.range(0));
+  Rng rng(3);
+  const auto verts = graph::uniform_vertex_sample(
+      g, static_cast<graph::Vertex>(std::sqrt(g.num_vertices())) * 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::induced_subgraph(g, verts).num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Spgemm(benchmark::State& state) {
+  const auto a = make_bench_matrix(state.range(0));
+  for (auto _ : state) {
+    sparse::SpgemmCounters counters;
+    benchmark::DoNotOptimize(sparse::spgemm(a, a, &counters).nnz());
+    state.SetItemsProcessed(state.iterations() * counters.multiplies);
+  }
+}
+BENCHMARK(BM_Spgemm)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_LoadVector(benchmark::State& state) {
+  const auto a = make_bench_matrix(state.range(0));
+  const auto v_b = sparse::row_nnz_vector(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::load_vector(a, v_b).size());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_LoadVector)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SampleSubmatrix(benchmark::State& state) {
+  const auto a = make_bench_matrix(state.range(0));
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(
+        sparse::sample_submatrix_uniform(a, a.rows() / 4, a.cols() / 4, rng)
+            .nnz());
+  }
+}
+BENCHMARK(BM_SampleSubmatrix)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Spmv(benchmark::State& state) {
+  const auto a = make_bench_matrix(state.range(0));
+  std::vector<double> x(a.cols(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmv(a, x).size());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GpuRadixSort(benchmark::State& state) {
+  Rng rng(7);
+  const auto original =
+      sort::uniform_keys(static_cast<size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto keys = original;
+    benchmark::DoNotOptimize(sort::gpu_radix_sort(keys));
+  }
+  state.SetItemsProcessed(state.iterations() * original.size());
+}
+BENCHMARK(BM_GpuRadixSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CpuChunkedSort(benchmark::State& state) {
+  Rng rng(7);
+  const auto original =
+      sort::uniform_keys(static_cast<size_t>(state.range(0)), rng);
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    auto keys = original;
+    benchmark::DoNotOptimize(sort::cpu_chunked_sort(keys, pool, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * original.size());
+}
+BENCHMARK(BM_CpuChunkedSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WyllieRanking(benchmark::State& state) {
+  Rng rng(7);
+  const auto next = graph::random_linked_list(
+      static_cast<uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::rank_wyllie(next).iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * next.size());
+}
+BENCHMARK(BM_WyllieRanking)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SequentialRanking(benchmark::State& state) {
+  Rng rng(7);
+  const auto next = graph::random_linked_list(
+      static_cast<uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::rank_sequential(next).ranks.size());
+  }
+  state.SetItemsProcessed(state.iterations() * next.size());
+}
+BENCHMARK(BM_SequentialRanking)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

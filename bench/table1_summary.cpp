@@ -1,0 +1,22 @@
+// Table I — the paper's summary of all three case studies, with the paper
+// reference values printed alongside the measured ones.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("table1_summary", "Table I: three-workload summary");
+  bench::add_suite_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto options = bench::suite_options(cli);
+  const auto& platform = hetsim::Platform::reference();
+  std::vector<exp::SummaryRow> rows;
+  rows.push_back(exp::summarize("CC", exp::run_cc_suite(platform, options)));
+  rows.push_back(
+      exp::summarize("spmm", exp::run_spmm_suite(platform, options)));
+  rows.push_back(exp::summarize("Scale-free spmm",
+                                exp::run_hh_suite(platform, options)));
+  exp::emit(exp::table_one(rows), cli.str("csv"));
+  return 0;
+}

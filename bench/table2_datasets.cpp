@@ -1,0 +1,19 @@
+// Table II — the dataset catalog: paper sizes versus the generated
+// structural analogs at the default scales.
+#include "bench/bench_common.hpp"
+#include "exp/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("table2_datasets", "Table II: dataset catalog");
+  cli.add_option("scale-large", "0.25",
+                 "scale applied to the multi-million-node datasets");
+  cli.add_option("seed", "1", "generation seed");
+  cli.add_option("csv", "", "also write results to this CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  exp::emit(exp::table_two(cli.real("scale-large"),
+                           static_cast<uint64_t>(cli.integer("seed"))),
+            cli.str("csv"));
+  return 0;
+}

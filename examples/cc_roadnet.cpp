@@ -1,0 +1,59 @@
+// Road-network connected components: the full Algorithm 1 pipeline on an
+// OSM-style graph, with the per-phase virtual-time breakdown and every
+// baseline partitioner side by side.
+//
+//   build/examples/cc_roadnet [--n 500000]
+#include <cstdio>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "graph/generators.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("cc_roadnet", "heterogeneous CC on a road network");
+  cli.add_option("n", "500000", "number of vertices");
+  cli.add_option("seed", "7", "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<uint64_t>(cli.integer("seed")));
+  graph::CsrGraph g = graph::road_network(
+      static_cast<graph::Vertex>(cli.integer("n")), rng);
+  std::printf("road network: n=%u, m=%llu, avg degree %.2f\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              2.0 * static_cast<double>(g.num_edges()) / g.num_vertices());
+
+  const auto& platform = hetsim::Platform::reference();
+  const hetalg::HeteroCc problem(std::move(g), platform);
+  const auto exhaustive = core::exhaustive_search(problem);
+  const auto estimate =
+      core::estimate_partition(problem, core::SamplingConfig{});
+
+  Table table("partitioner comparison (threshold = CPU vertex share %)");
+  table.set_header({"strategy", "threshold", "makespan(ms)",
+                    "vs optimum"});
+  auto row = [&](const char* name, double t) {
+    const double ns = problem.time_ns(t);
+    table.add_row({name, Table::num(t, 1), Table::ns_to_ms(ns),
+                   Table::pct(100.0 * (ns / exhaustive.best_time_ns - 1.0))});
+  };
+  row("exhaustive (oracle)", exhaustive.best_threshold);
+  row("sampling estimate", estimate.threshold);
+  row("naive static (FLOPS)", core::naive_static_cpu_share_pct(platform));
+  row("GPU only", core::gpu_only_threshold());
+  row("CPU only", core::cpu_only_threshold());
+  table.print(std::cout);
+
+  // Phase breakdown of one real run at the estimated threshold.
+  const auto report = problem.run(estimate.threshold);
+  std::printf("\nrun breakdown: %s\n", report.summary().c_str());
+  std::printf("components: %.0f, cross edges: %.0f\n",
+              report.counter("components"), report.counter("cross_edges"));
+  return 0;
+}

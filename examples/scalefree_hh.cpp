@@ -1,0 +1,68 @@
+// Scale-free SpGEMM with the HH-CPU algorithm (Section V): find the
+// row-density cutoff by gradient descent on a sqrt(n)-row sample and
+// extrapolate it by work-share matching.
+//
+//   build/examples/scalefree_hh [--n 100000]
+#include <cstdio>
+#include <iostream>
+
+#include "core/exhaustive.hpp"
+#include "core/extrapolate.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "sparse/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbwp;
+  Cli cli("scalefree_hh", "HH-CPU on a scale-free matrix");
+  cli.add_option("n", "100000", "matrix dimension");
+  cli.add_option("avg-nnz", "12", "average row density");
+  cli.add_option("alpha", "2.1", "power-law exponent");
+  cli.add_option("seed", "5", "generator seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<uint64_t>(cli.integer("seed")));
+  sparse::CsrMatrix a = sparse::scale_free(
+      static_cast<sparse::Index>(cli.integer("n")),
+      static_cast<unsigned>(cli.integer("avg-nnz")), cli.real("alpha"), rng);
+
+  const auto& platform = hetsim::Platform::reference();
+  const hetalg::HeteroSpmmHh problem(std::move(a), platform);
+  std::printf("scale-free matrix: n=%u, nnz=%llu, max row density %llu\n",
+              problem.a().rows(),
+              static_cast<unsigned long long>(problem.a().nnz()),
+              static_cast<unsigned long long>(problem.max_degree()));
+
+  core::SamplingConfig config;
+  config.method = core::IdentifyMethod::kGradientDescent;
+  config.gradient.log_space = true;
+  config.gradient.starts = 2;
+  const auto estimate = core::estimate_partition(
+      problem, config,
+      [](const hetalg::HeteroSpmmHh& full,
+         const hetalg::HeteroSpmmHh& sample, double ts) {
+        return core::work_share_extrapolate(full, sample, ts);
+      });
+  const auto exhaustive = core::exhaustive_search_over(
+      problem, problem.candidate_thresholds(192));
+
+  std::printf("sample cutoff t' = %.1f -> extrapolated cutoff t = %.1f "
+              "(exhaustive %.1f)\n",
+              estimate.sample_threshold, estimate.threshold,
+              exhaustive.best_threshold);
+
+  Table table("HH-CPU at the two cutoffs");
+  table.set_header({"cutoff", "rows on CPU (H)", "makespan(ms)"});
+  for (double t : {estimate.threshold, exhaustive.best_threshold}) {
+    const auto s = problem.structure_at(t);
+    table.add_row({Table::num(t, 1), std::to_string(s.rows_h),
+                   Table::ns_to_ms(problem.time_ns(t))});
+  }
+  table.print(std::cout);
+
+  const auto report = problem.run(estimate.threshold);
+  std::printf("\nexecuted run: %s\n", report.summary().c_str());
+  return 0;
+}

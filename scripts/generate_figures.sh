@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate the paper figures as SVGs: run the figure benches with CSV
+# output, then render with scripts/make_figures.py (stdlib-only Python).
+#
+#   scripts/generate_figures.sh [build-dir] [results-dir] [figures-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+RESULTS=${2:-results}
+FIGURES=${3:-figures}
+mkdir -p "$RESULTS" "$FIGURES"
+
+"$BUILD"/bench/fig1_dense_mm --csv "$RESULTS/fig1.csv"
+"$BUILD"/bench/fig3_cc --csv "$RESULTS/fig3"
+"$BUILD"/bench/fig5_spmm --csv "$RESULTS/fig5"
+"$BUILD"/bench/fig8_scalefree --csv "$RESULTS/fig8"
+"$BUILD"/bench/table1_summary --csv "$RESULTS/table1.csv"
+"$BUILD"/bench/table2_datasets --csv "$RESULTS/table2.csv"
+
+python3 "$(dirname "$0")/make_figures.py" "$RESULTS" "$FIGURES"
+echo "figures in $FIGURES/"

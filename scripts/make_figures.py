@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs as SVG figures (no third-party dependencies).
+
+Usage:
+    scripts/generate_figures.sh      # runs the benches with --csv, then this
+    python3 scripts/make_figures.py results/ figures/
+
+Each fig*.csv becomes a grouped bar / line chart that mirrors the paper's
+plot: thresholds per dataset for the (a) figures, times per dataset for the
+(b) figures, total time versus sample size for the sensitivity figures.
+"""
+
+import csv
+import html
+import os
+import sys
+
+WIDTH, HEIGHT = 960, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 30, 40, 110
+PALETTE = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"]
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def is_number(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+class Svg:
+    def __init__(self, title):
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+            f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{html.escape(title)}</text>',
+        ]
+
+    def line(self, x1, y1, x2, y2, color="#888", width=1):
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"/>')
+
+    def rect(self, x, y, w, h, color):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{color}"/>')
+
+    def text(self, x, y, s, anchor="middle", rotate=None, size=12):
+        transform = (f' transform="rotate(-40 {x:.1f} {y:.1f})"'
+                     if rotate else "")
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+            f'font-size="{size}"{transform}>{html.escape(s)}</text>')
+
+    def circle(self, x, y, color):
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>')
+
+    def polyline(self, points, color):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+
+    def save(self, path):
+        self.parts.append("</svg>")
+        with open(path, "w") as f:
+            f.write("\n".join(self.parts))
+
+
+def plot_area():
+    return (MARGIN_L, WIDTH - MARGIN_R, MARGIN_T, HEIGHT - MARGIN_B)
+
+
+def y_scale(max_value):
+    x0, x1, y0, y1 = plot_area()
+    def to_y(v):
+        return y1 - (v / max_value) * (y1 - y0)
+    return to_y
+
+
+def draw_axes(svg, max_value, unit):
+    x0, x1, y0, y1 = plot_area()
+    svg.line(x0, y0, x0, y1)
+    svg.line(x0, y1, x1, y1)
+    to_y = y_scale(max_value)
+    for i in range(5):
+        v = max_value * i / 4
+        y = to_y(v)
+        svg.line(x0 - 4, y, x0, y)
+        svg.line(x0, y, x1, y, color="#e5e5e5")
+        svg.text(x0 - 8, y + 4, f"{v:.3g}", anchor="end", size=10)
+    svg.text(16, (y0 + y1) / 2, unit, anchor="middle")
+
+
+def grouped_bars(title, labels, series, unit, out_path):
+    """series: list of (name, [values])."""
+    flat = [v for _, vs in series for v in vs if v is not None]
+    if not flat:
+        return
+    svg = Svg(title)
+    max_value = max(flat) * 1.08
+    draw_axes(svg, max_value, unit)
+    x0, x1, y0, y1 = plot_area()
+    to_y = y_scale(max_value)
+    groups = len(labels)
+    group_w = (x1 - x0) / groups
+    bar_w = group_w * 0.8 / max(1, len(series))
+    for gi, label in enumerate(labels):
+        gx = x0 + gi * group_w
+        for si, (name, values) in enumerate(series):
+            v = values[gi]
+            if v is None:
+                continue
+            y = to_y(v)
+            svg.rect(gx + group_w * 0.1 + si * bar_w, y, bar_w * 0.92,
+                     y1 - y, PALETTE[si % len(PALETTE)])
+        svg.text(gx + group_w / 2, y1 + 14, label, rotate=True, size=10)
+    for si, (name, _) in enumerate(series):
+        lx = x0 + 10 + si * 150
+        svg.rect(lx, 26, 10, 10, PALETTE[si % len(PALETTE)])
+        svg.text(lx + 14, 35, name, anchor="start", size=11)
+    svg.save(out_path)
+    print("wrote", out_path)
+
+
+def line_chart(title, xs, series, unit, out_path):
+    flat = [v for _, vs in series for v in vs if v is not None]
+    if not flat:
+        return
+    svg = Svg(title)
+    max_value = max(flat) * 1.08
+    draw_axes(svg, max_value, unit)
+    x0, x1, y0, y1 = plot_area()
+    to_y = y_scale(max_value)
+    def to_x(i):
+        return x0 + (i + 0.5) * (x1 - x0) / len(xs)
+    for si, (name, values) in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        points = [(to_x(i), to_y(v)) for i, v in enumerate(values)
+                  if v is not None]
+        svg.polyline(points, color)
+        for x, y in points:
+            svg.circle(x, y, color)
+    for i, x_label in enumerate(xs):
+        svg.text(to_x(i), y1 + 14, x_label, size=10)
+    for si, (name, _) in enumerate(series):
+        lx = x0 + 10 + si * 150
+        svg.rect(lx, 26, 10, 10, PALETTE[si % len(PALETTE)])
+        svg.text(lx + 14, 35, name, anchor="start", size=11)
+    svg.save(out_path)
+    print("wrote", out_path)
+
+
+def render(csv_path, out_dir):
+    header, rows = read_csv(csv_path)
+    if not rows:
+        return
+    name = os.path.splitext(os.path.basename(csv_path))[0]
+    labels = [r[0] for r in rows]
+    numeric_cols = [c for c in range(1, len(header))
+                    if all(is_number(r[c]) for r in rows)]
+    series = [(header[c], [float(r[c]) for r in rows]) for c in numeric_cols]
+    # Sensitivity files are line charts over the factor column.
+    chart = line_chart if "sensitivity" in name or name.startswith(
+        "fig4") or name.startswith("fig6") or name.startswith(
+        "fig9") else grouped_bars
+    unit = "ms" if ".b" in name or "time" in name else "threshold / %"
+    chart(name, labels, series, unit,
+          os.path.join(out_dir, name + ".svg"))
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "results"
+    dst = sys.argv[2] if len(sys.argv) > 2 else "figures"
+    os.makedirs(dst, exist_ok=True)
+    for entry in sorted(os.listdir(src)):
+        if entry.endswith(".csv"):
+            render(os.path.join(src, entry), dst)
+
+
+if __name__ == "__main__":
+    main()

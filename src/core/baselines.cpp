@@ -1,0 +1,31 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace nbwp::core {
+
+double naive_static_cpu_share_pct(const hetsim::Platform& platform) {
+  return 100.0 - platform.naive_static_gpu_share_pct();
+}
+
+double naive_average_threshold(std::span<const double> optimal_thresholds) {
+  return mean(optimal_thresholds);
+}
+
+double first_run_training_threshold(double cpu_work_ns, double gpu_work_ns,
+                                    double trained_cpu_share_pct) {
+  NBWP_REQUIRE(trained_cpu_share_pct > 0.0 && trained_cpu_share_pct < 100.0,
+               "training share must be interior");
+  if (cpu_work_ns <= 0 || gpu_work_ns <= 0) return trained_cpu_share_pct;
+  // Observed per-share rates: cpu processed `trained` percent in cpu_ns,
+  // gpu processed the rest in gpu_ns.  Balance them.
+  const double cpu_rate = trained_cpu_share_pct / cpu_work_ns;
+  const double gpu_rate = (100.0 - trained_cpu_share_pct) / gpu_work_ns;
+  const double share = 100.0 * cpu_rate / (cpu_rate + gpu_rate);
+  return std::clamp(share, 0.0, 100.0);
+}
+
+}  // namespace nbwp::core

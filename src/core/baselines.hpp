@@ -1,0 +1,38 @@
+// Baseline partitioning strategies the paper compares against
+// (Sections III-B.2, IV-B.1, V-B):
+//
+//  * NaiveStatic  — split by the peak-FLOPS ratio of the devices; the GPU
+//                   gets ~88% on the paper's testbed.
+//  * NaiveAverage — run exhaustive search offline on a suite of inputs,
+//                   average the optimal thresholds, and use that single
+//                   value for every input (~90 in the paper).
+//  * GPU-only     — the "Naive" homogeneous line of Fig. 3(b): no
+//                   partitioning, everything on the GPU (t = 0).
+//  * CPU-only     — the other degenerate point (t = 100).
+//  * FirstRunTraining — Qilin-style [20]: treat the first full run at a
+//                   default threshold as a training run; set the threshold
+//                   from the device times it observed.  Input-agnostic
+//                   across inputs, which is the drawback the paper notes.
+#pragma once
+
+#include <span>
+
+#include "hetsim/platform.hpp"
+
+namespace nbwp::core {
+
+/// CPU work share (percent) from the peak-FLOPS ratio.
+double naive_static_cpu_share_pct(const hetsim::Platform& platform);
+
+/// Mean of previously found optimal thresholds.
+double naive_average_threshold(std::span<const double> optimal_thresholds);
+
+constexpr double gpu_only_threshold() { return 0.0; }    // CPU share 0%
+constexpr double cpu_only_threshold() { return 100.0; }  // CPU share 100%
+
+/// Qilin-style: given the device work times observed in one training run,
+/// choose the share that would have balanced them.
+double first_run_training_threshold(double cpu_work_ns, double gpu_work_ns,
+                                    double trained_cpu_share_pct);
+
+}  // namespace nbwp::core

@@ -1,0 +1,107 @@
+#include "core/dynamic_baselines.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::core {
+
+ScheduleOutcome work_queue_schedule(size_t items, unsigned chunks,
+                                    const RangeCosts& costs) {
+  NBWP_REQUIRE(chunks >= 1, "need at least one chunk");
+  NBWP_REQUIRE(items >= chunks, "chunks must not outnumber items");
+  ScheduleOutcome out;
+  const size_t per = items / chunks;
+  size_t next_first = 0;
+  double cpu_free = 0, gpu_free = 0;
+  unsigned issued = 0;
+  while (issued < chunks) {
+    const size_t first = next_first;
+    const size_t last = issued + 1 == chunks ? items : first + per;
+    next_first = last;
+    ++issued;
+    ++out.dispatches;
+    // The idle-soonest device pulls the chunk.
+    if (cpu_free <= gpu_free) {
+      const double span =
+          costs.cpu_ns(first, last) + costs.cpu_dispatch_ns;
+      cpu_free += span;
+      out.cpu_busy_ns += span;
+      out.cpu_items += last - first;
+    } else {
+      const double span =
+          costs.gpu_ns(first, last) + costs.gpu_dispatch_ns;
+      gpu_free += span;
+      out.gpu_busy_ns += span;
+      out.gpu_items += last - first;
+    }
+  }
+  out.makespan_ns = std::max(cpu_free, gpu_free);
+  return out;
+}
+
+ScheduleOutcome profile_rebalance_schedule(size_t items,
+                                           double probe_fraction,
+                                           const RangeCosts& costs) {
+  NBWP_REQUIRE(probe_fraction > 0 && probe_fraction < 1,
+               "probe fraction must be interior");
+  ScheduleOutcome out;
+  const auto probe =
+      std::max<size_t>(1, static_cast<size_t>(items * probe_fraction / 2));
+  // Two timed probes run concurrently, one per device.
+  const double cpu_probe =
+      costs.cpu_ns(0, probe) + costs.cpu_dispatch_ns;
+  const double gpu_probe =
+      costs.gpu_ns(probe, 2 * probe) + costs.gpu_dispatch_ns;
+  out.dispatches = 2;
+  // Observed rates decide one static split of the remainder — the [6]
+  // assumption that probe chunks are representative.
+  const double cpu_rate = static_cast<double>(probe) / cpu_probe;
+  const double gpu_rate = static_cast<double>(probe) / gpu_probe;
+  const size_t remaining = items - 2 * probe;
+  const auto cpu_take = static_cast<size_t>(
+      static_cast<double>(remaining) * cpu_rate / (cpu_rate + gpu_rate));
+  const size_t split = 2 * probe + cpu_take;
+  const double cpu_rest =
+      cpu_take > 0 ? costs.cpu_ns(2 * probe, split) + costs.cpu_dispatch_ns
+                   : 0.0;
+  const double gpu_rest =
+      split < items ? costs.gpu_ns(split, items) + costs.gpu_dispatch_ns
+                    : 0.0;
+  out.dispatches += (cpu_take > 0) + (split < items);
+  out.cpu_busy_ns = cpu_probe + cpu_rest;
+  out.gpu_busy_ns = gpu_probe + gpu_rest;
+  out.cpu_items = probe + cpu_take;
+  out.gpu_items = items - out.cpu_items;
+  out.makespan_ns = std::max(cpu_probe, gpu_probe) +
+                    std::max(cpu_rest, gpu_rest);
+  return out;
+}
+
+ScheduleOutcome best_static_schedule(size_t items, const RangeCosts& costs,
+                                     unsigned resolution) {
+  NBWP_REQUIRE(resolution >= 1, "resolution must be positive");
+  ScheduleOutcome best;
+  bool first = true;
+  for (unsigned i = 0; i <= resolution; ++i) {
+    const size_t split = items * i / resolution;
+    const double cpu =
+        split > 0 ? costs.cpu_ns(0, split) + costs.cpu_dispatch_ns : 0.0;
+    const double gpu = split < items
+                           ? costs.gpu_ns(split, items) + costs.gpu_dispatch_ns
+                           : 0.0;
+    const double makespan = std::max(cpu, gpu);
+    if (first || makespan < best.makespan_ns) {
+      first = false;
+      best.makespan_ns = makespan;
+      best.cpu_busy_ns = cpu;
+      best.gpu_busy_ns = gpu;
+      best.cpu_items = split;
+      best.gpu_items = items - split;
+      best.dispatches = 2;
+    }
+  }
+  return best;
+}
+
+}  // namespace nbwp::core

@@ -1,0 +1,65 @@
+// Dynamic-scheduling comparators from the paper's related work.
+//
+// The paper contrasts its one-shot sampled partition with two families of
+// runtime approaches and argues both carry overheads its method avoids:
+//
+//  * shared work queues (Augonnet et al. [2], StarPU): the input is cut
+//    into chunks that devices pull on demand; balance is automatic but
+//    every chunk pays dispatch and transfer costs, and the tail chunk
+//    idles one device ("the work volume may not be directly related to
+//    the contents of the work queue");
+//  * profile-driven rebalancing (Boyer et al. [6]): run the first chunks
+//    measured, then split the remainder by the observed rates — which
+//    "assumes that each chunk of the work requires (near) equal
+//    processing time".
+//
+// Both are implemented here as discrete-event simulations over a per-unit
+// work vector with device rate functions, so any threshold-partitioned
+// workload can be compared against them (bench/ablate_schedulers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace nbwp::core {
+
+/// Device-time callbacks for a contiguous item range [first, last):
+/// the full cost of processing that range on the device (work +
+/// range-dependent transfers; no global constants).
+struct RangeCosts {
+  std::function<double(size_t first, size_t last)> cpu_ns;
+  std::function<double(size_t first, size_t last)> gpu_ns;
+  /// Per-dispatch overhead when a device pulls one chunk from the queue.
+  double cpu_dispatch_ns = 2000;
+  double gpu_dispatch_ns = 8000;
+};
+
+struct ScheduleOutcome {
+  double makespan_ns = 0;
+  double cpu_busy_ns = 0;
+  double gpu_busy_ns = 0;
+  size_t cpu_items = 0;
+  size_t gpu_items = 0;
+  int dispatches = 0;
+};
+
+/// Shared-queue dynamic schedule: `items` units cut into `chunks` equal
+/// pieces; whichever device finishes its current piece first pulls the
+/// next.  Event-driven and deterministic.
+ScheduleOutcome work_queue_schedule(size_t items, unsigned chunks,
+                                    const RangeCosts& costs);
+
+/// Boyer-style adaptive split: the first `probe_fraction` of the items is
+/// processed in two small equal probes (one per device, timed); the
+/// remainder is split once by the observed rate ratio.
+ScheduleOutcome profile_rebalance_schedule(size_t items,
+                                           double probe_fraction,
+                                           const RangeCosts& costs);
+
+/// The static oracle on the same cost callbacks (best single split),
+/// for reference.
+ScheduleOutcome best_static_schedule(size_t items, const RangeCosts& costs,
+                                     unsigned resolution = 100);
+
+}  // namespace nbwp::core

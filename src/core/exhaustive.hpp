@@ -1,0 +1,60 @@
+// Exhaustive-search oracle.
+//
+// The paper obtains the "best possible threshold" by running the full
+// heterogeneous algorithm at every threshold — hours of machine time.
+// Here virtual time is an exact pure function of the partition structure,
+// so the oracle evaluates the same cost formulas analytically: the result
+// is the true argmin of the makespan, obtained in O(candidates) profile
+// evaluations, and the estimated-vs-exhaustive comparisons in the figures
+// are against the exact optimum rather than a noisy re-measurement.
+#pragma once
+
+#include <vector>
+
+#include "core/sampling_partitioner.hpp"
+
+namespace nbwp::core {
+
+struct ExhaustiveResult {
+  double best_threshold = 0;
+  double best_time_ns = 0;
+  std::vector<std::pair<double, double>> curve;  ///< (threshold, makespan)
+};
+
+/// Grid search on the full input's makespan at `step` percent.
+template <PartitionProblem P>
+ExhaustiveResult exhaustive_search(const P& problem, double step = 1.0) {
+  ExhaustiveResult r;
+  bool first = true;
+  for (double t = problem.threshold_lo(); t <= problem.threshold_hi() + 1e-9;
+       t += step) {
+    const double ns = problem.time_ns(t);
+    r.curve.emplace_back(t, ns);
+    if (first || ns < r.best_time_ns) {
+      r.best_time_ns = ns;
+      r.best_threshold = t;
+      first = false;
+    }
+  }
+  return r;
+}
+
+/// Grid search over an explicit candidate list (the HH cutoff grid).
+template <PartitionProblem P>
+ExhaustiveResult exhaustive_search_over(const P& problem,
+                                        std::span<const double> candidates) {
+  ExhaustiveResult r;
+  bool first = true;
+  for (double t : candidates) {
+    const double ns = problem.time_ns(t);
+    r.curve.emplace_back(t, ns);
+    if (first || ns < r.best_time_ns) {
+      r.best_time_ns = ns;
+      r.best_threshold = t;
+      first = false;
+    }
+  }
+  return r;
+}
+
+}  // namespace nbwp::core

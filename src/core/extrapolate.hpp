@@ -1,0 +1,44 @@
+// Extrapolation strategies for the framework's third step (Section II).
+//
+// For the percentage thresholds of Algorithms 1 and 2 the identity map is
+// right (Sections III-A.3 and IV-A.c: "we expect that t should be
+// identical to t'").  The HH row-density cutoff changes scale under
+// sampling, so richer maps are needed (Section V-A.3 uses an off-line
+// best-fit; util/bestfit.hpp provides that machinery):
+//
+//  * fold_inversion — closed-form correction of the column-folding
+//    collisions introduced by the Section V sampler: a full row of degree
+//    d appears in an s-column sample with expected degree
+//    E[d'] = s * (1 - (1 - 1/s)^d); inverting gives
+//    d ~= -s * ln(1 - d'/s).  Exact for degrees well below s.
+//  * work_share_extrapolator — map the heavy-row *work share* found to
+//    balance the devices on the sample to the full input's degree
+//    quantile; invariant under any monotone degree distortion, at the
+//    price of one O(nnz) load-vector pass on the full input (the same
+//    pass Algorithm 2's Phase I performs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetalg/hetero_spmm_hh.hpp"
+
+namespace nbwp::core {
+
+/// Invert the expected column-folding compression for a sample with
+/// `sample_cols` columns.
+inline double fold_inversion(double t_sample, double sample_cols) {
+  const double s = sample_cols;
+  if (t_sample >= s - 1) return s * 8;  // saturated: beyond recovery
+  return -s * std::log1p(-t_sample / s);
+}
+
+/// Rich extrapolator for estimate_partition over HeteroSpmmHh.
+inline double work_share_extrapolate(const hetalg::HeteroSpmmHh& full,
+                                     const hetalg::HeteroSpmmHh& sample,
+                                     double t_sample) {
+  const double share = sample.work_share_above(t_sample);
+  return full.threshold_for_work_share(share);
+}
+
+}  // namespace nbwp::core

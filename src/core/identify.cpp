@@ -1,0 +1,142 @@
+#include "core/identify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace nbwp::core {
+
+namespace {
+
+/// Evaluate one candidate, folding it into the running result.
+void consider(const Evaluator& eval, double t, IdentifyResult& r) {
+  t = std::clamp(t, eval.lo, eval.hi);
+  const double obj = eval.objective_ns(t);
+  r.cost_ns += eval.cost_ns ? eval.cost_ns(t) : 0.0;
+  ++r.evaluations;
+  if (r.evaluations == 1 || obj < r.best_objective) {
+    r.best_objective = obj;
+    r.best_threshold = t;
+  }
+}
+
+IdentifyResult grid(const Evaluator& eval, double lo, double hi,
+                    double step) {
+  NBWP_REQUIRE(step > 0, "grid step must be positive");
+  IdentifyResult r;
+  for (double t = lo; t <= hi + 1e-9; t += step) consider(eval, t, r);
+  return r;
+}
+
+}  // namespace
+
+IdentifyResult coarse_to_fine(const Evaluator& eval, double coarse_step,
+                              double fine_step) {
+  IdentifyResult coarse = grid(eval, eval.lo, eval.hi, coarse_step);
+  const double lo = std::max(eval.lo, coarse.best_threshold - coarse_step);
+  const double hi = std::min(eval.hi, coarse.best_threshold + coarse_step);
+  IdentifyResult fine = grid(eval, lo, hi, fine_step);
+  fine.cost_ns += coarse.cost_ns;
+  fine.evaluations += coarse.evaluations;
+  if (coarse.best_objective < fine.best_objective) {
+    fine.best_objective = coarse.best_objective;
+    fine.best_threshold = coarse.best_threshold;
+  }
+  return fine;
+}
+
+IdentifyResult flat_grid(const Evaluator& eval, double step) {
+  return grid(eval, eval.lo, eval.hi, step);
+}
+
+IdentifyResult race_then_fine(const Evaluator& eval, double cpu_all_ns,
+                              double gpu_all_ns, double fine_halfwidth,
+                              double fine_step) {
+  NBWP_REQUIRE(cpu_all_ns >= 0 && gpu_all_ns >= 0,
+               "device times must be non-negative");
+  const double denom = cpu_all_ns + gpu_all_ns;
+  const double r0 =
+      denom <= 0 ? 50.0
+                 : eval.lo + (eval.hi - eval.lo) * gpu_all_ns / denom;
+  IdentifyResult r = grid(eval, std::max(eval.lo, r0 - fine_halfwidth),
+                          std::min(eval.hi, r0 + fine_halfwidth), fine_step);
+  // The race itself: both devices run in parallel on the whole sample and
+  // stop at the first finish.
+  r.cost_ns += std::min(cpu_all_ns, gpu_all_ns);
+  ++r.evaluations;
+  return r;
+}
+
+IdentifyResult gradient_descent(const Evaluator& eval,
+                                GradientDescentOptions options) {
+  const bool logs = options.log_space;
+  NBWP_REQUIRE(!logs || eval.lo > 0, "log-space search needs lo > 0");
+  NBWP_REQUIRE(options.starts >= 1, "need at least one start");
+  auto fwd = [&](double t) { return logs ? std::log(t) : t; };
+  auto back = [&](double x) { return logs ? std::exp(x) : x; };
+  const double xlo = fwd(eval.lo), xhi = fwd(eval.hi);
+
+  IdentifyResult best;
+  for (int s = 0; s < options.starts; ++s) {
+    IdentifyResult r;
+    const double f =
+        options.starts == 1
+            ? 0.5
+            : (static_cast<double>(s) + 0.5) / options.starts;
+    consider(eval, back(xlo + f * (xhi - xlo)), r);
+    double step = options.initial_step_fraction * (xhi - xlo);
+    for (int i = 0; i < options.max_iterations && step > 1e-6 * (xhi - xlo);
+         ++i) {
+      const double before = r.best_objective;
+      const double bx = fwd(r.best_threshold);
+      consider(eval, back(std::clamp(bx + step, xlo, xhi)), r);
+      consider(eval, back(std::clamp(bx - step, xlo, xhi)), r);
+      if (r.best_objective >= before) step *= options.shrink;
+    }
+    if (s == 0 || r.best_objective < best.best_objective) {
+      const double cost = best.cost_ns + r.cost_ns;
+      const int evals = best.evaluations + r.evaluations;
+      best = r;
+      best.cost_ns = cost;
+      best.evaluations = evals;
+    } else {
+      best.cost_ns += r.cost_ns;
+      best.evaluations += r.evaluations;
+    }
+  }
+  return best;
+}
+
+IdentifyResult golden_section(const Evaluator& eval, double tolerance,
+                              int max_iterations) {
+  constexpr double kPhi = 0.6180339887498949;
+  IdentifyResult r;
+  double a = eval.lo, b = eval.hi;
+  double c = b - kPhi * (b - a);
+  double d = a + kPhi * (b - a);
+  auto probe = [&](double t) {
+    consider(eval, t, r);
+    return eval.objective_ns(std::clamp(t, eval.lo, eval.hi));
+  };
+  double fc = probe(c), fd = probe(d);
+  for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kPhi * (b - a);
+      fc = probe(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kPhi * (b - a);
+      fd = probe(d);
+    }
+  }
+  return r;
+}
+
+}  // namespace nbwp::core

@@ -1,0 +1,74 @@
+// Identification strategies for the framework's Identify step (Section II,
+// Fig. 2 "identify the right value(s) of the threshold(s) for I_s").
+//
+// A strategy minimizes a scalar objective over a threshold interval using
+// only evaluations of the (sampled) heterogeneous algorithm.  Each
+// evaluation charges the virtual time of the run it stands for, so the
+// framework's estimation overhead — the paper's "Overhead %" column — is
+// accounted faithfully.
+//
+// The strategies in the paper are:
+//  * coarse-to-fine grid (CC, Section III-A.2: steps of 8, then steps of 1),
+//  * race-then-fine (spmm, Section IV-A.b: both devices multiply the whole
+//    sample in parallel; the throughput ratio at first finish gives the
+//    coarse split, then a fine local search),
+//  * gradient descent (scale-free spmm, Section V-A.2).
+// Golden-section search is provided as an ablation alternative.
+#pragma once
+
+#include <functional>
+
+namespace nbwp::core {
+
+/// One threshold evaluation: `objective_ns` is minimized; `cost_ns` is the
+/// virtual time the evaluation takes (charged to the estimation overhead).
+struct Evaluator {
+  std::function<double(double)> objective_ns;
+  std::function<double(double)> cost_ns;
+  double lo = 0.0;
+  double hi = 100.0;
+};
+
+struct IdentifyResult {
+  double best_threshold = 0.0;
+  double best_objective = 0.0;
+  double cost_ns = 0.0;
+  int evaluations = 0;
+};
+
+/// Grid at `coarse_step`, then a grid at `fine_step` inside the winning
+/// coarse cell (the paper's CC procedure with steps 8 and 1).
+IdentifyResult coarse_to_fine(const Evaluator& eval, double coarse_step = 8,
+                              double fine_step = 1);
+
+/// Flat grid at `step` over [lo, hi].
+IdentifyResult flat_grid(const Evaluator& eval, double step = 1);
+
+/// Race-based coarse estimate followed by a fine grid of half-width
+/// `fine_halfwidth` at `fine_step`.  `cpu_all_ns` / `gpu_all_ns` are the
+/// device times for the *whole* sampled input on each device; the race
+/// costs min(cpu, gpu) because it stops when the first device finishes.
+/// The coarse split is r0 = 100 * gpu/(cpu + gpu) (CPU work share).
+IdentifyResult race_then_fine(const Evaluator& eval, double cpu_all_ns,
+                              double gpu_all_ns, double fine_halfwidth = 8,
+                              double fine_step = 1);
+
+/// Hill-climbing gradient descent with a geometrically shrinking step,
+/// optionally in log space (right for the HH row-density cutoff whose
+/// useful range spans orders of magnitude).
+struct GradientDescentOptions {
+  double initial_step_fraction = 0.25;  ///< of the (log-)range
+  double shrink = 0.5;
+  int max_iterations = 24;
+  bool log_space = false;
+  int starts = 3;  ///< independent starting points (multi-start avoids the
+                   ///< local minima of non-unimodal cutoff landscapes)
+};
+IdentifyResult gradient_descent(const Evaluator& eval,
+                                GradientDescentOptions options = {});
+
+/// Golden-section search (assumes a unimodal objective).
+IdentifyResult golden_section(const Evaluator& eval, double tolerance = 0.5,
+                              int max_iterations = 48);
+
+}  // namespace nbwp::core

@@ -1,0 +1,167 @@
+// SamplingPartitioner — the paper's three-step framework (Section II):
+//
+//   1. Sample       draw a miniature input I_s from I with randomization,
+//   2. Identify     search for the best threshold t' on I_s by running the
+//                   heterogeneous algorithm itself,
+//   3. Extrapolate  map t' to a threshold t for I.
+//
+// The framework is generic over the heterogeneous algorithm: any Problem
+// type satisfying the PartitionProblem concept below plugs in (the three
+// case studies HeteroCc / HeteroSpmm / HeteroSpmmHh all do, and
+// examples/custom_algorithm.cpp shows a user-defined one).
+//
+// Identification minimizes the *work balance* |T_cpu_work - T_gpu_work| by
+// default — the quantity the title promises to equalize.  Threshold-
+// independent overheads (kernel launches, PCIe setup) are excluded from
+// the objective because on sqrt(n)-sized samples they would drown the
+// signal; makespan is available as an alternative objective and is always
+// what the exhaustive oracle optimizes on the full input.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <functional>
+
+#include "core/identify.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::core {
+
+/// Requirements on a heterogeneous algorithm bound to one input.
+template <typename P>
+concept PartitionProblem = requires(const P& p, double t, double f, Rng& rng) {
+  { p.time_ns(t) } -> std::convertible_to<double>;     // makespan at t
+  { p.balance_ns(t) } -> std::convertible_to<double>;  // |cpu-gpu| work
+  { p.make_sample(f, rng) } -> std::convertible_to<P>;
+  { p.sampling_cost_ns(f) } -> std::convertible_to<double>;
+  { p.threshold_lo() } -> std::convertible_to<double>;
+  { p.threshold_hi() } -> std::convertible_to<double>;
+};
+
+enum class IdentifyMethod {
+  kCoarseToFine,     ///< CC: grid step 8 then step 1 (Section III-A.2)
+  kRaceThenFine,     ///< spmm: device race + local grid (Section IV-A.b)
+  kGradientDescent,  ///< scale-free spmm (Section V-A.2)
+  kGoldenSection,    ///< ablation alternative
+};
+
+enum class Objective { kBalance, kMakespan };
+
+struct SamplingConfig {
+  double sample_factor = 1.0;  ///< problem-specific size knob: factor of
+                               ///< sqrt(n) for CC/HH, fraction of n for spmm
+  IdentifyMethod method = IdentifyMethod::kCoarseToFine;
+  Objective objective = Objective::kBalance;
+  /// Extrapolate step; identity unless the threshold scale changes under
+  /// sampling (HH uses a relation fitted offline, see util/bestfit.hpp).
+  std::function<double(double)> extrapolate;
+  uint64_t seed = 0x5EED;
+  int repeats = 1;  ///< independent samples; thresholds are averaged
+  double coarse_step = 8, fine_step = 1;       // kCoarseToFine
+  double race_fine_halfwidth = 7.5, race_fine_step = 3;  // kRaceThenFine
+  GradientDescentOptions gradient{};           // kGradientDescent
+  /// Simulated measurement jitter (sigma, ns) added to every observed
+  /// sample-run objective.  Real systems time the sample runs with finite
+  /// precision; on very small samples the signal sinks below this noise
+  /// floor, which is what makes undersized samples misestimate (the left
+  /// side of the Fig. 4/6/9 U-curves).  Deterministic per seed.
+  double timing_noise_ns = 150.0;
+};
+
+struct PartitionEstimate {
+  double threshold = 0;         ///< extrapolated, for the full input
+  double sample_threshold = 0;  ///< t' found on the sample (last repeat)
+  double estimation_cost_ns = 0;
+  int evaluations = 0;
+};
+
+namespace detail {
+
+template <typename P>
+IdentifyResult identify_on(const P& sample, const SamplingConfig& cfg,
+                           Rng& noise_rng) {
+  Evaluator eval;
+  eval.lo = sample.threshold_lo();
+  eval.hi = sample.threshold_hi();
+  auto observe = [&cfg, &noise_rng](double objective) {
+    if (cfg.timing_noise_ns <= 0) return objective;
+    return std::max(0.0, objective + noise_rng.normal(0, cfg.timing_noise_ns));
+  };
+  if (cfg.objective == Objective::kBalance) {
+    eval.objective_ns = [&sample, observe](double t) {
+      return observe(sample.balance_ns(t));
+    };
+  } else {
+    eval.objective_ns = [&sample, observe](double t) {
+      return observe(sample.time_ns(t));
+    };
+  }
+  // Each candidate evaluation stands for one run of the heterogeneous
+  // algorithm on the sample; charge its makespan.
+  eval.cost_ns = [&sample](double t) { return sample.time_ns(t); };
+
+  switch (cfg.method) {
+    case IdentifyMethod::kCoarseToFine:
+      return coarse_to_fine(eval, cfg.coarse_step, cfg.fine_step);
+    case IdentifyMethod::kRaceThenFine:
+      if constexpr (requires { sample.device_times_all(); }) {
+        const auto [cpu_ns, gpu_ns] = sample.device_times_all();
+        return race_then_fine(eval, cpu_ns, gpu_ns,
+                              cfg.race_fine_halfwidth, cfg.race_fine_step);
+      } else {
+        NBWP_REQUIRE(false,
+                     "race identification needs device_times_all()");
+      }
+    case IdentifyMethod::kGradientDescent:
+      return gradient_descent(eval, cfg.gradient);
+    case IdentifyMethod::kGoldenSection:
+      return golden_section(eval);
+  }
+  NBWP_REQUIRE(false, "unknown identification method");
+}
+
+}  // namespace detail
+
+/// Run Sample -> Identify -> Extrapolate with a rich extrapolator that can
+/// inspect both the full problem and the sample it was found on:
+/// `extrapolate(full, sample, t_sample) -> t_full`.  This is the hook the
+/// HH case study uses for work-share matching (the Section II framework
+/// explicitly allows the Extrapolate step to "deploy tools from other
+/// domains").
+template <PartitionProblem P, typename ExtrapolateFn>
+  requires std::invocable<ExtrapolateFn, const P&, const P&, double>
+PartitionEstimate estimate_partition(const P& problem,
+                                     const SamplingConfig& cfg,
+                                     ExtrapolateFn&& extrapolate) {
+  NBWP_REQUIRE(cfg.repeats >= 1, "repeats must be >= 1");
+  Rng rng(cfg.seed);
+  PartitionEstimate est;
+  double threshold_sum = 0;
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
+    const P sample = problem.make_sample(cfg.sample_factor, rng);
+    est.estimation_cost_ns += problem.sampling_cost_ns(cfg.sample_factor);
+    Rng noise_rng = rng.fork();
+    const IdentifyResult found = detail::identify_on(sample, cfg, noise_rng);
+    est.estimation_cost_ns += found.cost_ns;
+    est.evaluations += found.evaluations;
+    est.sample_threshold = found.best_threshold;
+    threshold_sum += extrapolate(problem, sample, found.best_threshold);
+  }
+  est.threshold = std::clamp(threshold_sum / cfg.repeats,
+                             problem.threshold_lo(), problem.threshold_hi());
+  return est;
+}
+
+/// Run Sample -> Identify -> Extrapolate with the scalar extrapolation in
+/// `cfg.extrapolate` (identity when unset).
+template <PartitionProblem P>
+PartitionEstimate estimate_partition(const P& problem,
+                                     const SamplingConfig& cfg) {
+  return estimate_partition(
+      problem, cfg, [&cfg](const P&, const P&, double t_sample) {
+        return cfg.extrapolate ? cfg.extrapolate(t_sample) : t_sample;
+      });
+}
+
+}  // namespace nbwp::core

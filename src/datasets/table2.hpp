@@ -1,0 +1,59 @@
+// The Table II dataset catalog.
+//
+// The paper evaluates on 15 University of Florida / SNAP matrices, used
+// both as graphs (CC) and as matrices (spmm).  Offline, this module
+// synthesizes structural analogs with the same n and nnz via the seeded
+// generators in src/graph and src/sparse, scaled by a user factor so the
+// multi-million-node road networks stay tractable in simulation.  When the
+// original .mtx files are available, every bench accepts --mtx-dir and
+// loads them instead (util/mmio.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::datasets {
+
+enum class Family {
+  kFem,     ///< banded/blocked FEM assembly (cant, consph, pdb1HYS, ...)
+  kQcd,     ///< regular lattice, near-constant row degree (qcd5_4)
+  kPlanar,  ///< planar triangulation (delaunay_n22)
+  kWeb,     ///< power-law web graph (web-BerkStan, webbase-1M)
+  kRoad,    ///< OSM road network (asia/germany/italy/netherlands_osm)
+};
+
+struct DatasetSpec {
+  std::string name;
+  uint64_t paper_n = 0;
+  uint64_t paper_nnz = 0;  ///< Table II's "m or NNZ" column
+  Family family = Family::kFem;
+  bool scale_free = false;  ///< used in the Section V HH study
+};
+
+/// All 15 rows of Table II, in the paper's order.
+const std::vector<DatasetSpec>& table2();
+
+/// Specs used by each case study.
+std::vector<DatasetSpec> cc_datasets();          ///< all of Table II
+std::vector<DatasetSpec> spmm_datasets();        ///< all of Table II
+std::vector<DatasetSpec> scale_free_datasets();  ///< rows 1-11 minus 4 & 7
+
+const DatasetSpec& spec_by_name(const std::string& name);
+
+/// Synthesize the analog graph at `scale` (n ~= paper_n * scale, nnz
+/// proportional).  Deterministic per (spec, scale, seed).
+graph::CsrGraph make_graph(const DatasetSpec& spec, double scale,
+                           uint64_t seed = 1);
+
+/// Synthesize the analog matrix at `scale`.
+sparse::CsrMatrix make_matrix(const DatasetSpec& spec, double scale,
+                              uint64_t seed = 1);
+
+/// Effective vertex/row count at a scale (before generation).
+uint64_t scaled_n(const DatasetSpec& spec, double scale);
+
+}  // namespace nbwp::datasets

@@ -1,0 +1,64 @@
+#include "dense/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nbwp::dense {
+
+DenseMatrix DenseMatrix::random(uint32_t rows, uint32_t cols, Rng& rng,
+                                double lo, double hi) {
+  DenseMatrix m(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r)
+    for (uint32_t c = 0; c < cols; ++c) m.at(r, c) = rng.uniform_real(lo, hi);
+  return m;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  NBWP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch");
+  double worst = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i)
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  return worst;
+}
+
+DenseMatrix gemm_row_range(const DenseMatrix& a, const DenseMatrix& b,
+                           uint32_t first, uint32_t last) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "gemm shape mismatch");
+  NBWP_REQUIRE(first <= last && last <= a.rows(), "gemm row range invalid");
+  DenseMatrix c(last - first, b.cols());
+  constexpr uint32_t kBlock = 64;
+  for (uint32_t i0 = first; i0 < last; i0 += kBlock) {
+    const uint32_t i1 = std::min(i0 + kBlock, last);
+    for (uint32_t k0 = 0; k0 < a.cols(); k0 += kBlock) {
+      const uint32_t k1 = std::min(k0 + kBlock, a.cols());
+      for (uint32_t i = i0; i < i1; ++i) {
+        for (uint32_t k = k0; k < k1; ++k) {
+          const double aik = a.at(i, k);
+          for (uint32_t j = 0; j < b.cols(); ++j)
+            c.at(i - first, j) += aik * b.at(k, j);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b) {
+  return gemm_row_range(a, b, 0, a.rows());
+}
+
+DenseMatrix vstack(const DenseMatrix& top, const DenseMatrix& bottom) {
+  NBWP_REQUIRE(top.cols() == bottom.cols(), "vstack column mismatch");
+  DenseMatrix m(top.rows() + bottom.rows(), top.cols());
+  for (uint32_t r = 0; r < top.rows(); ++r)
+    for (uint32_t c = 0; c < top.cols(); ++c) m.at(r, c) = top.at(r, c);
+  for (uint32_t r = 0; r < bottom.rows(); ++r)
+    for (uint32_t c = 0; c < bottom.cols(); ++c)
+      m.at(top.rows() + r, c) = bottom.at(r, c);
+  return m;
+}
+
+}  // namespace nbwp::dense

@@ -1,0 +1,55 @@
+// Dense row-major matrix and blocked GEMM.
+//
+// Used by the Fig. 1 motivating study: dense matrix multiplication is the
+// *regular* workload for which the naive FLOPS-ratio partition is already
+// near-optimal, in contrast to the sparse workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nbwp::dense {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(uint32_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {}
+
+  static DenseMatrix random(uint32_t rows, uint32_t cols, Rng& rng,
+                            double lo = 0.0, double hi = 1.0);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  double& at(uint32_t r, uint32_t c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double at(uint32_t r, uint32_t c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double bytes() const { return static_cast<double>(data_.size() * 8); }
+
+  static double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  uint32_t rows_ = 0;
+  uint32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C rows [first, last) = A[first..last) x B, cache-blocked (ikj order).
+DenseMatrix gemm_row_range(const DenseMatrix& a, const DenseMatrix& b,
+                           uint32_t first, uint32_t last);
+
+/// Full product.
+DenseMatrix gemm(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Stack two row-range products.
+DenseMatrix vstack(const DenseMatrix& top, const DenseMatrix& bottom);
+
+}  // namespace nbwp::dense

@@ -1,0 +1,372 @@
+#include "exp/experiment.hpp"
+
+#include <filesystem>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/extrapolate.hpp"
+#include "graph/convert.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_gemm.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "util/log.hpp"
+#include "util/mmio.hpp"
+#include "util/stats.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::exp {
+
+double default_scale(const datasets::DatasetSpec& spec) {
+  return spec.paper_n > 1200000 ? 0.25 : 1.0;
+}
+
+namespace {
+
+double scale_of(const SuiteOptions& options,
+                const datasets::DatasetSpec& spec) {
+  return options.scale > 0 ? options.scale : default_scale(spec);
+}
+
+std::string mtx_path(const datasets::DatasetSpec& spec,
+                     const SuiteOptions& options) {
+  if (options.mtx_dir.empty()) return {};
+  const std::filesystem::path p =
+      std::filesystem::path(options.mtx_dir) / (spec.name + ".mtx");
+  return std::filesystem::exists(p) ? p.string() : std::string{};
+}
+
+core::SamplingConfig cc_config(const SuiteOptions& options) {
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 1.0;  // sqrt(n) vertices
+  cfg.method = core::IdentifyMethod::kCoarseToFine;
+  cfg.objective = core::Objective::kBalance;
+  cfg.seed = options.sampling_seed;
+  cfg.repeats = options.repeats;
+  return cfg;
+}
+
+core::SamplingConfig spmm_config(const SuiteOptions& options) {
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;  // n/4 x n/4 submatrix
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  cfg.objective = core::Objective::kBalance;
+  cfg.seed = options.sampling_seed;
+  cfg.repeats = options.repeats;
+  return cfg;
+}
+
+core::SamplingConfig hh_config(const SuiteOptions& options) {
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 1.0;  // sqrt(n) rows
+  cfg.method = core::IdentifyMethod::kGradientDescent;
+  cfg.objective = core::Objective::kBalance;
+  cfg.gradient.log_space = true;
+  cfg.gradient.starts = 2;
+  cfg.gradient.max_iterations = 10;
+  cfg.gradient.initial_step_fraction = 0.2;
+  cfg.seed = options.sampling_seed;
+  cfg.repeats = options.repeats;
+  return cfg;
+}
+
+/// The shared two-pass suite skeleton: pass 1 finds every exhaustive
+/// optimum (the NaiveAverage baseline is their mean, exactly the paper's
+/// "average of exhaustive thresholds arrived at through multiple prior
+/// runs over all the datasets"); pass 2 computes the estimates and times.
+/// `Build` constructs a problem for a spec; `Estimate` runs the sampling
+/// framework; `Exhaust` runs the oracle.
+template <typename Problem, typename Build, typename Estimate,
+          typename Exhaust>
+std::vector<CaseResult> run_suite(const std::vector<datasets::DatasetSpec>& specs,
+                                  const hetsim::Platform& platform,
+                                  const Build& build,
+                                  const Estimate& estimate,
+                                  const Exhaust& exhaust, bool relative_diff) {
+  std::vector<double> optima(specs.size());
+  std::vector<core::ExhaustiveResult> oracle(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Problem problem = build(specs[i]);
+    oracle[i] = exhaust(problem);
+    optima[i] = oracle[i].best_threshold;
+    log_debug(strfmt("exhaustive %s: t=%.1f", specs[i].name.c_str(),
+                     optima[i]));
+  }
+  const double naive_avg = core::naive_average_threshold(optima);
+
+  std::vector<CaseResult> results;
+  results.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Problem problem = build(specs[i]);
+    CaseResult r;
+    r.dataset = specs[i].name;
+    r.exhaustive_threshold = optima[i];
+    r.exhaustive_ns = oracle[i].best_time_ns;
+
+    const core::PartitionEstimate est = estimate(problem);
+    r.estimated_threshold = est.threshold;
+    r.sample_threshold = est.sample_threshold;
+    r.estimation_cost_ns = est.estimation_cost_ns;
+    r.evaluations = est.evaluations;
+    r.estimated_ns = problem.time_ns(est.threshold);
+
+    r.naive_average_threshold =
+        std::clamp(naive_avg, problem.threshold_lo(), problem.threshold_hi());
+    r.naive_average_ns = problem.time_ns(r.naive_average_threshold);
+
+    if constexpr (requires { problem.threshold_for_work_share(0.5); }) {
+      // HH: map the FLOPS ratio to a heavy-row work share.
+      r.naive_static_threshold = problem.threshold_for_work_share(
+          core::naive_static_cpu_share_pct(platform) / 100.0);
+      r.gpu_only_ns = problem.time_ns(problem.threshold_hi());
+      if constexpr (requires { problem.a(); }) {
+        r.n = problem.a().rows();
+        r.nnz = problem.a().nnz();
+      }
+    } else {
+      r.naive_static_threshold = core::naive_static_cpu_share_pct(platform);
+      r.gpu_only_ns = problem.time_ns(0.0);
+      if constexpr (requires { problem.input(); }) {
+        r.n = problem.input().num_vertices();
+        r.nnz = problem.input().num_edges();
+      } else if constexpr (requires { problem.a(); }) {
+        r.n = problem.a().rows();
+        r.nnz = problem.a().nnz();
+      }
+    }
+    r.naive_static_ns = problem.time_ns(r.naive_static_threshold);
+
+    r.threshold_diff_pct =
+        relative_diff
+            ? 100.0 * std::abs(r.estimated_threshold - r.exhaustive_threshold) /
+                  std::max(1.0, r.exhaustive_threshold)
+            : std::abs(r.estimated_threshold - r.exhaustive_threshold);
+    r.time_diff_pct =
+        100.0 * (r.estimated_ns - r.exhaustive_ns) / r.exhaustive_ns;
+    r.overhead_pct = 100.0 * r.estimation_cost_ns /
+                     (r.estimation_cost_ns + r.estimated_ns);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace
+
+graph::CsrGraph load_graph(const datasets::DatasetSpec& spec,
+                           const SuiteOptions& options) {
+  const std::string path = mtx_path(spec, options);
+  if (!path.empty()) {
+    log_info("loading " + path);
+    return graph::graph_from_triplets(read_matrix_market_file(path));
+  }
+  return datasets::make_graph(spec, scale_of(options, spec), options.seed);
+}
+
+sparse::CsrMatrix load_matrix(const datasets::DatasetSpec& spec,
+                              const SuiteOptions& options) {
+  const std::string path = mtx_path(spec, options);
+  if (!path.empty()) {
+    log_info("loading " + path);
+    return sparse::CsrMatrix::from_mm(read_matrix_market_file(path));
+  }
+  return datasets::make_matrix(spec, scale_of(options, spec), options.seed);
+}
+
+std::vector<CaseResult> run_cc_suite(const hetsim::Platform& platform,
+                                     const SuiteOptions& options) {
+  const auto specs = datasets::cc_datasets();
+  const auto cfg = cc_config(options);
+  return run_suite<hetalg::HeteroCc>(
+      specs, platform,
+      [&](const datasets::DatasetSpec& spec) {
+        return hetalg::HeteroCc(load_graph(spec, options), platform);
+      },
+      [&](const hetalg::HeteroCc& p) {
+        return core::estimate_partition(p, cfg);
+      },
+      [](const hetalg::HeteroCc& p) { return core::exhaustive_search(p, 1.0); },
+      /*relative_diff=*/false);
+}
+
+std::vector<CaseResult> run_spmm_suite(const hetsim::Platform& platform,
+                                       const SuiteOptions& options) {
+  const auto specs = datasets::spmm_datasets();
+  const auto cfg = spmm_config(options);
+  return run_suite<hetalg::HeteroSpmm>(
+      specs, platform,
+      [&](const datasets::DatasetSpec& spec) {
+        return hetalg::HeteroSpmm(load_matrix(spec, options), platform);
+      },
+      [&](const hetalg::HeteroSpmm& p) {
+        return core::estimate_partition(p, cfg);
+      },
+      [](const hetalg::HeteroSpmm& p) {
+        return core::exhaustive_search(p, 1.0);
+      },
+      /*relative_diff=*/false);
+}
+
+std::vector<CaseResult> run_hh_suite(const hetsim::Platform& platform,
+                                     const SuiteOptions& options) {
+  const auto specs = datasets::scale_free_datasets();
+  const auto cfg = hh_config(options);
+  return run_suite<hetalg::HeteroSpmmHh>(
+      specs, platform,
+      [&](const datasets::DatasetSpec& spec) {
+        return hetalg::HeteroSpmmHh(load_matrix(spec, options), platform);
+      },
+      [&](const hetalg::HeteroSpmmHh& p) {
+        return core::estimate_partition(
+            p, cfg,
+            [](const hetalg::HeteroSpmmHh& full,
+               const hetalg::HeteroSpmmHh& sample, double ts) {
+              return core::work_share_extrapolate(full, sample, ts);
+            });
+      },
+      [](const hetalg::HeteroSpmmHh& p) {
+        const auto candidates = p.candidate_thresholds(192);
+        return core::exhaustive_search_over(p, candidates);
+      },
+      /*relative_diff=*/true);
+}
+
+std::vector<DenseResult> run_dense_study(const hetsim::Platform& platform,
+                                         std::vector<uint32_t> sizes,
+                                         uint64_t seed) {
+  std::vector<DenseResult> out;
+  Rng rng(seed);
+  for (uint32_t n : sizes) {
+    hetalg::HeteroGemm problem(n, platform, rng);
+    DenseResult r;
+    r.n = n;
+    const auto ex = core::exhaustive_search(problem, 1.0);
+    r.exhaustive_threshold = ex.best_threshold;
+    r.exhaustive_ns = ex.best_time_ns;
+    core::SamplingConfig cfg;
+    cfg.sample_factor = 0.25;
+    cfg.method = core::IdentifyMethod::kCoarseToFine;
+    const auto est = core::estimate_partition(problem, cfg);
+    r.estimated_threshold = est.threshold;
+    r.estimated_ns = problem.time_ns(est.threshold);
+    r.naive_static_threshold = core::naive_static_cpu_share_pct(platform);
+    r.naive_static_ns = problem.time_ns(r.naive_static_threshold);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<SensitivityPoint> run_sensitivity(
+    const hetsim::Platform& platform, Workload workload,
+    const datasets::DatasetSpec& spec, std::vector<double> factors,
+    const SuiteOptions& options) {
+  std::vector<SensitivityPoint> out;
+  auto push = [&](double factor, uint64_t sample_size,
+                  const core::PartitionEstimate& est, double run_ns) {
+    SensitivityPoint p;
+    p.factor = factor;
+    p.sample_size = sample_size;
+    p.estimated_threshold = est.threshold;
+    p.estimation_cost_ns = est.estimation_cost_ns;
+    p.run_ns = run_ns;
+    p.total_ns = est.estimation_cost_ns + run_ns;
+    out.push_back(p);
+  };
+  switch (workload) {
+    case Workload::kCc: {
+      hetalg::HeteroCc problem(load_graph(spec, options), platform);
+      for (double f : factors) {
+        auto cfg = cc_config(options);
+        cfg.sample_factor = f;
+        const auto est = core::estimate_partition(problem, cfg);
+        push(f, problem.sample_size(f), est, problem.time_ns(est.threshold));
+      }
+      break;
+    }
+    case Workload::kSpmm: {
+      hetalg::HeteroSpmm problem(load_matrix(spec, options), platform);
+      for (double f : factors) {
+        auto cfg = spmm_config(options);
+        cfg.sample_factor = f;
+        const auto est = core::estimate_partition(problem, cfg);
+        push(f, problem.sample_rows(f), est, problem.time_ns(est.threshold));
+      }
+      break;
+    }
+    case Workload::kHh: {
+      hetalg::HeteroSpmmHh problem(load_matrix(spec, options), platform);
+      for (double f : factors) {
+        auto cfg = hh_config(options);
+        cfg.sample_factor = f;
+        const auto est = core::estimate_partition(
+            problem, cfg,
+            [](const hetalg::HeteroSpmmHh& full,
+               const hetalg::HeteroSpmmHh& sample, double ts) {
+              return core::work_share_extrapolate(full, sample, ts);
+            });
+        push(f, problem.sample_size(f), est, problem.time_ns(est.threshold));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<RandomnessPoint> run_randomness_study(
+    const hetsim::Platform& platform, const datasets::DatasetSpec& spec,
+    const SuiteOptions& options) {
+  hetalg::HeteroSpmm problem(load_matrix(spec, options), platform);
+  const auto ex = core::exhaustive_search(problem, 1.0);
+
+  std::vector<RandomnessPoint> out;
+  auto record = [&](const std::string& label, double threshold) {
+    RandomnessPoint p;
+    p.label = label;
+    p.estimated_threshold = threshold;
+    p.run_ns = problem.time_ns(threshold);
+    p.exhaustive_threshold = ex.best_threshold;
+    p.exhaustive_ns = ex.best_time_ns;
+    out.push_back(p);
+  };
+
+  {
+    const auto cfg = spmm_config(options);
+    const auto est = core::estimate_partition(problem, cfg);
+    record("random", est.threshold);
+  }
+  // Four predetermined n/4 x n/4 submatrices (Section IV-B "four different
+  // predetermined submatrices").
+  for (double anchor : {0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0}) {
+    const hetalg::HeteroSpmm sample =
+        problem.make_sample_predetermined(0.25, anchor);
+    core::Evaluator eval;
+    eval.lo = sample.threshold_lo();
+    eval.hi = sample.threshold_hi();
+    eval.objective_ns = [&sample](double t) { return sample.balance_ns(t); };
+    eval.cost_ns = [&sample](double t) { return sample.time_ns(t); };
+    const auto [cpu_ns, gpu_ns] = sample.device_times_all();
+    const auto found = core::race_then_fine(eval, cpu_ns, gpu_ns);
+    record(strfmt("corner@%.2f", anchor), found.best_threshold);
+  }
+  return out;
+}
+
+SummaryRow summarize(const std::string& workload,
+                     std::span<const CaseResult> results) {
+  SummaryRow row;
+  row.workload = workload;
+  std::vector<double> td, tm, ov;
+  for (const auto& r : results) {
+    td.push_back(r.threshold_diff_pct);
+    tm.push_back(std::max(0.0, r.time_diff_pct));
+    ov.push_back(r.overhead_pct);
+  }
+  row.threshold_diff_pct = mean(td);
+  row.time_diff_pct = mean(tm);
+  row.overhead_pct = mean(ov);
+  return row;
+}
+
+}  // namespace nbwp::exp

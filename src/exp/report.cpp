@@ -1,0 +1,142 @@
+#include "exp/report.hpp"
+
+#include <iostream>
+
+#include "datasets/table2.hpp"
+#include "exp/paper_reference.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::exp {
+
+namespace {
+double as_plot(double threshold, bool gpu_share) {
+  return gpu_share ? 100.0 - threshold : threshold;
+}
+}  // namespace
+
+Table threshold_figure(const std::string& title,
+                       std::span<const CaseResult> results, bool gpu_share) {
+  Table t(title);
+  t.set_header({"dataset", gpu_share ? "Exhaustive(gpu%)" : "Exhaustive",
+                gpu_share ? "Estimated(gpu%)" : "Estimated", "NaiveStatic",
+                "NaiveAverage", "|diff|%"});
+  for (const auto& r : results) {
+    t.add_row({r.dataset,
+               Table::num(as_plot(r.exhaustive_threshold, gpu_share), 1),
+               Table::num(as_plot(r.estimated_threshold, gpu_share), 1),
+               Table::num(as_plot(r.naive_static_threshold, gpu_share), 1),
+               Table::num(as_plot(r.naive_average_threshold, gpu_share), 1),
+               Table::num(r.threshold_diff_pct, 1)});
+  }
+  return t;
+}
+
+Table time_figure(const std::string& title,
+                  std::span<const CaseResult> results) {
+  Table t(title);
+  t.set_header({"dataset", "Exhaustive(ms)", "Estimated(ms)",
+                "NaiveStatic(ms)", "NaiveAverage(ms)", "Naive/GPU-only(ms)",
+                "slowdown%", "overhead%"});
+  for (const auto& r : results) {
+    t.add_row({r.dataset, Table::ns_to_ms(r.exhaustive_ns),
+               Table::ns_to_ms(r.estimated_ns),
+               Table::ns_to_ms(r.naive_static_ns),
+               Table::ns_to_ms(r.naive_average_ns),
+               Table::ns_to_ms(r.gpu_only_ns),
+               Table::num(r.time_diff_pct, 1),
+               Table::num(r.overhead_pct, 1)});
+  }
+  return t;
+}
+
+Table sensitivity_figure(const std::string& title,
+                         std::span<const SensitivityPoint> points) {
+  Table t(title);
+  t.set_header({"factor", "sample size", "threshold", "estimation(ms)",
+                "run(ms)", "total(ms)"});
+  for (const auto& p : points) {
+    t.add_row({Table::num(p.factor, 2), std::to_string(p.sample_size),
+               Table::num(p.estimated_threshold, 1),
+               Table::ns_to_ms(p.estimation_cost_ns),
+               Table::ns_to_ms(p.run_ns), Table::ns_to_ms(p.total_ns)});
+  }
+  return t;
+}
+
+Table randomness_figure(const std::string& title,
+                        std::span<const RandomnessPoint> points) {
+  Table t(title);
+  t.set_header({"sample", "threshold", "run(ms)", "vs exhaustive t",
+                "slowdown%"});
+  for (const auto& p : points) {
+    t.add_row({p.label, Table::num(p.estimated_threshold, 1),
+               Table::ns_to_ms(p.run_ns),
+               Table::num(p.exhaustive_threshold, 1),
+               Table::num(100.0 * (p.run_ns - p.exhaustive_ns) /
+                              p.exhaustive_ns,
+                          1)});
+  }
+  return t;
+}
+
+Table dense_figure(std::span<const DenseResult> results) {
+  Table t("Fig. 1 — dense matrix multiplication (regular workload)");
+  t.set_header({"mat.n", "Exhaustive t", "Estimated t", "NaiveStatic t",
+                "Exhaustive(ms)", "Estimated(ms)", "NaiveStatic(ms)"});
+  for (const auto& r : results) {
+    t.add_row({strfmt("mat.%u", r.n), Table::num(r.exhaustive_threshold, 1),
+               Table::num(r.estimated_threshold, 1),
+               Table::num(r.naive_static_threshold, 1),
+               Table::ns_to_ms(r.exhaustive_ns),
+               Table::ns_to_ms(r.estimated_ns),
+               Table::ns_to_ms(r.naive_static_ns)});
+  }
+  return t;
+}
+
+Table table_one(std::span<const SummaryRow> rows) {
+  Table t("Table I — summary (measured vs paper)");
+  t.set_header({"Workload", "Thr.Diff% (meas)", "Thr.Diff% (paper)",
+                "Time Diff% (meas)", "Time Diff% (paper)",
+                "Overhead% (meas)", "Overhead% (paper)"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i];
+    const auto& p = paper::kTableOne[std::min<size_t>(i, 2)];
+    t.add_row({m.workload, Table::num(m.threshold_diff_pct, 1),
+               Table::num(p.threshold_diff_pct, 1),
+               Table::num(m.time_diff_pct, 1),
+               Table::num(p.time_diff_pct, 1),
+               Table::num(m.overhead_pct, 1),
+               Table::num(p.overhead_pct, 1)});
+  }
+  return t;
+}
+
+Table table_two(double scale_large, uint64_t seed) {
+  Table t("Table II — datasets (paper size vs generated analog)");
+  t.set_header({"name", "family", "paper n", "paper nnz", "gen n", "gen nnz",
+                "scale"});
+  const char* family_names[] = {"FEM", "QCD", "planar", "web", "road"};
+  for (const auto& spec : datasets::table2()) {
+    const double scale =
+        spec.paper_n > 1200000 ? scale_large : 1.0;
+    const auto g = datasets::make_graph(spec, scale, seed);
+    t.add_row({spec.name, family_names[static_cast<int>(spec.family)],
+               std::to_string(spec.paper_n), std::to_string(spec.paper_nnz),
+               std::to_string(g.num_vertices()),
+               std::to_string(g.num_directed_edges()),
+               Table::num(scale, 2)});
+  }
+  return t;
+}
+
+void emit(const Table& table, const std::string& csv_path) {
+  table.print(std::cout);
+  std::cout << '\n';
+  if (!csv_path.empty()) {
+    table.save_csv(csv_path);
+    std::cout << "csv written: " << csv_path << "\n\n";
+  }
+}
+
+}  // namespace nbwp::exp

@@ -1,0 +1,41 @@
+// Rendering of experiment results as the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+
+namespace nbwp::exp {
+
+/// Fig. 3(a)/5(a)/8(a): thresholds per dataset.  `gpu_share` converts CPU
+/// thresholds to the GPU-share plotting convention of the CC figures.
+Table threshold_figure(const std::string& title,
+                       std::span<const CaseResult> results, bool gpu_share);
+
+/// Fig. 3(b)/5(b)/8(b): times per dataset.
+Table time_figure(const std::string& title,
+                  std::span<const CaseResult> results);
+
+/// Fig. 4/6/9: sensitivity table for one dataset.
+Table sensitivity_figure(const std::string& title,
+                         std::span<const SensitivityPoint> points);
+
+/// Fig. 7: randomness study for one dataset.
+Table randomness_figure(const std::string& title,
+                        std::span<const RandomnessPoint> points);
+
+/// Fig. 1: dense GEMM study.
+Table dense_figure(std::span<const DenseResult> results);
+
+/// Table I with paper-vs-measured columns.
+Table table_one(std::span<const SummaryRow> rows);
+
+/// Table II with paper-vs-generated columns.
+Table table_two(double scale_large, uint64_t seed);
+
+/// Print a table plus an optional CSV (path empty = skip).
+void emit(const Table& table, const std::string& csv_path = "");
+
+}  // namespace nbwp::exp

@@ -1,0 +1,254 @@
+#include "graph/cc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+namespace {
+
+/// Disjoint-set union with path halving and union by size.
+class Dsu {
+ public:
+  explicit Dsu(Vertex n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), Vertex{0});
+  }
+
+  Vertex find(Vertex v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  bool unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> size_;
+};
+
+constexpr Vertex kUnvisited = ~Vertex{0};
+
+/// DFS from every unvisited vertex in [first, last), following only edges
+/// whose other endpoint is also in [first, last).  Roots are chosen as the
+/// smallest vertex of each traversal.
+void dfs_range(const CsrGraph& g, Vertex first, Vertex last,
+               std::span<Vertex> labels, std::vector<Vertex>& stack) {
+  for (Vertex s = first; s < last; ++s) {
+    if (labels[s] != kUnvisited) continue;
+    labels[s] = s;
+    stack.clear();
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      for (Vertex v : g.neighbors(u)) {
+        if (v < first || v >= last || labels[v] != kUnvisited) continue;
+        labels[v] = s;
+        stack.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CcResult cc_bfs(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  r.labels.assign(n, kUnvisited);
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (r.labels[s] != kUnvisited) continue;
+    ++r.num_components;
+    r.labels[s] = s;
+    queue.clear();
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      for (Vertex v : g.neighbors(u)) {
+        if (r.labels[v] == kUnvisited) {
+          r.labels[v] = s;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+CcResult cc_dfs(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  r.labels.assign(n, kUnvisited);
+  std::vector<Vertex> stack;
+  dfs_range(g, 0, n, r.labels, stack);
+  r.num_components = count_components(r.labels);
+  return r;
+}
+
+CcResult cc_union_find(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  Dsu dsu(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v : g.neighbors(u))
+      if (u < v) dsu.unite(u, v);
+  CcResult r;
+  r.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) r.labels[v] = dsu.find(v);
+  r.num_components = count_components(r.labels);
+  return r;
+}
+
+CcResult cc_chunked_parallel(const CsrGraph& g, ThreadPool& pool,
+                             unsigned chunks) {
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  r.labels.assign(n, kUnvisited);
+  if (n == 0) return r;
+  chunks = std::max(1u, std::min<unsigned>(chunks, n));
+
+  // Phase 1: independent DFS inside each chunk (parallel).
+  parallel_for(pool, 0, chunks, [&](int64_t c) {
+    const Vertex per = n / chunks, extra = n % chunks;
+    const Vertex first =
+        static_cast<Vertex>(c) * per + std::min<Vertex>(static_cast<Vertex>(c), extra);
+    const Vertex last = first + per + (static_cast<Vertex>(c) < extra ? 1 : 0);
+    std::vector<Vertex> stack;
+    dfs_range(g, first, last, std::span<Vertex>(r.labels), stack);
+  });
+
+  // Phase 2: stitch chunk-crossing edges (sequential union-find on labels).
+  Dsu dsu(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v && r.labels[u] != r.labels[v])
+        dsu.unite(r.labels[u], r.labels[v]);
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) r.labels[v] = dsu.find(r.labels[v]);
+  r.num_components = count_components(r.labels);
+  return r;
+}
+
+CcResult cc_label_propagation(const CsrGraph& g, ThreadPool& pool,
+                              uint64_t max_iters) {
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  r.labels.resize(n);
+  std::iota(r.labels.begin(), r.labels.end(), Vertex{0});
+  if (n == 0) return r;
+  std::vector<Vertex> next(r.labels);
+  std::atomic<bool> changed{true};
+  while (changed.load()) {
+    if (max_iters != 0 && r.iterations >= max_iters) break;
+    changed.store(false);
+    parallel_for(pool, 0, n, [&](int64_t u) {
+      Vertex best = r.labels[u];
+      for (Vertex v : g.neighbors(static_cast<Vertex>(u)))
+        best = std::min(best, r.labels[v]);
+      next[u] = best;
+      if (best != r.labels[u]) changed.store(true, std::memory_order_relaxed);
+    });
+    std::swap(r.labels, next);
+    ++r.iterations;
+  }
+  r.num_components = count_components(r.labels);
+  return r;
+}
+
+CcResult cc_shiloach_vishkin(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  r.labels.resize(n);
+  std::iota(r.labels.begin(), r.labels.end(), Vertex{0});
+  if (n == 0) return r;
+  auto& parent = r.labels;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++r.iterations;
+    // Hook: attach the root of the larger-id side to the smaller label.
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v : g.neighbors(u)) {
+        const Vertex pu = parent[u], pv = parent[v];
+        if (pu == pv) continue;
+        // Hook roots only (CRCW arbitrary-winner semantics; sequentially
+        // the last writer wins which is an admissible arbitration).
+        if (pv < pu && parent[pu] == pu) {
+          parent[pu] = pv;
+          changed = true;
+        } else if (pu < pv && parent[pv] == pv) {
+          parent[pv] = pu;
+          changed = true;
+        }
+      }
+    }
+    // Pointer jumping (one round: parent <- parent of parent).
+    for (Vertex v = 0; v < n; ++v) parent[v] = parent[parent[v]];
+  }
+  // Final full compression so labels are roots.
+  for (Vertex v = 0; v < n; ++v) {
+    Vertex root = v;
+    while (parent[root] != root) root = parent[root];
+    parent[v] = root;
+  }
+  r.num_components = count_components(r.labels);
+  return r;
+}
+
+Vertex merge_cross_edges(std::span<Vertex> labels,
+                         std::span<const Edge> cross_edges) {
+  const auto n = static_cast<Vertex>(labels.size());
+  Dsu dsu(n);
+  // Seed the DSU with the existing label structure.
+  for (Vertex v = 0; v < n; ++v)
+    if (labels[v] != v) dsu.unite(labels[v], v);
+  for (const auto& [u, v] : cross_edges) dsu.unite(labels[u], labels[v]);
+  for (Vertex v = 0; v < n; ++v) labels[v] = dsu.find(v);
+  return count_components(labels);
+}
+
+Vertex count_components(std::span<const Vertex> labels) {
+  std::vector<Vertex> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<Vertex>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+bool labels_equivalent(const CsrGraph& g, std::span<const Vertex> labels) {
+  const CcResult ref = cc_union_find(g);
+  if (labels.size() != ref.labels.size()) return false;
+  // Same partition <=> the pairing label -> ref.label is a bijection.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(labels.size());
+  for (size_t v = 0; v < labels.size(); ++v)
+    pairs.emplace_back(labels[v], ref.labels[v]);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  // Bijection check: each side appears exactly once.
+  for (size_t i = 1; i < pairs.size(); ++i)
+    if (pairs[i].first == pairs[i - 1].first) return false;
+  std::vector<Vertex> seconds;
+  seconds.reserve(pairs.size());
+  for (const auto& p : pairs) seconds.push_back(p.second);
+  std::sort(seconds.begin(), seconds.end());
+  return std::unique(seconds.begin(), seconds.end()) == seconds.end();
+}
+
+}  // namespace nbwp::graph

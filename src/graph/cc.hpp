@@ -1,0 +1,66 @@
+// Connected-components kernels.
+//
+// The heterogeneous Algorithm 1 runs Shiloach–Vishkin on the GPU side and
+// chunked sequential DFS on the CPU side (one chunk per core, Algorithm 1
+// line 6), then merges across the cut using the cross edges.  Sequential
+// BFS/DFS/union-find serve as verification references; label propagation is
+// provided as an alternative multicore kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nbwp::graph {
+
+struct CcResult {
+  std::vector<Vertex> labels;  ///< per-vertex representative (root id)
+  Vertex num_components = 0;
+  uint64_t iterations = 0;     ///< outer iterations for iterative kernels
+};
+
+/// Sequential breadth-first search (reference).
+CcResult cc_bfs(const CsrGraph& g);
+
+/// Sequential iterative depth-first search — the per-chunk CPU kernel of
+/// Algorithm 1 ("sequential depth-first search algorithm [8]").
+CcResult cc_dfs(const CsrGraph& g);
+
+/// Union-find with path halving and union by size (reference).
+CcResult cc_union_find(const CsrGraph& g);
+
+/// The CPU side of Algorithm 1: divide the vertex range into `chunks` equal
+/// parts, DFS each part over its internal edges in parallel, then stitch
+/// chunk-crossing edges with union-find.  Executed on the thread pool.
+CcResult cc_chunked_parallel(const CsrGraph& g, ThreadPool& pool,
+                             unsigned chunks);
+
+/// Multicore label propagation (min-label flooding, double-buffered);
+/// iterations bounded by max_iters when nonzero.
+CcResult cc_label_propagation(const CsrGraph& g, ThreadPool& pool,
+                              uint64_t max_iters = 0);
+
+/// Shiloach–Vishkin hook + pointer-jumping — the GPU-side kernel.  Runs the
+/// PRAM algorithm's rounds sequentially here; `iterations` reports the
+/// number of rounds a CRCW machine would execute.
+CcResult cc_shiloach_vishkin(const CsrGraph& g);
+
+/// Merge step of Algorithm 1: given per-vertex labels of the whole graph
+/// (CPU part labels in [0, n_cpu), GPU part labels shifted to global ids)
+/// and the cross edges, unions components across the cut.  Updates labels
+/// in place to global representatives and returns the final component
+/// count.
+Vertex merge_cross_edges(std::span<Vertex> labels,
+                         std::span<const Edge> cross_edges);
+
+/// Number of distinct labels (helper used by tests).
+Vertex count_components(std::span<const Vertex> labels);
+
+/// True when `labels` assigns equal labels exactly to vertices connected in
+/// g (compared against a reference run); used by property tests.
+bool labels_equivalent(const CsrGraph& g, std::span<const Vertex> labels);
+
+}  // namespace nbwp::graph

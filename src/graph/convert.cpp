@@ -1,0 +1,32 @@
+#include "graph/convert.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+CsrGraph graph_from_triplets(const TripletMatrix& m) {
+  NBWP_REQUIRE(m.rows == m.cols, "graph requires a square matrix");
+  const auto n = static_cast<Vertex>(m.rows);
+  std::vector<Edge> edges;
+  edges.reserve(m.entries.size());
+  for (const auto& e : m.entries) {
+    if (e.r == e.c) continue;
+    edges.emplace_back(static_cast<Vertex>(e.r), static_cast<Vertex>(e.c));
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+TripletMatrix triplets_from_graph(const CsrGraph& g) {
+  TripletMatrix m;
+  m.rows = m.cols = g.num_vertices();
+  m.pattern = true;
+  m.symmetric = true;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    for (Vertex v : g.neighbors(u))
+      if (v <= u) m.entries.push_back({u, v, 1.0});
+  return m;
+}
+
+}  // namespace nbwp::graph

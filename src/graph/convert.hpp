@@ -1,0 +1,17 @@
+// Conversions between Matrix Market triplets and graphs.
+//
+// Table II uses the same datasets both as graphs (n, m) and as matrices
+// (n, NNZ); this is the graph-side view (pattern, symmetrized, self-loops
+// dropped).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "util/mmio.hpp"
+
+namespace nbwp::graph {
+
+CsrGraph graph_from_triplets(const TripletMatrix& m);
+
+TripletMatrix triplets_from_graph(const CsrGraph& g);
+
+}  // namespace nbwp::graph

@@ -1,0 +1,78 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+CsrGraph CsrGraph::from_undirected_edges(Vertex n,
+                                         std::span<const Edge> edges) {
+  // Count both directions (self-loops excluded).
+  std::vector<uint64_t> counts(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    NBWP_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    ++counts[u + 1];
+    ++counts[v + 1];
+  }
+  for (size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+
+  std::vector<Vertex> adj(counts[n]);
+  std::vector<uint64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+
+  // Sort each adjacency list and drop duplicates, compacting in place.
+  CsrGraph g;
+  g.n_ = n;
+  g.row_ptr_.assign(static_cast<size_t>(n) + 1, 0);
+  uint64_t write = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const uint64_t lo = counts[v], hi = counts[v + 1];
+    std::sort(adj.begin() + static_cast<ptrdiff_t>(lo),
+              adj.begin() + static_cast<ptrdiff_t>(hi));
+    uint64_t unique_start = write;
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (i > lo && adj[i] == adj[i - 1]) continue;
+      adj[write++] = adj[i];
+    }
+    g.row_ptr_[v + 1] = g.row_ptr_[v] + (write - unique_start);
+  }
+  adj.resize(write);
+  adj.shrink_to_fit();
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+CsrGraph CsrGraph::from_csr(Vertex n, std::vector<uint64_t> row_ptr,
+                            std::vector<Vertex> adj) {
+  NBWP_REQUIRE(row_ptr.size() == static_cast<size_t>(n) + 1,
+               "row_ptr must have n+1 entries");
+  NBWP_REQUIRE(row_ptr.back() == adj.size(),
+               "row_ptr.back() must equal adjacency size");
+  CsrGraph g;
+  g.n_ = n;
+  g.row_ptr_ = std::move(row_ptr);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+bool CsrGraph::has_edge(Vertex u, Vertex v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> CsrGraph::undirected_edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  return edges;
+}
+
+}  // namespace nbwp::graph

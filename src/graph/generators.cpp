@@ -1,0 +1,248 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+CsrGraph erdos_renyi(Vertex n, uint64_t target_edges, Rng& rng) {
+  NBWP_REQUIRE(n >= 2, "erdos_renyi needs at least two vertices");
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const auto v = static_cast<Vertex>(rng.uniform(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph rmat(Vertex n, uint64_t target_edges, Rng& rng, double a, double b,
+              double c) {
+  NBWP_REQUIRE(n >= 2, "rmat needs at least two vertices");
+  NBWP_REQUIRE(a + b + c < 1.0, "rmat probabilities must sum below 1");
+  const int scale = std::bit_width(static_cast<uint64_t>(n - 1));
+  std::vector<Edge> edges;
+  edges.reserve(target_edges);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    uint64_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double p = rng.uniform_real();
+      // Quadrant selection with slight noise to avoid exact self-similarity.
+      if (p < a) {
+        // top-left: nothing to add
+      } else if (p < a + b) {
+        v |= 1ULL << bit;
+      } else if (p < a + b + c) {
+        u |= 1ULL << bit;
+      } else {
+        u |= 1ULL << bit;
+        v |= 1ULL << bit;
+      }
+    }
+    u %= n;
+    v %= n;
+    if (u != v)
+      edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph grid_road(Vertex rows, Vertex cols, Rng& rng, double drop_prob,
+                   double diag_prob) {
+  NBWP_REQUIRE(rows >= 2 && cols >= 2, "grid_road needs a 2x2 grid minimum");
+  const Vertex n = rows * cols;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * 2);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.bernoulli(drop_prob))
+        edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && !rng.bernoulli(drop_prob))
+        edges.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols && rng.bernoulli(diag_prob))
+        edges.emplace_back(id(r, c), id(r + 1, c + 1));
+    }
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph planar_triangulation(Vertex rows, Vertex cols, Rng& rng) {
+  NBWP_REQUIRE(rows >= 2 && cols >= 2, "triangulation needs a 2x2 grid");
+  const Vertex n = rows * cols;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * 3);
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) {
+        // Random diagonal orientation keeps degree statistics isotropic.
+        if (rng.bernoulli(0.5))
+          edges.emplace_back(id(r, c), id(r + 1, c + 1));
+        else
+          edges.emplace_back(id(r, c + 1), id(r + 1, c));
+      }
+    }
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph preferential_attachment(Vertex n, unsigned edges_per_vertex,
+                                 Rng& rng) {
+  NBWP_REQUIRE(n > edges_per_vertex, "n must exceed edges_per_vertex");
+  NBWP_REQUIRE(edges_per_vertex >= 1, "edges_per_vertex must be >= 1");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * edges_per_vertex);
+  // `targets` holds one entry per half-edge; sampling uniformly from it is
+  // sampling proportional to degree.
+  std::vector<Vertex> targets;
+  targets.reserve(static_cast<size_t>(n) * edges_per_vertex * 2);
+  // Seed clique over the first m+1 vertices.
+  for (Vertex u = 0; u <= edges_per_vertex; ++u) {
+    for (Vertex v = u + 1; v <= edges_per_vertex; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (Vertex u = edges_per_vertex + 1; u < n; ++u) {
+    for (unsigned j = 0; j < edges_per_vertex; ++j) {
+      const Vertex v = targets[rng.uniform(targets.size())];
+      if (v == u) continue;
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph banded_mesh(Vertex n, unsigned avg_degree, Vertex bandwidth,
+                     Rng& rng) {
+  NBWP_REQUIRE(n >= 4, "banded_mesh needs at least four vertices");
+  NBWP_REQUIRE(bandwidth >= 2, "bandwidth must be at least 2");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * avg_degree / 2 + n);
+  // Backbone chain guarantees one big component like a physical mesh.
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  const uint64_t extra =
+      static_cast<uint64_t>(n) * std::max(1u, avg_degree) / 2;
+  for (uint64_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const int64_t offset =
+        rng.uniform_range(-static_cast<int64_t>(bandwidth),
+                          static_cast<int64_t>(bandwidth));
+    const int64_t w = static_cast<int64_t>(u) + offset;
+    if (w < 0 || w >= static_cast<int64_t>(n) || w == static_cast<int64_t>(u))
+      continue;
+    edges.emplace_back(u, static_cast<Vertex>(w));
+  }
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph road_network(Vertex n_target, Rng& rng) {
+  NBWP_REQUIRE(n_target >= 16, "road_network needs n >= 16");
+  // Intersections form a sparse grid; roads between intersections are
+  // chains of degree-2 vertices.
+  const auto g =
+      std::max<Vertex>(2, static_cast<Vertex>(std::sqrt(n_target / 6.0)));
+  struct GridEdge {
+    Vertex a, b;
+  };
+  std::vector<GridEdge> roads;
+  auto id = [g](Vertex r, Vertex c) { return r * g + c; };
+  for (Vertex r = 0; r < g; ++r) {
+    for (Vertex c = 0; c < g; ++c) {
+      if (c + 1 < g && !rng.bernoulli(0.08))
+        roads.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < g && !rng.bernoulli(0.08))
+        roads.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  NBWP_REQUIRE(!roads.empty(), "degenerate road grid");
+  const Vertex intersections = g * g;
+  const uint64_t chain_budget =
+      n_target > intersections ? n_target - intersections : 0;
+  const uint64_t per_road = chain_budget / roads.size();
+  uint64_t leftover = chain_budget % roads.size();
+
+  std::vector<Edge> edges;
+  edges.reserve(n_target + roads.size());
+  Vertex next = intersections;
+  for (const auto& road : roads) {
+    uint64_t links = per_road + (leftover > 0 ? 1 : 0);
+    if (leftover > 0) --leftover;
+    Vertex prev = road.a;
+    for (uint64_t i = 0; i < links; ++i) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+    edges.emplace_back(prev, road.b);
+  }
+  const CsrGraph raw = CsrGraph::from_undirected_edges(next, edges);
+  return relabel_bfs(raw);
+}
+
+CsrGraph relabel_random(const CsrGraph& g, Rng& rng) {
+  const Vertex n = g.num_vertices();
+  const std::vector<Vertex> order = random_permutation(n, rng);
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v : g.neighbors(u))
+      if (u < v) edges.emplace_back(order[u], order[v]);
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph relabel_bfs(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  constexpr Vertex kUnset = ~Vertex{0};
+  std::vector<Vertex> order(n, kUnset);  // old id -> new id
+  Vertex next = 0;
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (Vertex s = 0; s < n; ++s) {
+    if (order[s] != kUnset) continue;
+    order[s] = next++;
+    queue.clear();
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (Vertex v : g.neighbors(queue[head])) {
+        if (order[v] == kUnset) {
+          order[v] = next++;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v : g.neighbors(u))
+      if (u < v) edges.emplace_back(order[u], order[v]);
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+CsrGraph with_components(const CsrGraph& g, unsigned k) {
+  NBWP_REQUIRE(k >= 1, "component count must be >= 1");
+  if (k == 1) return g;
+  const Vertex n = g.num_vertices();
+  const Vertex piece = std::max<Vertex>(1, n / k);
+  auto piece_of = [piece, k](Vertex v) {
+    return std::min<Vertex>(v / piece, k - 1);
+  };
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v : g.neighbors(u))
+      if (u < v && piece_of(u) == piece_of(v)) edges.emplace_back(u, v);
+  return CsrGraph::from_undirected_edges(n, edges);
+}
+
+}  // namespace nbwp::graph

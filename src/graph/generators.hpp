@@ -1,0 +1,71 @@
+// Synthetic graph generators.
+//
+// These produce the structural families of Table II: FEM-style meshes
+// (cant, consph, pwtk, ...), planar triangulations (delaunay_n22),
+// power-law web graphs (web-BerkStan, webbase-1M), and low-degree
+// high-diameter road networks (asia/germany/italy/netherlands_osm).
+// All generators are deterministic given the Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::graph {
+
+/// G(n, m): m edges drawn uniformly at random.
+CsrGraph erdos_renyi(Vertex n, uint64_t target_edges, Rng& rng);
+
+/// Recursive-matrix (R-MAT) generator; yields skewed, power-law-ish degree
+/// distributions similar to web graphs.  n is rounded up to a power of two
+/// internally but the returned graph has exactly `n` vertices.
+CsrGraph rmat(Vertex n, uint64_t target_edges, Rng& rng, double a = 0.57,
+              double b = 0.19, double c = 0.19);
+
+/// Road-network analog: a rows x cols grid with a fraction of edges removed
+/// and occasional diagonal shortcuts.  Average degree ~2-4 and large
+/// diameter, like the OSM graphs.
+CsrGraph grid_road(Vertex rows, Vertex cols, Rng& rng,
+                   double drop_prob = 0.06, double diag_prob = 0.03);
+
+/// Planar-triangulation analog of delaunay_n*: a grid with one diagonal per
+/// cell, average degree ~6.
+CsrGraph planar_triangulation(Vertex rows, Vertex cols, Rng& rng);
+
+/// Preferential attachment (Barabási–Albert): each new vertex attaches to
+/// `edges_per_vertex` existing vertices with probability proportional to
+/// their degree.  Produces a scale-free degree distribution.
+CsrGraph preferential_attachment(Vertex n, unsigned edges_per_vertex,
+                                 Rng& rng);
+
+/// FEM-mesh analog: vertices connect to ~`avg_degree` random neighbors
+/// within a band of width `bandwidth`, in small cliques (element blocks).
+/// Matches the banded/blocked structure of cant, consph, pwtk, shipsec1.
+CsrGraph banded_mesh(Vertex n, unsigned avg_degree, Vertex bandwidth,
+                     Rng& rng);
+
+/// OSM-style road network: a sparse grid of intersections whose edges are
+/// subdivided into chains of degree-2 vertices until the graph has
+/// ~`n_target` vertices.  Average degree ~2.1, huge diameter, one giant
+/// component — the structure of asia/germany/italy/netherlands_osm.
+/// Vertices are relabeled in BFS order so that index order is spatially
+/// coherent, as it is in the OSM exports.
+CsrGraph road_network(Vertex n_target, Rng& rng);
+
+/// Relabel vertices by a uniformly random permutation.  Used on RMAT web
+/// graphs: the recursive generator concentrates hubs at low ids, a
+/// self-similarity artifact that real crawl-order ids do not have.
+CsrGraph relabel_random(const CsrGraph& g, Rng& rng);
+
+/// Relabel vertices in BFS order from vertex 0 (unreached vertices keep
+/// their relative order after the reached ones).  Produces the banded
+/// adjacency structure typical of mesh/road matrices.
+CsrGraph relabel_bfs(const CsrGraph& g);
+
+/// Splits a generated graph into `k` disconnected pieces of roughly equal
+/// size by deleting edges crossing piece boundaries; used to get graphs
+/// with a controlled number of connected components.
+CsrGraph with_components(const CsrGraph& g, unsigned k);
+
+}  // namespace nbwp::graph

@@ -1,0 +1,107 @@
+#include "graph/list_ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+std::vector<uint32_t> random_linked_list(uint32_t n, Rng& rng) {
+  NBWP_REQUIRE(n >= 1, "list needs at least one node");
+  const std::vector<uint32_t> order = random_permutation(n, rng);
+  std::vector<uint32_t> next(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) next[order[i]] = order[i + 1];
+  next[order[n - 1]] = order[n - 1];  // terminal self-loop
+  return next;
+}
+
+uint32_t list_head(std::span<const uint32_t> next) {
+  std::vector<uint8_t> pointed(next.size(), 0);
+  for (size_t i = 0; i < next.size(); ++i)
+    if (next[i] != i) pointed[next[i]] = 1;
+  for (uint32_t i = 0; i < next.size(); ++i)
+    if (!pointed[i]) return i;
+  // Single-node list: the terminal is the head.
+  NBWP_REQUIRE(next.size() == 1, "malformed list: no head");
+  return 0;
+}
+
+uint32_t list_terminal(std::span<const uint32_t> next) {
+  for (uint32_t i = 0; i < next.size(); ++i)
+    if (next[i] == i) return i;
+  throw Error("malformed list: no terminal");
+}
+
+RankResult rank_sequential(std::span<const uint32_t> next) {
+  RankResult r;
+  const auto n = static_cast<uint32_t>(next.size());
+  r.ranks.assign(n, 0);
+  // Walk once to collect the order, then assign ranks back to front.
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  uint32_t v = list_head(next);
+  for (uint32_t steps = 0; steps < n; ++steps) {
+    order.push_back(v);
+    if (next[v] == v) break;
+    v = next[v];
+  }
+  NBWP_REQUIRE(order.size() == n, "malformed list: walk did not cover it");
+  for (uint32_t i = 0; i < n; ++i) r.ranks[order[i]] = n - 1 - i;
+  return r;
+}
+
+RankResult rank_wyllie(std::span<const uint32_t> next) {
+  RankResult r;
+  const auto n = static_cast<uint32_t>(next.size());
+  r.ranks.assign(n, 0);
+  std::vector<uint32_t> succ(next.begin(), next.end());
+  for (uint32_t i = 0; i < n; ++i) r.ranks[i] = succ[i] == i ? 0 : 1;
+  // Pointer jumping: rank[i] += rank[succ[i]]; succ[i] = succ[succ[i]].
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++r.iterations;
+    std::vector<uint64_t> new_rank(r.ranks);
+    std::vector<uint32_t> new_succ(succ);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (succ[i] != succ[succ[i]]) changed = true;
+      new_rank[i] = r.ranks[i] + r.ranks[succ[i]];
+      new_succ[i] = succ[succ[i]];
+    }
+    if (!changed) break;
+    r.ranks.swap(new_rank);
+    succ.swap(new_succ);
+  }
+  return r;
+}
+
+bool ranks_valid(std::span<const uint32_t> next,
+                 std::span<const uint64_t> ranks) {
+  if (ranks.size() != next.size()) return false;
+  for (size_t i = 0; i < next.size(); ++i) {
+    if (next[i] == i) {
+      if (ranks[i] != 0) return false;
+    } else if (ranks[i] != ranks[next[i]] + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ListSplit split_list(std::span<const uint32_t> next, uint32_t k) {
+  const auto n = static_cast<uint32_t>(next.size());
+  NBWP_REQUIRE(k < n, "prefix must leave a non-empty suffix");
+  ListSplit s;
+  s.prefix_order.reserve(k);
+  uint32_t v = list_head(next);
+  for (uint32_t i = 0; i < k; ++i) {
+    s.prefix_order.push_back(v);
+    v = next[v];
+  }
+  s.suffix_head = v;
+  s.suffix_next.assign(next.begin(), next.end());
+  return s;
+}
+
+}  // namespace nbwp::graph

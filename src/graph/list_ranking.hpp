@@ -1,0 +1,59 @@
+// List ranking kernels.
+//
+// The heterogeneous CC algorithm reproduced here comes from Banerjee &
+// Kothapalli [5], "Hybrid Algorithms for List Ranking and Graph Connected
+// Components" — list ranking is the other half of that paper and the
+// canonical irregular workload with *zero* data parallelism in its
+// sequential form.  The CPU ranks a sublist by pointer chasing; the GPU
+// runs Wyllie's pointer-jumping algorithm.
+//
+// A linked list is an array `next` where next[i] is the successor of node
+// i and the terminal node points to itself.  rank[i] = distance from i to
+// the terminal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nbwp::graph {
+
+/// A random singly linked list over n nodes: a random permutation threaded
+/// head to tail; returns the `next` array (terminal points to itself).
+std::vector<uint32_t> random_linked_list(uint32_t n, Rng& rng);
+
+/// Head (the unique node nothing points to) and terminal of a list.
+uint32_t list_head(std::span<const uint32_t> next);
+uint32_t list_terminal(std::span<const uint32_t> next);
+
+struct RankResult {
+  std::vector<uint64_t> ranks;
+  uint64_t iterations = 0;  ///< pointer-jumping rounds (Wyllie)
+};
+
+/// Sequential pointer chase from the head — O(n) work, strictly serial.
+RankResult rank_sequential(std::span<const uint32_t> next);
+
+/// Wyllie's pointer jumping — O(n log n) work, log n rounds, fully
+/// parallel; the GPU-side kernel.
+RankResult rank_wyllie(std::span<const uint32_t> next);
+
+/// True when `ranks` is a valid ranking of `next`.
+bool ranks_valid(std::span<const uint32_t> next,
+                 std::span<const uint64_t> ranks);
+
+/// Split a list for heterogeneous ranking: walk `k` nodes from the head
+/// (the CPU's prefix sublist).  The suffix is already self-contained — the
+/// list flows head -> terminal, so no pointer rewriting is needed; the
+/// hetero algorithm ranks the prefix by its walk position and the suffix
+/// with Wyllie, stitching prefix ranks as suffix_length + position.
+struct ListSplit {
+  std::vector<uint32_t> prefix_order;  ///< first k nodes from the head
+  std::vector<uint32_t> suffix_next;   ///< copy of next[] (suffix view)
+  uint32_t suffix_head = 0;
+};
+ListSplit split_list(std::span<const uint32_t> next, uint32_t k);
+
+}  // namespace nbwp::graph

@@ -1,0 +1,81 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+GraphPartition split_by_prefix(const CsrGraph& g, Vertex n_cpu) {
+  const Vertex n = g.num_vertices();
+  NBWP_REQUIRE(n_cpu <= n, "prefix size exceeds vertex count");
+  GraphPartition part;
+  part.n_cpu = n_cpu;
+
+  // Build both sides in one pass over the adjacency.
+  std::vector<uint64_t> cpu_ptr(static_cast<size_t>(n_cpu) + 1, 0);
+  std::vector<uint64_t> gpu_ptr(static_cast<size_t>(n - n_cpu) + 1, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      const bool cu = u < n_cpu, cv = v < n_cpu;
+      if (cu && cv) {
+        ++cpu_ptr[u + 1];
+      } else if (!cu && !cv) {
+        ++gpu_ptr[u - n_cpu + 1];
+      } else if (u < v) {
+        part.cross_edges.emplace_back(u, v);
+      }
+    }
+  }
+  for (size_t i = 1; i < cpu_ptr.size(); ++i) cpu_ptr[i] += cpu_ptr[i - 1];
+  for (size_t i = 1; i < gpu_ptr.size(); ++i) gpu_ptr[i] += gpu_ptr[i - 1];
+
+  std::vector<Vertex> cpu_adj(cpu_ptr.back());
+  std::vector<Vertex> gpu_adj(gpu_ptr.back());
+  {
+    std::vector<uint64_t> ccur(cpu_ptr.begin(), cpu_ptr.end() - 1);
+    std::vector<uint64_t> gcur(gpu_ptr.begin(), gpu_ptr.end() - 1);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v : g.neighbors(u)) {
+        const bool cu = u < n_cpu, cv = v < n_cpu;
+        if (cu && cv) {
+          cpu_adj[ccur[u]++] = v;
+        } else if (!cu && !cv) {
+          gpu_adj[gcur[u - n_cpu]++] = v - n_cpu;
+        }
+      }
+    }
+  }
+  part.cpu_part =
+      CsrGraph::from_csr(n_cpu, std::move(cpu_ptr), std::move(cpu_adj));
+  part.gpu_part = CsrGraph::from_csr(n - n_cpu, std::move(gpu_ptr),
+                                     std::move(gpu_adj));
+  return part;
+}
+
+PrefixCutProfile::PrefixCutProfile(const CsrGraph& g) {
+  n_ = g.num_vertices();
+  total_ = g.num_edges();
+  // Histogram edges by max and min endpoint.
+  std::vector<uint64_t> hist_max(static_cast<size_t>(n_) + 1, 0);
+  std::vector<uint64_t> hist_min(static_cast<size_t>(n_) + 1, 0);
+  for (Vertex u = 0; u < n_; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v) {
+        ++hist_max[v];   // max endpoint is v
+        ++hist_min[u];   // min endpoint is u
+      }
+    }
+  }
+  prefix_.assign(static_cast<size_t>(n_) + 1, 0);
+  suffix_.assign(static_cast<size_t>(n_) + 1, 0);
+  // prefix_[c] = #edges with max endpoint < c.
+  for (Vertex c = 1; c <= n_; ++c)
+    prefix_[c] = prefix_[c - 1] + hist_max[c - 1];
+  // suffix_[c] = #edges with min endpoint >= c.
+  suffix_[n_] = 0;
+  for (Vertex c = n_; c-- > 0;)
+    suffix_[c] = suffix_[c + 1] + hist_min[c];
+}
+
+}  // namespace nbwp::graph

@@ -1,0 +1,51 @@
+// Prefix partitioning of a graph for Algorithm 1 (Phase I).
+//
+// Algorithm 1 splits G by a vertex-index prefix: V(G_CPU) = {v_0..v_{ncpu-1}},
+// V(G_GPU) = the rest.  Edges with one endpoint on each side are the *cross
+// edges* processed by the merge step.  `PrefixCutProfile` additionally
+// tabulates, for every possible cut, how many edges fall on each side — the
+// structural inputs of the virtual-time model — in O(n + m) total, which is
+// what makes the exhaustive-search oracle cheap.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace nbwp::graph {
+
+struct GraphPartition {
+  CsrGraph cpu_part;               ///< induced on [0, n_cpu), original ids
+  CsrGraph gpu_part;               ///< induced on [n_cpu, n), ids shifted
+  std::vector<Edge> cross_edges;   ///< global (original) vertex ids
+  Vertex n_cpu = 0;
+};
+
+/// Split by vertex prefix: first `n_cpu` vertices to the CPU side.
+GraphPartition split_by_prefix(const CsrGraph& g, Vertex n_cpu);
+
+/// Edge counts on each side of every possible prefix cut.
+class PrefixCutProfile {
+ public:
+  explicit PrefixCutProfile(const CsrGraph& g);
+
+  Vertex num_vertices() const { return n_; }
+  uint64_t total_edges() const { return total_; }
+
+  /// Edges with both endpoints < cut (the CPU side).
+  uint64_t prefix_edges(Vertex cut) const { return prefix_[cut]; }
+  /// Edges with both endpoints >= cut (the GPU side).
+  uint64_t suffix_edges(Vertex cut) const { return suffix_[cut]; }
+  /// Edges spanning the cut.
+  uint64_t cross_edges(Vertex cut) const {
+    return total_ - prefix_[cut] - suffix_[cut];
+  }
+
+ private:
+  Vertex n_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> prefix_;  // indexed by cut in [0, n]
+  std::vector<uint64_t> suffix_;
+};
+
+}  // namespace nbwp::graph

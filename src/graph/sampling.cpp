@@ -1,0 +1,69 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+
+std::vector<Vertex> uniform_vertex_sample(const CsrGraph& g, Vertex k,
+                                          Rng& rng) {
+  NBWP_REQUIRE(k <= g.num_vertices(), "sample larger than graph");
+  const auto picked = sample_without_replacement(g.num_vertices(), k, rng);
+  std::vector<Vertex> out;
+  out.reserve(picked.size());
+  for (uint64_t v : picked) out.push_back(static_cast<Vertex>(v));
+  return out;
+}
+
+CsrGraph induced_subgraph(const CsrGraph& g,
+                          std::span<const Vertex> sorted_vertices) {
+  const auto k = static_cast<Vertex>(sorted_vertices.size());
+  std::vector<Edge> edges;
+  for (Vertex i = 0; i < k; ++i) {
+    const Vertex u = sorted_vertices[i];
+    for (Vertex v : g.neighbors(u)) {
+      if (v <= u) continue;  // count each undirected edge once
+      const auto it = std::lower_bound(sorted_vertices.begin(),
+                                       sorted_vertices.end(), v);
+      if (it != sorted_vertices.end() && *it == v) {
+        edges.emplace_back(
+            i, static_cast<Vertex>(it - sorted_vertices.begin()));
+      }
+    }
+  }
+  return CsrGraph::from_undirected_edges(k, edges);
+}
+
+std::vector<Vertex> importance_vertex_sample(const CsrGraph& g, Vertex k,
+                                             Rng& rng) {
+  NBWP_REQUIRE(k <= g.num_vertices(), "sample larger than graph");
+  // Efraimidis-Spirakis: keep the k largest keys u_i^(1/w_i); weight is
+  // degree + 1 so isolated vertices stay sampleable.
+  std::vector<std::pair<double, Vertex>> keyed(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const double w = static_cast<double>(g.degree(v)) + 1.0;
+    const double u = std::max(rng.uniform_real(), 1e-300);
+    keyed[v] = {std::pow(u, 1.0 / w), v};
+  }
+  std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<Vertex> out(k);
+  for (Vertex i = 0; i < k; ++i) out[i] = keyed[i].second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Vertex> contiguous_vertex_sample(const CsrGraph& g, Vertex first,
+                                             Vertex k) {
+  NBWP_REQUIRE(first + k <= g.num_vertices(),
+               "contiguous sample out of range");
+  std::vector<Vertex> out(k);
+  for (Vertex i = 0; i < k; ++i) out[i] = first + i;
+  return out;
+}
+
+}  // namespace nbwp::graph

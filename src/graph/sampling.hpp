@@ -1,0 +1,38 @@
+// Graph sampling for the framework's Sample step (Section III-A.1):
+// choose a set S of sqrt(n) vertices uniformly at random and work with the
+// induced subgraph G' = G[S].
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::graph {
+
+/// k distinct vertex ids drawn uniformly, sorted ascending.  Sorting keeps
+/// the sample's index order consistent with the original graph's, so a
+/// prefix cut on the sample corresponds to a prefix cut on the input.
+std::vector<Vertex> uniform_vertex_sample(const CsrGraph& g, Vertex k,
+                                          Rng& rng);
+
+/// Induced subgraph G[S]; `sorted_vertices` must be sorted and unique.
+/// Sampled vertex i becomes vertex i of the result.
+CsrGraph induced_subgraph(const CsrGraph& g,
+                          std::span<const Vertex> sorted_vertices);
+
+/// Deterministic contiguous sample [first, first + k): the "predetermined"
+/// non-random sampling of the Fig. 7 ablation.
+std::vector<Vertex> contiguous_vertex_sample(const CsrGraph& g, Vertex first,
+                                             Vertex k);
+
+/// Degree-proportional (importance) sample without replacement, sorted.
+/// The importance-sampling extension the paper leaves as future work
+/// (Section II, citing Motwani & Raghavan [23]): high-degree vertices are
+/// more likely to be kept, so the induced subgraph retains far more edges
+/// per sampled vertex than a uniform draw.  Implemented as weighted
+/// reservoir sampling (Efraimidis-Spirakis keys u^(1/w)).
+std::vector<Vertex> importance_vertex_sample(const CsrGraph& g, Vertex k,
+                                             Rng& rng);
+
+}  // namespace nbwp::graph

@@ -1,0 +1,132 @@
+#include "hetalg/hetero_cc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/sampling.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::hetalg {
+
+using graph::CsrGraph;
+using graph::Vertex;
+using hetsim::RunReport;
+
+HeteroCc::HeteroCc(CsrGraph g, const hetsim::Platform& platform,
+                   Config config)
+    : graph_(std::move(g)),
+      platform_(&platform),
+      config_(config),
+      cut_profile_(std::make_shared<graph::PrefixCutProfile>(graph_)) {}
+
+Vertex HeteroCc::cut_for(double t_cpu_pct) const {
+  NBWP_REQUIRE(t_cpu_pct >= 0.0 && t_cpu_pct <= 100.0,
+               "threshold must be a percentage");
+  const double n = graph_.num_vertices();
+  return static_cast<Vertex>(std::llround(n * t_cpu_pct / 100.0));
+}
+
+CcStructure HeteroCc::structure_at(double t_cpu_pct) const {
+  const Vertex cut = cut_for(t_cpu_pct);
+  CcStructure s;
+  s.n_total = graph_.num_vertices();
+  s.m_total = graph_.num_edges();
+  s.n_cpu = cut;
+  s.n_gpu = s.n_total - cut;
+  s.m_cpu = cut_profile_->prefix_edges(cut);
+  s.m_gpu = cut_profile_->suffix_edges(cut);
+  s.cross = cut_profile_->cross_edges(cut);
+  return s;
+}
+
+double HeteroCc::time_ns(double t_cpu_pct) const {
+  return cc_times(*platform_, structure_at(t_cpu_pct), config_.cpu_chunks)
+      .total_ns();
+}
+
+double HeteroCc::balance_ns(double t_cpu_pct) const {
+  return cc_times(*platform_, structure_at(t_cpu_pct), config_.cpu_chunks)
+      .balance_ns();
+}
+
+RunReport HeteroCc::run(double t_cpu_pct) const {
+  const Vertex cut = cut_for(t_cpu_pct);
+  const Vertex n = graph_.num_vertices();
+
+  // Phase I: build the partition (executed).
+  graph::GraphPartition part = graph::split_by_prefix(graph_, cut);
+
+  // Structural summary measured from the actual partition.
+  CcStructure s;
+  s.n_total = n;
+  s.m_total = graph_.num_edges();
+  s.n_cpu = cut;
+  s.n_gpu = n - cut;
+  s.m_cpu = part.cpu_part.num_edges();
+  s.m_gpu = part.gpu_part.num_edges();
+  s.cross = part.cross_edges.size();
+  const CcTimes times = cc_times(*platform_, s, config_.cpu_chunks);
+
+  // Phase II: both sides execute for real; virtual time overlaps them.
+  graph::CcResult cpu_cc, gpu_cc;
+  if (cut > 0) {
+    cpu_cc = graph::cc_chunked_parallel(part.cpu_part, ThreadPool::global(),
+                                        config_.cpu_chunks);
+  }
+  if (cut < n) {
+    gpu_cc = graph::cc_shiloach_vishkin(part.gpu_part);
+  }
+
+  // Phase III: merge through the cross edges.
+  std::vector<Vertex> labels(n);
+  for (Vertex v = 0; v < cut; ++v) labels[v] = cpu_cc.labels[v];
+  for (Vertex v = cut; v < n; ++v) labels[v] = gpu_cc.labels[v - cut] + cut;
+  const Vertex components =
+      graph::merge_cross_edges(labels, part.cross_edges);
+
+  RunReport report;
+  report.add_phase("partition", times.partition_ns);
+  report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
+  report.add_phase("merge", times.merge_ns);
+  report.set_counter("components", components);
+  report.set_counter("cpu_work_ns", times.cpu_work_ns);
+  report.set_counter("gpu_work_ns", times.gpu_work_ns);
+  report.set_counter("sv_iterations", static_cast<double>(gpu_cc.iterations));
+  report.set_counter("cross_edges", static_cast<double>(s.cross));
+  return report;
+}
+
+Vertex HeteroCc::sample_size(double sqrt_n_factor) const {
+  const double n = graph_.num_vertices();
+  const double s = sqrt_n_factor * std::sqrt(n);
+  return std::clamp<Vertex>(static_cast<Vertex>(std::llround(s)), 2,
+                            graph_.num_vertices());
+}
+
+HeteroCc HeteroCc::make_sample(double sqrt_n_factor, Rng& rng) const {
+  const Vertex k = sample_size(sqrt_n_factor);
+  const auto verts = graph::uniform_vertex_sample(graph_, k, rng);
+  return HeteroCc(graph::induced_subgraph(graph_, verts), *platform_,
+                  config_);
+}
+
+double HeteroCc::sampling_cost_ns(double sqrt_n_factor) const {
+  // Drawing S costs O(|S|) and building G[S] scans the sampled adjacency
+  // lists with a membership test per neighbor.
+  const Vertex k = sample_size(sqrt_n_factor);
+  const double avg_deg =
+      graph_.num_vertices() == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(graph_.num_edges()) /
+                static_cast<double>(graph_.num_vertices());
+  hetsim::WorkProfile p;
+  p.bytes_random = 16.0 * static_cast<double>(k) * avg_deg;
+  p.bytes_stream = 8.0 * static_cast<double>(k);
+  p.ops = 12.0 * static_cast<double>(k) * avg_deg;
+  p.parallel_items = platform_->cpu_threads();
+  p.steps = 1;
+  return platform_->cpu().time_ns(p);
+}
+
+}  // namespace nbwp::hetalg

@@ -1,0 +1,85 @@
+// Algorithm 1: heterogeneous graph connected components (Section III).
+//
+//   Phase I   partition G by a vertex prefix: the first n*t/100 vertices
+//             form G_CPU, the rest G_GPU; edges across the cut are the
+//             cross edges.
+//   Phase II  chunked DFS on the CPU (c chunks for c threads) overlapped
+//             with Shiloach-Vishkin on the GPU.
+//   Phase III merge the two label sets through the cross edges on the GPU.
+//
+// The threshold t is the *CPU share of vertices* in percent, exactly as in
+// Algorithm 1 line 2 (n_cpu = n*t/100).  Figures report the GPU share
+// (100 - t) to match the paper's plotting convention.
+//
+// `run` executes every kernel (labels are validated against a sequential
+// reference in the tests) and charges virtual time from cc_cost; `time_ns`
+// evaluates the same formulas from a PrefixCutProfile without executing,
+// which makes exhaustive threshold sweeps O(1) per candidate after an
+// O(n + m) setup.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "graph/cc.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/partition.hpp"
+#include "hetalg/cc_cost.hpp"
+#include "hetsim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::hetalg {
+
+struct HeteroCcConfig {
+  unsigned cpu_chunks = 20;  ///< Algorithm 1 line 6: c parts for c threads
+};
+
+class HeteroCc {
+ public:
+  using Config = HeteroCcConfig;
+
+  HeteroCc(graph::CsrGraph g, const hetsim::Platform& platform,
+           Config config = {});
+
+  const graph::CsrGraph& input() const { return graph_; }
+  const hetsim::Platform& platform() const { return *platform_; }
+
+  /// Threshold range: t in [0, 100] percent of vertices on the CPU.
+  static constexpr double threshold_lo() { return 0.0; }
+  static constexpr double threshold_hi() { return 100.0; }
+
+  /// Execute Algorithm 1 at threshold t (CPU vertex share in percent).
+  /// Counters: "components", "cpu_work_ns", "gpu_work_ns"; phases:
+  /// "partition", "phase2.cpu", "phase2.gpu", "merge".
+  hetsim::RunReport run(double t_cpu_pct) const;
+
+  /// Analytic makespan at threshold t (equals run(t).total_ns()).
+  double time_ns(double t_cpu_pct) const;
+
+  /// Analytic identification objective |cpu_work - gpu_work| at t.
+  double balance_ns(double t_cpu_pct) const;
+
+  /// Partition structure at threshold t (from the cut profile).
+  CcStructure structure_at(double t_cpu_pct) const;
+
+  /// Sample step (Section III-A.1): induced subgraph on
+  /// round(factor * sqrt(n)) vertices chosen uniformly at random.
+  /// factor = 1 is the paper's choice; Fig. 4 sweeps factor in [1/4, 4].
+  HeteroCc make_sample(double sqrt_n_factor, Rng& rng) const;
+
+  /// Virtual cost of drawing that sample (charged to the CPU).
+  double sampling_cost_ns(double sqrt_n_factor) const;
+
+  /// Sample vertex count for a factor (exposed for reporting).
+  graph::Vertex sample_size(double sqrt_n_factor) const;
+
+ private:
+  graph::Vertex cut_for(double t_cpu_pct) const;
+
+  graph::CsrGraph graph_;
+  const hetsim::Platform* platform_;
+  Config config_;
+  std::shared_ptr<const graph::PrefixCutProfile> cut_profile_;
+};
+
+}  // namespace nbwp::hetalg

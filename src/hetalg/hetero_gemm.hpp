@@ -1,0 +1,69 @@
+// Heterogeneous dense matrix multiplication (the Fig. 1 motivating study).
+//
+// The work is split by rows of A: the first n*t/100 rows on the CPU, the
+// rest on the GPU.  Dense GEMM is compute-bound and perfectly regular, so
+// the FLOPS-ratio NaiveStatic partition is already near the optimum — the
+// paper's point of departure before turning to irregular workloads.
+#pragma once
+
+#include <optional>
+
+#include "dense/dense_matrix.hpp"
+#include "hetsim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::hetalg {
+
+struct HeteroGemmConfig {
+  /// Execute the numeric kernels only up to this n (the O(n^3) reference
+  /// is slow on large sizes; virtual time never depends on execution).
+  uint32_t execute_limit = 384;
+};
+
+class HeteroGemm {
+ public:
+  using Config = HeteroGemmConfig;
+
+  /// Square n x n problem with uniformly random elements (paper: "elements
+  /// of the matrices are chosen uniformly at random").
+  HeteroGemm(uint32_t n, const hetsim::Platform& platform, Rng& rng,
+             Config config = {});
+
+  uint32_t n() const { return n_; }
+
+  static constexpr double threshold_lo() { return 0.0; }
+  static constexpr double threshold_hi() { return 100.0; }
+
+  /// Execute (when n <= execute_limit) and report virtual time.
+  hetsim::RunReport run(double t_cpu_pct) const;
+
+  double time_ns(double t_cpu_pct) const;
+  double balance_ns(double t_cpu_pct) const;
+
+  /// Sample step for the Fig. 1 study: a dense problem shrinks to an
+  /// n' = round(frac * n) instance (uniform random data again — dense GEMM
+  /// cost depends only on the size, which is exactly why naive static
+  /// partitioning already works for it).
+  HeteroGemm make_sample(double frac, Rng& rng) const;
+  double sampling_cost_ns(double frac) const;
+
+ private:
+  struct Times {
+    double cpu_work_ns = 0, cpu_overhead_ns = 0;
+    double gpu_work_ns = 0, gpu_overhead_ns = 0;
+    double total_ns() const {
+      const double c = cpu_work_ns + cpu_overhead_ns;
+      const double g = gpu_work_ns + gpu_overhead_ns;
+      return c > g ? c : g;
+    }
+  };
+  Times times_at(double t_cpu_pct) const;
+  uint32_t rows_cpu(double t_cpu_pct) const;
+
+  uint32_t n_;
+  const hetsim::Platform* platform_;
+  Config config_;
+  std::optional<dense::DenseMatrix> a_, b_;  ///< present when executing
+};
+
+}  // namespace nbwp::hetalg

@@ -1,0 +1,155 @@
+#include "hetalg/hetero_list_ranking.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "hetsim/work_profile.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::hetalg {
+
+namespace {
+// CPU sequential pointer chase: one dependent random access per node; the
+// chase is latency-bound, modeled as scalar operations per hop.
+constexpr double kCpuOpsPerNode = 60.0;
+// GPU Wyllie: per node per round, two array streams plus one dependent
+// gather; two launches per round.
+constexpr double kGpuStreamPerNodeRound = 24.0;
+constexpr double kGpuRandomPerNodeRound = 16.0;
+constexpr double kGpuOpsPerNodeRound = 4.0;
+constexpr double kGpuLaunchesPerRound = 2.0;
+
+uint64_t wyllie_model_rounds(uint64_t n) {
+  if (n <= 1) return 1;
+  return std::bit_width(n - 1);  // ceil(log2 n)
+}
+}  // namespace
+
+HeteroListRanking::HeteroListRanking(std::vector<uint32_t> next,
+                                     const hetsim::Platform& platform)
+    : next_(std::move(next)), platform_(&platform) {
+  NBWP_REQUIRE(!next_.empty(), "empty list");
+}
+
+uint32_t HeteroListRanking::cut_for(double t) const {
+  NBWP_REQUIRE(t >= 0.0 && t <= 100.0, "threshold must be a percentage");
+  const auto k = static_cast<uint32_t>(
+      std::llround(t / 100.0 * static_cast<double>(next_.size())));
+  // The suffix must stay non-empty (the terminal lives there).
+  return std::min<uint32_t>(k, static_cast<uint32_t>(next_.size()) - 1);
+}
+
+HeteroListRanking::Times HeteroListRanking::times_at(double t) const {
+  const uint32_t k = cut_for(t);
+  const auto n = static_cast<double>(next_.size());
+  const double ng = n - k;
+  Times out;
+
+  // Partition: the k-node walk from the head (sequential, on the CPU).
+  {
+    hetsim::WorkProfile p;
+    p.seq_ops = kCpuOpsPerNode * 0.5 * k;  // walk only, no rank writes
+    out.partition_ns = platform_->cpu().time_ns(p);
+  }
+  if (k > 0) {
+    hetsim::WorkProfile p;
+    p.seq_ops = kCpuOpsPerNode * k;
+    out.cpu_work_ns = platform_->cpu().time_ns(p);
+  }
+  {
+    const auto rounds = static_cast<double>(
+        wyllie_model_rounds(static_cast<uint64_t>(ng)));
+    hetsim::WorkProfile p;
+    p.bytes_stream = kGpuStreamPerNodeRound * rounds * ng;
+    p.bytes_random = kGpuRandomPerNodeRound * rounds * ng;
+    p.ops = kGpuOpsPerNodeRound * rounds * ng;
+    p.parallel_items = ng;
+    p.steps = 0;
+    out.gpu_work_ns = platform_->gpu().time_ns(p);
+    hetsim::WorkProfile launches;
+    launches.steps = kGpuLaunchesPerRound * rounds;
+    out.gpu_transfer_var_ns =
+        (ng * 4.0 + ng * 8.0) /
+        platform_->link().spec().bandwidth_bps * 1e9;
+    out.gpu_overhead_ns = platform_->gpu().time_ns(launches) +
+                          2.0 * platform_->link().spec().latency_ns;
+  }
+  {
+    hetsim::WorkProfile p;
+    p.bytes_stream = 8.0 * k;
+    p.parallel_items = platform_->cpu_threads();
+    out.stitch_ns = platform_->cpu().time_ns(p);
+  }
+  return out;
+}
+
+double HeteroListRanking::time_ns(double t) const {
+  return times_at(t).total_ns();
+}
+
+double HeteroListRanking::balance_ns(double t) const {
+  return times_at(t).balance_ns();
+}
+
+hetsim::RunReport HeteroListRanking::run(double t) const {
+  const uint32_t k = cut_for(t);
+  const auto n = static_cast<uint32_t>(next_.size());
+  const Times times = times_at(t);
+
+  // Execute: split, rank both sides, stitch.
+  std::vector<uint64_t> ranks(n, 0);
+  uint64_t wyllie_iters = 0;
+  if (k == 0) {
+    const auto whole = graph::rank_wyllie(next_);
+    ranks = whole.ranks;
+    wyllie_iters = whole.iterations;
+  } else {
+    const graph::ListSplit split = graph::split_list(next_, k);
+    const auto suffix = graph::rank_wyllie(split.suffix_next);
+    wyllie_iters = suffix.iterations;
+    // Wyllie on suffix_next ranks every node to the terminal; suffix nodes
+    // keep their rank, prefix nodes are overwritten below with the exact
+    // walk ranks (this matches the stitch of [5]).
+    ranks = suffix.ranks;
+    const auto suffix_len = static_cast<uint64_t>(n - k);
+    for (uint32_t i = 0; i < k; ++i)
+      ranks[split.prefix_order[i]] = suffix_len + (k - 1 - i);
+  }
+  NBWP_REQUIRE(graph::ranks_valid(next_, ranks), "ranking is wrong");
+
+  hetsim::RunReport report;
+  report.add_phase("partition", times.partition_ns);
+  report.add_overlapped_phase(
+      "rank", times.cpu_work_ns,
+      times.gpu_work_ns + times.gpu_transfer_var_ns + times.gpu_overhead_ns);
+  report.add_phase("stitch", times.stitch_ns);
+  report.set_counter("wyllie_iterations", static_cast<double>(wyllie_iters));
+  report.set_counter("cpu_work_ns", times.cpu_work_ns);
+  report.set_counter("gpu_work_ns",
+                     times.gpu_work_ns + times.gpu_transfer_var_ns);
+  return report;
+}
+
+uint32_t HeteroListRanking::sample_size(double factor) const {
+  const double s = factor * std::sqrt(static_cast<double>(next_.size()));
+  return std::clamp<uint32_t>(static_cast<uint32_t>(std::llround(s)), 2,
+                              static_cast<uint32_t>(next_.size()));
+}
+
+HeteroListRanking HeteroListRanking::make_sample(double factor,
+                                                 Rng& rng) const {
+  // A contiguous sublist is the only faithful miniature of a list; the
+  // random start comes from re-threading a fresh random list of the sample
+  // size (statistically identical).
+  const uint32_t s = sample_size(factor);
+  return HeteroListRanking(graph::random_linked_list(s, rng), *platform_);
+}
+
+double HeteroListRanking::sampling_cost_ns(double factor) const {
+  hetsim::WorkProfile p;
+  p.seq_ops = kCpuOpsPerNode * 0.5 * sample_size(factor);
+  return platform_->cpu().time_ns(p);
+}
+
+}  // namespace nbwp::hetalg

@@ -1,0 +1,72 @@
+// Heterogeneous list ranking (after Banerjee & Kothapalli [5], the
+// companion algorithm of the hybrid CC reproduced as Algorithm 1).
+//
+// The list is split at the k-th node from the head: the CPU ranks the
+// prefix sublist by sequential pointer chasing (latency-bound, no
+// parallelism — the worst case for a GPU), the GPU ranks the suffix with
+// Wyllie's pointer jumping (log n rounds of perfectly parallel work), and
+// the prefix ranks are stitched by adding the suffix length.
+//
+// Unlike the paper's three case studies the optimal threshold here depends
+// only on the input *size* (a linked list has no exploitable structure),
+// which makes it a clean demonstration that the framework also handles
+// rate-driven workloads: the sample measures the device-rate ratio and the
+// identity extrapolation carries it to the full input.
+#pragma once
+
+#include <vector>
+
+#include "graph/list_ranking.hpp"
+#include "hetsim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::hetalg {
+
+class HeteroListRanking {
+ public:
+  HeteroListRanking(std::vector<uint32_t> next,
+                    const hetsim::Platform& platform);
+
+  uint32_t size() const { return static_cast<uint32_t>(next_.size()); }
+
+  static constexpr double threshold_lo() { return 0.0; }
+  static constexpr double threshold_hi() { return 100.0; }
+
+  /// Execute at threshold t (CPU share of nodes, percent).  Counters:
+  /// "wyllie_iterations"; the ranks are validated in tests.
+  hetsim::RunReport run(double t_cpu_pct) const;
+
+  double time_ns(double t_cpu_pct) const;
+  double balance_ns(double t_cpu_pct) const;
+
+  /// Sample: a contiguous sublist of round(factor * sqrt(n)) nodes from
+  /// the head (a list has no structure to preserve beyond its length).
+  HeteroListRanking make_sample(double sqrt_n_factor, Rng& rng) const;
+  double sampling_cost_ns(double sqrt_n_factor) const;
+  uint32_t sample_size(double sqrt_n_factor) const;
+
+ private:
+  struct Times {
+    double partition_ns = 0;
+    double cpu_work_ns = 0;
+    double gpu_work_ns = 0, gpu_transfer_var_ns = 0, gpu_overhead_ns = 0;
+    double stitch_ns = 0;
+    double total_ns() const {
+      const double gpu = gpu_work_ns + gpu_transfer_var_ns + gpu_overhead_ns;
+      return partition_ns + (cpu_work_ns > gpu ? cpu_work_ns : gpu) +
+             stitch_ns;
+    }
+    double balance_ns() const {
+      const double d =
+          cpu_work_ns - (gpu_work_ns + gpu_transfer_var_ns);
+      return d < 0 ? -d : d;
+    }
+  };
+  Times times_at(double t_cpu_pct) const;
+  uint32_t cut_for(double t_cpu_pct) const;
+
+  std::vector<uint32_t> next_;
+  const hetsim::Platform* platform_;
+};
+
+}  // namespace nbwp::hetalg

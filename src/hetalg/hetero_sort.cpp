@@ -1,0 +1,152 @@
+#include "hetalg/hetero_sort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "hetsim/work_profile.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::hetalg {
+
+namespace {
+// CPU chunked merge sort: each round streams the array once; chunk sorting
+// costs log(n/chunks) comparison passes with branchy access.
+constexpr double kCpuBytesPerKeyPass = 16.0;
+constexpr double kCpuOpsPerKeyPass = 6.0;
+// GPU LSD radix: 8 passes, each a count + scatter stream.
+constexpr double kGpuPasses = 8.0;
+constexpr double kGpuBytesPerKeyPass = 24.0;  // read + scatter write
+constexpr double kGpuOpsPerKeyPass = 3.0;
+constexpr double kGpuLaunchesPerPass = 2.0;
+}  // namespace
+
+HeteroSort::HeteroSort(std::vector<uint64_t> keys,
+                       const hetsim::Platform& platform)
+    : keys_(std::move(keys)), platform_(&platform) {
+  NBWP_REQUIRE(!keys_.empty(), "nothing to sort");
+}
+
+size_t HeteroSort::cpu_count(double r) const {
+  NBWP_REQUIRE(r >= 0.0 && r <= 100.0, "threshold must be a percentage");
+  return static_cast<size_t>(
+      std::llround(r / 100.0 * static_cast<double>(keys_.size())));
+}
+
+HeteroSort::Times HeteroSort::times_at(double r) const {
+  const size_t nc = cpu_count(r);
+  const size_t ng = keys_.size() - nc;
+  Times t;
+  {
+    // Phase I: nth_element selection + partition scan (CPU, parallel).
+    hetsim::WorkProfile p;
+    p.bytes_stream = 24.0 * static_cast<double>(keys_.size());
+    p.ops = 6.0 * static_cast<double>(keys_.size());
+    p.parallel_items = platform_->cpu_threads();
+    p.steps = 1;
+    t.partition_ns = platform_->cpu().time_ns(p);
+  }
+  if (nc > 0) {
+    const double passes =
+        std::max(1.0, std::log2(static_cast<double>(nc)));
+    hetsim::WorkProfile p;
+    p.bytes_stream = kCpuBytesPerKeyPass * passes * static_cast<double>(nc);
+    p.ops = kCpuOpsPerKeyPass * passes * static_cast<double>(nc);
+    p.parallel_items = platform_->cpu_threads();
+    t.cpu_work_ns = platform_->cpu().time_ns(p);
+    hetsim::WorkProfile barrier;
+    barrier.steps = 2;
+    t.cpu_overhead_ns = platform_->cpu().time_ns(barrier);
+  }
+  if (ng > 0) {
+    hetsim::WorkProfile p;
+    p.bytes_stream = kGpuBytesPerKeyPass * kGpuPasses *
+                     static_cast<double>(ng);
+    p.ops = kGpuOpsPerKeyPass * kGpuPasses * static_cast<double>(ng);
+    p.parallel_items = platform_->gpu().spec().full_occupancy_items;
+    t.gpu_work_ns = platform_->gpu().time_ns(p);
+    hetsim::WorkProfile launches;
+    launches.steps = kGpuLaunchesPerPass * kGpuPasses;
+    t.gpu_transfer_var_ns = 2.0 * 8.0 * static_cast<double>(ng) /
+                            platform_->link().spec().bandwidth_bps * 1e9;
+    t.gpu_overhead_ns = platform_->gpu().time_ns(launches) +
+                        2.0 * platform_->link().spec().latency_ns;
+  }
+  {
+    hetsim::WorkProfile p;
+    p.bytes_stream = 8.0 * static_cast<double>(keys_.size());
+    p.parallel_items = platform_->cpu_threads();
+    t.concat_ns = platform_->cpu().time_ns(p);
+  }
+  return t;
+}
+
+double HeteroSort::time_ns(double r) const { return times_at(r).total_ns(); }
+
+double HeteroSort::balance_ns(double r) const {
+  return times_at(r).balance_ns();
+}
+
+hetsim::RunReport HeteroSort::run(double r) const {
+  const size_t nc = cpu_count(r);
+  const Times times = times_at(r);
+
+  // Execute: splitter partition, sort each side with its kernel, concat.
+  std::vector<uint64_t> work(keys_);
+  unsigned merge_rounds = 0, radix_passes = 0;
+  if (nc > 0 && nc < work.size()) {
+    std::nth_element(work.begin(),
+                     work.begin() + static_cast<ptrdiff_t>(nc - 1),
+                     work.end());
+    std::vector<uint64_t> cpu_part(work.begin(),
+                                   work.begin() +
+                                       static_cast<ptrdiff_t>(nc));
+    std::vector<uint64_t> gpu_part(
+        work.begin() + static_cast<ptrdiff_t>(nc), work.end());
+    merge_rounds = sort::cpu_chunked_sort(cpu_part, ThreadPool::global(),
+                                          platform_->cpu_threads());
+    radix_passes = sort::gpu_radix_sort(gpu_part);
+    std::copy(cpu_part.begin(), cpu_part.end(), work.begin());
+    std::copy(gpu_part.begin(), gpu_part.end(),
+              work.begin() + static_cast<ptrdiff_t>(nc));
+  } else if (nc == 0) {
+    radix_passes = sort::gpu_radix_sort(work);
+  } else {
+    merge_rounds = sort::cpu_chunked_sort(work, ThreadPool::global(),
+                                          platform_->cpu_threads());
+  }
+  NBWP_REQUIRE(sort::is_sorted(work), "hetero sort produced unsorted data");
+
+  hetsim::RunReport report;
+  report.add_phase("partition", times.partition_ns);
+  report.add_overlapped_phase(
+      "sort", times.cpu_work_ns + times.cpu_overhead_ns,
+      times.gpu_work_ns + times.gpu_transfer_var_ns + times.gpu_overhead_ns);
+  report.add_phase("concat", times.concat_ns);
+  report.set_counter("cpu_work_ns", times.cpu_work_ns);
+  report.set_counter("gpu_work_ns",
+                     times.gpu_work_ns + times.gpu_transfer_var_ns);
+  report.set_counter("merge_rounds", merge_rounds);
+  report.set_counter("radix_passes", radix_passes);
+  return report;
+}
+
+HeteroSort HeteroSort::make_sample(double frac, Rng& rng) const {
+  NBWP_REQUIRE(frac > 0.0 && frac <= 1.0, "sample fraction out of range");
+  const auto k = std::max<size_t>(
+      2, static_cast<size_t>(frac * static_cast<double>(keys_.size())));
+  const auto ids = sample_without_replacement(keys_.size(), k, rng);
+  std::vector<uint64_t> sampled(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) sampled[i] = keys_[ids[i]];
+  return HeteroSort(std::move(sampled), *platform_);
+}
+
+double HeteroSort::sampling_cost_ns(double frac) const {
+  hetsim::WorkProfile p;
+  p.bytes_random = 8.0 * frac * static_cast<double>(keys_.size());
+  p.parallel_items = platform_->cpu_threads();
+  return platform_->cpu().time_ns(p);
+}
+
+}  // namespace nbwp::hetalg

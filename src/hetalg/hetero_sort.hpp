@@ -1,0 +1,72 @@
+// Heterogeneous comparison sort (after Banerjee, Sakurikar, Kothapalli
+// [3], the hybrid sort the paper's introduction opens with).
+//
+//   Phase I   pick a splitter s = the r-quantile of the keys; elements
+//             <= s go to the CPU bucket, the rest to the GPU.
+//   Phase II  the CPU bucket is sorted by chunked merge sort while the
+//             GPU bucket runs radix sort.
+//   Phase III the sorted buckets concatenate (splitter partitioning makes
+//             the concatenation order-correct by construction).
+//
+// The threshold r is the CPU's share of the *elements*, and — via the
+// quantile — also of the value range, so a skewed key distribution moves
+// the splitter but not the work split: the workload is rate-driven, like
+// list ranking, and exercises the framework's ability to measure device
+// throughput on a sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetsim/platform.hpp"
+#include "sort/sort_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::hetalg {
+
+class HeteroSort {
+ public:
+  HeteroSort(std::vector<uint64_t> keys, const hetsim::Platform& platform);
+
+  size_t size() const { return keys_.size(); }
+
+  static constexpr double threshold_lo() { return 0.0; }
+  static constexpr double threshold_hi() { return 100.0; }
+
+  /// Execute at threshold r (CPU element share, percent); the output is
+  /// validated to be a sorted permutation in the tests.
+  hetsim::RunReport run(double r_cpu_pct) const;
+
+  double time_ns(double r_cpu_pct) const;
+  double balance_ns(double r_cpu_pct) const;
+
+  /// Sample: round(frac * n) keys drawn uniformly without replacement.
+  HeteroSort make_sample(double frac, Rng& rng) const;
+  double sampling_cost_ns(double frac) const;
+
+ private:
+  struct Times {
+    double partition_ns = 0;
+    double cpu_work_ns = 0, cpu_overhead_ns = 0;
+    double gpu_work_ns = 0, gpu_transfer_var_ns = 0, gpu_overhead_ns = 0;
+    double concat_ns = 0;
+    double total_ns() const {
+      const double cpu = cpu_work_ns + cpu_overhead_ns;
+      const double gpu =
+          gpu_work_ns + gpu_transfer_var_ns + gpu_overhead_ns;
+      return partition_ns + (cpu > gpu ? cpu : gpu) + concat_ns;
+    }
+    double balance_ns() const {
+      const double d =
+          cpu_work_ns - (gpu_work_ns + gpu_transfer_var_ns);
+      return d < 0 ? -d : d;
+    }
+  };
+  Times times_at(double r_cpu_pct) const;
+  size_t cpu_count(double r_cpu_pct) const;
+
+  std::vector<uint64_t> keys_;
+  const hetsim::Platform* platform_;
+};
+
+}  // namespace nbwp::hetalg

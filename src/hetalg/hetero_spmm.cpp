@@ -1,0 +1,191 @@
+#include "hetalg/hetero_spmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetsim/work_profile.hpp"
+#include "sparse/load_vector.hpp"
+#include "sparse/sampling.hpp"
+#include "sparse/spgemm.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::hetalg {
+
+using sparse::CsrMatrix;
+using sparse::Index;
+
+HeteroSpmm::HeteroSpmm(CsrMatrix a, CsrMatrix b,
+                       const hetsim::Platform& platform)
+    : a_(std::move(a)), b_(std::move(b)), platform_(&platform) {
+  NBWP_REQUIRE(a_.cols() == b_.rows(), "A and B are not compatible");
+  build_profiles();
+}
+
+HeteroSpmm::HeteroSpmm(CsrMatrix a, const hetsim::Platform& platform)
+    : a_(a), b_(std::move(a)), platform_(&platform) {
+  build_profiles();
+}
+
+void HeteroSpmm::build_profiles() {
+  const auto v_b = sparse::row_nnz_vector(b_);
+  row_work_ = sparse::load_vector(a_, v_b);
+  work_prefix_ = sparse::prefix_sums(row_work_);
+  std::vector<uint64_t> a_nnz(a_.rows());
+  for (Index r = 0; r < a_.rows(); ++r) a_nnz[r] = a_.row_nnz(r);
+  a_nnz_prefix_ = sparse::prefix_sums(a_nnz);
+}
+
+Index HeteroSpmm::split_row(double r_cpu_pct) const {
+  NBWP_REQUIRE(r_cpu_pct >= 0.0 && r_cpu_pct <= 100.0,
+               "split percentage out of range");
+  return sparse::split_row_for_share(work_prefix_, r_cpu_pct);
+}
+
+SpmmStructure HeteroSpmm::structure_at(double r_cpu_pct) const {
+  const Index split = split_row(r_cpu_pct);
+  const Index n = a_.rows();
+  SpmmStructure s;
+  s.cpu.rows = split;
+  s.cpu.a_nnz = a_nnz_prefix_[split];
+  s.cpu.multiplies = work_prefix_[split];
+  s.cpu.inflation = 1.0;
+  s.gpu.rows = n - split;
+  s.gpu.a_nnz = a_nnz_prefix_[n] - a_nnz_prefix_[split];
+  s.gpu.multiplies = work_prefix_[n] - work_prefix_[split];
+  s.gpu.inflation = hetsim::simd_inflation_range(
+      row_work_, split, n, platform_->gpu().spec().warp_size);
+  // GPU slice of A: proportional share of the CSR arrays.
+  s.a_gpu_bytes = static_cast<double>(s.gpu.a_nnz) * 12.0 +
+                  static_cast<double>(s.gpu.rows) * 8.0;
+  s.b_bytes = s.gpu.rows > 0 ? b_.bytes() : 0.0;
+  return s;
+}
+
+double HeteroSpmm::time_ns(double r_cpu_pct) const {
+  return spmm_times(*platform_, structure_at(r_cpu_pct)).total_ns();
+}
+
+double HeteroSpmm::balance_ns(double r_cpu_pct) const {
+  return spmm_times(*platform_, structure_at(r_cpu_pct)).balance_ns();
+}
+
+std::pair<double, double> HeteroSpmm::device_times_all() const {
+  const Index n = a_.rows();
+  SpgemmWork all;
+  all.rows = n;
+  all.a_nnz = a_nnz_prefix_[n];
+  all.multiplies = work_prefix_[n];
+  all.inflation = 1.0;
+  const double cpu = spgemm_cpu_work_ns(*platform_, all);
+  all.inflation = hetsim::simd_inflation_range(
+      row_work_, 0, n, platform_->gpu().spec().warp_size);
+  const double gpu = spgemm_gpu_work_ns(*platform_, all);
+  return {cpu, gpu};
+}
+
+hetsim::RunReport HeteroSpmm::run(double r_cpu_pct) const {
+  const Index split = split_row(r_cpu_pct);
+  const Index n = a_.rows();
+  const SpmmStructure s = structure_at(r_cpu_pct);
+  const SpmmTimes times = spmm_times(*platform_, s);
+
+  // Execute both sides (the same Gustavson kernel computes both halves;
+  // only the virtual-time accounting differs per device).
+  sparse::SpgemmCounters ccpu, cgpu;
+  CsrMatrix c1 = sparse::spgemm_row_range(a_, b_, 0, split, &ccpu);
+  CsrMatrix c2 = sparse::spgemm_row_range(a_, b_, split, n, &cgpu);
+  NBWP_REQUIRE(ccpu.multiplies == s.cpu.multiplies &&
+                   cgpu.multiplies == s.gpu.multiplies,
+               "executed work disagrees with the load vector");
+  CsrMatrix c = CsrMatrix::vstack(c1, c2);
+
+  hetsim::RunReport report;
+  report.add_phase("phase1", times.phase1_ns);
+  report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
+  report.add_phase("stitch", times.stitch_ns);
+  report.set_counter("c_nnz", static_cast<double>(c.nnz()));
+  report.set_counter("split_row", split);
+  report.set_counter("work_total", static_cast<double>(total_work()));
+  report.set_counter("cpu_work_ns", times.cpu_work_ns);
+  report.set_counter("gpu_work_ns", times.gpu_work_ns);
+  return report;
+}
+
+double HeteroSpmm::range_cost_cpu_ns(Index first, Index last) const {
+  NBWP_REQUIRE(first <= last && last <= a_.rows(), "range out of bounds");
+  SpgemmWork w;
+  w.rows = last - first;
+  w.a_nnz = a_nnz_prefix_[last] - a_nnz_prefix_[first];
+  w.multiplies = work_prefix_[last] - work_prefix_[first];
+  return spgemm_cpu_work_ns(*platform_, w);
+}
+
+double HeteroSpmm::range_cost_gpu_ns(Index first, Index last) const {
+  NBWP_REQUIRE(first <= last && last <= a_.rows(), "range out of bounds");
+  SpgemmWork w;
+  w.rows = last - first;
+  w.a_nnz = a_nnz_prefix_[last] - a_nnz_prefix_[first];
+  w.multiplies = work_prefix_[last] - work_prefix_[first];
+  w.inflation = hetsim::simd_inflation_range(
+      row_work_, first, last, platform_->gpu().spec().warp_size);
+  const double a_bytes = static_cast<double>(w.a_nnz) * 12.0 +
+                         static_cast<double>(w.rows) * 8.0;
+  const double transfer =
+      (a_bytes + c_bytes_estimate(w.multiplies)) /
+      platform_->link().spec().bandwidth_bps * 1e9;
+  return spgemm_gpu_work_ns(*platform_, w) + transfer;
+}
+
+Index HeteroSpmm::sample_rows(double frac) const {
+  NBWP_REQUIRE(frac > 0.0 && frac <= 1.0, "sample fraction out of range");
+  const auto k = static_cast<Index>(
+      std::llround(frac * static_cast<double>(a_.rows())));
+  return std::clamp<Index>(k, 2, a_.rows());
+}
+
+HeteroSpmm HeteroSpmm::make_sample(double frac, Rng& rng) const {
+  const Index k_rows = sample_rows(frac);
+  const auto k_cols = std::clamp<Index>(
+      static_cast<Index>(std::llround(frac * a_.cols())), 2, a_.cols());
+  // Row set for A', column set shared by A' columns and B' rows/cols so
+  // the sampled product A' x B' is well defined.
+  const auto rows =
+      nbwp::sample_without_replacement(a_.rows(), k_rows, rng);
+  const auto cols =
+      nbwp::sample_without_replacement(a_.cols(), k_cols, rng);
+  std::vector<Index> row_ids(rows.begin(), rows.end());
+  std::vector<Index> col_ids(cols.begin(), cols.end());
+  CsrMatrix a_s = sparse::extract_submatrix(a_, row_ids, col_ids);
+  CsrMatrix b_s = sparse::extract_submatrix(b_, col_ids, col_ids);
+  return HeteroSpmm(std::move(a_s), std::move(b_s), *platform_);
+}
+
+HeteroSpmm HeteroSpmm::make_sample_predetermined(double frac,
+                                                 double anchor) const {
+  const Index k_rows = sample_rows(frac);
+  const auto k_cols = std::clamp<Index>(
+      static_cast<Index>(std::llround(frac * a_.cols())), 2, a_.cols());
+  const auto row0 = static_cast<Index>(anchor * (a_.rows() - k_rows));
+  const auto col0 = static_cast<Index>(anchor * (a_.cols() - k_cols));
+  CsrMatrix a_s =
+      sparse::sample_submatrix_contiguous(a_, row0, col0, k_rows, k_cols);
+  CsrMatrix b_s =
+      sparse::sample_submatrix_contiguous(b_, col0, col0, k_cols, k_cols);
+  return HeteroSpmm(std::move(a_s), std::move(b_s), *platform_);
+}
+
+double HeteroSpmm::sampling_cost_ns(double frac) const {
+  // Extracting the submatrix scans the sampled rows of A and B with a
+  // membership test per entry.
+  const double scanned =
+      frac * (static_cast<double>(a_.nnz()) + static_cast<double>(b_.nnz()));
+  hetsim::WorkProfile p;
+  p.bytes_stream = 12.0 * scanned;
+  p.bytes_random = 4.0 * scanned;
+  p.ops = 8.0 * scanned;
+  p.parallel_items = platform_->cpu_threads();
+  p.steps = 1;
+  return platform_->cpu().time_ns(p);
+}
+
+}  // namespace nbwp::hetalg

@@ -1,0 +1,136 @@
+#include "hetalg/spmm_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbwp::hetalg {
+
+namespace {
+// --- CPU Gustavson with sparse accumulator -------------------------------
+// Per multiply: the B-row entry is streamed (12B: 4B column + 8B value) and
+// the accumulator slot is a random touch; for matrices wider than L2 most
+// touches miss, which is what the paper's modest CPU SpGEMM saw.
+constexpr double kCpuStreamPerMultiply = 12.0;
+constexpr double kCpuRandomPerMultiply = 12.0;
+constexpr double kCpuOpsPerMultiply = 2.0;
+constexpr double kCpuRandomPerANnz = 8.0;  // B row_ptr lookup
+constexpr double kCpuBarriers = 2.0;
+
+// --- GPU row-per-thread hash SpGEMM --------------------------------------
+// Per multiply: B entry gather (semi-coalesced) + hash-table probe/insert.
+// The kernel bins rows by expected work before launching (standard
+// practice since CUSP/bhSPARSE), which mitigates — but does not remove —
+// warp load imbalance: the effective inflation grows as the square root
+// of the raw row-work imbalance.
+constexpr double kGpuStreamPerMultiply = 8.0;
+constexpr double kGpuRandomPerMultiply = 12.0;
+constexpr double kGpuOpsPerMultiply = 4.0;
+constexpr double kGpuRandomPerANnz = 8.0;
+constexpr double kGpuLaunches = 4.0;
+constexpr double kGpuBinningExponent = 0.5;
+
+// --- Phase I (load vector on the GPU) -------------------------------------
+constexpr double kP1RandomPerANnz = 8.0;   // V_B gather
+constexpr double kP1StreamPerANnz = 4.0;
+constexpr double kP1Launches = 3.0;        // L_AB, scan, split search
+
+// --- Result traffic -------------------------------------------------------
+// C entries per multiply (compression factor) times 12B per entry.
+constexpr double kCompression = 0.5;
+constexpr double kBytesPerCEntry = 12.0;
+
+// --- Phase III stitch ------------------------------------------------------
+constexpr double kStitchStreamPerCByte = 2.0;  // read + write once
+}  // namespace
+
+double c_bytes_estimate(uint64_t multiplies) {
+  return kCompression * kBytesPerCEntry * static_cast<double>(multiplies);
+}
+
+double spgemm_cpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
+  if (w.rows == 0 || w.multiplies == 0) return 0.0;
+  hetsim::WorkProfile prof;
+  const auto mult = static_cast<double>(w.multiplies);
+  prof.bytes_stream = kCpuStreamPerMultiply * mult +
+                      c_bytes_estimate(w.multiplies);
+  prof.bytes_random = kCpuRandomPerMultiply * mult +
+                      kCpuRandomPerANnz * static_cast<double>(w.a_nnz);
+  prof.ops = kCpuOpsPerMultiply * mult;
+  prof.parallel_items = static_cast<double>(
+      std::min<uint64_t>(w.rows, static_cast<uint64_t>(p.cpu_threads())));
+  prof.steps = 0;
+  return p.cpu().time_ns(prof);
+}
+
+double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
+  if (w.rows == 0 || w.multiplies == 0) return 0.0;
+  hetsim::WorkProfile prof;
+  const auto mult = static_cast<double>(w.multiplies);
+  prof.bytes_stream = kGpuStreamPerMultiply * mult +
+                      c_bytes_estimate(w.multiplies);
+  prof.bytes_random = kGpuRandomPerMultiply * mult +
+                      kGpuRandomPerANnz * static_cast<double>(w.a_nnz);
+  prof.ops = kGpuOpsPerMultiply * mult;
+  // Hash-SpGEMM kernels launch a warp (or more) per row and bin rows by
+  // work, so even a sqrt(n)-row sample fills the SMX units; the kernel is
+  // not occupancy-limited by the row count.
+  prof.parallel_items = p.gpu().spec().full_occupancy_items;
+  prof.simd_inflation =
+      std::pow(std::max(1.0, w.inflation), kGpuBinningExponent);
+  prof.steps = 0;  // launches charged as overhead by the caller
+  return p.gpu().time_ns(prof);
+}
+
+SpmmTimes spmm_times(const hetsim::Platform& platform,
+                     const SpmmStructure& s) {
+  using hetsim::WorkProfile;
+  SpmmTimes t;
+
+  // Phase I on the GPU: L_AB = A x V_B, prefix scan, split search.
+  {
+    const auto a_nnz =
+        static_cast<double>(s.cpu.a_nnz + s.gpu.a_nnz);
+    WorkProfile p;
+    p.bytes_random = kP1RandomPerANnz * a_nnz;
+    p.bytes_stream = kP1StreamPerANnz * a_nnz +
+                     8.0 * static_cast<double>(s.cpu.rows + s.gpu.rows);
+    p.ops = 2.0 * a_nnz;
+    p.parallel_items = static_cast<double>(s.cpu.rows + s.gpu.rows);
+    p.steps = kP1Launches;
+    t.phase1_ns = platform.gpu().time_ns(p);
+  }
+
+  t.cpu_work_ns = spgemm_cpu_work_ns(platform, s.cpu);
+  if (s.cpu.rows > 0) {
+    WorkProfile barriers;
+    barriers.steps = kCpuBarriers;
+    t.cpu_overhead_ns = platform.cpu().time_ns(barriers);
+  }
+
+  t.gpu_work_ns = spgemm_gpu_work_ns(platform, s.gpu);
+  if (s.gpu.rows > 0) {
+    WorkProfile launches;
+    launches.steps = kGpuLaunches;
+    const double bw = platform.link().spec().bandwidth_bps;
+    // Variable traffic (no latency term): the A slice and the C rows.
+    t.gpu_transfer_var_ns =
+        (s.a_gpu_bytes + c_bytes_estimate(s.gpu.multiplies)) / bw * 1e9;
+    // Constants: launches, the whole-B shipment, two transfer latencies.
+    t.gpu_overhead_ns = platform.gpu().time_ns(launches) +
+                        platform.link().transfer_ns(s.b_bytes) +
+                        platform.link().spec().latency_ns;
+  }
+
+  // Phase III: append the transferred GPU rows to the CPU result.
+  {
+    WorkProfile p;
+    p.bytes_stream =
+        kStitchStreamPerCByte * c_bytes_estimate(s.gpu.multiplies);
+    p.parallel_items = platform.cpu_threads();
+    p.steps = s.gpu.rows > 0 ? 1.0 : 0.0;
+    t.stitch_ns = platform.cpu().time_ns(p);
+  }
+  return t;
+}
+
+}  // namespace nbwp::hetalg

@@ -1,0 +1,75 @@
+// Virtual-time cost formulas for Algorithm 2 (split SpGEMM) and the SpGEMM
+// kernels shared with Algorithm 3.
+//
+// The structural inputs are exact functions of the split (rows, A-entries,
+// multiply count, warp imbalance), so HeteroSpmm::run and the analytic
+// sweep agree to the bit.  Output (C) traffic is modeled proportionally to
+// the multiply count: the compression factor of the result is treated as a
+// constant so that virtual time never depends on data the analytic sweep
+// cannot see.
+#pragma once
+
+#include <cstdint>
+
+#include "hetsim/platform.hpp"
+
+namespace nbwp::hetalg {
+
+/// Work summary of one SpGEMM row-range on one device.
+struct SpgemmWork {
+  uint64_t rows = 0;        ///< rows of A processed
+  uint64_t a_nnz = 0;       ///< entries of A read
+  uint64_t multiplies = 0;  ///< intermediate products (work volume)
+  double inflation = 1.0;   ///< warp imbalance over the processed rows
+};
+
+/// CPU row-row SpGEMM (SPA accumulator), work portion only.
+double spgemm_cpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w);
+/// GPU row-per-thread hash SpGEMM, work portion only.
+double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w);
+
+/// Structural summary of one Algorithm 2 split.
+struct SpmmStructure {
+  SpgemmWork cpu;                ///< rows [0, split)
+  SpgemmWork gpu;                ///< rows [split, n)
+  double a_gpu_bytes = 0;        ///< CSR bytes of the GPU slice of A
+  double b_bytes = 0;            ///< CSR bytes of B (shipped whole)
+};
+
+struct SpmmTimes {
+  double phase1_ns = 0;        ///< load vector + split search on the GPU
+  double cpu_work_ns = 0;
+  double cpu_overhead_ns = 0;  ///< barriers
+  double gpu_work_ns = 0;
+  double gpu_transfer_var_ns = 0;  ///< split-dependent PCIe traffic
+                                   ///< (A slice up, C rows down)
+  double gpu_overhead_ns = 0;      ///< launches + B shipment + latencies
+
+  double stitch_ns = 0;        ///< Phase III: append GPU rows on the CPU
+
+  double cpu_ns() const { return cpu_work_ns + cpu_overhead_ns; }
+  double gpu_ns() const {
+    return gpu_work_ns + gpu_transfer_var_ns + gpu_overhead_ns;
+  }
+  double total_ns() const {
+    const double phase2 = cpu_ns() > gpu_ns() ? cpu_ns() : gpu_ns();
+    return phase1_ns + phase2 + stitch_ns;
+  }
+  /// Balance of the *marginal* per-side costs: CPU work versus GPU work
+  /// plus the transfers that scale with the GPU's share.  Only the
+  /// split-independent constants (launches, the B operand, per-transfer
+  /// latencies) are excluded.
+  double balance_ns() const {
+    const double d = cpu_work_ns - (gpu_work_ns + gpu_transfer_var_ns);
+    return d < 0 ? -d : d;
+  }
+};
+
+SpmmTimes spmm_times(const hetsim::Platform& platform,
+                     const SpmmStructure& s);
+
+/// Modeled bytes of the C rows produced from `multiplies` intermediate
+/// products (constant compression factor; see header comment).
+double c_bytes_estimate(uint64_t multiplies);
+
+}  // namespace nbwp::hetalg

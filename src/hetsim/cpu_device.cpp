@@ -1,0 +1,23 @@
+#include "hetsim/cpu_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbwp::hetsim {
+
+double CpuDevice::time_ns(const WorkProfile& p) const {
+  const double seq_s = p.seq_ops / spec_.scalar_ops_per_s();
+
+  const double useful_cores =
+      std::clamp(p.parallel_items, 1.0, spec_.cores);
+  const double comp_s =
+      p.ops /
+      (spec_.freq_hz * spec_.ops_per_cycle * useful_cores * spec_.parallel_eff);
+  const double mem_s = p.bytes_stream / spec_.bw_stream_bps +
+                       p.bytes_random / spec_.bw_random_bps;
+
+  const double barrier_s = p.steps * spec_.barrier_ns * 1e-9;
+  return (seq_s + std::max(comp_s, mem_s) + barrier_s) * 1e9;
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,37 @@
+// Multicore CPU cost model (roofline with a scalar tail and barrier costs).
+#pragma once
+
+#include <string>
+
+#include "hetsim/calibration.hpp"
+#include "hetsim/work_profile.hpp"
+
+namespace nbwp::hetsim {
+
+class CpuDevice {
+ public:
+  explicit CpuDevice(CpuSpec spec = kXeonE5_2650) : spec_(spec) {}
+
+  const CpuSpec& spec() const { return spec_; }
+  std::string name() const { return "cpu"; }
+
+  /// Peak single-precision throughput (used by the NaiveStatic baseline).
+  double peak_ops_per_s() const { return spec_.peak_ops_per_s(); }
+
+  /// Virtual nanoseconds to execute a kernel with the given profile.
+  ///
+  /// time = seq_ops/scalar_rate
+  ///      + max(parallel compute, memory)            (roofline)
+  ///      + steps * barrier cost.
+  /// Parallel compute uses min(cores, parallel_items) cores at the team's
+  /// scaling efficiency.  simd_inflation is interpreted as vector-lane
+  /// imbalance and applied to the compute term only: CPU cores run rows
+  /// independently, so row-length variance does not stall whole warps the
+  /// way it does on the GPU (this asymmetry is the heart of the model).
+  double time_ns(const WorkProfile& p) const;
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace nbwp::hetsim

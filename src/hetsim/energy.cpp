@@ -1,0 +1,28 @@
+#include "hetsim/energy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::hetsim {
+
+double energy_joules(const PowerSpec& power, double cpu_busy_ns,
+                     double gpu_busy_ns, double makespan_ns) {
+  NBWP_REQUIRE(cpu_busy_ns >= 0 && gpu_busy_ns >= 0 && makespan_ns >= 0,
+               "times must be non-negative");
+  makespan_ns = std::max({makespan_ns, cpu_busy_ns, gpu_busy_ns});
+  const double s = 1e-9;
+  return power.cpu_busy_w * cpu_busy_ns * s +
+         power.cpu_idle_w * (makespan_ns - cpu_busy_ns) * s +
+         power.gpu_busy_w * gpu_busy_ns * s +
+         power.gpu_idle_w * (makespan_ns - gpu_busy_ns) * s +
+         power.base_w * makespan_ns * s;
+}
+
+double energy_delay(const PowerSpec& power, double cpu_busy_ns,
+                    double gpu_busy_ns, double makespan_ns) {
+  return energy_joules(power, cpu_busy_ns, gpu_busy_ns, makespan_ns) *
+         std::max({makespan_ns, cpu_busy_ns, gpu_busy_ns}) * 1e-9;
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,36 @@
+// Energy model for heterogeneous runs.
+//
+// Wang & Ren [30] (related work) partition for power efficiency rather
+// than speed.  This model prices a run from its per-device busy times:
+// each device burns busy power while working and idle power while waiting
+// for the other to finish; the host platform draws a constant floor.
+// Combined with the analytic threshold sweeps it yields energy-optimal
+// thresholds to set against the time-optimal ones
+// (bench/extra_energy).
+#pragma once
+
+namespace nbwp::hetsim {
+
+struct PowerSpec {
+  // Xeon E5-2650 pair: ~95 W TDP each, deep idle well below.
+  double cpu_busy_w = 190.0;
+  double cpu_idle_w = 50.0;
+  // Tesla K40c: 235 W board power, ~20 W idle.
+  double gpu_busy_w = 235.0;
+  double gpu_idle_w = 20.0;
+  // Host floor (board, memory, disks) drawn for the whole makespan.
+  double base_w = 80.0;
+};
+
+inline constexpr PowerSpec kReferencePower{};
+
+/// Energy in joules for a run where the CPU is busy `cpu_busy_ns`, the GPU
+/// `gpu_busy_ns`, and the whole run spans `makespan_ns` (>= both).
+double energy_joules(const PowerSpec& power, double cpu_busy_ns,
+                     double gpu_busy_ns, double makespan_ns);
+
+/// Energy-delay product (J*s) — the usual compromise metric.
+double energy_delay(const PowerSpec& power, double cpu_busy_ns,
+                    double gpu_busy_ns, double makespan_ns);
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,28 @@
+#include "hetsim/gpu_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbwp::hetsim {
+
+double GpuDevice::time_ns(const WorkProfile& p) const {
+  const double launch_s = p.steps * spec_.launch_ns * 1e-9;
+  const double seq_s = p.seq_ops / spec_.scalar_ops_per_s();
+
+  const double comp_s =
+      p.ops / (spec_.peak_ops_per_s() * spec_.parallel_eff);
+  const double mem_s = p.bytes_stream / spec_.bw_stream_bps +
+                       p.bytes_random / spec_.bw_random_bps;
+
+  // Underutilization: a grid smaller than the resident-thread capacity
+  // leaves SMX units partially idle.  The penalty is bounded (floor 0.55):
+  // tiny kernels are launch-latency dominated rather than arbitrarily slow.
+  const double occupancy = std::clamp(
+      p.parallel_items / spec_.full_occupancy_items, 0.55, 1.0);
+
+  const double body_s =
+      std::max(comp_s, mem_s) * std::max(1.0, p.simd_inflation) / occupancy;
+  return (launch_s + body_s + seq_s) * 1e9;
+}
+
+}  // namespace nbwp::hetsim

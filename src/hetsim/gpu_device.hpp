@@ -1,0 +1,42 @@
+// SIMT GPU cost model (Kepler-class).
+//
+// Captures the four GPU effects the paper's workloads exercise:
+//  * huge aggregate throughput on regular bulk work,
+//  * warp-level load imbalance (simd_inflation) stalling whole warps on
+//    skewed row lengths — the reason scale-free matrices favour HH-CPU,
+//  * severe penalty for uncoalesced (random) memory access,
+//  * per-kernel-launch latency, which taxes iterative algorithms such as
+//    Shiloach-Vishkin, and underutilization when the grid is small — the
+//    reason very small samples are cheap but noisy to search.
+#pragma once
+
+#include <string>
+
+#include "hetsim/calibration.hpp"
+#include "hetsim/work_profile.hpp"
+
+namespace nbwp::hetsim {
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(GpuSpec spec = kTeslaK40c) : spec_(spec) {}
+
+  const GpuSpec& spec() const { return spec_; }
+  std::string name() const { return "gpu"; }
+
+  double peak_ops_per_s() const { return spec_.peak_ops_per_s(); }
+
+  /// Virtual nanoseconds to execute a kernel with the given profile.
+  ///
+  /// time = steps * launch latency
+  ///      + max(compute, memory) * simd_inflation / occupancy
+  ///      + seq_ops at single-thread speed.
+  /// occupancy = clamp(parallel_items / full_occupancy_items, ., 1): a grid
+  /// smaller than the resident-thread capacity leaves SMX units idle.
+  double time_ns(const WorkProfile& p) const;
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,10 @@
+#include "hetsim/pcie_link.hpp"
+
+namespace nbwp::hetsim {
+
+double PcieLink::transfer_ns(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  return spec_.latency_ns + bytes / spec_.bandwidth_bps * 1e9;
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,21 @@
+// PCI Express transfer cost model.
+#pragma once
+
+#include "hetsim/calibration.hpp"
+
+namespace nbwp::hetsim {
+
+class PcieLink {
+ public:
+  explicit PcieLink(PcieSpec spec = kPcie3x16) : spec_(spec) {}
+
+  const PcieSpec& spec() const { return spec_; }
+
+  /// Virtual nanoseconds to move `bytes` across the link (either direction).
+  double transfer_ns(double bytes) const;
+
+ private:
+  PcieSpec spec_;
+};
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,16 @@
+#include "hetsim/platform.hpp"
+
+namespace nbwp::hetsim {
+
+double Platform::naive_static_gpu_share_pct() const {
+  const double g = gpu_.peak_ops_per_s();
+  const double c = cpu_.peak_ops_per_s();
+  return 100.0 * g / (g + c);
+}
+
+const Platform& Platform::reference() {
+  static const Platform platform;
+  return platform;
+}
+
+}  // namespace nbwp::hetsim

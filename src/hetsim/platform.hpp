@@ -1,0 +1,44 @@
+// Platform: one CPU + one GPU + the PCIe link between them.
+//
+// This is the "simple heterogeneous system with one CPU attached to one
+// GPU" of Section II.  The framework itself treats thresholds as scalars;
+// extending to more devices would turn them into vectors (the paper notes
+// the same).
+#pragma once
+
+#include "hetsim/cpu_device.hpp"
+#include "hetsim/gpu_device.hpp"
+#include "hetsim/pcie_link.hpp"
+#include "hetsim/report.hpp"
+
+namespace nbwp::hetsim {
+
+class Platform {
+ public:
+  Platform() = default;
+  Platform(CpuSpec cpu, GpuSpec gpu, PcieSpec pcie)
+      : cpu_(cpu), gpu_(gpu), link_(pcie) {}
+
+  const CpuDevice& cpu() const { return cpu_; }
+  const GpuDevice& gpu() const { return gpu_; }
+  const PcieLink& link() const { return link_; }
+
+  unsigned cpu_threads() const {
+    return static_cast<unsigned>(cpu_.spec().cores);
+  }
+
+  /// The NaiveStatic partition: percentage of work routed to the GPU based
+  /// purely on the peak-FLOPS ratio of the two devices (Section III-B.2
+  /// reports ~88% for the paper's testbed).
+  double naive_static_gpu_share_pct() const;
+
+  /// Default platform shared by tests/benches (paper calibration).
+  static const Platform& reference();
+
+ private:
+  CpuDevice cpu_;
+  GpuDevice gpu_;
+  PcieLink link_;
+};
+
+}  // namespace nbwp::hetsim

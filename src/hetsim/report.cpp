@@ -1,0 +1,53 @@
+#include "hetsim/report.hpp"
+
+#include <algorithm>
+
+#include "util/strfmt.hpp"
+
+namespace nbwp::hetsim {
+
+void RunReport::add_phase(std::string name, double ns) {
+  total_ns_ += ns;
+  phases_.push_back({std::move(name), ns});
+}
+
+void RunReport::add_overlapped_phase(std::string name, double cpu_ns,
+                                     double gpu_ns) {
+  const double ns = std::max(cpu_ns, gpu_ns);
+  total_ns_ += ns;
+  phases_.push_back({name + ".cpu", cpu_ns});
+  phases_.push_back({name + ".gpu", gpu_ns});
+  phases_.push_back({name + ".makespan", ns});
+  // Only the makespan entry contributes to total (added above once).
+}
+
+double RunReport::phase_ns(const std::string& name) const {
+  double ns = 0;
+  for (const auto& p : phases_)
+    if (p.name == name) ns += p.ns;
+  return ns;
+}
+
+void RunReport::set_counter(const std::string& name, double value) {
+  counters_[name] = value;
+}
+
+double RunReport::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void RunReport::append(const RunReport& other) {
+  total_ns_ += other.total_ns_;
+  phases_.insert(phases_.end(), other.phases_.begin(), other.phases_.end());
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+std::string RunReport::summary() const {
+  std::string s = strfmt("total %.3f ms", total_ms());
+  for (const auto& p : phases_)
+    s += strfmt(" | %s %.3f ms", p.name.c_str(), p.ns / 1e6);
+  return s;
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,47 @@
+// RunReport: a named breakdown of one heterogeneous run in virtual time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nbwp::hetsim {
+
+struct Phase {
+  std::string name;
+  double ns = 0;
+};
+
+class RunReport {
+ public:
+  /// Appends a phase executed after everything recorded so far.
+  void add_phase(std::string name, double ns);
+
+  /// Appends a phase that overlaps CPU and GPU work: contributes
+  /// max(cpu_ns, gpu_ns) to the total, and records both sides.
+  void add_overlapped_phase(std::string name, double cpu_ns, double gpu_ns);
+
+  double total_ns() const { return total_ns_; }
+  double total_ms() const { return total_ns_ / 1e6; }
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Virtual time of the named phase (0 if absent; sums duplicates).
+  double phase_ns(const std::string& name) const;
+
+  /// Free-form result counters ("components", "nnz_C", ...).
+  void set_counter(const std::string& name, double value);
+  double counter(const std::string& name) const;  // 0 if absent
+  const std::map<std::string, double>& counters() const { return counters_; }
+
+  /// Merge another report in sequence (phases appended, counters summed).
+  void append(const RunReport& other);
+
+  std::string summary() const;
+
+ private:
+  double total_ns_ = 0;
+  std::vector<Phase> phases_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,82 @@
+#include "hetsim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::hetsim {
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const RunReport& report,
+                        const std::string& process_name) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& name, int tid, double start_us,
+                  double dur_us) {
+    if (!first) os << ',';
+    first = false;
+    os << strfmt(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f}",
+        json_escape(name).c_str(), tid, start_us, dur_us);
+  };
+
+  // Track ids: 0 host, 1 cpu, 2 gpu.
+  double host_clock_us = 0;
+  // Overlapped groups advance the host clock by their makespan; their cpu
+  // and gpu rows start together at the group's start time.
+  double group_start_us = 0;
+  double group_max_us = 0;
+  bool in_group = false;
+  for (const auto& phase : report.phases()) {
+    const double dur_us = phase.ns / 1e3;
+    if (ends_with(phase.name, ".cpu")) {
+      group_start_us = host_clock_us;
+      group_max_us = dur_us;
+      in_group = true;
+      emit(phase.name, 1, group_start_us, dur_us);
+    } else if (ends_with(phase.name, ".gpu")) {
+      group_max_us = std::max(group_max_us, dur_us);
+      emit(phase.name, 2, group_start_us, dur_us);
+    } else if (ends_with(phase.name, ".makespan")) {
+      if (in_group) {
+        host_clock_us = group_start_us + group_max_us;
+        in_group = false;
+      }
+    } else {
+      emit(phase.name, 0, host_clock_us, dur_us);
+      host_clock_us += dur_us;
+    }
+  }
+  os << strfmt(
+      "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":\"%s\"}}",
+      json_escape(process_name).c_str());
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const RunReport& report,
+                             const std::string& process_name) {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open trace output " + path);
+  write_chrome_trace(f, report, process_name);
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,28 @@
+// Chrome-trace export of heterogeneous runs.
+//
+// Writes a RunReport as a chrome://tracing / Perfetto JSON document: one
+// track per device, phases as complete events in virtual time.  Handy for
+// eyeballing where a threshold actually spends its makespan:
+//
+//   nbwp_cli run --workload cc --dataset pwtk --trace run.json
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hetsim/report.hpp"
+
+namespace nbwp::hetsim {
+
+/// Serialize the report's phases as a Chrome trace.  Phases named
+/// "<x>.cpu" / "<x>.gpu" are laid out concurrently on separate tracks;
+/// everything else runs on a "host" track.  `<x>.makespan` rows are
+/// bookkeeping and skipped.
+void write_chrome_trace(std::ostream& os, const RunReport& report,
+                        const std::string& process_name = "nbwp");
+
+void write_chrome_trace_file(const std::string& path,
+                             const RunReport& report,
+                             const std::string& process_name = "nbwp");
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,45 @@
+#include "hetsim/work_profile.hpp"
+
+#include <algorithm>
+
+namespace nbwp::hetsim {
+
+namespace {
+template <typename T>
+double inflation_impl(std::span<const T> work, size_t first, size_t last,
+                      int warp_size) {
+  if (first >= last) return 1.0;
+  double total = 0.0;
+  double effective = 0.0;
+  size_t i = first;
+  while (i < last) {
+    const size_t end = std::min(i + static_cast<size_t>(warp_size), last);
+    double warp_max = 0.0;
+    for (size_t j = i; j < end; ++j) {
+      const double w = static_cast<double>(work[j]);
+      total += w;
+      warp_max = std::max(warp_max, w);
+    }
+    effective += warp_max * static_cast<double>(end - i);
+    i = end;
+  }
+  return total <= 0.0 ? 1.0 : effective / total;
+}
+}  // namespace
+
+double simd_inflation(std::span<const double> item_work, int warp_size) {
+  return inflation_impl(item_work, 0, item_work.size(), warp_size);
+}
+
+double simd_inflation(std::span<const uint64_t> item_work, int warp_size) {
+  return inflation_impl(item_work, 0, item_work.size(), warp_size);
+}
+
+double simd_inflation_range(std::span<const uint64_t> item_work, size_t first,
+                            size_t last, int warp_size) {
+  last = std::min(last, item_work.size());
+  first = std::min(first, last);
+  return inflation_impl(item_work, first, last, warp_size);
+}
+
+}  // namespace nbwp::hetsim

@@ -1,0 +1,49 @@
+// WorkProfile: the structural summary of one kernel execution.
+//
+// Kernels in this library really execute (their outputs are validated in
+// the tests), but *time* comes from a device cost model evaluated on the
+// profile the kernel reports.  A profile is a pure function of the input
+// partition, which makes virtual time deterministic and lets exhaustive
+// threshold sweeps be evaluated analytically without re-executing kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nbwp::hetsim {
+
+struct WorkProfile {
+  double ops = 0;             ///< arithmetic operations (flop or int-op)
+  double bytes_stream = 0;    ///< sequential / coalesced memory traffic
+  double bytes_random = 0;    ///< irregular gathers/scatters (useful bytes)
+  double parallel_items = 1;  ///< independent work items available
+  double simd_inflation = 1;  ///< >=1; SIMD/warp load-imbalance factor
+  double steps = 1;           ///< parallel steps (kernel launches/barriers)
+  double seq_ops = 0;         ///< strictly sequential operations
+
+  WorkProfile scaled(double factor) const {
+    WorkProfile p = *this;
+    p.ops *= factor;
+    p.bytes_stream *= factor;
+    p.bytes_random *= factor;
+    p.seq_ops *= factor;
+    return p;
+  }
+};
+
+/// Warp-level load-imbalance factor for a row-per-thread (item-per-lane)
+/// mapping: consecutive `warp_size` items share a warp and the warp runs as
+/// long as its slowest lane.  Returns
+///   sum over warps (max item work * warp_size) / sum of all item work,
+/// which is >= 1 and equals 1 for perfectly uniform items.
+double simd_inflation(std::span<const double> item_work, int warp_size = 32);
+
+/// Same, for integer work counts.
+double simd_inflation(std::span<const uint64_t> item_work, int warp_size = 32);
+
+/// Imbalance of a contiguous sub-range [first, last) of an item-work array,
+/// as used when a kernel processes only a slice of the rows.
+double simd_inflation_range(std::span<const uint64_t> item_work, size_t first,
+                            size_t last, int warp_size = 32);
+
+}  // namespace nbwp::hetsim

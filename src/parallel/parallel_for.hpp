@@ -1,0 +1,81 @@
+// parallel_for / parallel_reduce over index ranges, in the OpenMP idiom:
+// a team executes chunks of [begin, end) with static or dynamic scheduling
+// and an implicit barrier at the end of the region.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace nbwp {
+
+enum class Schedule { kStatic, kDynamic };
+
+/// Run body(i) for every i in [begin, end) on the pool's team.
+/// `body` must be safe to call concurrently for distinct i.
+template <typename Body>
+void parallel_for(ThreadPool& pool, int64_t begin, int64_t end,
+                  const Body& body, Schedule sched = Schedule::kStatic,
+                  int64_t chunk = 0) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const auto team = static_cast<int64_t>(pool.size());
+  if (n == 1 || team == 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  if (sched == Schedule::kStatic) {
+    pool.run_team([&](unsigned worker) {
+      const auto w = static_cast<int64_t>(worker);
+      const int64_t per = n / team, extra = n % team;
+      const int64_t lo = begin + w * per + std::min(w, extra);
+      const int64_t hi = lo + per + (w < extra ? 1 : 0);
+      for (int64_t i = lo; i < hi; ++i) body(i);
+    });
+  } else {
+    if (chunk <= 0) chunk = std::max<int64_t>(1, n / (team * 8));
+    std::atomic<int64_t> next{begin};
+    pool.run_team([&](unsigned) {
+      for (;;) {
+        const int64_t lo = next.fetch_add(chunk);
+        if (lo >= end) break;
+        const int64_t hi = std::min(lo + chunk, end);
+        for (int64_t i = lo; i < hi; ++i) body(i);
+      }
+    });
+  }
+}
+
+/// Convenience overload using the global pool.
+template <typename Body>
+void parallel_for(int64_t begin, int64_t end, const Body& body,
+                  Schedule sched = Schedule::kStatic, int64_t chunk = 0) {
+  parallel_for(ThreadPool::global(), begin, end, body, sched, chunk);
+}
+
+/// Parallel reduction: combines per-worker partials with `combine`.
+/// `body(i, acc)` folds index i into the worker-local accumulator.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end, T init,
+                  const Body& body, const Combine& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return init;
+  const auto team = static_cast<int64_t>(pool.size());
+  std::vector<T> partials(static_cast<size_t>(team), init);
+  pool.run_team([&](unsigned worker) {
+    const auto w = static_cast<int64_t>(worker);
+    const int64_t per = n / team, extra = n % team;
+    const int64_t lo = begin + w * per + std::min(w, extra);
+    const int64_t hi = lo + per + (w < extra ? 1 : 0);
+    T acc = init;
+    for (int64_t i = lo; i < hi; ++i) body(i, acc);
+    partials[static_cast<size_t>(worker)] = acc;
+  });
+  T result = init;
+  for (const T& p : partials) result = combine(result, p);
+  return result;
+}
+
+}  // namespace nbwp

@@ -1,0 +1,76 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace nbwp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
+  std::unique_lock lock(mutex_);
+  job_ = &body;
+  first_error_ = nullptr;
+  remaining_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  cv_start_.notify_all();
+  lock.unlock();
+
+  // The calling thread participates as worker 0.
+  try {
+    body(0);
+  } catch (...) {
+    std::scoped_lock elock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  lock.lock();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace nbwp

@@ -1,0 +1,54 @@
+// A small fixed-size thread pool used by the multicore CPU kernels.
+//
+// The simulated CpuDevice charges time analytically, but the CPU kernels
+// (parallel DFS connected components, label propagation, parallel SpGEMM)
+// really execute in parallel through this pool so their outputs — and the
+// work counters that feed the cost model — come from genuine parallel runs.
+// The pool follows the OpenMP "parallel for" structure: a team of workers,
+// static or dynamic chunk scheduling, and an implicit barrier at the end of
+// every parallel region.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nbwp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run `body(worker_index)` on every member of the team (including the
+  /// calling thread as worker 0) and wait for all to finish.  Exceptions
+  /// thrown by any worker are rethrown on the caller.
+  void run_team(const std::function<void(unsigned)>& body);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace nbwp

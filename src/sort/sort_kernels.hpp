@@ -1,0 +1,37 @@
+// Sorting kernels for the hybrid comparison sort case study
+// (Banerjee, Sakurikar, Kothapalli [3] — the first heterogeneous
+// algorithm the paper's introduction cites).
+//
+// The CPU side is a chunked merge sort (each core sorts a chunk, then
+// pairwise merges); the GPU side is a least-significant-digit radix sort —
+// the standard GPU choice because every pass is a perfectly regular
+// streaming operation.  Both really execute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sort {
+
+/// Chunked merge sort: `chunks` independently sorted runs, then log2
+/// rounds of pairwise merging.  Returns the number of merge rounds.
+unsigned cpu_chunked_sort(std::vector<uint64_t>& keys, ThreadPool& pool,
+                          unsigned chunks);
+
+/// LSD radix sort, 8 passes of 8 bits.  Returns the pass count.
+unsigned gpu_radix_sort(std::vector<uint64_t>& keys);
+
+bool is_sorted(std::span<const uint64_t> keys);
+
+/// Key generators for the bench: uniform, skewed (Zipf-ish low keys),
+/// and nearly-sorted.
+std::vector<uint64_t> uniform_keys(size_t n, Rng& rng);
+std::vector<uint64_t> skewed_keys(size_t n, Rng& rng);
+std::vector<uint64_t> nearly_sorted_keys(size_t n, double disorder,
+                                         Rng& rng);
+
+}  // namespace nbwp::sort

@@ -1,0 +1,105 @@
+// Compressed-sparse-row matrix of doubles.
+//
+// The SpGEMM workloads of Sections IV and V operate on this type.  Row ids
+// and column ids are 32-bit, offsets 64-bit; values are double.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/mmio.hpp"
+
+namespace nbwp::sparse {
+
+using Index = uint32_t;
+
+struct Triplet {
+  Index r, c;
+  double v;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  }
+
+  /// Build from triplets: entries are sorted per row by column and
+  /// duplicate coordinates are summed.
+  static CsrMatrix from_triplets(Index rows, Index cols,
+                                 std::span<const Triplet> entries);
+
+  static CsrMatrix from_mm(const TripletMatrix& m);
+  TripletMatrix to_mm() const;
+
+  static CsrMatrix identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  uint64_t nnz() const { return values_.size(); }
+
+  uint64_t row_nnz(Index r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  std::span<const Index> row_cols(Index r) const {
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+  std::span<const double> row_vals(Index r) const {
+    return {values_.data() + row_ptr_[r],
+            static_cast<size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  std::span<const uint64_t> row_ptr() const { return row_ptr_; }
+  std::span<const Index> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  CsrMatrix transpose() const;
+
+  /// New matrix containing rows [first, last) of this one.
+  CsrMatrix row_slice(Index first, Index last) const;
+
+  /// Vertically stack two matrices with equal column counts.
+  static CsrMatrix vstack(const CsrMatrix& top, const CsrMatrix& bottom);
+
+  /// CSR footprint in bytes (for PCIe transfer costs).
+  double bytes() const {
+    return static_cast<double>(row_ptr_.size() * sizeof(uint64_t) +
+                               col_idx_.size() * sizeof(Index) +
+                               values_.size() * sizeof(double));
+  }
+
+  /// Max |a_ij - b_ij| over the union of patterns; infinity on shape
+  /// mismatch.  Used to validate kernels against references.
+  static double max_abs_diff(const CsrMatrix& a, const CsrMatrix& b);
+
+  bool operator==(const CsrMatrix& other) const = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<uint64_t> row_ptr_{0};
+  std::vector<Index> col_idx_;
+  std::vector<double> values_;
+
+  friend class CsrBuilder;
+};
+
+/// Incremental row-by-row builder (rows must be appended in order).
+class CsrBuilder {
+ public:
+  CsrBuilder(Index rows, Index cols);
+
+  /// Append the next row; `cols_and_vals` need not be sorted.
+  void append_row(std::span<const Index> cols, std::span<const double> vals);
+
+  CsrMatrix finish();
+
+ private:
+  CsrMatrix m_;
+  Index next_row_ = 0;
+  std::vector<std::pair<Index, double>> scratch_;
+};
+
+}  // namespace nbwp::sparse

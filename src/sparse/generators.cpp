@@ -1,0 +1,130 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+CsrMatrix random_uniform(Index rows, Index cols, uint64_t nnz, Rng& rng,
+                         double val_lo, double val_hi) {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    trips.push_back({static_cast<Index>(rng.uniform(rows)),
+                     static_cast<Index>(rng.uniform(cols)),
+                     rng.uniform_real(val_lo, val_hi)});
+  }
+  return CsrMatrix::from_triplets(rows, cols, trips);
+}
+
+CsrMatrix banded_fem(Index n, unsigned avg_row_nnz, Index bandwidth,
+                     unsigned block, Rng& rng) {
+  NBWP_REQUIRE(n >= 4, "banded_fem needs n >= 4");
+  NBWP_REQUIRE(block >= 1, "block must be >= 1");
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<size_t>(n) * (avg_row_nnz + 1));
+  for (Index r = 0; r < n; ++r)
+    trips.push_back({r, r, rng.uniform_real(1.0, 2.0)});
+  // Element blocks: pick an anchor within the band and connect a small
+  // `block x block` clique of indices, mimicking FEM element assembly.
+  // Anchors are drawn with a density gradient along the diagonal (real
+  // meshes are refined where the physics demands it), which is what makes
+  // a *predetermined* corner submatrix unrepresentative of the whole —
+  // the Fig. 7 property.
+  constexpr double kGradient = 2.0;  // last rows ~3x denser than first
+  // E[local_block^2] under the gradient-weighted anchor distribution is
+  // ~2.2x block^2; fold that into the block budget so nnz hits the target.
+  const uint64_t blocks_needed = static_cast<uint64_t>(
+      static_cast<double>(n) * avg_row_nnz / (2.2 * 2 * block * block) + 1);
+  for (uint64_t i = 0; i < blocks_needed; ++i) {
+    // Accept-reject against the linear density profile 1 + kGradient*r/n.
+    Index r0;
+    for (;;) {
+      r0 = static_cast<Index>(rng.uniform(n));
+      const double w = (1.0 + kGradient * static_cast<double>(r0) / n) /
+                       (1.0 + kGradient);
+      if (rng.bernoulli(w)) break;
+    }
+    const int64_t offset = rng.uniform_range(
+        -static_cast<int64_t>(bandwidth), static_cast<int64_t>(bandwidth));
+    const int64_t c0s = static_cast<int64_t>(r0) + offset;
+    if (c0s < 0 || c0s >= static_cast<int64_t>(n)) continue;
+    const auto c0 = static_cast<Index>(c0s);
+    // Element order also grows along the diagonal (refined regions use
+    // higher-order elements), so the row-length *variance* — the quantity
+    // that moves the device balance — differs between regions too.
+    const auto local_block = std::max<unsigned>(
+        1, static_cast<unsigned>(std::lround(
+               block * (0.5 + 1.5 * static_cast<double>(r0) / n))));
+    for (unsigned dr = 0; dr < local_block; ++dr) {
+      for (unsigned dc = 0; dc < local_block; ++dc) {
+        const Index r = r0 + dr, c = c0 + dc;
+        if (r >= n || c >= n) continue;
+        const double v = rng.uniform_real(-1.0, 1.0);
+        trips.push_back({r, c, v});
+        trips.push_back({c, r, v});  // keep it structurally symmetric
+      }
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, trips);
+}
+
+CsrMatrix scale_free(Index n, unsigned avg_row_nnz, double alpha, Rng& rng,
+                     uint64_t max_row_nnz) {
+  NBWP_REQUIRE(alpha > 1.0, "power-law exponent must exceed 1");
+  if (max_row_nnz == 0) max_row_nnz = std::max<uint64_t>(16, n / 4);
+  // Draw row degrees from a discrete Pareto: d = floor(d_min * u^(-1/(alpha-1))).
+  // Scale d_min so the mean lands near avg_row_nnz.
+  const double inv = 1.0 / (alpha - 1.0);
+  // E[u^{-inv}] = (alpha-1)/(alpha-2) for alpha>2; estimate numerically
+  // otherwise with the cap in place.
+  double mean_factor = 0.0;
+  {
+    const int probes = 1024;
+    for (int i = 0; i < probes; ++i) {
+      const double u = (i + 0.5) / probes;
+      mean_factor += std::min(std::pow(u, -inv),
+                              static_cast<double>(max_row_nnz));
+    }
+    mean_factor /= probes;
+  }
+  const double d_min = std::max(1.0, avg_row_nnz / mean_factor);
+
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<size_t>(n) * avg_row_nnz);
+  for (Index r = 0; r < n; ++r) {
+    const double u = std::max(rng.uniform_real(), 1e-12);
+    auto d = static_cast<uint64_t>(d_min * std::pow(u, -inv));
+    d = std::clamp<uint64_t>(d, 1, std::min<uint64_t>(max_row_nnz, n));
+    for (uint64_t j = 0; j < d; ++j) {
+      // Column skew: a fraction of the entries land on "hot" low-index
+      // columns via a superlinear draw; the rest are uniform.
+      Index c;
+      if (rng.bernoulli(0.25)) {
+        const double t = rng.uniform_real();
+        c = static_cast<Index>(std::pow(t, 1.5) * n);
+      } else {
+        c = static_cast<Index>(rng.uniform(n));
+      }
+      if (c >= n) c = n - 1;
+      trips.push_back({r, c, rng.uniform_real(0.1, 1.0)});
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, trips);
+}
+
+CsrMatrix from_graph(const graph::CsrGraph& g, Rng& rng, bool unit_diagonal,
+                     double val_lo, double val_hi) {
+  std::vector<Triplet> trips;
+  trips.reserve(g.num_directed_edges() + g.num_vertices());
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (unit_diagonal) trips.push_back({u, u, 1.0});
+    for (graph::Vertex v : g.neighbors(u))
+      trips.push_back({u, v, rng.uniform_real(val_lo, val_hi)});
+  }
+  return CsrMatrix::from_triplets(g.num_vertices(), g.num_vertices(), trips);
+}
+
+}  // namespace nbwp::sparse

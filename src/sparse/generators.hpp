@@ -1,0 +1,33 @@
+// Synthetic sparse-matrix generators (structural analogs of Table II).
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "sparse/csr_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+
+/// Uniformly random pattern with `nnz` entries, values uniform in
+/// [val_lo, val_hi).
+CsrMatrix random_uniform(Index rows, Index cols, uint64_t nnz, Rng& rng,
+                         double val_lo = 0.0, double val_hi = 1.0);
+
+/// FEM-style matrix: entries clustered in dense element blocks along a
+/// band around the diagonal, plus the diagonal itself.  Structural analog
+/// of cant/consph/pdb1HYS/pwtk/shipsec1/rma10.
+CsrMatrix banded_fem(Index n, unsigned avg_row_nnz, Index bandwidth,
+                     unsigned block, Rng& rng);
+
+/// Scale-free matrix: row degrees follow a power law with exponent
+/// `alpha` (>1); column choices are also skewed so a few columns are hot.
+/// Structural analog of web graphs viewed as matrices (web-BerkStan,
+/// webbase-1M) and of cop20k_A's irregular pattern.
+CsrMatrix scale_free(Index n, unsigned avg_row_nnz, double alpha, Rng& rng,
+                     uint64_t max_row_nnz = 0);
+
+/// A matrix over a graph's adjacency structure with random values and unit
+/// diagonal (road networks / triangulations as matrices).
+CsrMatrix from_graph(const graph::CsrGraph& g, Rng& rng, bool unit_diagonal,
+                     double val_lo = 0.0, double val_hi = 1.0);
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,59 @@
+#include "sparse/load_vector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+std::vector<uint64_t> row_nnz_vector(const CsrMatrix& b) {
+  std::vector<uint64_t> v(b.rows());
+  for (Index r = 0; r < b.rows(); ++r) v[r] = b.row_nnz(r);
+  return v;
+}
+
+std::vector<uint64_t> load_vector(const CsrMatrix& a,
+                                  std::span<const uint64_t> v_b) {
+  NBWP_REQUIRE(v_b.size() == a.cols(), "V_B size must equal cols(A)");
+  std::vector<uint64_t> load(a.rows(), 0);
+  for (Index r = 0; r < a.rows(); ++r) {
+    uint64_t w = 0;
+    for (Index k : a.row_cols(r)) w += v_b[k];
+    load[r] = w;
+  }
+  return load;
+}
+
+std::vector<uint64_t> prefix_sums(std::span<const uint64_t> loads) {
+  std::vector<uint64_t> out(loads.size() + 1, 0);
+  for (size_t i = 0; i < loads.size(); ++i) out[i + 1] = out[i] + loads[i];
+  return out;
+}
+
+Index split_row_for_load(std::span<const uint64_t> load_prefix,
+                         uint64_t target) {
+  NBWP_REQUIRE(!load_prefix.empty(), "empty load prefix");
+  // First prefix >= target, then pick the closer of it and its predecessor.
+  const auto it =
+      std::lower_bound(load_prefix.begin(), load_prefix.end(), target);
+  if (it == load_prefix.end()) {
+    return static_cast<Index>(load_prefix.size() - 1);
+  }
+  auto idx = static_cast<size_t>(it - load_prefix.begin());
+  if (idx > 0) {
+    const uint64_t over = *it - target;
+    const uint64_t under = target - load_prefix[idx - 1];
+    if (under <= over) --idx;
+  }
+  return static_cast<Index>(idx);
+}
+
+Index split_row_for_share(std::span<const uint64_t> load_prefix,
+                          double cpu_share_pct) {
+  const uint64_t total = load_prefix.back();
+  const auto target =
+      static_cast<uint64_t>(cpu_share_pct / 100.0 * static_cast<double>(total));
+  return split_row_for_load(load_prefix, target);
+}
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,36 @@
+// Work-volume estimation for SpGEMM (Section IV).
+//
+// For C = A x B, the paper observes that with V_B[k] = nnz of row k of B,
+// the product A x V_B (counting one unit per multiply) yields L_AB where
+// L_AB[i] is the exact work volume of row i of A.  Algorithm 2 splits A so
+// the CPU receives the first rows holding r% of sum(L_AB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::sparse {
+
+/// V_B: nnz of each row of B.
+std::vector<uint64_t> row_nnz_vector(const CsrMatrix& b);
+
+/// L_AB[i] = sum over k in row i of A of V_B[k] (the multiply count, which
+/// is also the intermediate-product count of Gustavson's algorithm).
+std::vector<uint64_t> load_vector(const CsrMatrix& a,
+                                  std::span<const uint64_t> v_b);
+
+/// Prefix sums: out[i] = sum of loads[0..i), out has size loads.size()+1.
+std::vector<uint64_t> prefix_sums(std::span<const uint64_t> loads);
+
+/// Algorithm 2 line 3: the split row index i such that the prefix load
+/// through row i-1 is closest to `target` (CPU takes rows [0, i)).
+Index split_row_for_load(std::span<const uint64_t> load_prefix,
+                         uint64_t target);
+
+/// Convenience: split index for a CPU share of r% of the total load.
+Index split_row_for_share(std::span<const uint64_t> load_prefix,
+                          double cpu_share_pct);
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,46 @@
+#include "sparse/row_subset.hpp"
+
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+CsrMatrix extract_rows(const CsrMatrix& a, std::span<const Index> rows) {
+  CsrBuilder builder(static_cast<Index>(rows.size()), a.cols());
+  for (Index r : rows) {
+    NBWP_REQUIRE(r < a.rows(), "extract_rows id out of range");
+    builder.append_row(a.row_cols(r), a.row_vals(r));
+  }
+  return builder.finish();
+}
+
+CsrMatrix scatter_rows(Index total_rows, std::span<const Index> ids_a,
+                       const CsrMatrix& a, std::span<const Index> ids_b,
+                       const CsrMatrix& b) {
+  NBWP_REQUIRE(ids_a.size() == a.rows() && ids_b.size() == b.rows(),
+               "scatter_rows id count mismatch");
+  NBWP_REQUIRE(ids_a.size() + ids_b.size() == total_rows,
+               "scatter_rows ids must partition the row range");
+  NBWP_REQUIRE(a.cols() == b.cols(), "scatter_rows column mismatch");
+  // source[r] = (which matrix, which row)
+  std::vector<std::pair<uint8_t, Index>> source(
+      total_rows, {uint8_t{255}, Index{0}});
+  for (size_t i = 0; i < ids_a.size(); ++i) {
+    NBWP_REQUIRE(ids_a[i] < total_rows && source[ids_a[i]].first == 255,
+                 "scatter_rows duplicate/out-of-range id");
+    source[ids_a[i]] = {0, static_cast<Index>(i)};
+  }
+  for (size_t j = 0; j < ids_b.size(); ++j) {
+    NBWP_REQUIRE(ids_b[j] < total_rows && source[ids_b[j]].first == 255,
+                 "scatter_rows duplicate/out-of-range id");
+    source[ids_b[j]] = {1, static_cast<Index>(j)};
+  }
+  CsrBuilder builder(total_rows, a.cols());
+  for (Index r = 0; r < total_rows; ++r) {
+    const auto& [which, row] = source[r];
+    const CsrMatrix& src = which == 0 ? a : b;
+    builder.append_row(src.row_cols(row), src.row_vals(row));
+  }
+  return builder.finish();
+}
+
+}  // namespace nbwp::sparse

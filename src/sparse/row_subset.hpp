@@ -1,0 +1,20 @@
+// Row-subset extraction and scattering (used by the HH-CPU Algorithm 3,
+// whose A_H / A_L operands are non-contiguous row subsets of A).
+#pragma once
+
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::sparse {
+
+/// Gather the given rows (in the given order) into a new matrix with the
+/// same column space.
+CsrMatrix extract_rows(const CsrMatrix& a, std::span<const Index> rows);
+
+/// Inverse of two extract_rows calls: row ids_a[i] of the result is row i
+/// of `a`, row ids_b[j] is row j of `b`.  The id sets must partition
+/// [0, total_rows).
+CsrMatrix scatter_rows(Index total_rows, std::span<const Index> ids_a,
+                       const CsrMatrix& a, std::span<const Index> ids_b,
+                       const CsrMatrix& b);
+
+}  // namespace nbwp::sparse

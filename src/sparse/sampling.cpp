@@ -1,0 +1,86 @@
+#include "sparse/sampling.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+CsrMatrix extract_submatrix(const CsrMatrix& a,
+                            std::span<const Index> sorted_rows,
+                            std::span<const Index> sorted_cols) {
+  // Column remap table: original id -> new id + 1, 0 when absent.
+  std::vector<Index> col_map(a.cols(), 0);
+  for (size_t i = 0; i < sorted_cols.size(); ++i) {
+    NBWP_REQUIRE(sorted_cols[i] < a.cols(), "sample column out of range");
+    col_map[sorted_cols[i]] = static_cast<Index>(i + 1);
+  }
+  std::vector<Triplet> trips;
+  for (size_t i = 0; i < sorted_rows.size(); ++i) {
+    const Index r = sorted_rows[i];
+    NBWP_REQUIRE(r < a.rows(), "sample row out of range");
+    const auto cs = a.row_cols(r);
+    const auto vs = a.row_vals(r);
+    for (size_t j = 0; j < cs.size(); ++j) {
+      const Index mapped = col_map[cs[j]];
+      if (mapped != 0)
+        trips.push_back({static_cast<Index>(i), mapped - 1, vs[j]});
+    }
+  }
+  return CsrMatrix::from_triplets(static_cast<Index>(sorted_rows.size()),
+                                  static_cast<Index>(sorted_cols.size()),
+                                  trips);
+}
+
+namespace {
+std::vector<Index> random_sorted_ids(Index bound, Index k, Rng& rng) {
+  const auto picked = sample_without_replacement(bound, k, rng);
+  std::vector<Index> ids;
+  ids.reserve(picked.size());
+  for (uint64_t v : picked) ids.push_back(static_cast<Index>(v));
+  return ids;
+}
+}  // namespace
+
+CsrMatrix sample_submatrix_uniform(const CsrMatrix& a, Index k_rows,
+                                   Index k_cols, Rng& rng) {
+  NBWP_REQUIRE(k_rows <= a.rows() && k_cols <= a.cols(),
+               "sample larger than matrix");
+  const auto rows = random_sorted_ids(a.rows(), k_rows, rng);
+  const auto cols = random_sorted_ids(a.cols(), k_cols, rng);
+  return extract_submatrix(a, rows, cols);
+}
+
+CsrMatrix sample_submatrix_contiguous(const CsrMatrix& a, Index row0,
+                                      Index col0, Index k_rows,
+                                      Index k_cols) {
+  NBWP_REQUIRE(row0 + k_rows <= a.rows() && col0 + k_cols <= a.cols(),
+               "contiguous sample out of range");
+  std::vector<Index> rows(k_rows), cols(k_cols);
+  for (Index i = 0; i < k_rows; ++i) rows[i] = row0 + i;
+  for (Index i = 0; i < k_cols; ++i) cols[i] = col0 + i;
+  return extract_submatrix(a, rows, cols);
+}
+
+CsrMatrix sample_rows_scalefree(const CsrMatrix& a, Index s, Rng& rng) {
+  NBWP_REQUIRE(s >= 1 && s <= a.rows(), "invalid scale-free sample size");
+  const auto rows = random_sorted_ids(a.rows(), s, rng);
+  // All elements of a chosen row are kept; column indices are folded into
+  // [0, s) (the Section V-A.1 "column indices transformed so that [they]
+  // are within 1 to sqrt(n)").  Folding — rather than subsampling entries —
+  // preserves each sampled row's density, which is the very signal the
+  // HH threshold classifies on.  Folding collisions merge a few entries of
+  // the heaviest rows, a mild compression the Extrapolate step absorbs.
+  std::vector<Triplet> trips;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto cs = a.row_cols(rows[i]);
+    const auto vs = a.row_vals(rows[i]);
+    for (size_t j = 0; j < cs.size(); ++j) {
+      const auto c = static_cast<Index>(cs[j] % s);
+      trips.push_back({static_cast<Index>(i), c, vs[j]});
+    }
+  }
+  return CsrMatrix::from_triplets(s, s, trips);
+}
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,37 @@
+// Matrix sampling for the framework's Sample step.
+//
+// Section IV-A.a: choose a submatrix A' of size n/k x n/k uniformly at
+// random, which scales per-row nnz by ~1/K and preserves the sparsity
+// structure in expectation.
+// Section V-A.1 (scale-free): sample sqrt(n) rows uniformly; within each
+// chosen row keep a matching fraction of the entries and transform column
+// indices into [0, sqrt(n)).
+// The Fig. 7 ablation uses *predetermined* (contiguous, non-random)
+// submatrices instead; both are provided.
+#pragma once
+
+#include "sparse/csr_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+
+/// Extract the submatrix on the given sorted row/column id sets, remapping
+/// ids to [0, |rows|) x [0, |cols|).
+CsrMatrix extract_submatrix(const CsrMatrix& a,
+                            std::span<const Index> sorted_rows,
+                            std::span<const Index> sorted_cols);
+
+/// Uniformly random k_rows x k_cols submatrix.
+CsrMatrix sample_submatrix_uniform(const CsrMatrix& a, Index k_rows,
+                                   Index k_cols, Rng& rng);
+
+/// Predetermined contiguous submatrix anchored at (row0, col0).
+CsrMatrix sample_submatrix_contiguous(const CsrMatrix& a, Index row0,
+                                      Index col0, Index k_rows, Index k_cols);
+
+/// Scale-free row sampling: `s` random rows; each entry of a chosen row
+/// survives with probability s/cols(a) and its column index c is mapped to
+/// floor(c * s / cols(a)).  Result is s x s.
+CsrMatrix sample_rows_scalefree(const CsrMatrix& a, Index s, Rng& rng);
+
+}  // namespace nbwp::sparse

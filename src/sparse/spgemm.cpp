@@ -1,0 +1,162 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+namespace {
+
+/// Sparse accumulator: dense value array + generation stamps, O(1) reset.
+class Spa {
+ public:
+  explicit Spa(Index cols)
+      : values_(cols, 0.0), stamp_(cols, 0) {}
+
+  void start_row() {
+    ++generation_;
+    touched_.clear();
+  }
+
+  void add(Index c, double v) {
+    if (stamp_[c] != generation_) {
+      stamp_[c] = generation_;
+      values_[c] = v;
+      touched_.push_back(c);
+    } else {
+      values_[c] += v;
+    }
+  }
+
+  /// Touched columns, sorted; values via value().
+  std::vector<Index>& touched_sorted() {
+    std::sort(touched_.begin(), touched_.end());
+    return touched_;
+  }
+
+  double value(Index c) const { return values_[c]; }
+
+ private:
+  std::vector<double> values_;
+  std::vector<uint64_t> stamp_;
+  std::vector<Index> touched_;
+  uint64_t generation_ = 0;
+};
+
+template <typename KeepRow>
+CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
+                      Index last, const KeepRow& keep_row,
+                      SpgemmCounters* counters) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
+  NBWP_REQUIRE(first <= last && last <= a.rows(), "row range out of bounds");
+  Spa spa(b.cols());
+  CsrBuilder builder(last - first, b.cols());
+  SpgemmCounters local;
+  std::vector<Index> cols_out;
+  std::vector<double> vals_out;
+  for (Index i = first; i < last; ++i) {
+    spa.start_row();
+    const auto acs = a.row_cols(i);
+    const auto avs = a.row_vals(i);
+    for (size_t j = 0; j < acs.size(); ++j) {
+      const Index k = acs[j];
+      if (!keep_row(k)) continue;
+      const double aik = avs[j];
+      const auto bcs = b.row_cols(k);
+      const auto bvs = b.row_vals(k);
+      for (size_t t = 0; t < bcs.size(); ++t) spa.add(bcs[t], aik * bvs[t]);
+      local.multiplies += bcs.size();
+    }
+    local.a_nnz += acs.size();
+    auto& touched = spa.touched_sorted();
+    cols_out.assign(touched.begin(), touched.end());
+    vals_out.resize(cols_out.size());
+    for (size_t t = 0; t < cols_out.size(); ++t)
+      vals_out[t] = spa.value(cols_out[t]);
+    builder.append_row(cols_out, vals_out);
+    local.c_nnz += cols_out.size();
+  }
+  local.rows = last - first;
+  if (counters) *counters += local;
+  return builder.finish();
+}
+
+}  // namespace
+
+CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
+                           Index first, Index last,
+                           SpgemmCounters* counters) {
+  return spgemm_impl(a, b, first, last, [](Index) { return true; }, counters);
+}
+
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                 SpgemmCounters* counters) {
+  return spgemm_row_range(a, b, 0, a.rows(), counters);
+}
+
+CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                          ThreadPool& pool, SpgemmCounters* counters) {
+  const unsigned team = pool.size();
+  if (team == 1 || a.rows() < team * 4) return spgemm(a, b, counters);
+  std::vector<CsrMatrix> parts(team);
+  std::vector<SpgemmCounters> part_counters(team);
+  pool.run_team([&](unsigned w) {
+    const Index n = a.rows();
+    const Index per = n / team, extra = n % team;
+    const Index first = w * per + std::min<Index>(w, extra);
+    const Index last = first + per + (w < extra ? 1 : 0);
+    parts[w] = spgemm_row_range(a, b, first, last, &part_counters[w]);
+  });
+  CsrMatrix result = std::move(parts[0]);
+  for (unsigned w = 1; w < team; ++w)
+    result = CsrMatrix::vstack(result, parts[w]);
+  if (counters)
+    for (const auto& pc : part_counters) *counters += pc;
+  return result;
+}
+
+CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
+                                  Index first, Index last,
+                                  std::span<const uint8_t> b_row_mask,
+                                  uint8_t keep, SpgemmCounters* counters) {
+  NBWP_REQUIRE(b_row_mask.size() == b.rows(), "mask size mismatch");
+  return spgemm_impl(
+      a, b, first, last,
+      [&](Index k) { return b_row_mask[k] == keep; }, counters);
+}
+
+CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b) {
+  NBWP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "sp_add shape mismatch");
+  CsrBuilder builder(a.rows(), a.cols());
+  std::vector<Index> cols;
+  std::vector<double> vals;
+  for (Index r = 0; r < a.rows(); ++r) {
+    cols.clear();
+    vals.clear();
+    const auto ac = a.row_cols(r), bc = b.row_cols(r);
+    const auto av = a.row_vals(r), bv = b.row_vals(r);
+    size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        cols.push_back(ac[i]);
+        vals.push_back(av[i]);
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        cols.push_back(bc[j]);
+        vals.push_back(bv[j]);
+        ++j;
+      } else {
+        cols.push_back(ac[i]);
+        vals.push_back(av[i] + bv[j]);
+        ++i;
+        ++j;
+      }
+    }
+    builder.append_row(cols, vals);
+  }
+  return builder.finish();
+}
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,61 @@
+// Row-row (Gustavson) sparse matrix-matrix multiplication kernels.
+//
+// C = A x B computed row-wise: row i of C is the sum over k in row i of A
+// of a_ik * (row k of B), accumulated in a sparse accumulator (SPA).  This
+// is the formulation of Gustavson [13] used by the heterogeneous algorithm
+// of Matam et al. [22] on both the CPU and the GPU.
+//
+// Counters report the structural work of the execution; the hetsim cost
+// model converts them to virtual device time (see hetalg/spmm_cost.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::sparse {
+
+struct SpgemmCounters {
+  uint64_t multiplies = 0;  ///< intermediate products (the work volume L)
+  uint64_t c_nnz = 0;       ///< entries in the produced rows
+  uint64_t rows = 0;        ///< rows of A processed
+  uint64_t a_nnz = 0;       ///< entries of A read
+
+  SpgemmCounters& operator+=(const SpgemmCounters& o) {
+    multiplies += o.multiplies;
+    c_nnz += o.c_nnz;
+    rows += o.rows;
+    a_nnz += o.a_nnz;
+    return *this;
+  }
+};
+
+/// Rows [first, last) of A times B.  Result has (last - first) rows.
+CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
+                           Index first, Index last,
+                           SpgemmCounters* counters = nullptr);
+
+/// Full product.
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                 SpgemmCounters* counters = nullptr);
+
+/// Multicore product: contiguous row chunks per worker, stitched in order.
+/// Bitwise-identical to `spgemm`.
+CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                          ThreadPool& pool,
+                          SpgemmCounters* counters = nullptr);
+
+/// Row-range product using only the rows k of B for which
+/// b_row_mask[k] == keep; the HH-CPU algorithm's A_x × B_H / A_x × B_L
+/// partial products (B_H and B_L are row subsets of B).
+CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
+                                  Index first, Index last,
+                                  std::span<const uint8_t> b_row_mask,
+                                  uint8_t keep,
+                                  SpgemmCounters* counters = nullptr);
+
+/// Sparse matrix addition C = A + B (same shape).
+CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,50 @@
+#include "sparse/spmv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::sparse {
+
+void spmv_row_range(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> y, Index first, Index last) {
+  NBWP_REQUIRE(x.size() == a.cols(), "x size mismatch");
+  NBWP_REQUIRE(y.size() == a.rows(), "y size mismatch");
+  NBWP_REQUIRE(first <= last && last <= a.rows(), "row range invalid");
+  for (Index r = first; r < last; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    double acc = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i) acc += vals[i] * x[cols[i]];
+    y[r] = acc;
+  }
+}
+
+std::vector<double> spmv(const CsrMatrix& a, std::span<const double> x) {
+  std::vector<double> y(a.rows(), 0.0);
+  spmv_row_range(a, x, y, 0, a.rows());
+  return y;
+}
+
+std::vector<double> spmv_parallel(const CsrMatrix& a,
+                                  std::span<const double> x,
+                                  ThreadPool& pool) {
+  std::vector<double> y(a.rows(), 0.0);
+  parallel_for(pool, 0, a.rows(), [&](int64_t r) {
+    spmv_row_range(a, x, y, static_cast<Index>(r),
+                   static_cast<Index>(r) + 1);
+  });
+  return y;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  NBWP_REQUIRE(a.size() == b.size(), "size mismatch");
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,34 @@
+// Sparse matrix-vector multiplication kernels.
+//
+// SpMV is the fourth workload family the paper's group studied on hybrid
+// platforms (Indarapu et al. [17], "Architecture- and Workload-aware
+// algorithms for Sparse Matrix-Vector Multiplication"); the heterogeneous
+// algorithm splits the rows of A by nnz volume exactly like Algorithm 2
+// splits SpGEMM work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::sparse {
+
+/// y[first..last) = A[first..last) * x (rows outside the range untouched).
+void spmv_row_range(const CsrMatrix& a, std::span<const double> x,
+                    std::span<double> y, Index first, Index last);
+
+/// y = A * x.
+std::vector<double> spmv(const CsrMatrix& a, std::span<const double> x);
+
+/// Multicore y = A * x on the pool (bitwise identical to spmv).
+std::vector<double> spmv_parallel(const CsrMatrix& a,
+                                  std::span<const double> x,
+                                  ThreadPool& pool);
+
+/// max_i |a_i - b_i|.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace nbwp::sparse

@@ -1,0 +1,94 @@
+#include "util/bestfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace nbwp {
+
+namespace {
+
+double mean_rel_error(std::span<const double> xs, std::span<const double> ys,
+                      const std::function<double(double)>& f) {
+  double err = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f(xs[i]);
+    const double denom = std::max(std::abs(ys[i]), 1e-12);
+    err += std::abs(pred - ys[i]) / denom;
+  }
+  return err / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+std::vector<FittedModel> fit_threshold_models(
+    std::span<const double> xs, std::span<const double> ys) {
+  NBWP_REQUIRE(xs.size() == ys.size(), "training pair size mismatch");
+  NBWP_REQUIRE(xs.size() >= 2, "need at least two training pairs");
+
+  std::vector<FittedModel> models;
+
+  {
+    FittedModel m;
+    m.family = "identity";
+    m.apply = [](double x) { return x; };
+    models.push_back(std::move(m));
+  }
+  {
+    FittedModel m;
+    m.family = "square";
+    m.apply = [](double x) { return x * x; };
+    models.push_back(std::move(m));
+  }
+  {
+    // y = b * x, least squares: b = sum(x*y)/sum(x*x)
+    double sxy = 0, sxx = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      sxy += xs[i] * ys[i];
+      sxx += xs[i] * xs[i];
+    }
+    const double b = sxx > 1e-30 ? sxy / sxx : 1.0;
+    FittedModel m;
+    m.family = "scale";
+    m.params = {b};
+    m.apply = [b](double x) { return b * x; };
+    models.push_back(std::move(m));
+  }
+  {
+    const LinearFit lf = linear_fit(xs, ys);
+    FittedModel m;
+    m.family = "linear";
+    m.params = {lf.intercept, lf.slope};
+    m.apply = [lf](double x) { return lf(x); };
+    models.push_back(std::move(m));
+  }
+  {
+    const bool all_positive =
+        std::all_of(xs.begin(), xs.end(), [](double v) { return v > 0; }) &&
+        std::all_of(ys.begin(), ys.end(), [](double v) { return v > 0; });
+    if (all_positive) {
+      const PowerFit pf = power_fit(xs, ys);
+      FittedModel m;
+      m.family = "power";
+      m.params = {pf.scale, pf.exponent};
+      m.apply = [pf](double x) { return pf(x); };
+      models.push_back(std::move(m));
+    }
+  }
+
+  for (auto& m : models) m.mean_rel_error = mean_rel_error(xs, ys, m.apply);
+  std::stable_sort(models.begin(), models.end(),
+                   [](const FittedModel& a, const FittedModel& b) {
+                     return a.mean_rel_error < b.mean_rel_error;
+                   });
+  return models;
+}
+
+FittedModel best_threshold_model(std::span<const double> xs,
+                                 std::span<const double> ys) {
+  return fit_threshold_models(xs, ys).front();
+}
+
+}  // namespace nbwp

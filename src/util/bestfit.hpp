@@ -1,0 +1,37 @@
+// Offline best-fit model selection for the Extrapolate step.
+//
+// Section V of the paper uses "an off-line best-fit strategy that finds the
+// most plausible relation" between the threshold found on the sample (t_s)
+// and the threshold for the full input (t).  This module implements that
+// strategy generically: given training pairs (t_s, t) collected offline, it
+// fits a set of candidate function families and selects the one with the
+// lowest cross-validated relative error.  The paper's reported relation
+// t = t_s^2 is one of the candidate families.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nbwp {
+
+struct FittedModel {
+  std::string family;                    ///< e.g. "identity", "power"
+  std::function<double(double)> apply;   ///< maps sample threshold -> full
+  double mean_rel_error = 0.0;           ///< on the training pairs
+  std::vector<double> params;            ///< family-specific coefficients
+};
+
+/// Fit all candidate families to (sample_threshold, full_threshold) pairs
+/// and return them ordered best-first.  Families: identity, scale (y=b*x),
+/// linear (y=a+b*x), power (y=a*x^b), square (y=x^2).
+std::vector<FittedModel> fit_threshold_models(
+    std::span<const double> sample_thresholds,
+    std::span<const double> full_thresholds);
+
+/// Convenience: the single best model.
+FittedModel best_threshold_model(std::span<const double> sample_thresholds,
+                                 std::span<const double> full_thresholds);
+
+}  // namespace nbwp

@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help text");
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  opts_.emplace_back(name, Opt{help, "false", true});
+}
+
+void Cli::add_option(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  opts_.emplace_back(name, Opt{help, def, false});
+}
+
+const Cli::Opt* Cli::find(const std::string& name) const {
+  for (const auto& [n, o] : opts_)
+    if (n == name) return &o;
+  return nullptr;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    NBWP_REQUIRE(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Opt* opt = find(arg);
+    NBWP_REQUIRE(opt != nullptr, "unknown option --" + arg);
+    if (opt->is_flag) {
+      NBWP_REQUIRE(!has_value, "flag --" + arg + " does not take a value");
+      values_[arg] = "true";
+    } else {
+      if (!has_value) {
+        NBWP_REQUIRE(i + 1 < argc, "option --" + arg + " requires a value");
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  if (flag("help")) {
+    print_usage();
+    return false;
+  }
+  return true;
+}
+
+bool Cli::flag(const std::string& name) const {
+  const Opt* opt = find(name);
+  NBWP_REQUIRE(opt != nullptr && opt->is_flag, "unknown flag " + name);
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second == "true";
+}
+
+std::string Cli::str(const std::string& name) const {
+  const Opt* opt = find(name);
+  NBWP_REQUIRE(opt != nullptr && !opt->is_flag, "unknown option " + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->def;
+}
+
+long long Cli::integer(const std::string& name) const {
+  return std::strtoll(str(name).c_str(), nullptr, 10);
+}
+
+double Cli::real(const std::string& name) const {
+  return std::strtod(str(name).c_str(), nullptr);
+}
+
+void Cli::print_usage() const {
+  std::cout << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : opts_) {
+    std::cout << "  --" << name;
+    if (!opt.is_flag) std::cout << " <value> (default: " << opt.def << ")";
+    std::cout << "\n      " << opt.help << "\n";
+  }
+}
+
+}  // namespace nbwp

@@ -1,0 +1,48 @@
+// Tiny command-line option parser for bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean flags `--name`.
+// Unknown options are an error so typos never silently fall back to
+// defaults mid-experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbwp {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register options (call before parse). `help` appears in usage text.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& def,
+                  const std::string& help);
+
+  /// Parses argv; on `--help` prints usage and returns false.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  long long integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string def;
+    bool is_flag = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Opt>> opts_;  // declaration order
+  std::map<std::string, std::string> values_;
+
+  const Opt* find(const std::string& name) const;
+};
+
+}  // namespace nbwp

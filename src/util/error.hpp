@@ -1,0 +1,35 @@
+// Error handling primitives shared across the library.
+//
+// We follow the C++ Core Guidelines (E.2, E.3): throw exceptions for
+// violated preconditions and unrecoverable state; never use error codes in
+// the public API.  NBWP_REQUIRE is the single precondition-check macro.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nbwp {
+
+/// Exception thrown on precondition violations and invalid inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace nbwp
+
+/// Precondition check: throws nbwp::Error when `cond` is false.
+#define NBWP_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::nbwp::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,25 @@
+// Leveled logging to stderr.
+//
+// Kept deliberately small: experiments print their results through
+// util/table; the log is for progress and diagnostics only.
+#pragma once
+
+#include <string>
+
+namespace nbwp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level (default kInfo). Thread-safe to set at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a log line if `level` >= the global minimum.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace nbwp

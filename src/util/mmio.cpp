@@ -1,0 +1,103 @@
+#include "util/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  return s;
+}
+}  // namespace
+
+void TripletMatrix::expand_symmetry() {
+  if (!symmetric) return;
+  const size_t original = entries.size();
+  for (size_t i = 0; i < original; ++i) {
+    const Entry e = entries[i];
+    if (e.r != e.c) entries.push_back({e.c, e.r, e.v});
+  }
+  symmetric = false;
+}
+
+TripletMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  NBWP_REQUIRE(std::getline(in, line), "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  NBWP_REQUIRE(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  NBWP_REQUIRE(lower(object) == "matrix", "only matrix objects supported");
+  NBWP_REQUIRE(lower(format) == "coordinate",
+               "only coordinate format supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  NBWP_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+               "unsupported field type: " + field);
+  NBWP_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+               "unsupported symmetry: " + symmetry);
+
+  TripletMatrix m;
+  m.pattern = field == "pattern";
+  m.symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  uint64_t nnz = 0;
+  {
+    std::istringstream sizes(line);
+    NBWP_REQUIRE(static_cast<bool>(sizes >> m.rows >> m.cols >> nnz),
+                 "malformed size line");
+  }
+  m.entries.reserve(nnz);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    NBWP_REQUIRE(std::getline(in, line), "unexpected end of entries");
+    std::istringstream entry(line);
+    uint64_t r = 0, c = 0;
+    double v = 1.0;
+    NBWP_REQUIRE(static_cast<bool>(entry >> r >> c), "malformed entry line");
+    if (!m.pattern) {
+      NBWP_REQUIRE(static_cast<bool>(entry >> v), "missing entry value");
+    }
+    NBWP_REQUIRE(r >= 1 && r <= m.rows && c >= 1 && c <= m.cols,
+                 "entry index out of bounds");
+    m.entries.push_back({r - 1, c - 1, v});
+  }
+  return m;
+}
+
+TripletMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open Matrix Market file " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const TripletMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (m.pattern ? "pattern" : "real") << ' '
+      << (m.symmetric ? "symmetric" : "general") << '\n';
+  out << m.rows << ' ' << m.cols << ' ' << m.entries.size() << '\n';
+  for (const auto& e : m.entries) {
+    out << (e.r + 1) << ' ' << (e.c + 1);
+    if (!m.pattern) out << ' ' << e.v;
+    out << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const TripletMatrix& m) {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open output file " + path);
+  write_matrix_market(f, m);
+}
+
+}  // namespace nbwp

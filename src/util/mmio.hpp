@@ -1,0 +1,45 @@
+// Matrix Market (MM) coordinate-format I/O.
+//
+// The paper's datasets come from the University of Florida sparse matrix
+// collection, which distributes Matrix Market files.  The offline
+// reproduction synthesizes structural analogs (src/datasets), but this
+// reader/writer lets users run every experiment on the original files when
+// they have them: `--mtx path/to/cant.mtx` in the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nbwp {
+
+/// One coordinate-format matrix: 0-based triplets.
+struct TripletMatrix {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  bool pattern = false;    ///< true when the file had no values
+  bool symmetric = false;  ///< true when only the lower triangle was stored
+  struct Entry {
+    uint64_t r, c;
+    double v;
+  };
+  std::vector<Entry> entries;
+
+  /// Expands symmetric storage to full storage (mirrors off-diagonals) and
+  /// clears the `symmetric` flag.  Idempotent.
+  void expand_symmetry();
+};
+
+/// Parse a Matrix Market stream (header `%%MatrixMarket matrix coordinate
+/// {real,integer,pattern} {general,symmetric}`).  Throws nbwp::Error on
+/// malformed input.
+TripletMatrix read_matrix_market(std::istream& in);
+TripletMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in coordinate format (general; values included unless `pattern`).
+void write_matrix_market(std::ostream& out, const TripletMatrix& m);
+void write_matrix_market_file(const std::string& path,
+                              const TripletMatrix& m);
+
+}  // namespace nbwp

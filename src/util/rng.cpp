@@ -1,0 +1,46 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace nbwp {
+
+std::vector<uint64_t> sample_without_replacement(uint64_t n, uint64_t k,
+                                                 Rng& rng) {
+  NBWP_REQUIRE(k <= n, "cannot sample more elements than the population");
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // Dense case: partial Fisher-Yates over an explicit index array.
+  if (k > n / 16 || n < 1024) {
+    std::vector<uint64_t> idx(n);
+    std::iota(idx.begin(), idx.end(), uint64_t{0});
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + rng.uniform(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    out.assign(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k));
+  } else {
+    // Sparse case: Floyd's algorithm, O(k) expected.
+    std::unordered_set<uint64_t> chosen;
+    chosen.reserve(static_cast<size_t>(k) * 2);
+    for (uint64_t j = n - k; j < n; ++j) {
+      const uint64_t t = rng.uniform(j + 1);
+      if (!chosen.insert(t).second) chosen.insert(j);
+    }
+    out.assign(chosen.begin(), chosen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> random_permutation(uint32_t n, Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint32_t{0});
+  shuffle(std::span<uint32_t>(perm), rng);
+  return perm;
+}
+
+}  // namespace nbwp

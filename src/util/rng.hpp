@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in this library flows through Rng so experiments are
+// reproducible bit-for-bit across runs.  The generator is xoshiro256**
+// seeded through SplitMix64 (the construction recommended by the xoshiro
+// authors), which is fast, high quality, and has a tiny state that copies
+// cheaply into per-thread streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value; useful for hashing indices to lanes.
+constexpr uint64_t hash64(uint64_t x) {
+  uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t uniform(uint64_t bound) {
+    NBWP_REQUIRE(bound > 0, "uniform bound must be positive");
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_range(int64_t lo, int64_t hi) {
+    NBWP_REQUIRE(lo <= hi, "uniform_range requires lo <= hi");
+    return lo + static_cast<int64_t>(
+                    uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform_real() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Normal deviate (Box-Muller).
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    double u1 = uniform_real();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform_real();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + sigma * z;
+  }
+
+  /// Fork an independent stream (for per-thread use).
+  Rng fork() { return Rng((*this)() ^ 0xD2B74407B1CE6E93ULL); }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4]{};
+};
+
+/// k distinct values drawn uniformly from [0, n), returned sorted.
+/// Uses Floyd's algorithm when k << n and a partial Fisher-Yates otherwise.
+std::vector<uint64_t> sample_without_replacement(uint64_t n, uint64_t k,
+                                                 Rng& rng);
+
+/// In-place Fisher-Yates shuffle.
+template <typename T>
+void shuffle(std::span<T> items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    const size_t j = rng.uniform(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// A random permutation of [0, n).
+std::vector<uint32_t> random_permutation(uint32_t n, Rng& rng);
+
+}  // namespace nbwp

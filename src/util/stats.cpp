@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+
+double mean(std::span<const double> xs) {
+  NBWP_REQUIRE(!xs.empty(), "mean of empty range");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  NBWP_REQUIRE(!xs.empty(), "variance of empty range");
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  NBWP_REQUIRE(!xs.empty(), "percentile of empty range");
+  NBWP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geomean(std::span<const double> xs) {
+  NBWP_REQUIRE(!xs.empty(), "geomean of empty range");
+  double s = 0.0;
+  for (double x : xs) {
+    NBWP_REQUIRE(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  NBWP_REQUIRE(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  NBWP_REQUIRE(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  NBWP_REQUIRE(xs.size() == ys.size(), "linear_fit size mismatch");
+  NBWP_REQUIRE(xs.size() >= 2, "linear_fit needs at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (std::abs(denom) < 1e-30) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  // R^2
+  const double ym = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit(xs[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ym) * (ys[i] - ym);
+  }
+  fit.r2 = ss_tot < 1e-30 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double PowerFit::operator()(double x) const {
+  return scale * std::pow(x, exponent);
+}
+
+PowerFit power_fit(std::span<const double> xs, std::span<const double> ys) {
+  NBWP_REQUIRE(xs.size() == ys.size(), "power_fit size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    NBWP_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                 "power_fit requires positive samples");
+    lx.push_back(std::log(xs[i]));
+    ly.push_back(std::log(ys[i]));
+  }
+  const LinearFit lf = linear_fit(lx, ly);
+  PowerFit pf;
+  pf.scale = std::exp(lf.intercept);
+  pf.exponent = lf.slope;
+  pf.r2 = lf.r2;
+  return pf;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace nbwp

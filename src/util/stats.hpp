@@ -1,0 +1,58 @@
+// Descriptive statistics and regression helpers used by the experiment
+// harness (averaging threshold errors, fitting extrapolation relations,
+// summarizing sensitivity sweeps).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nbwp {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);     // copies, does not reorder input
+double percentile(std::span<const double> xs, double p);  // p in [0,100]
+double geomean(std::span<const double> xs);    // requires all xs > 0
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Least-squares line y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+  double operator()(double x) const { return intercept + slope * x; }
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares power law y = a * x^b (fit in log-log space; all
+/// inputs must be positive).
+struct PowerFit {
+  double scale = 1.0;     ///< a
+  double exponent = 1.0;  ///< b
+  double r2 = 0.0;
+  double operator()(double x) const;
+};
+PowerFit power_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Running summary accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nbwp

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp {
+
+void Table::set_header(std::vector<std::string> names) {
+  NBWP_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NBWP_REQUIRE(cells.size() == header_.size(),
+               "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  return strfmt("%.*f", precision, v);
+}
+
+std::string Table::pct(double v, int precision) {
+  return strfmt("%.*f%%", precision, v);
+}
+
+std::string Table::ns_to_ms(double ns, int precision) {
+  return strfmt("%.*f", precision, ns / 1e6);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << csv_escape(header_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << csv_escape(row[c]);
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open CSV output file " + path);
+  write_csv(f);
+}
+
+}  // namespace nbwp

@@ -1,0 +1,45 @@
+// ASCII table and CSV rendering for experiment output.
+//
+// Every bench binary reports its figure/table as (1) a human-readable ASCII
+// table on stdout and (2) optionally a CSV file for replotting.  Columns are
+// typed loosely as strings; numeric helpers format with fixed precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nbwp {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> names);
+
+  /// Append one row; must match header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);   // appends '%'
+  static std::string ns_to_ms(double ns, int precision = 3);
+
+  size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Render with aligned columns and box-drawing rules.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows).
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nbwp

@@ -1,0 +1,44 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nbwp::core {
+namespace {
+
+TEST(Baselines, NaiveStaticComplementsGpuShare) {
+  const auto& plat = hetsim::Platform::reference();
+  EXPECT_NEAR(naive_static_cpu_share_pct(plat) +
+                  plat.naive_static_gpu_share_pct(),
+              100.0, 1e-9);
+  EXPECT_NEAR(naive_static_cpu_share_pct(plat), 12.0, 1.0);
+}
+
+TEST(Baselines, NaiveAverageIsMean) {
+  const std::vector<double> optima = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(naive_average_threshold(optima), 20.0);
+}
+
+TEST(Baselines, DegenerateThresholds) {
+  EXPECT_DOUBLE_EQ(gpu_only_threshold(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu_only_threshold(), 100.0);
+}
+
+TEST(Baselines, FirstRunTrainingBalancesObservedRates) {
+  // Training at 50/50: CPU took 3x the GPU time, so the CPU processed its
+  // half 3x slower; the balanced share solves 1/3-to-1 rates => 25%.
+  const double t = first_run_training_threshold(3e9, 1e9, 50.0);
+  EXPECT_NEAR(t, 25.0, 1e-9);
+}
+
+TEST(Baselines, FirstRunTrainingEqualTimesKeepShare) {
+  EXPECT_NEAR(first_run_training_threshold(1e9, 1e9, 40.0), 40.0, 1e-9);
+}
+
+TEST(Baselines, FirstRunTrainingDegenerateTimes) {
+  EXPECT_DOUBLE_EQ(first_run_training_threshold(0, 1e9, 30.0), 30.0);
+}
+
+}  // namespace
+}  // namespace nbwp::core

@@ -1,0 +1,102 @@
+#include "core/dynamic_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nbwp::core {
+namespace {
+
+/// Uniform items: cpu 10 ns each, gpu 2 ns each.
+RangeCosts uniform_costs(double cpu_per = 10, double gpu_per = 2) {
+  RangeCosts c;
+  c.cpu_ns = [cpu_per](size_t f, size_t l) { return cpu_per * (l - f); };
+  c.gpu_ns = [gpu_per](size_t f, size_t l) { return gpu_per * (l - f); };
+  c.cpu_dispatch_ns = 0;
+  c.gpu_dispatch_ns = 0;
+  return c;
+}
+
+TEST(WorkQueue, AllItemsProcessedOnce) {
+  const auto out = work_queue_schedule(1000, 10, uniform_costs());
+  EXPECT_EQ(out.cpu_items + out.gpu_items, 1000u);
+  EXPECT_EQ(out.dispatches, 10);
+}
+
+TEST(WorkQueue, FasterDeviceTakesMoreChunks) {
+  const auto out = work_queue_schedule(1000, 20, uniform_costs());
+  EXPECT_GT(out.gpu_items, out.cpu_items * 2);
+}
+
+TEST(WorkQueue, FinerChunksImproveBalanceWithoutDispatchCost) {
+  const auto coarse = work_queue_schedule(10000, 4, uniform_costs());
+  const auto fine = work_queue_schedule(10000, 100, uniform_costs());
+  EXPECT_LE(fine.makespan_ns, coarse.makespan_ns);
+}
+
+TEST(WorkQueue, DispatchOverheadPenalizesFineChunks) {
+  RangeCosts costs = uniform_costs();
+  costs.cpu_dispatch_ns = 500;
+  costs.gpu_dispatch_ns = 500;
+  const auto few = work_queue_schedule(10000, 8, costs);
+  const auto many = work_queue_schedule(10000, 2000, costs);
+  EXPECT_LT(few.makespan_ns, many.makespan_ns);
+}
+
+TEST(WorkQueue, InvalidArgsThrow) {
+  EXPECT_THROW(work_queue_schedule(10, 0, uniform_costs()), Error);
+  EXPECT_THROW(work_queue_schedule(3, 10, uniform_costs()), Error);
+}
+
+TEST(ProfileRebalance, BalancesUniformWork) {
+  const auto out = profile_rebalance_schedule(10000, 0.1, uniform_costs());
+  EXPECT_EQ(out.cpu_items + out.gpu_items, 10000u);
+  // Probes take 500 items each; the 9000 remaining split 1:5 by rate,
+  // so the CPU ends with 500 + 1500 items.
+  EXPECT_NEAR(static_cast<double>(out.cpu_items), 2000.0, 50.0);
+}
+
+TEST(ProfileRebalance, MisledByUnrepresentativeProbes) {
+  // Items get 10x more expensive after the first 20%: the probes see the
+  // cheap region only, and the single rebalanced split misfires — the
+  // Boyer et al. uniformity assumption the paper criticizes.
+  RangeCosts costs;
+  auto item_cost = [](size_t i) { return i < 2000 ? 1.0 : 10.0; };
+  auto range = [item_cost](double scale) {
+    return [item_cost, scale](size_t f, size_t l) {
+      double total = 0;
+      for (size_t i = f; i < l; ++i) total += item_cost(i) * scale;
+      return total;
+    };
+  };
+  costs.cpu_ns = range(5.0);
+  costs.gpu_ns = range(1.0);
+  costs.cpu_dispatch_ns = costs.gpu_dispatch_ns = 0;
+  const auto adaptive = profile_rebalance_schedule(10000, 0.1, costs);
+  const auto oracle = best_static_schedule(10000, costs, 400);
+  EXPECT_GT(adaptive.makespan_ns, oracle.makespan_ns * 1.05);
+}
+
+TEST(ProfileRebalance, InvalidFractionThrows) {
+  EXPECT_THROW(profile_rebalance_schedule(100, 0.0, uniform_costs()),
+               Error);
+  EXPECT_THROW(profile_rebalance_schedule(100, 1.0, uniform_costs()),
+               Error);
+}
+
+TEST(BestStatic, FindsRateOptimalSplit) {
+  const auto out = best_static_schedule(1200, uniform_costs(), 1200);
+  // Balance at cpu_items * 10 == gpu_items * 2 => cpu gets 1/6.
+  EXPECT_NEAR(static_cast<double>(out.cpu_items), 200.0, 3.0);
+  EXPECT_NEAR(out.makespan_ns, 2000.0, 30.0);
+}
+
+TEST(BestStatic, NeverWorseThanDegenerateSplits) {
+  RangeCosts costs = uniform_costs(3, 4);
+  const auto best = best_static_schedule(500, costs, 100);
+  EXPECT_LE(best.makespan_ns, costs.cpu_ns(0, 500));
+  EXPECT_LE(best.makespan_ns, costs.gpu_ns(0, 500));
+}
+
+}  // namespace
+}  // namespace nbwp::core

@@ -1,0 +1,65 @@
+#include "core/extrapolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/sampling.hpp"
+
+namespace nbwp::core {
+namespace {
+
+TEST(FoldInversion, IdentityForSmallDegrees) {
+  // Degrees far below the sample width barely collide.
+  EXPECT_NEAR(fold_inversion(5.0, 1000.0), 5.0, 0.1);
+  EXPECT_NEAR(fold_inversion(20.0, 1000.0), 20.2, 0.3);
+}
+
+TEST(FoldInversion, CorrectsCompression) {
+  // E[d'] = s(1 - (1-1/s)^d); inverting the expectation must recover d.
+  const double s = 200.0;
+  for (double d : {10.0, 50.0, 120.0, 300.0}) {
+    const double d_sampled = s * (1.0 - std::pow(1.0 - 1.0 / s, d));
+    EXPECT_NEAR(fold_inversion(d_sampled, s), d, d * 0.02) << "d=" << d;
+  }
+}
+
+TEST(FoldInversion, SaturationGuard) {
+  EXPECT_GE(fold_inversion(200.0, 200.0), 200.0 * 4);
+}
+
+TEST(WorkShareExtrapolate, RoundTripsOnScaleFreeInput) {
+  Rng rng(1);
+  const sparse::CsrMatrix a = sparse::scale_free(4000, 10, 2.2, rng);
+  const auto& plat = hetsim::Platform::reference();
+  const hetalg::HeteroSpmmHh full(a, plat);
+  Rng srng(2);
+  const hetalg::HeteroSpmmHh sample = full.make_sample(2.0, srng);
+
+  // Pick a sample cutoff, map it to the full input; the full input's work
+  // share above the mapped cutoff should match the sample's share above
+  // the original cutoff (that is the invariant the extrapolator enforces).
+  for (double ts : {3.0, 8.0, 20.0}) {
+    const double t_full = work_share_extrapolate(full, sample, ts);
+    EXPECT_NEAR(full.work_share_above(t_full),
+                sample.work_share_above(ts), 0.12)
+        << "ts=" << ts;
+  }
+}
+
+TEST(WorkShareExtrapolate, MonotoneInSampleCutoff) {
+  Rng rng(3);
+  const sparse::CsrMatrix a = sparse::scale_free(2000, 8, 2.3, rng);
+  const auto& plat = hetsim::Platform::reference();
+  const hetalg::HeteroSpmmHh full(a, plat);
+  Rng srng(4);
+  const hetalg::HeteroSpmmHh sample = full.make_sample(1.0, srng);
+  double prev = 0.0;
+  for (double ts : {1.0, 3.0, 9.0, 27.0}) {
+    const double t_full = work_share_extrapolate(full, sample, ts);
+    EXPECT_GE(t_full + 1e-9, prev);
+    prev = t_full;
+  }
+}
+
+}  // namespace
+}  // namespace nbwp::core

@@ -1,0 +1,127 @@
+#include "core/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nbwp::core {
+namespace {
+
+/// V-shaped objective with minimum at `opt`; constant evaluation cost.
+Evaluator vee(double opt, double lo = 0, double hi = 100,
+              double cost = 10.0) {
+  Evaluator e;
+  e.lo = lo;
+  e.hi = hi;
+  e.objective_ns = [opt](double t) { return std::abs(t - opt) * 100 + 5; };
+  e.cost_ns = [cost](double) { return cost; };
+  return e;
+}
+
+TEST(CoarseToFine, FindsMinimumWithinFineStep) {
+  for (double opt : {3.0, 17.0, 42.5, 88.0, 99.0}) {
+    const IdentifyResult r = coarse_to_fine(vee(opt));
+    EXPECT_NEAR(r.best_threshold, opt, 1.0) << "opt=" << opt;
+  }
+}
+
+TEST(CoarseToFine, EvaluationBudgetIsCoarsePlusFine) {
+  const IdentifyResult r = coarse_to_fine(vee(50.0), 8, 1);
+  // 13 coarse points (0,8,...,96,100) + 17 fine points.
+  EXPECT_LE(r.evaluations, 32);
+  EXPECT_GE(r.evaluations, 25);
+  EXPECT_DOUBLE_EQ(r.cost_ns, 10.0 * r.evaluations);
+}
+
+TEST(FlatGrid, ExactOnGridPoint) {
+  const IdentifyResult r = flat_grid(vee(37.0), 1);
+  EXPECT_DOUBLE_EQ(r.best_threshold, 37.0);
+  EXPECT_EQ(r.evaluations, 101);
+}
+
+TEST(FlatGrid, RespectsStep) {
+  const IdentifyResult r = flat_grid(vee(37.0), 10);
+  EXPECT_NEAR(r.best_threshold, 40.0, 1e-9);
+}
+
+TEST(RaceThenFine, CoarseFromDeviceRatio) {
+  // cpu twice as slow => balanced share is gpu/(cpu+gpu) = 1/3 of range...
+  // wait: r0 = lo + range * gpu/(cpu+gpu); cpu=2s, gpu=1s => r0 = 33.3.
+  const IdentifyResult r = race_then_fine(vee(33.0), 2e9, 1e9, 3, 1);
+  EXPECT_NEAR(r.best_threshold, 33.0, 1.0);
+  // Race cost = min(cpu, gpu) plus the fine evaluations.
+  EXPECT_GE(r.cost_ns, 1e9);
+}
+
+TEST(RaceThenFine, ZeroTimesFallBackToMidpoint) {
+  const IdentifyResult r = race_then_fine(vee(50.0), 0, 0, 3, 1);
+  EXPECT_NEAR(r.best_threshold, 50.0, 4.0);
+}
+
+TEST(GradientDescent, ConvergesOnSmoothVee) {
+  GradientDescentOptions opt;
+  opt.starts = 1;
+  for (double target : {20.0, 60.0, 95.0}) {
+    const IdentifyResult r = gradient_descent(vee(target), opt);
+    EXPECT_NEAR(r.best_threshold, target, 2.0) << target;
+  }
+}
+
+TEST(GradientDescent, LogSpaceHandlesWideRange) {
+  Evaluator e;
+  e.lo = 1;
+  e.hi = 1e6;
+  e.objective_ns = [](double t) { return std::abs(std::log(t / 1000.0)); };
+  e.cost_ns = [](double) { return 1.0; };
+  GradientDescentOptions opt;
+  opt.log_space = true;
+  const IdentifyResult r = gradient_descent(e, opt);
+  EXPECT_NEAR(std::log10(r.best_threshold), 3.0, 0.3);
+}
+
+TEST(GradientDescent, MultiStartEscapesLocalMinimum) {
+  // Double-well objective: local minimum at 20 (value 50), global at 80
+  // (value 0).  A single start from the midpoint rolls into the nearer
+  // well; three starts find the global one.
+  Evaluator e;
+  e.lo = 0;
+  e.hi = 100;
+  e.objective_ns = [](double t) {
+    const double well1 = std::abs(t - 20.0) * 10 + 50;
+    const double well2 = std::abs(t - 80.0) * 10;
+    return std::min(well1, well2);
+  };
+  e.cost_ns = [](double) { return 1.0; };
+  GradientDescentOptions multi;
+  multi.starts = 3;
+  const IdentifyResult r = gradient_descent(e, multi);
+  EXPECT_NEAR(r.best_threshold, 80.0, 2.0);
+}
+
+TEST(GradientDescent, LogSpaceRequiresPositiveLo) {
+  Evaluator e = vee(10.0, 0, 100);
+  GradientDescentOptions opt;
+  opt.log_space = true;
+  EXPECT_THROW(gradient_descent(e, opt), Error);
+}
+
+TEST(GoldenSection, ConvergesOnUnimodal) {
+  const IdentifyResult r = golden_section(vee(61.8), 0.5);
+  EXPECT_NEAR(r.best_threshold, 61.8, 1.0);
+}
+
+TEST(GoldenSection, FewerEvaluationsThanFlatGrid) {
+  const IdentifyResult golden = golden_section(vee(30.0));
+  const IdentifyResult grid = flat_grid(vee(30.0), 1);
+  EXPECT_LT(golden.evaluations, grid.evaluations / 2);
+}
+
+TEST(Identify, CostAccumulatesPerEvaluation) {
+  const IdentifyResult r = flat_grid(vee(10.0, 0, 100, 7.5), 10);
+  EXPECT_DOUBLE_EQ(r.cost_ns, 7.5 * r.evaluations);
+}
+
+}  // namespace
+}  // namespace nbwp::core

@@ -1,0 +1,73 @@
+#include "dense/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::dense {
+namespace {
+
+DenseMatrix naive_gemm(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (uint32_t i = 0; i < a.rows(); ++i)
+    for (uint32_t j = 0; j < b.cols(); ++j)
+      for (uint32_t k = 0; k < a.cols(); ++k)
+        c.at(i, j) += a.at(i, k) * b.at(k, j);
+  return c;
+}
+
+TEST(DenseMatrix, RandomFillsRange) {
+  Rng rng(1);
+  const DenseMatrix m = DenseMatrix::random(8, 9, rng, -2.0, 3.0);
+  for (uint32_t r = 0; r < m.rows(); ++r)
+    for (uint32_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m.at(r, c), -2.0);
+      EXPECT_LT(m.at(r, c), 3.0);
+    }
+}
+
+TEST(Gemm, MatchesNaiveReference) {
+  Rng rng(2);
+  // Sizes straddle the 64-wide cache block.
+  for (uint32_t n : {3u, 64u, 65u, 100u}) {
+    const DenseMatrix a = DenseMatrix::random(n, n + 1, rng);
+    const DenseMatrix b = DenseMatrix::random(n + 1, n + 2, rng);
+    EXPECT_LT(DenseMatrix::max_abs_diff(gemm(a, b), naive_gemm(a, b)), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Gemm, RowRangeStitchesToFull) {
+  Rng rng(3);
+  const DenseMatrix a = DenseMatrix::random(70, 70, rng);
+  const DenseMatrix b = DenseMatrix::random(70, 70, rng);
+  const DenseMatrix full = gemm(a, b);
+  for (uint32_t split : {0u, 33u, 70u}) {
+    const DenseMatrix top = gemm_row_range(a, b, 0, split);
+    const DenseMatrix bottom = gemm_row_range(a, b, split, 70);
+    EXPECT_LT(DenseMatrix::max_abs_diff(vstack(top, bottom), full), 1e-12);
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const DenseMatrix a(2, 3), b(4, 5);
+  EXPECT_THROW(gemm(a, b), Error);
+}
+
+TEST(Gemm, IdentityNeutral) {
+  Rng rng(4);
+  const uint32_t n = 16;
+  const DenseMatrix a = DenseMatrix::random(n, n, rng);
+  DenseMatrix eye(n, n);
+  for (uint32_t i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  EXPECT_LT(DenseMatrix::max_abs_diff(gemm(a, eye), a), 1e-12);
+}
+
+TEST(Vstack, ShapeChecked) {
+  const DenseMatrix a(2, 3), b(2, 4);
+  EXPECT_THROW(vstack(a, b), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::dense

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/experiment.hpp"
+#include "util/mmio.hpp"
+
+namespace nbwp::exp {
+namespace {
+
+class MtxDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nbwp_mtx_test";
+    std::filesystem::create_directories(dir_);
+    // A tiny stand-in "cant.mtx": 5x5 symmetric with a full diagonal.
+    TripletMatrix m;
+    m.rows = m.cols = 5;
+    m.symmetric = true;
+    for (uint64_t i = 0; i < 5; ++i) m.entries.push_back({i, i, 1.0});
+    m.entries.push_back({3, 1, 2.0});
+    write_matrix_market_file((dir_ / "cant.mtx").string(), m);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(MtxDirTest, MatrixLoadedFromDirWhenPresent) {
+  SuiteOptions options;
+  options.mtx_dir = dir_.string();
+  const auto m = load_matrix(datasets::spec_by_name("cant"), options);
+  EXPECT_EQ(m.rows(), 5u);           // the file, not the synthetic analog
+  EXPECT_EQ(m.nnz(), 7u);            // 5 diagonal + mirrored off-diagonal
+}
+
+TEST_F(MtxDirTest, GraphLoadedFromDirWhenPresent) {
+  SuiteOptions options;
+  options.mtx_dir = dir_.string();
+  const auto g = load_graph(datasets::spec_by_name("cant"), options);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);  // self-loops dropped in the graph view
+}
+
+TEST_F(MtxDirTest, MissingFileFallsBackToSynthetic) {
+  SuiteOptions options;
+  options.mtx_dir = dir_.string();
+  options.scale = 0.1;
+  const auto m = load_matrix(datasets::spec_by_name("pwtk"), options);
+  EXPECT_GT(m.rows(), 1000u);  // synthesized, not 5x5
+}
+
+TEST(Load, EmptyDirMeansSynthetic) {
+  SuiteOptions options;
+  options.scale = 0.05;
+  const auto g = load_graph(datasets::spec_by_name("rma10"), options);
+  EXPECT_GE(g.num_vertices(), 2000u);
+}
+
+}  // namespace
+}  // namespace nbwp::exp

@@ -1,0 +1,50 @@
+#include "graph/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+TEST(Convert, GraphFromTripletsSymmetrizes) {
+  TripletMatrix m;
+  m.rows = m.cols = 4;
+  m.entries = {{0, 1, 1.0}, {2, 3, 1.0}, {2, 2, 5.0}};  // diag dropped
+  const CsrGraph g = graph_from_triplets(m);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+}
+
+TEST(Convert, RectangularRejected) {
+  TripletMatrix m;
+  m.rows = 2;
+  m.cols = 3;
+  EXPECT_THROW(graph_from_triplets(m), Error);
+}
+
+TEST(Convert, RoundTripPreservesStructure) {
+  Rng rng(4);
+  const CsrGraph g = erdos_renyi(200, 900, rng);
+  const CsrGraph back = graph_from_triplets(triplets_from_graph(g));
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    EXPECT_EQ(back.degree(u), g.degree(u));
+}
+
+TEST(Convert, TripletsFromGraphAreSymmetricPattern) {
+  Rng rng(5);
+  const CsrGraph g = erdos_renyi(30, 80, rng);
+  const TripletMatrix m = triplets_from_graph(g);
+  EXPECT_TRUE(m.symmetric);
+  EXPECT_TRUE(m.pattern);
+  EXPECT_EQ(m.entries.size(), g.num_edges());
+  for (const auto& e : m.entries) EXPECT_GE(e.r, e.c);  // lower triangle
+}
+
+}  // namespace
+}  // namespace nbwp::graph

@@ -1,0 +1,84 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+CsrGraph triangle_plus_isolated() {
+  // 0-1, 1-2, 0-2 and an isolated vertex 3.
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  return CsrGraph::from_undirected_edges(4, edges);
+}
+
+TEST(CsrGraph, BasicCounts) {
+  const CsrGraph g = triangle_plus_isolated();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(CsrGraph, NeighborsSorted) {
+  const CsrGraph g = triangle_plus_isolated();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(CsrGraph, SelfLoopsDropped) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}};
+  const CsrGraph g = CsrGraph::from_undirected_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CsrGraph, DuplicateEdgesCollapsed) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}};
+  const CsrGraph g = CsrGraph::from_undirected_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(CsrGraph, HasEdge) {
+  const CsrGraph g = triangle_plus_isolated();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CsrGraph, OutOfRangeEndpointThrows) {
+  const std::vector<Edge> edges = {{0, 5}};
+  EXPECT_THROW(CsrGraph::from_undirected_edges(3, edges), Error);
+}
+
+TEST(CsrGraph, UndirectedEdgesRoundTrip) {
+  const CsrGraph g = triangle_plus_isolated();
+  const auto edges = g.undirected_edges();
+  const CsrGraph h = CsrGraph::from_undirected_edges(4, edges);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(h.degree(v), g.degree(v));
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_undirected_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, FromCsrValidates) {
+  EXPECT_THROW(CsrGraph::from_csr(2, {0, 1}, {1}), Error);  // bad row_ptr size
+  EXPECT_THROW(CsrGraph::from_csr(1, {0, 2}, {0}), Error);  // bad back()
+}
+
+TEST(CsrGraph, BytesReflectFootprint) {
+  const CsrGraph g = triangle_plus_isolated();
+  EXPECT_DOUBLE_EQ(g.bytes(), 5 * 8 + 6 * 4);
+}
+
+}  // namespace
+}  // namespace nbwp::graph

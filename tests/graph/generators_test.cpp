@@ -1,0 +1,115 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/cc.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+TEST(Generators, ErdosRenyiApproximatesTargetEdges) {
+  Rng rng(1);
+  const CsrGraph g = erdos_renyi(1000, 5000, rng);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_GT(g.num_edges(), 4500u);  // dedupe/self-loop losses are small
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(Generators, Deterministic) {
+  Rng a(5), b(5);
+  const CsrGraph g1 = erdos_renyi(500, 2000, a);
+  const CsrGraph g2 = erdos_renyi(500, 2000, b);
+  EXPECT_EQ(g1.undirected_edges(), g2.undirected_edges());
+}
+
+TEST(Generators, RmatSkewsDegrees) {
+  Rng rng(2);
+  const CsrGraph g = rmat(4096, 40000, rng);
+  uint64_t max_deg = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max<uint64_t>(max_deg, g.degree(v));
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(max_deg, avg * 8);  // heavy tail
+}
+
+TEST(Generators, GridRoadLowDegreeHighDiameterish) {
+  Rng rng(3);
+  const CsrGraph g = grid_road(50, 50, rng);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 4.2);
+}
+
+TEST(Generators, PlanarTriangulationDegreeNearSix) {
+  Rng rng(4);
+  const CsrGraph g = planar_triangulation(40, 40, rng);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 4.5);
+  EXPECT_LT(avg, 6.5);
+}
+
+TEST(Generators, PreferentialAttachmentScaleFree) {
+  Rng rng(5);
+  const CsrGraph g = preferential_attachment(4000, 4, rng);
+  uint64_t max_deg = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max<uint64_t>(max_deg, g.degree(v));
+  EXPECT_GT(max_deg, 50u);  // hubs emerge
+  // Connected by construction.
+  EXPECT_EQ(cc_union_find(g).num_components, 1u);
+}
+
+TEST(Generators, BandedMeshRespectsBandwidth) {
+  Rng rng(6);
+  const Vertex band = 32;
+  const CsrGraph g = banded_mesh(2000, 12, band, rng);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      EXPECT_LE(std::max(u, v) - std::min(u, v), band);
+    }
+  }
+  // Chain backbone keeps it connected.
+  EXPECT_EQ(cc_union_find(g).num_components, 1u);
+}
+
+TEST(Generators, RoadNetworkShape) {
+  Rng rng(7);
+  const CsrGraph g = road_network(20000, rng);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()), 20000.0, 2000.0);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 1.8);
+  EXPECT_LT(avg, 2.6);
+  // Mostly one giant component (a few grid edges may have been dropped).
+  EXPECT_LT(cc_union_find(g).num_components, 30u);
+}
+
+TEST(Generators, RelabelBfsPreservesStructure) {
+  Rng rng(8);
+  const CsrGraph g = erdos_renyi(300, 1200, rng);
+  const CsrGraph h = relabel_bfs(g);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(cc_union_find(h).num_components,
+            cc_union_find(g).num_components);
+}
+
+TEST(Generators, RelabelRandomPreservesStructure) {
+  Rng rng(9);
+  const CsrGraph g = rmat(512, 3000, rng);
+  Rng perm_rng(10);
+  const CsrGraph h = relabel_random(g, perm_rng);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(cc_union_find(h).num_components,
+            cc_union_find(g).num_components);
+}
+
+TEST(Generators, WithComponentsCreatesKPieces) {
+  Rng rng(11);
+  const CsrGraph g = banded_mesh(1000, 8, 16, rng);
+  const CsrGraph h = with_components(g, 4);
+  EXPECT_GE(cc_union_find(h).num_components, 4u);
+}
+
+}  // namespace
+}  // namespace nbwp::graph

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/sampling.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+TEST(ImportanceSample, SortedUniqueCorrectSize) {
+  Rng rng(1);
+  const CsrGraph g = rmat(2048, 16000, rng);
+  const auto s = importance_vertex_sample(g, 100, rng);
+  ASSERT_EQ(s.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+}
+
+TEST(ImportanceSample, PrefersHighDegreeVertices) {
+  Rng rng(2);
+  const CsrGraph g = rmat(4096, 40000, rng);
+  Rng srng(3);
+  const auto imp = importance_vertex_sample(g, 200, srng);
+  Rng urng(3);
+  const auto uni = uniform_vertex_sample(g, 200, urng);
+  auto avg_degree = [&](const std::vector<Vertex>& vs) {
+    double sum = 0;
+    for (Vertex v : vs) sum += static_cast<double>(g.degree(v));
+    return sum / vs.size();
+  };
+  EXPECT_GT(avg_degree(imp), avg_degree(uni) * 2.0);
+}
+
+TEST(ImportanceSample, RetainsMoreEdgesThanUniform) {
+  Rng rng(4);
+  const CsrGraph g = rmat(8192, 60000, rng);
+  Rng srng(5);
+  const auto imp = importance_vertex_sample(g, 300, srng);
+  Rng urng(5);
+  const auto uni = uniform_vertex_sample(g, 300, urng);
+  EXPECT_GT(induced_subgraph(g, imp).num_edges(),
+            induced_subgraph(g, uni).num_edges() * 3);
+}
+
+TEST(ImportanceSample, FullSampleIsEveryVertex) {
+  Rng rng(6);
+  const CsrGraph g = erdos_renyi(64, 200, rng);
+  const auto s = importance_vertex_sample(g, 64, rng);
+  for (Vertex v = 0; v < 64; ++v) EXPECT_EQ(s[v], v);
+}
+
+TEST(ImportanceSample, WorksOnEdgelessGraph) {
+  const CsrGraph g = CsrGraph::from_undirected_edges(32, {});
+  Rng rng(7);
+  const auto s = importance_vertex_sample(g, 8, rng);
+  EXPECT_EQ(s.size(), 8u);
+}
+
+}  // namespace
+}  // namespace nbwp::graph

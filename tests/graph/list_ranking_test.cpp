@@ -1,0 +1,89 @@
+#include "graph/list_ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+TEST(LinkedList, RandomListIsWellFormed) {
+  Rng rng(1);
+  const auto next = random_linked_list(100, rng);
+  const uint32_t head = list_head(next);
+  const uint32_t terminal = list_terminal(next);
+  EXPECT_NE(head, terminal);
+  // Walking from the head visits every node exactly once.
+  std::vector<uint8_t> seen(next.size(), 0);
+  uint32_t v = head;
+  for (size_t i = 0; i < next.size(); ++i) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+    if (next[v] == v) break;
+    v = next[v];
+  }
+  EXPECT_EQ(v, terminal);
+}
+
+TEST(LinkedList, SingleNode) {
+  Rng rng(2);
+  const auto next = random_linked_list(1, rng);
+  EXPECT_EQ(next[0], 0u);
+  EXPECT_EQ(list_head(next), 0u);
+  EXPECT_EQ(list_terminal(next), 0u);
+}
+
+class RankTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RankTest, SequentialAndWyllieAgree) {
+  Rng rng(GetParam());
+  const auto next = random_linked_list(1 + GetParam() * 137, rng);
+  const auto seq = rank_sequential(next);
+  const auto wyl = rank_wyllie(next);
+  EXPECT_TRUE(ranks_valid(next, seq.ranks));
+  EXPECT_TRUE(ranks_valid(next, wyl.ranks));
+  EXPECT_EQ(seq.ranks, wyl.ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankTest, ::testing::Values(1, 3, 7, 20));
+
+TEST(RankWyllie, LogarithmicRounds) {
+  Rng rng(9);
+  const auto next = random_linked_list(4096, rng);
+  const auto r = rank_wyllie(next);
+  EXPECT_LE(r.iterations, 14u);  // ceil(log2 4096) + slack
+  EXPECT_GE(r.iterations, 11u);
+}
+
+TEST(RankSequential, HeadHasMaxRank) {
+  Rng rng(4);
+  const auto next = random_linked_list(500, rng);
+  const auto r = rank_sequential(next);
+  EXPECT_EQ(r.ranks[list_head(next)], 499u);
+  EXPECT_EQ(r.ranks[list_terminal(next)], 0u);
+}
+
+TEST(RanksValid, RejectsCorruption) {
+  Rng rng(5);
+  const auto next = random_linked_list(50, rng);
+  auto ranks = rank_sequential(next).ranks;
+  ranks[list_head(next)] += 1;
+  EXPECT_FALSE(ranks_valid(next, ranks));
+}
+
+TEST(SplitList, PrefixWalkAndStitchMath) {
+  Rng rng(6);
+  const uint32_t n = 200, k = 60;
+  const auto next = random_linked_list(n, rng);
+  const auto split = split_list(next, k);
+  ASSERT_EQ(split.prefix_order.size(), k);
+  EXPECT_EQ(split.prefix_order.front(), list_head(next));
+  // Stitch identity: rank of the i-th prefix node = (n - k) + (k - 1 - i).
+  const auto ranks = rank_sequential(next).ranks;
+  for (uint32_t i = 0; i < k; ++i)
+    EXPECT_EQ(ranks[split.prefix_order[i]], (n - k) + (k - 1 - i));
+  EXPECT_THROW(split_list(next, n), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::graph

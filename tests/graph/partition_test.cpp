@@ -1,0 +1,89 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+CsrGraph random_graph(Vertex n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  return erdos_renyi(n, m, rng);
+}
+
+TEST(SplitByPrefix, EdgeConservation) {
+  const CsrGraph g = random_graph(500, 3000, 1);
+  for (Vertex cut : {Vertex{0}, Vertex{100}, Vertex{250}, Vertex{500}}) {
+    const GraphPartition part = split_by_prefix(g, cut);
+    EXPECT_EQ(part.cpu_part.num_vertices(), cut);
+    EXPECT_EQ(part.gpu_part.num_vertices(), 500 - cut);
+    EXPECT_EQ(part.cpu_part.num_edges() + part.gpu_part.num_edges() +
+                  part.cross_edges.size(),
+              g.num_edges());
+  }
+}
+
+TEST(SplitByPrefix, CrossEdgesSpanTheCut) {
+  const CsrGraph g = random_graph(300, 2000, 2);
+  const Vertex cut = 120;
+  const GraphPartition part = split_by_prefix(g, cut);
+  for (const auto& [u, v] : part.cross_edges) {
+    EXPECT_LT(std::min(u, v), cut);
+    EXPECT_GE(std::max(u, v), cut);
+  }
+}
+
+TEST(SplitByPrefix, SubgraphEdgesExistInOriginal) {
+  const CsrGraph g = random_graph(200, 1200, 3);
+  const Vertex cut = 77;
+  const GraphPartition part = split_by_prefix(g, cut);
+  for (const auto& [u, v] : part.cpu_part.undirected_edges())
+    EXPECT_TRUE(g.has_edge(u, v));
+  for (const auto& [u, v] : part.gpu_part.undirected_edges())
+    EXPECT_TRUE(g.has_edge(u + cut, v + cut));
+}
+
+TEST(SplitByPrefix, DegenerateCuts) {
+  const CsrGraph g = random_graph(100, 400, 4);
+  const GraphPartition all_gpu = split_by_prefix(g, 0);
+  EXPECT_EQ(all_gpu.gpu_part.num_edges(), g.num_edges());
+  EXPECT_TRUE(all_gpu.cross_edges.empty());
+  const GraphPartition all_cpu = split_by_prefix(g, 100);
+  EXPECT_EQ(all_cpu.cpu_part.num_edges(), g.num_edges());
+  EXPECT_TRUE(all_cpu.cross_edges.empty());
+}
+
+TEST(SplitByPrefix, CutBeyondNThrows) {
+  const CsrGraph g = random_graph(10, 20, 5);
+  EXPECT_THROW(split_by_prefix(g, 11), Error);
+}
+
+TEST(PrefixCutProfile, MatchesActualSplits) {
+  const CsrGraph g = random_graph(400, 2500, 6);
+  const PrefixCutProfile profile(g);
+  EXPECT_EQ(profile.total_edges(), g.num_edges());
+  for (Vertex cut : {Vertex{0}, Vertex{1}, Vertex{123}, Vertex{399},
+                     Vertex{400}}) {
+    const GraphPartition part = split_by_prefix(g, cut);
+    EXPECT_EQ(profile.prefix_edges(cut), part.cpu_part.num_edges())
+        << "cut=" << cut;
+    EXPECT_EQ(profile.suffix_edges(cut), part.gpu_part.num_edges())
+        << "cut=" << cut;
+    EXPECT_EQ(profile.cross_edges(cut), part.cross_edges.size())
+        << "cut=" << cut;
+  }
+}
+
+TEST(PrefixCutProfile, MonotoneEnds) {
+  const CsrGraph g = random_graph(100, 600, 7);
+  const PrefixCutProfile p(g);
+  EXPECT_EQ(p.prefix_edges(0), 0u);
+  EXPECT_EQ(p.suffix_edges(g.num_vertices()), 0u);
+  EXPECT_EQ(p.prefix_edges(g.num_vertices()), g.num_edges());
+  EXPECT_EQ(p.suffix_edges(0), g.num_edges());
+}
+
+}  // namespace
+}  // namespace nbwp::graph

@@ -1,0 +1,95 @@
+#include "graph/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::graph {
+namespace {
+
+TEST(UniformVertexSample, SortedUniqueInRange) {
+  Rng rng(1);
+  const CsrGraph g = erdos_renyi(1000, 4000, rng);
+  const auto sample = uniform_vertex_sample(g, 50, rng);
+  ASSERT_EQ(sample.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+              sample.end());
+  for (Vertex v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(UniformVertexSample, OversizeThrows) {
+  Rng rng(2);
+  const CsrGraph g = erdos_renyi(10, 20, rng);
+  EXPECT_THROW(uniform_vertex_sample(g, 11, rng), Error);
+}
+
+TEST(InducedSubgraph, KeepsExactlyInternalEdges) {
+  Rng rng(3);
+  const CsrGraph g = erdos_renyi(200, 2000, rng);
+  const auto verts = uniform_vertex_sample(g, 60, rng);
+  const CsrGraph sub = induced_subgraph(g, verts);
+  ASSERT_EQ(sub.num_vertices(), 60u);
+  // Every sampled edge maps to an original edge between sampled vertices.
+  for (const auto& [i, j] : sub.undirected_edges())
+    EXPECT_TRUE(g.has_edge(verts[i], verts[j]));
+  // Count internal edges directly and compare.
+  uint64_t internal = 0;
+  for (size_t i = 0; i < verts.size(); ++i) {
+    for (Vertex v : g.neighbors(verts[i])) {
+      if (v <= verts[i]) continue;
+      if (std::binary_search(verts.begin(), verts.end(), v)) ++internal;
+    }
+  }
+  EXPECT_EQ(sub.num_edges(), internal);
+}
+
+TEST(InducedSubgraph, FullSampleIsIsomorphicCopy) {
+  Rng rng(4);
+  const CsrGraph g = erdos_renyi(100, 500, rng);
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  const CsrGraph sub = induced_subgraph(g, all);
+  EXPECT_EQ(sub.num_edges(), g.num_edges());
+}
+
+TEST(InducedSubgraph, EmptySample) {
+  Rng rng(5);
+  const CsrGraph g = erdos_renyi(50, 100, rng);
+  const CsrGraph sub = induced_subgraph(g, std::vector<Vertex>{});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+}
+
+TEST(ContiguousVertexSample, ProducesRange) {
+  Rng rng(6);
+  const CsrGraph g = erdos_renyi(100, 300, rng);
+  const auto verts = contiguous_vertex_sample(g, 10, 20);
+  ASSERT_EQ(verts.size(), 20u);
+  EXPECT_EQ(verts.front(), 10u);
+  EXPECT_EQ(verts.back(), 29u);
+  EXPECT_THROW(contiguous_vertex_sample(g, 90, 20), Error);
+}
+
+TEST(InducedSubgraph, PreservesDensityOnExpectation) {
+  // A structural property the Sample step relies on: the sampled subgraph's
+  // edge count concentrates near m * k(k-1)/(n(n-1)).
+  Rng rng(7);
+  const CsrGraph g = erdos_renyi(2000, 40000, rng);
+  const double n = g.num_vertices();
+  double total = 0;
+  const int trials = 20;
+  const Vertex k = 400;
+  for (int t = 0; t < trials; ++t) {
+    const auto verts = uniform_vertex_sample(g, k, rng);
+    total += static_cast<double>(induced_subgraph(g, verts).num_edges());
+  }
+  const double expected =
+      static_cast<double>(g.num_edges()) * k * (k - 1) / (n * (n - 1));
+  EXPECT_NEAR(total / trials, expected, expected * 0.2);
+}
+
+}  // namespace
+}  // namespace nbwp::graph

@@ -1,0 +1,131 @@
+#include "hetalg/hetero_cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/cc.hpp"
+#include "graph/generators.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+using graph::CsrGraph;
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+CsrGraph test_graph(uint64_t seed = 1) {
+  Rng rng(seed);
+  return graph::banded_mesh(3000, 10, 32, rng);
+}
+
+class HeteroCcThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeteroCcThresholdTest, RunMatchesAnalyticTime) {
+  // The core consistency property: the executed run and the analytic sweep
+  // report the same virtual makespan, so the exhaustive oracle is exact.
+  const HeteroCc problem(test_graph(), plat());
+  const double t = GetParam();
+  const hetsim::RunReport report = problem.run(t);
+  EXPECT_NEAR(report.total_ns(), problem.time_ns(t),
+              problem.time_ns(t) * 1e-9);
+}
+
+TEST_P(HeteroCcThresholdTest, ComponentsCorrectAtEveryThreshold) {
+  const CsrGraph g = test_graph();
+  const auto expected = graph::cc_union_find(g).num_components;
+  const HeteroCc problem(g, plat());
+  EXPECT_EQ(problem.run(GetParam()).counter("components"), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HeteroCcThresholdTest,
+                         ::testing::Values(0.0, 7.0, 20.0, 50.0, 88.0,
+                                           100.0));
+
+TEST(HeteroCc, DisconnectedGraphCounted) {
+  Rng rng(5);
+  const CsrGraph g =
+      graph::with_components(graph::banded_mesh(2000, 8, 16, rng), 4);
+  const auto expected = graph::cc_union_find(g).num_components;
+  const HeteroCc problem(g, plat());
+  EXPECT_EQ(problem.run(30.0).counter("components"), expected);
+}
+
+TEST(HeteroCc, StructureMatchesCutProfile) {
+  const HeteroCc problem(test_graph(), plat());
+  const CcStructure s = problem.structure_at(40.0);
+  EXPECT_EQ(s.n_cpu + s.n_gpu, s.n_total);
+  EXPECT_EQ(s.m_cpu + s.m_gpu + s.cross, s.m_total);
+  EXPECT_EQ(s.n_cpu, 1200u);  // 40% of 3000
+}
+
+TEST(HeteroCc, BalanceZeroAtExtremesIsFalse) {
+  // At t=0 all work is on the GPU, so the balance objective equals the GPU
+  // work; at t=100 it equals the CPU work.  Neither is zero.
+  const HeteroCc problem(test_graph(), plat());
+  EXPECT_GT(problem.balance_ns(0.0), 0.0);
+  EXPECT_GT(problem.balance_ns(100.0), 0.0);
+}
+
+TEST(HeteroCc, BalanceHasInteriorMinimum) {
+  const HeteroCc problem(test_graph(), plat());
+  double best_t = 0, best = problem.balance_ns(0);
+  for (double t = 1; t <= 100; ++t) {
+    const double b = problem.balance_ns(t);
+    if (b < best) {
+      best = b;
+      best_t = t;
+    }
+  }
+  EXPECT_GT(best_t, 0.0);
+  EXPECT_LT(best_t, 100.0);
+  EXPECT_LT(best, problem.balance_ns(0) * 0.5);
+}
+
+TEST(HeteroCc, SampleSizeIsSqrtN) {
+  const HeteroCc problem(test_graph(), plat());
+  EXPECT_NEAR(problem.sample_size(1.0), std::sqrt(3000.0), 1.0);
+  EXPECT_NEAR(problem.sample_size(2.0), 2 * std::sqrt(3000.0), 1.0);
+  EXPECT_GE(problem.sample_size(0.001), 2u);  // floor
+}
+
+TEST(HeteroCc, MakeSampleProducesInducedSubgraph) {
+  const HeteroCc problem(test_graph(), plat());
+  Rng rng(3);
+  const HeteroCc sample = problem.make_sample(1.0, rng);
+  EXPECT_EQ(sample.input().num_vertices(), problem.sample_size(1.0));
+  EXPECT_LE(sample.input().num_edges(), problem.input().num_edges());
+}
+
+TEST(HeteroCc, SamplingCostGrowsWithFactor) {
+  const HeteroCc problem(test_graph(), plat());
+  EXPECT_GT(problem.sampling_cost_ns(4.0), problem.sampling_cost_ns(1.0));
+  EXPECT_GT(problem.sampling_cost_ns(1.0), 0.0);
+}
+
+TEST(HeteroCc, InvalidThresholdThrows) {
+  const HeteroCc problem(test_graph(), plat());
+  EXPECT_THROW(problem.run(-1.0), Error);
+  EXPECT_THROW(problem.time_ns(101.0), Error);
+}
+
+TEST(HeteroCc, SvIterationsNearModel) {
+  // The executed kernel's rounds should be in the same regime as the
+  // analytic model that prices them.
+  const CsrGraph g = test_graph();
+  const auto sv = graph::cc_shiloach_vishkin(g);
+  const auto model = sv_model_iterations(g.num_vertices());
+  EXPECT_LE(sv.iterations, model * 3);
+  EXPECT_GE(sv.iterations * 4, model);
+}
+
+TEST(HeteroCc, ReportHasAllPhases) {
+  const HeteroCc problem(test_graph(), plat());
+  const auto report = problem.run(25.0);
+  EXPECT_GT(report.phase_ns("partition"), 0.0);
+  EXPECT_GT(report.phase_ns("phase2.makespan"), 0.0);
+  EXPECT_GT(report.phase_ns("merge"), 0.0);
+  EXPECT_GT(report.counter("cpu_work_ns"), 0.0);
+  EXPECT_GT(report.counter("gpu_work_ns"), 0.0);
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

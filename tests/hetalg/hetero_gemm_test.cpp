@@ -1,0 +1,70 @@
+#include "hetalg/hetero_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbwp::hetalg {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+TEST(HeteroGemm, RunMatchesAnalyticTime) {
+  Rng rng(1);
+  const HeteroGemm problem(128, plat(), rng);
+  for (double t : {0.0, 12.0, 50.0, 100.0}) {
+    EXPECT_NEAR(problem.run(t).total_ns(), problem.time_ns(t),
+                problem.time_ns(t) * 1e-9);
+  }
+}
+
+TEST(HeteroGemm, ExecutesOnlyBelowLimit) {
+  Rng rng(2);
+  HeteroGemm::Config cfg;
+  cfg.execute_limit = 64;
+  const HeteroGemm small(32, plat(), rng, cfg);
+  EXPECT_GT(small.run(50.0).counter("c_rows"), 0.0);
+  const HeteroGemm big(128, plat(), rng, cfg);
+  EXPECT_EQ(big.run(50.0).counter("c_rows"), 0.0);  // analytic only
+}
+
+TEST(HeteroGemm, OptimumNearFlopsRatio) {
+  // The Fig. 1 message: dense GEMM is regular, so the best threshold sits
+  // near the NaiveStatic FLOPS split once transfers are amortized.
+  Rng rng(3);
+  const HeteroGemm problem(8192, plat(), rng);
+  double best_t = 0, best = problem.time_ns(0);
+  for (double t = 0; t <= 100; ++t) {
+    if (problem.time_ns(t) < best) {
+      best = problem.time_ns(t);
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(best_t, 12.0, 4.0);
+}
+
+TEST(HeteroGemm, CubicScaling) {
+  Rng rng(4);
+  const HeteroGemm small(8192, plat(), rng);
+  const HeteroGemm big(16384, plat(), rng);
+  const double ratio = big.time_ns(12) / small.time_ns(12);
+  EXPECT_NEAR(ratio, 8.0, 2.0);
+}
+
+TEST(HeteroGemm, SampleShrinksProblem) {
+  Rng rng(5);
+  const HeteroGemm problem(1024, plat(), rng);
+  Rng srng(6);
+  const HeteroGemm sample = problem.make_sample(0.25, srng);
+  EXPECT_EQ(sample.n(), 256u);
+  EXPECT_GT(problem.sampling_cost_ns(0.25), 0.0);
+}
+
+TEST(HeteroGemm, InvalidInputsThrow) {
+  Rng rng(7);
+  EXPECT_THROW(HeteroGemm(1, plat(), rng), Error);
+  const HeteroGemm problem(64, plat(), rng);
+  EXPECT_THROW(problem.time_ns(-1), Error);
+  EXPECT_THROW(problem.make_sample(0.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

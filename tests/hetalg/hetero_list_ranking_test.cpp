@@ -1,0 +1,74 @@
+#include "hetalg/hetero_list_ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sampling_partitioner.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+static_assert(core::PartitionProblem<HeteroListRanking>);
+
+std::vector<uint32_t> test_list(uint32_t n = 5000, uint64_t seed = 1) {
+  Rng rng(seed);
+  return graph::random_linked_list(n, rng);
+}
+
+TEST(HeteroListRanking, RunMatchesAnalyticTime) {
+  const HeteroListRanking problem(test_list(), plat());
+  for (double t : {0.0, 20.0, 55.0, 100.0}) {
+    EXPECT_NEAR(problem.run(t).total_ns(), problem.time_ns(t),
+                problem.time_ns(t) * 1e-9);
+  }
+}
+
+TEST(HeteroListRanking, RanksValidAtEveryThreshold) {
+  // run() itself asserts ranks_valid; surviving is the test.
+  const HeteroListRanking problem(test_list(3000, 2), plat());
+  for (double t : {0.0, 33.0, 66.0, 99.0}) {
+    const auto report = problem.run(t);
+    EXPECT_GE(report.counter("wyllie_iterations"), 1.0);
+  }
+}
+
+TEST(HeteroListRanking, CpuShareIncreasesCpuWork) {
+  const HeteroListRanking problem(test_list(), plat());
+  double prev = -1;
+  for (double t : {10.0, 40.0, 70.0}) {
+    const double cpu = problem.run(t).counter("cpu_work_ns");
+    EXPECT_GT(cpu, prev);
+    prev = cpu;
+  }
+}
+
+TEST(HeteroListRanking, BalanceInteriorMinimum) {
+  const HeteroListRanking problem(test_list(20000, 3), plat());
+  double best_t = 0, best = problem.balance_ns(0);
+  for (double t = 1; t <= 100; ++t) {
+    if (problem.balance_ns(t) < best) {
+      best = problem.balance_ns(t);
+      best_t = t;
+    }
+  }
+  EXPECT_GT(best_t, 5.0);
+  EXPECT_LT(best_t, 95.0);
+}
+
+TEST(HeteroListRanking, SampleIsSqrtN) {
+  const HeteroListRanking problem(test_list(10000, 4), plat());
+  EXPECT_EQ(problem.sample_size(1.0), 100u);
+  Rng rng(5);
+  EXPECT_EQ(problem.make_sample(1.0, rng).size(), 100u);
+}
+
+TEST(HeteroListRanking, SingleNodeSuffixGuard) {
+  const HeteroListRanking problem(test_list(10, 6), plat());
+  // t = 100 would starve the suffix; the cut is clamped internally.
+  const auto report = problem.run(100.0);
+  EXPECT_GE(report.total_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

@@ -1,0 +1,80 @@
+#include "hetalg/hetero_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sampling_partitioner.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+static_assert(core::PartitionProblem<HeteroSort>);
+
+std::vector<uint64_t> test_keys(size_t n = 20000, uint64_t seed = 1) {
+  Rng rng(seed);
+  return sort::uniform_keys(n, rng);
+}
+
+TEST(HeteroSort, RunMatchesAnalyticTime) {
+  const HeteroSort problem(test_keys(), plat());
+  for (double r : {0.0, 12.0, 40.0, 100.0}) {
+    EXPECT_NEAR(problem.run(r).total_ns(), problem.time_ns(r),
+                problem.time_ns(r) * 1e-9);
+  }
+}
+
+TEST(HeteroSort, SortsAtEveryThreshold) {
+  // run() asserts sortedness internally; also check the kernels engaged.
+  const HeteroSort problem(test_keys(5000, 2), plat());
+  const auto mid = problem.run(50.0);
+  EXPECT_GT(mid.counter("merge_rounds") + mid.counter("radix_passes"), 0.0);
+  const auto gpu_only = problem.run(0.0);
+  EXPECT_EQ(gpu_only.counter("merge_rounds"), 0.0);
+  EXPECT_EQ(gpu_only.counter("radix_passes"), 8.0);
+  const auto cpu_only = problem.run(100.0);
+  EXPECT_EQ(cpu_only.counter("radix_passes"), 0.0);
+}
+
+TEST(HeteroSort, GpuFavoredOptimum) {
+  // Radix streaming beats comparison sorting: the optimum gives the GPU
+  // the clear majority.
+  const HeteroSort problem(test_keys(200000, 3), plat());
+  double best_r = 0, best = problem.time_ns(0);
+  for (double r = 1; r <= 100; ++r) {
+    if (problem.time_ns(r) < best) {
+      best = problem.time_ns(r);
+      best_r = r;
+    }
+  }
+  EXPECT_LT(best_r, 50.0);
+  EXPECT_GT(best_r, 0.0);
+}
+
+TEST(HeteroSort, EstimateTracksOptimum) {
+  const HeteroSort problem(test_keys(200000, 4), plat());
+  double best_r = 0, best = problem.time_ns(0);
+  for (double r = 1; r <= 100; ++r) {
+    if (problem.time_ns(r) < best) {
+      best = problem.time_ns(r);
+      best_r = r;
+    }
+  }
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.1;
+  const auto est = core::estimate_partition(problem, cfg);
+  EXPECT_NEAR(est.threshold, best_r, 10.0);
+}
+
+TEST(HeteroSort, SampleShrinks) {
+  const HeteroSort problem(test_keys(10000, 5), plat());
+  Rng rng(6);
+  EXPECT_EQ(problem.make_sample(0.05, rng).size(), 500u);
+}
+
+TEST(HeteroSort, EmptyInputRejected) {
+  EXPECT_THROW(HeteroSort({}, plat()), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

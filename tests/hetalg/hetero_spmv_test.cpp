@@ -1,0 +1,95 @@
+#include "hetalg/hetero_spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sampling_partitioner.hpp"
+#include "sparse/generators.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+sparse::CsrMatrix test_matrix(uint64_t seed = 1) {
+  Rng rng(seed);
+  return sparse::banded_fem(20000, 12, 64, 3, rng);
+}
+
+static_assert(core::PartitionProblem<HeteroSpmv>);
+
+TEST(HeteroSpmv, RunMatchesAnalyticTime) {
+  const HeteroSpmv problem(test_matrix(), plat());
+  for (double r : {0.0, 15.0, 40.0, 80.0, 100.0}) {
+    EXPECT_NEAR(problem.run(r).total_ns(), problem.time_ns(r),
+                problem.time_ns(r) * 1e-9);
+  }
+}
+
+TEST(HeteroSpmv, ChecksumIndependentOfSplit) {
+  // The composed y must be the same vector at every split.
+  const HeteroSpmv problem(test_matrix(), plat());
+  const double ref = problem.run(0.0).counter("y_checksum");
+  for (double r : {25.0, 50.0, 75.0, 100.0})
+    EXPECT_DOUBLE_EQ(problem.run(r).counter("y_checksum"), ref);
+}
+
+TEST(HeteroSpmv, SplitMonotone) {
+  const HeteroSpmv problem(test_matrix(), plat());
+  sparse::Index prev = 0;
+  for (double r = 0; r <= 100; r += 10) {
+    EXPECT_GE(problem.split_row(r), prev);
+    prev = problem.split_row(r);
+  }
+}
+
+TEST(HeteroSpmv, RoundsAmortizeOverheads) {
+  // More rounds => relatively less launch/latency overhead per unit work,
+  // and proportionally longer total time.
+  const HeteroSpmv one(test_matrix(), plat(), 1);
+  const HeteroSpmv many(test_matrix(), plat(), 64);
+  const double ratio = many.time_ns(30) / one.time_ns(30);
+  // A single round also pays the one-time A-slice shipment, so the ratio
+  // sits well below 64 but far above 1.
+  EXPECT_GT(ratio, 12.0);
+  EXPECT_LT(ratio, 64.0);
+}
+
+TEST(HeteroSpmv, BalanceInteriorMinimum) {
+  const HeteroSpmv problem(test_matrix(), plat());
+  double best_r = 0, best = problem.balance_ns(0);
+  for (double r = 1; r <= 100; ++r) {
+    if (problem.balance_ns(r) < best) {
+      best = problem.balance_ns(r);
+      best_r = r;
+    }
+  }
+  EXPECT_GT(best_r, 3.0);
+  EXPECT_LT(best_r, 97.0);
+}
+
+TEST(HeteroSpmv, EstimateNearExhaustive) {
+  const HeteroSpmv problem(test_matrix(), plat());
+  double best_r = 0, best = problem.time_ns(0);
+  for (double r = 1; r <= 100; ++r) {
+    if (problem.time_ns(r) < best) {
+      best = problem.time_ns(r);
+      best_r = r;
+    }
+  }
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  const auto est = core::estimate_partition(problem, cfg);
+  EXPECT_NEAR(est.threshold, best_r, 12.0);
+}
+
+TEST(HeteroSpmv, SampleShrinks) {
+  const HeteroSpmv problem(test_matrix(), plat());
+  Rng rng(3);
+  const HeteroSpmv sample = problem.make_sample(0.25, rng);
+  EXPECT_NEAR(static_cast<double>(sample.a().rows()), 5000.0, 2.0);
+  EXPECT_EQ(sample.rounds(), problem.rounds());
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "hetsim/platform.hpp"
+
+namespace nbwp::hetsim {
+namespace {
+
+const Platform& plat() { return Platform::reference(); }
+
+WorkProfile bulk_profile(double scale = 1.0) {
+  WorkProfile p;
+  p.ops = 1e9 * scale;
+  p.bytes_stream = 1e8 * scale;
+  p.parallel_items = 1e6;
+  return p;
+}
+
+TEST(CpuDevice, TimePositiveAndMonotoneInWork) {
+  const auto& cpu = plat().cpu();
+  const double t1 = cpu.time_ns(bulk_profile(1.0));
+  const double t2 = cpu.time_ns(bulk_profile(2.0));
+  EXPECT_GT(t1, 0);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+TEST(CpuDevice, FewParallelItemsSlowsDown) {
+  const auto& cpu = plat().cpu();
+  WorkProfile serial = bulk_profile();
+  serial.parallel_items = 1;
+  EXPECT_GT(cpu.time_ns(serial), cpu.time_ns(bulk_profile()) * 5);
+}
+
+TEST(CpuDevice, SequentialOpsChargedAtScalarRate) {
+  const auto& cpu = plat().cpu();
+  WorkProfile p;
+  p.seq_ops = 1e6;
+  const double expected_ns = 1e6 / cpu.spec().scalar_ops_per_s() * 1e9;
+  EXPECT_NEAR(cpu.time_ns(p), expected_ns, expected_ns * 0.5);
+}
+
+TEST(CpuDevice, RandomBytesCostMoreThanStreamed) {
+  const auto& cpu = plat().cpu();
+  WorkProfile stream, random;
+  stream.bytes_stream = 1e8;
+  random.bytes_random = 1e8;
+  EXPECT_GT(cpu.time_ns(random), cpu.time_ns(stream) * 3);
+}
+
+TEST(GpuDevice, BeatsCpuOnRegularBulkWork) {
+  // The raison d'etre of heterogeneous offloading.
+  const double cpu_ns = plat().cpu().time_ns(bulk_profile());
+  const double gpu_ns = plat().gpu().time_ns(bulk_profile());
+  EXPECT_LT(gpu_ns, cpu_ns);
+}
+
+TEST(GpuDevice, LaunchLatencyChargedPerStep) {
+  const auto& gpu = plat().gpu();
+  WorkProfile p;
+  p.steps = 10;
+  EXPECT_NEAR(gpu.time_ns(p), 10 * gpu.spec().launch_ns, 1.0);
+}
+
+TEST(GpuDevice, WarpImbalanceInflatesTime) {
+  const auto& gpu = plat().gpu();
+  WorkProfile balanced = bulk_profile();
+  WorkProfile skewed = bulk_profile();
+  skewed.simd_inflation = 4.0;
+  EXPECT_NEAR(gpu.time_ns(skewed) / gpu.time_ns(balanced), 4.0, 0.1);
+}
+
+TEST(GpuDevice, UnderutilizationBounded) {
+  const auto& gpu = plat().gpu();
+  WorkProfile tiny = bulk_profile();
+  tiny.parallel_items = 10;  // far below occupancy capacity
+  const double ratio = gpu.time_ns(tiny) / gpu.time_ns(bulk_profile());
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 2.5);  // the floor bounds the penalty
+}
+
+TEST(GpuDevice, InflationBelowOneIgnored) {
+  const auto& gpu = plat().gpu();
+  WorkProfile p = bulk_profile();
+  p.simd_inflation = 0.5;  // nonsensical; clamped to 1
+  EXPECT_DOUBLE_EQ(gpu.time_ns(p), gpu.time_ns(bulk_profile()));
+}
+
+TEST(PcieLink, LatencyPlusBandwidth) {
+  const auto& link = plat().link();
+  EXPECT_DOUBLE_EQ(link.transfer_ns(0), 0.0);
+  const double one_mb = link.transfer_ns(1e6);
+  const double ten_mb = link.transfer_ns(1e7);
+  EXPECT_GT(one_mb, link.spec().latency_ns);
+  // Bandwidth dominates at 10 MB; the latency amortizes.
+  EXPECT_GT(ten_mb, one_mb * 5);
+  EXPECT_LT(ten_mb, one_mb * 10);
+}
+
+TEST(Platform, NaiveStaticMatchesPaper) {
+  // Section III-B.2: the GPU gets ~88% by FLOPS ratio.
+  EXPECT_NEAR(plat().naive_static_gpu_share_pct(), 88.0, 1.0);
+}
+
+TEST(Platform, CpuThreadsMatchSpec) {
+  EXPECT_EQ(plat().cpu_threads(), 20u);
+}
+
+}  // namespace
+}  // namespace nbwp::hetsim

@@ -1,0 +1,78 @@
+#include "hetsim/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbwp::hetsim {
+namespace {
+
+TEST(RunReport, SequentialPhasesAccumulate) {
+  RunReport r;
+  r.add_phase("a", 10);
+  r.add_phase("b", 5);
+  EXPECT_DOUBLE_EQ(r.total_ns(), 15);
+  EXPECT_DOUBLE_EQ(r.phase_ns("a"), 10);
+  EXPECT_DOUBLE_EQ(r.phase_ns("b"), 5);
+  EXPECT_DOUBLE_EQ(r.phase_ns("missing"), 0);
+}
+
+TEST(RunReport, OverlappedPhaseTakesMax) {
+  RunReport r;
+  r.add_overlapped_phase("p2", 30, 20);
+  EXPECT_DOUBLE_EQ(r.total_ns(), 30);
+  EXPECT_DOUBLE_EQ(r.phase_ns("p2.cpu"), 30);
+  EXPECT_DOUBLE_EQ(r.phase_ns("p2.gpu"), 20);
+  EXPECT_DOUBLE_EQ(r.phase_ns("p2.makespan"), 30);
+}
+
+TEST(RunReport, OverlappedThenSequential) {
+  RunReport r;
+  r.add_phase("partition", 5);
+  r.add_overlapped_phase("phase2", 10, 40);
+  r.add_phase("merge", 2);
+  EXPECT_DOUBLE_EQ(r.total_ns(), 47);
+}
+
+TEST(RunReport, CountersSetAndGet) {
+  RunReport r;
+  r.set_counter("components", 7);
+  EXPECT_DOUBLE_EQ(r.counter("components"), 7);
+  EXPECT_DOUBLE_EQ(r.counter("absent"), 0);
+  r.set_counter("components", 9);  // overwrite
+  EXPECT_DOUBLE_EQ(r.counter("components"), 9);
+}
+
+TEST(RunReport, AppendMergesTotalsAndCounters) {
+  RunReport a, b;
+  a.add_phase("x", 10);
+  a.set_counter("k", 1);
+  b.add_phase("y", 20);
+  b.set_counter("k", 2);
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.total_ns(), 30);
+  EXPECT_DOUBLE_EQ(a.counter("k"), 3);
+  EXPECT_EQ(a.phases().size(), 2u);
+}
+
+TEST(RunReport, DuplicatePhaseNamesSum) {
+  RunReport r;
+  r.add_phase("x", 10);
+  r.add_phase("x", 4);
+  EXPECT_DOUBLE_EQ(r.phase_ns("x"), 14);
+}
+
+TEST(RunReport, SummaryMentionsPhases) {
+  RunReport r;
+  r.add_phase("alpha", 1e6);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+TEST(RunReport, TotalMsConversion) {
+  RunReport r;
+  r.add_phase("x", 2.5e6);
+  EXPECT_DOUBLE_EQ(r.total_ms(), 2.5);
+}
+
+}  // namespace
+}  // namespace nbwp::hetsim

@@ -1,0 +1,65 @@
+#include "hetsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nbwp::hetsim {
+namespace {
+
+RunReport demo_report() {
+  RunReport r;
+  r.add_phase("partition", 1000);
+  r.add_overlapped_phase("phase2", 3000, 5000);
+  r.add_phase("merge", 500);
+  return r;
+}
+
+TEST(ChromeTrace, EmitsValidLookingJson) {
+  std::ostringstream os;
+  write_chrome_trace(os, demo_report(), "demo");
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"partition\""), std::string::npos);
+  EXPECT_NE(out.find("\"phase2.cpu\""), std::string::npos);
+  EXPECT_NE(out.find("\"phase2.gpu\""), std::string::npos);
+  // Bookkeeping rows are skipped.
+  EXPECT_EQ(out.find("makespan"), std::string::npos);
+  EXPECT_NE(out.find("\"demo\""), std::string::npos);
+}
+
+TEST(ChromeTrace, OverlappedPhasesShareStartTime) {
+  std::ostringstream os;
+  write_chrome_trace(os, demo_report());
+  const std::string out = os.str();
+  // partition is 1000 ns = 1 us, so both phase2 rows start at ts=1.000.
+  const size_t cpu_pos = out.find("\"phase2.cpu\"");
+  const size_t gpu_pos = out.find("\"phase2.gpu\"");
+  ASSERT_NE(cpu_pos, std::string::npos);
+  ASSERT_NE(gpu_pos, std::string::npos);
+  EXPECT_NE(out.find("\"ts\":1.000", cpu_pos), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":1.000", gpu_pos), std::string::npos);
+}
+
+TEST(ChromeTrace, MergeStartsAfterGroupMakespan) {
+  std::ostringstream os;
+  write_chrome_trace(os, demo_report());
+  const std::string out = os.str();
+  // Group makespan is 5 us after a 1 us partition: merge at ts=6.000.
+  const size_t merge_pos = out.find("\"merge\"");
+  ASSERT_NE(merge_pos, std::string::npos);
+  EXPECT_NE(out.find("\"ts\":6.000", merge_pos), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesQuotesInNames) {
+  RunReport r;
+  r.add_phase("weird\"name", 10);
+  std::ostringstream os;
+  write_chrome_trace(os, r);
+  EXPECT_NE(os.str().find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbwp::hetsim

@@ -1,0 +1,89 @@
+#include "hetsim/work_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nbwp::hetsim {
+namespace {
+
+TEST(SimdInflation, UniformWorkIsOne) {
+  std::vector<uint64_t> work(128, 7);
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 1.0);
+}
+
+TEST(SimdInflation, EmptyIsOne) {
+  std::vector<uint64_t> work;
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 1.0);
+}
+
+TEST(SimdInflation, AllZeroIsOne) {
+  std::vector<uint64_t> work(64, 0);
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 1.0);
+}
+
+TEST(SimdInflation, SingleHotLaneInflatesByWarpSize) {
+  // One lane with all the work: warp runs 32 lanes for max duration,
+  // useful work is 1 lane => inflation == 32.
+  std::vector<uint64_t> work(32, 0);
+  work[5] = 100;
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 32.0);
+}
+
+TEST(SimdInflation, TwoToOneSkew) {
+  // Alternating 2,0 within one warp: effective = 2*32, total = 32 => 2.0.
+  std::vector<uint64_t> work(32);
+  for (size_t i = 0; i < work.size(); ++i) work[i] = i % 2 ? 2 : 0;
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 2.0);
+}
+
+TEST(SimdInflation, PartialLastWarp) {
+  // 40 items of equal work: second warp has 8 items; still balanced.
+  std::vector<uint64_t> work(40, 3);
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work)), 1.0);
+}
+
+TEST(SimdInflation, RangeVersionMatchesSlice) {
+  std::vector<uint64_t> work(100);
+  for (size_t i = 0; i < work.size(); ++i) work[i] = (i * 13) % 17;
+  const std::vector<uint64_t> slice(work.begin() + 20, work.begin() + 84);
+  EXPECT_DOUBLE_EQ(simd_inflation_range(work, 20, 84),
+                   simd_inflation(std::span<const uint64_t>(slice)));
+}
+
+TEST(SimdInflation, RangeClampsOutOfBounds) {
+  std::vector<uint64_t> work(10, 1);
+  EXPECT_DOUBLE_EQ(simd_inflation_range(work, 5, 100), 1.0);
+  EXPECT_DOUBLE_EQ(simd_inflation_range(work, 50, 100), 1.0);  // empty
+}
+
+TEST(SimdInflation, CustomWarpSize) {
+  std::vector<uint64_t> work = {4, 0, 4, 0};
+  // warp 2: pairs (4,0): effective 4*2 per pair, total 4 => 2.0
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work), 2), 2.0);
+  // warp 1: no imbalance possible
+  EXPECT_DOUBLE_EQ(simd_inflation(std::span<const uint64_t>(work), 1), 1.0);
+}
+
+TEST(WorkProfile, ScaledMultipliesLinearFields) {
+  WorkProfile p;
+  p.ops = 10;
+  p.bytes_stream = 20;
+  p.bytes_random = 30;
+  p.seq_ops = 40;
+  p.parallel_items = 7;
+  p.simd_inflation = 2;
+  p.steps = 3;
+  const WorkProfile s = p.scaled(0.5);
+  EXPECT_DOUBLE_EQ(s.ops, 5);
+  EXPECT_DOUBLE_EQ(s.bytes_stream, 10);
+  EXPECT_DOUBLE_EQ(s.bytes_random, 15);
+  EXPECT_DOUBLE_EQ(s.seq_ops, 20);
+  // Non-volume fields are preserved.
+  EXPECT_DOUBLE_EQ(s.parallel_items, 7);
+  EXPECT_DOUBLE_EQ(s.simd_inflation, 2);
+  EXPECT_DOUBLE_EQ(s.steps, 3);
+}
+
+}  // namespace
+}  // namespace nbwp::hetsim

@@ -1,0 +1,98 @@
+// Determinism guarantees: the README promises bit-for-bit reproducible
+// experiments.  These tests pin that property end to end — same seeds,
+// same estimates, same virtual times — and that changing the seed actually
+// changes the sampled inputs (no accidental seed-ignoring).
+#include <gtest/gtest.h>
+
+#include "core/exhaustive.hpp"
+#include "core/extrapolate.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "datasets/table2.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+
+namespace nbwp {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+TEST(Determinism, DatasetGenerationIsStable) {
+  const auto& spec = datasets::spec_by_name("cant");
+  const auto a = datasets::make_matrix(spec, 0.1, 7);
+  const auto b = datasets::make_matrix(spec, 0.1, 7);
+  EXPECT_DOUBLE_EQ(sparse::CsrMatrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Determinism, CcEstimateIsStableAcrossInvocations) {
+  const hetalg::HeteroCc problem(
+      datasets::make_graph(datasets::spec_by_name("rma10"), 0.2), plat());
+  core::SamplingConfig cfg;
+  const auto a = core::estimate_partition(problem, cfg);
+  const auto b = core::estimate_partition(problem, cfg);
+  EXPECT_DOUBLE_EQ(a.threshold, b.threshold);
+  EXPECT_DOUBLE_EQ(a.estimation_cost_ns, b.estimation_cost_ns);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Determinism, SpmmEstimateIsStableAcrossInvocations) {
+  const hetalg::HeteroSpmm problem(
+      datasets::make_matrix(datasets::spec_by_name("qcd5_4"), 0.2), plat());
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  EXPECT_DOUBLE_EQ(core::estimate_partition(problem, cfg).threshold,
+                   core::estimate_partition(problem, cfg).threshold);
+}
+
+TEST(Determinism, HhEstimateIsStableAcrossInvocations) {
+  const hetalg::HeteroSpmmHh problem(
+      datasets::make_matrix(datasets::spec_by_name("rma10"), 0.3), plat());
+  core::SamplingConfig cfg;
+  cfg.method = core::IdentifyMethod::kGradientDescent;
+  cfg.gradient.log_space = true;
+  auto extrapolate = [](const hetalg::HeteroSpmmHh& f,
+                        const hetalg::HeteroSpmmHh& s, double ts) {
+    return core::work_share_extrapolate(f, s, ts);
+  };
+  EXPECT_DOUBLE_EQ(
+      core::estimate_partition(problem, cfg, extrapolate).threshold,
+      core::estimate_partition(problem, cfg, extrapolate).threshold);
+}
+
+TEST(Determinism, DifferentSamplingSeedsDrawDifferentSamples) {
+  const hetalg::HeteroCc problem(
+      datasets::make_graph(datasets::spec_by_name("web-BerkStan"), 0.05),
+      plat());
+  Rng a(1), b(2);
+  const auto sample_a = problem.make_sample(1.0, a);
+  const auto sample_b = problem.make_sample(1.0, b);
+  // Same size by construction, almost surely different edges.
+  EXPECT_EQ(sample_a.input().num_vertices(),
+            sample_b.input().num_vertices());
+  EXPECT_NE(sample_a.input().undirected_edges(),
+            sample_b.input().undirected_edges());
+}
+
+TEST(Determinism, ExhaustiveOracleIsPure) {
+  const hetalg::HeteroSpmm problem(
+      datasets::make_matrix(datasets::spec_by_name("cop20k_A"), 0.1),
+      plat());
+  const auto a = core::exhaustive_search(problem, 1.0);
+  const auto b = core::exhaustive_search(problem, 1.0);
+  EXPECT_DOUBLE_EQ(a.best_threshold, b.best_threshold);
+  EXPECT_DOUBLE_EQ(a.best_time_ns, b.best_time_ns);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.curve[i].second, b.curve[i].second);
+}
+
+TEST(Determinism, GenerationSeedChangesInput) {
+  const auto& spec = datasets::spec_by_name("pwtk");
+  const auto a = datasets::make_graph(spec, 0.05, 1);
+  const auto b = datasets::make_graph(spec, 0.05, 2);
+  EXPECT_NE(a.undirected_edges(), b.undirected_edges());
+}
+
+}  // namespace
+}  // namespace nbwp

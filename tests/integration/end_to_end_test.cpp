@@ -1,0 +1,154 @@
+// Integration tests: the full Sample -> Identify -> Extrapolate pipeline
+// against the exhaustive oracle on each of the paper's three case studies,
+// checking the paper's qualitative claims end to end at a small scale.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/extrapolate.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "datasets/table2.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+
+namespace nbwp {
+namespace {
+
+const hetsim::Platform& plat() { return hetsim::Platform::reference(); }
+
+TEST(EndToEnd, CcEstimateNearExhaustive) {
+  const auto g = datasets::make_graph(datasets::spec_by_name("pwtk"), 0.2);
+  const hetalg::HeteroCc problem(g, plat());
+  const auto ex = core::exhaustive_search(problem, 1.0);
+  core::SamplingConfig cfg;  // paper defaults: sqrt(n), coarse-to-fine
+  const auto est = core::estimate_partition(problem, cfg);
+  EXPECT_NEAR(est.threshold, ex.best_threshold, 12.0);
+  // Time penalty bounded (Table I: 4%; allow slack at this small scale).
+  const double slowdown =
+      problem.time_ns(est.threshold) / ex.best_time_ns - 1.0;
+  EXPECT_LT(slowdown, 0.30);
+}
+
+TEST(EndToEnd, CcEstimationCheaperThanExhaustive) {
+  const auto g =
+      datasets::make_graph(datasets::spec_by_name("shipsec1"), 0.2);
+  const hetalg::HeteroCc problem(g, plat());
+  core::SamplingConfig cfg;
+  const auto est = core::estimate_partition(problem, cfg);
+  // The whole point: estimation costs a fraction of one full run, while
+  // exhaustive search costs ~100 full runs.
+  EXPECT_LT(est.estimation_cost_ns, problem.time_ns(est.threshold));
+}
+
+TEST(EndToEnd, SpmmEstimateTracksIrregularity) {
+  // The split for a scale-free matrix must move far from the FEM split,
+  // and the sampling estimate must follow it (input adaptivity — the
+  // paper's core claim).
+  const auto fem =
+      datasets::make_matrix(datasets::spec_by_name("rma10"), 1.0);
+  const auto web =
+      datasets::make_matrix(datasets::spec_by_name("webbase-1M"), 0.05);
+  const hetalg::HeteroSpmm fem_problem(fem, plat());
+  const hetalg::HeteroSpmm web_problem(web, plat());
+  const auto fem_ex = core::exhaustive_search(fem_problem, 1.0);
+  const auto web_ex = core::exhaustive_search(web_problem, 1.0);
+  EXPECT_GT(web_ex.best_threshold, fem_ex.best_threshold + 8.0);
+
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  const auto fem_est = core::estimate_partition(fem_problem, cfg);
+  const auto web_est = core::estimate_partition(web_problem, cfg);
+  EXPECT_NEAR(fem_est.threshold, fem_ex.best_threshold, 10.0);
+  EXPECT_NEAR(web_est.threshold, web_ex.best_threshold, 14.0);
+  EXPECT_GT(web_est.threshold, fem_est.threshold);
+}
+
+TEST(EndToEnd, SpmmNaiveStaticWorseThanEstimated) {
+  // Fig. 5's message: the FLOPS-ratio split is far off for irregular
+  // inputs while the sampled estimate stays close.
+  const auto a = datasets::make_matrix(datasets::spec_by_name("cant"), 0.5);
+  const hetalg::HeteroSpmm problem(a, plat());
+  const auto ex = core::exhaustive_search(problem, 1.0);
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  const auto est = core::estimate_partition(problem, cfg);
+  const double est_time = problem.time_ns(est.threshold);
+  const double naive_time =
+      problem.time_ns(core::naive_static_cpu_share_pct(plat()));
+  EXPECT_LT(est_time, naive_time);
+}
+
+TEST(EndToEnd, HhWorkShareExtrapolationBeatsRawCutoff) {
+  const auto a =
+      datasets::make_matrix(datasets::spec_by_name("consph"), 0.5);
+  const hetalg::HeteroSpmmHh problem(a, plat());
+  const auto ex =
+      core::exhaustive_search_over(problem, problem.candidate_thresholds(96));
+
+  core::SamplingConfig cfg;
+  cfg.method = core::IdentifyMethod::kGradientDescent;
+  cfg.gradient.log_space = true;
+  cfg.gradient.starts = 2;
+  const auto est = core::estimate_partition(
+      problem, cfg,
+      [](const hetalg::HeteroSpmmHh& full,
+         const hetalg::HeteroSpmmHh& sample, double ts) {
+        return core::work_share_extrapolate(full, sample, ts);
+      });
+  const double slowdown = problem.time_ns(est.threshold) / ex.best_time_ns;
+  EXPECT_LT(slowdown, 1.35);
+}
+
+TEST(EndToEnd, HhBeatsPrefixSplitOnScaleFree) {
+  // Section V's motivation: for scale-free matrices the density-based
+  // HH-CPU partition beats Algorithm 2's prefix split.
+  const auto a =
+      datasets::make_matrix(datasets::spec_by_name("web-BerkStan"), 0.1);
+  const hetalg::HeteroSpmm alg2(a, plat());
+  const hetalg::HeteroSpmmHh hh(a, plat());
+  const auto alg2_ex = core::exhaustive_search(alg2, 1.0);
+  const auto hh_ex =
+      core::exhaustive_search_over(hh, hh.candidate_thresholds(96));
+  // HH stays competitive overall and strictly wins on the quantity it was
+  // designed for: the warp load balance of the GPU-side work (its L rows
+  // are uniform by construction; Algorithm 2's suffix keeps raw hubs).
+  EXPECT_LT(hh_ex.best_time_ns, alg2_ex.best_time_ns * 1.15);
+  const auto hh_s = hh.structure_at(hh_ex.best_threshold);
+  const auto alg2_s = alg2.structure_at(alg2_ex.best_threshold);
+  EXPECT_LT(hh_s.gpu2.inflation, alg2_s.gpu.inflation);
+}
+
+TEST(EndToEnd, RandomSamplesBeatPredeterminedOnAverage) {
+  // Fig. 7's message, asserted on the time penalty.
+  const auto a =
+      datasets::make_matrix(datasets::spec_by_name("cop20k_A"), 0.3);
+  const hetalg::HeteroSpmm problem(a, plat());
+  const auto ex = core::exhaustive_search(problem, 1.0);
+  core::SamplingConfig cfg;
+  cfg.sample_factor = 0.25;
+  cfg.method = core::IdentifyMethod::kRaceThenFine;
+  const auto random_est = core::estimate_partition(problem, cfg);
+  const double random_pen =
+      problem.time_ns(random_est.threshold) / ex.best_time_ns;
+
+  double worst_corner = 0;
+  for (double anchor : {0.0, 1.0}) {
+    const auto sample = problem.make_sample_predetermined(0.25, anchor);
+    core::Evaluator eval;
+    eval.lo = 0;
+    eval.hi = 100;
+    eval.objective_ns = [&](double t) { return sample.balance_ns(t); };
+    eval.cost_ns = [&](double t) { return sample.time_ns(t); };
+    const auto [c, g] = sample.device_times_all();
+    const auto found = core::race_then_fine(eval, c, g);
+    worst_corner = std::max(
+        worst_corner, problem.time_ns(found.best_threshold) / ex.best_time_ns);
+  }
+  EXPECT_LE(random_pen, worst_corner + 0.02);
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -1,0 +1,79 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nbwp {
+namespace {
+
+TEST(ThreadPool, SizeAtLeastOne) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4u);
+}
+
+TEST(ThreadPool, EveryWorkerRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_team([&](unsigned w) { ++hits[w]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_team([&](unsigned) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, CallerParticipatesAsWorkerZero) {
+  ThreadPool pool(2);
+  std::atomic<bool> zero_seen{false};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id zero_id;
+  pool.run_team([&](unsigned w) {
+    if (w == 0) {
+      zero_seen = true;
+      zero_id = std::this_thread::get_id();
+    }
+  });
+  EXPECT_TRUE(zero_seen.load());
+  EXPECT_EQ(zero_id, caller);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_team([](unsigned w) {
+        if (w == 1) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.run_team([&](unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, CallerExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_team([](unsigned w) {
+        if (w == 0) throw std::runtime_error("caller boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nbwp

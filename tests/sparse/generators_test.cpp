@@ -1,0 +1,99 @@
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+TEST(SparseGenerators, RandomUniformHitsTargets) {
+  Rng rng(1);
+  const CsrMatrix m = random_uniform(500, 400, 6000, rng, 1.0, 2.0);
+  EXPECT_EQ(m.rows(), 500u);
+  EXPECT_EQ(m.cols(), 400u);
+  EXPECT_GT(m.nnz(), 5800u);  // duplicate coordinates are summed
+  EXPECT_LE(m.nnz(), 6000u);
+  for (Index r = 0; r < m.rows(); ++r)
+    for (double v : m.row_vals(r)) {
+      EXPECT_GE(v, 1.0);   // duplicates only add values in [1, 2)
+      EXPECT_LT(v, 20.0);  // a handful of collisions at most
+    }
+}
+
+TEST(SparseGenerators, Deterministic) {
+  Rng a(5), b(5);
+  const CsrMatrix m1 = banded_fem(300, 10, 20, 3, a);
+  const CsrMatrix m2 = banded_fem(300, 10, 20, 3, b);
+  EXPECT_DOUBLE_EQ(CsrMatrix::max_abs_diff(m1, m2), 0.0);
+}
+
+TEST(SparseGenerators, BandedFemStructure) {
+  Rng rng(2);
+  const Index band = 24;
+  const unsigned block = 4;
+  const CsrMatrix m = banded_fem(1000, 20, band, block, rng);
+  // Full diagonal.
+  for (Index r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(), r));
+    // Entries stay within the band plus the (graded) block extent.
+    for (Index c : cols) {
+      const auto dist = c > r ? c - r : r - c;
+      EXPECT_LE(dist, band + 2 * block);
+    }
+  }
+  const double avg = static_cast<double>(m.nnz()) / m.rows();
+  EXPECT_GT(avg, 10.0);
+  EXPECT_LT(avg, 32.0);
+}
+
+TEST(SparseGenerators, ScaleFreeHasPowerLawTail) {
+  Rng rng(3);
+  const CsrMatrix m = scale_free(20000, 12, 2.1, rng);
+  uint64_t max_deg = 0;
+  uint64_t light_rows = 0;
+  for (Index r = 0; r < m.rows(); ++r) {
+    max_deg = std::max<uint64_t>(max_deg, m.row_nnz(r));
+    light_rows += m.row_nnz(r) <= 12;
+  }
+  const double avg = static_cast<double>(m.nnz()) / m.rows();
+  EXPECT_NEAR(avg, 12.0, 6.0);
+  // Scale-free signature: most rows light, a few very heavy.
+  EXPECT_GT(light_rows, m.rows() * 3 / 4);
+  EXPECT_GT(max_deg, static_cast<uint64_t>(avg * 20));
+}
+
+TEST(SparseGenerators, ScaleFreeRejectsBadAlpha) {
+  Rng rng(4);
+  EXPECT_THROW(scale_free(100, 4, 1.0, rng), Error);
+}
+
+TEST(SparseGenerators, FromGraphMirrorsAdjacency) {
+  Rng grng(5);
+  const graph::CsrGraph g = graph::erdos_renyi(200, 800, grng);
+  Rng mrng(6);
+  const CsrMatrix m = from_graph(g, mrng, /*unit_diagonal=*/true);
+  EXPECT_EQ(m.rows(), g.num_vertices());
+  EXPECT_EQ(m.nnz(), g.num_directed_edges() + g.num_vertices());
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto cols = m.row_cols(u);
+    EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(), u));
+    for (graph::Vertex v : g.neighbors(u))
+      EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(), v));
+  }
+}
+
+TEST(SparseGenerators, FromGraphNoDiagonal) {
+  Rng grng(7);
+  const graph::CsrGraph g = graph::erdos_renyi(50, 200, grng);
+  Rng mrng(8);
+  const CsrMatrix m = from_graph(g, mrng, /*unit_diagonal=*/false);
+  EXPECT_EQ(m.nnz(), g.num_directed_edges());
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

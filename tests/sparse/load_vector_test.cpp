@@ -1,0 +1,82 @@
+#include "sparse/load_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/spgemm.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+TEST(LoadVector, MatchesExecutedMultiplyCount) {
+  // Section IV: L_AB[i] equals the work volume of row i of A in A x B.
+  Rng rng(1);
+  const CsrMatrix a = random_uniform(50, 60, 500, rng);
+  const CsrMatrix b = random_uniform(60, 40, 400, rng);
+  const auto load = load_vector(a, row_nnz_vector(b));
+  for (Index i = 0; i < a.rows(); ++i) {
+    SpgemmCounters counters;
+    spgemm_row_range(a, b, i, i + 1, &counters);
+    EXPECT_EQ(load[i], counters.multiplies) << "row " << i;
+  }
+}
+
+TEST(LoadVector, SizeMismatchThrows) {
+  Rng rng(2);
+  const CsrMatrix a = random_uniform(5, 6, 10, rng);
+  const std::vector<uint64_t> wrong(5, 1);
+  EXPECT_THROW(load_vector(a, wrong), Error);
+}
+
+TEST(PrefixSums, BasicProperties) {
+  const std::vector<uint64_t> loads = {3, 0, 7, 2};
+  const auto prefix = prefix_sums(loads);
+  ASSERT_EQ(prefix.size(), 5u);
+  EXPECT_EQ(prefix[0], 0u);
+  EXPECT_EQ(prefix[4], 12u);
+  EXPECT_EQ(prefix[3], 10u);
+}
+
+TEST(SplitRowForLoad, PicksClosestPrefix) {
+  // prefix = {0, 3, 3, 10, 12}
+  const std::vector<uint64_t> loads = {3, 0, 7, 2};
+  const auto prefix = prefix_sums(loads);
+  EXPECT_EQ(split_row_for_load(prefix, 0), 0u);
+  EXPECT_EQ(split_row_for_load(prefix, 2), 1u);   // 3 closer than 0
+  EXPECT_EQ(split_row_for_load(prefix, 3), 1u);   // exact; earliest prefix
+  EXPECT_EQ(split_row_for_load(prefix, 6), 2u);   // |3-6| vs |10-6|: 3 wins
+  EXPECT_EQ(split_row_for_load(prefix, 7), 3u);   // tie 3 vs 10 -> under
+  EXPECT_EQ(split_row_for_load(prefix, 12), 4u);
+  EXPECT_EQ(split_row_for_load(prefix, 100), 4u);  // beyond total
+}
+
+TEST(SplitRowForShare, EndpointsAndMiddle) {
+  const std::vector<uint64_t> loads(10, 5);  // uniform
+  const auto prefix = prefix_sums(loads);
+  EXPECT_EQ(split_row_for_share(prefix, 0.0), 0u);
+  EXPECT_EQ(split_row_for_share(prefix, 100.0), 10u);
+  EXPECT_EQ(split_row_for_share(prefix, 50.0), 5u);
+  EXPECT_EQ(split_row_for_share(prefix, 30.0), 3u);
+}
+
+TEST(SplitRowForShare, SkewedLoads) {
+  // First row owns 90% of the work.
+  const std::vector<uint64_t> loads = {90, 5, 5};
+  const auto prefix = prefix_sums(loads);
+  EXPECT_EQ(split_row_for_share(prefix, 50.0), 1u);  // 90 closest to 50? no:
+  // |0-50|=50 vs |90-50|=40 -> index 1 (prefix 90). Sanity:
+  EXPECT_EQ(split_row_for_share(prefix, 10.0), 0u);
+  EXPECT_EQ(split_row_for_share(prefix, 95.0), 2u);
+}
+
+TEST(RowNnzVector, MatchesMatrix) {
+  Rng rng(3);
+  const CsrMatrix b = random_uniform(30, 30, 200, rng);
+  const auto v = row_nnz_vector(b);
+  ASSERT_EQ(v.size(), b.rows());
+  for (Index r = 0; r < b.rows(); ++r) EXPECT_EQ(v[r], b.row_nnz(r));
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

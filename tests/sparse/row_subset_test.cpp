@@ -1,0 +1,66 @@
+#include "sparse/row_subset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+TEST(ExtractRows, GathersInGivenOrder) {
+  Rng rng(1);
+  const CsrMatrix a = random_uniform(10, 6, 30, rng);
+  const std::vector<Index> ids = {7, 0, 3};
+  const CsrMatrix sub = extract_rows(a, ids);
+  ASSERT_EQ(sub.rows(), 3u);
+  EXPECT_EQ(sub.cols(), a.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(sub.row_nnz(static_cast<Index>(i)), a.row_nnz(ids[i]));
+    const auto sc = sub.row_cols(static_cast<Index>(i));
+    const auto ac = a.row_cols(ids[i]);
+    for (size_t j = 0; j < sc.size(); ++j) EXPECT_EQ(sc[j], ac[j]);
+  }
+}
+
+TEST(ExtractRows, OutOfRangeThrows) {
+  Rng rng(2);
+  const CsrMatrix a = random_uniform(5, 5, 10, rng);
+  const std::vector<Index> ids = {5};
+  EXPECT_THROW(extract_rows(a, ids), Error);
+}
+
+TEST(ScatterRows, InvertsBipartition) {
+  Rng rng(3);
+  const CsrMatrix a = random_uniform(20, 8, 70, rng);
+  std::vector<Index> ids_a, ids_b;
+  for (Index r = 0; r < a.rows(); ++r)
+    (r % 3 == 0 ? ids_a : ids_b).push_back(r);
+  const CsrMatrix part_a = extract_rows(a, ids_a);
+  const CsrMatrix part_b = extract_rows(a, ids_b);
+  const CsrMatrix re = scatter_rows(a.rows(), ids_a, part_a, ids_b, part_b);
+  EXPECT_DOUBLE_EQ(CsrMatrix::max_abs_diff(a, re), 0.0);
+}
+
+TEST(ScatterRows, EmptySideHandled) {
+  Rng rng(4);
+  const CsrMatrix a = random_uniform(6, 4, 12, rng);
+  std::vector<Index> all;
+  for (Index r = 0; r < a.rows(); ++r) all.push_back(r);
+  const CsrMatrix part = extract_rows(a, all);
+  const CsrMatrix empty(0, 4);
+  const CsrMatrix re =
+      scatter_rows(a.rows(), all, part, std::vector<Index>{}, empty);
+  EXPECT_DOUBLE_EQ(CsrMatrix::max_abs_diff(a, re), 0.0);
+}
+
+TEST(ScatterRows, RejectsNonPartition) {
+  const CsrMatrix a(1, 2), b(1, 2);
+  const std::vector<Index> dup = {0};
+  EXPECT_THROW(scatter_rows(2, dup, a, dup, b), Error);  // duplicate id
+  const std::vector<Index> a_ids = {0}, b_ids = {1};
+  EXPECT_THROW(scatter_rows(3, a_ids, a, b_ids, b), Error);  // wrong count
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

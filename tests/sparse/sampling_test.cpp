@@ -1,0 +1,85 @@
+#include "sparse/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+TEST(ExtractSubmatrix, ValuesAndCoordinatesRemap) {
+  // 3x3 with known entries; extract rows {0,2}, cols {1,2}.
+  const std::vector<Triplet> trips = {{0, 1, 5}, {0, 2, 6}, {1, 1, 7},
+                                      {2, 2, 8}};
+  const CsrMatrix a = CsrMatrix::from_triplets(3, 3, trips);
+  const std::vector<Index> rows = {0, 2}, cols = {1, 2};
+  const CsrMatrix s = extract_submatrix(a, rows, cols);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(s.row_vals(0)[0], 5.0);  // (0,1)->(0,0)
+  EXPECT_DOUBLE_EQ(s.row_vals(0)[1], 6.0);  // (0,2)->(0,1)
+  EXPECT_DOUBLE_EQ(s.row_vals(1)[0], 8.0);  // (2,2)->(1,1)
+}
+
+TEST(SampleSubmatrixUniform, ShapeAndDensityPreserved) {
+  // Section IV-A.a: an n/k x n/k uniform sample scales per-row nnz by ~1/k.
+  Rng rng(1);
+  const CsrMatrix a = random_uniform(2000, 2000, 80000, rng);
+  const CsrMatrix s = sample_submatrix_uniform(a, 500, 500, rng);
+  EXPECT_EQ(s.rows(), 500u);
+  EXPECT_EQ(s.cols(), 500u);
+  const double expected = 80000.0 / 16.0;
+  EXPECT_NEAR(static_cast<double>(s.nnz()), expected, expected * 0.25);
+}
+
+TEST(SampleSubmatrixUniform, OversizeThrows) {
+  Rng rng(2);
+  const CsrMatrix a = random_uniform(10, 10, 20, rng);
+  EXPECT_THROW(sample_submatrix_uniform(a, 11, 5, rng), Error);
+}
+
+TEST(SampleSubmatrixContiguous, ExactBlock) {
+  const std::vector<Triplet> trips = {{1, 1, 9}, {2, 2, 4}};
+  const CsrMatrix a = CsrMatrix::from_triplets(4, 4, trips);
+  const CsrMatrix s = sample_submatrix_contiguous(a, 1, 1, 2, 2);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(s.row_vals(0)[0], 9.0);
+  EXPECT_THROW(sample_submatrix_contiguous(a, 3, 3, 2, 2), Error);
+}
+
+TEST(SampleRowsScalefree, PreservesRowDegrees) {
+  // Column folding keeps all entries of a sampled row (minus collisions),
+  // so sampled row degrees track the original degrees.
+  Rng rng(3);
+  const CsrMatrix a = scale_free(5000, 12, 2.2, rng);
+  const Index s = 100;
+  const CsrMatrix sample = sample_rows_scalefree(a, s, rng);
+  EXPECT_EQ(sample.rows(), s);
+  EXPECT_EQ(sample.cols(), s);
+  // Average sampled row degree within a factor of the original average
+  // (collisions only shrink it).
+  const double orig_avg = static_cast<double>(a.nnz()) / a.rows();
+  const double samp_avg = static_cast<double>(sample.nnz()) / s;
+  EXPECT_LE(samp_avg, orig_avg + 1e-9);
+  EXPECT_GT(samp_avg, orig_avg * 0.4);
+}
+
+TEST(SampleRowsScalefree, ColumnsWithinRange) {
+  Rng rng(4);
+  const CsrMatrix a = scale_free(1000, 8, 2.5, rng);
+  const CsrMatrix sample = sample_rows_scalefree(a, 31, rng);
+  for (Index r = 0; r < sample.rows(); ++r)
+    for (Index c : sample.row_cols(r)) EXPECT_LT(c, 31u);
+}
+
+TEST(SampleRowsScalefree, InvalidSizeThrows) {
+  Rng rng(5);
+  const CsrMatrix a = scale_free(100, 4, 2.0, rng);
+  EXPECT_THROW(sample_rows_scalefree(a, 0, rng), Error);
+  EXPECT_THROW(sample_rows_scalefree(a, 101, rng), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

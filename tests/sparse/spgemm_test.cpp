@@ -1,0 +1,135 @@
+#include "sparse/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+/// Dense reference multiply for validation.
+CsrMatrix dense_reference(const CsrMatrix& a, const CsrMatrix& b) {
+  std::vector<Triplet> trips;
+  for (Index i = 0; i < a.rows(); ++i) {
+    std::vector<double> row(b.cols(), 0.0);
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    for (size_t j = 0; j < ac.size(); ++j) {
+      const auto bc = b.row_cols(ac[j]);
+      const auto bv = b.row_vals(ac[j]);
+      for (size_t t = 0; t < bc.size(); ++t) row[bc[t]] += av[j] * bv[t];
+    }
+    for (Index c = 0; c < b.cols(); ++c)
+      if (row[c] != 0.0) trips.push_back({i, c, row[c]});
+  }
+  return CsrMatrix::from_triplets(a.rows(), b.cols(), trips);
+}
+
+class SpgemmRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpgemmRandomTest, MatchesDenseReference) {
+  Rng rng(GetParam());
+  const CsrMatrix a = random_uniform(40, 50, 300, rng, -1.0, 1.0);
+  const CsrMatrix b = random_uniform(50, 30, 250, rng, -1.0, 1.0);
+  const CsrMatrix c = spgemm(a, b);
+  const CsrMatrix ref = dense_reference(a, b);
+  EXPECT_LT(CsrMatrix::max_abs_diff(c, ref), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpgemmRandomTest,
+                         ::testing::Range(1, 9));
+
+TEST(Spgemm, IdentityIsNeutral) {
+  Rng rng(3);
+  const CsrMatrix a = random_uniform(20, 20, 80, rng);
+  const CsrMatrix i = CsrMatrix::identity(20);
+  EXPECT_LT(CsrMatrix::max_abs_diff(spgemm(a, i), a), 1e-15);
+  EXPECT_LT(CsrMatrix::max_abs_diff(spgemm(i, a), a), 1e-15);
+}
+
+TEST(Spgemm, CountersMatchLoadVolume) {
+  Rng rng(4);
+  const CsrMatrix a = random_uniform(30, 30, 200, rng);
+  SpgemmCounters counters;
+  const CsrMatrix c = spgemm(a, a, &counters);
+  // multiplies = sum over entries (i,k) of nnz(row k).
+  uint64_t expected = 0;
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index k : a.row_cols(i)) expected += a.row_nnz(k);
+  EXPECT_EQ(counters.multiplies, expected);
+  EXPECT_EQ(counters.c_nnz, c.nnz());
+  EXPECT_EQ(counters.rows, a.rows());
+  EXPECT_EQ(counters.a_nnz, a.nnz());
+}
+
+TEST(Spgemm, RowRangeStitchesToFullProduct) {
+  Rng rng(5);
+  const CsrMatrix a = random_uniform(60, 60, 500, rng);
+  const CsrMatrix full = spgemm(a, a);
+  for (Index split : {Index{0}, Index{17}, Index{60}}) {
+    const CsrMatrix c1 = spgemm_row_range(a, a, 0, split);
+    const CsrMatrix c2 = spgemm_row_range(a, a, split, 60);
+    EXPECT_LT(CsrMatrix::max_abs_diff(CsrMatrix::vstack(c1, c2), full),
+              1e-12);
+  }
+}
+
+TEST(Spgemm, ParallelMatchesSequential) {
+  Rng rng(6);
+  const CsrMatrix a = random_uniform(200, 200, 3000, rng);
+  ThreadPool pool(4);
+  SpgemmCounters seq_counters, par_counters;
+  const CsrMatrix seq = spgemm(a, a, &seq_counters);
+  const CsrMatrix par = spgemm_parallel(a, a, pool, &par_counters);
+  EXPECT_DOUBLE_EQ(CsrMatrix::max_abs_diff(seq, par), 0.0);
+  EXPECT_EQ(seq_counters.multiplies, par_counters.multiplies);
+}
+
+TEST(Spgemm, MaskedDecompositionSums) {
+  // C = A x B_mask0 + A x B_mask1 for any row bipartition of B — the HH
+  // algorithm's correctness hinges on this.
+  Rng rng(7);
+  const CsrMatrix a = random_uniform(50, 50, 600, rng);
+  std::vector<uint8_t> mask(a.rows());
+  for (Index r = 0; r < a.rows(); ++r) mask[r] = r % 3 == 0;
+  const CsrMatrix c0 =
+      spgemm_row_range_masked(a, a, 0, a.rows(), mask, 0);
+  const CsrMatrix c1 =
+      spgemm_row_range_masked(a, a, 0, a.rows(), mask, 1);
+  const CsrMatrix full = spgemm(a, a);
+  EXPECT_LT(CsrMatrix::max_abs_diff(sp_add(c0, c1), full), 1e-12);
+}
+
+TEST(Spgemm, MaskedCountersPartitionWork) {
+  Rng rng(8);
+  const CsrMatrix a = random_uniform(40, 40, 400, rng);
+  std::vector<uint8_t> mask(a.rows());
+  for (Index r = 0; r < a.rows(); ++r) mask[r] = r < 20;
+  SpgemmCounters m0, m1, all;
+  spgemm_row_range_masked(a, a, 0, a.rows(), mask, 0, &m0);
+  spgemm_row_range_masked(a, a, 0, a.rows(), mask, 1, &m1);
+  spgemm(a, a, &all);
+  EXPECT_EQ(m0.multiplies + m1.multiplies, all.multiplies);
+}
+
+TEST(SpAdd, AddsDisjointAndOverlapping) {
+  const std::vector<Triplet> ta = {{0, 0, 1}, {1, 1, 2}};
+  const std::vector<Triplet> tb = {{0, 0, 3}, {1, 0, 4}};
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 2, ta);
+  const CsrMatrix b = CsrMatrix::from_triplets(2, 2, tb);
+  const CsrMatrix c = sp_add(a, b);
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(c.row_vals(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(c.row_vals(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(c.row_vals(1)[1], 2.0);
+}
+
+TEST(Spgemm, ShapeMismatchThrows) {
+  const CsrMatrix a(2, 3), b(4, 2);
+  EXPECT_THROW(spgemm(a, b), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

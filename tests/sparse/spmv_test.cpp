@@ -1,0 +1,63 @@
+#include "sparse/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::sparse {
+namespace {
+
+TEST(Spmv, MatchesManualComputation) {
+  // [1 0 2; 0 3 0] * [1, 2, 3] = [7, 6]
+  const std::vector<Triplet> trips = {{0, 0, 1}, {0, 2, 2}, {1, 1, 3}};
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 3, trips);
+  const std::vector<double> x = {1, 2, 3};
+  const auto y = spmv(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Spmv, IdentityMatrix) {
+  const CsrMatrix eye = CsrMatrix::identity(5);
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_EQ(spmv(eye, x), x);
+}
+
+TEST(Spmv, RowRangeComposition) {
+  Rng rng(1);
+  const CsrMatrix a = random_uniform(80, 60, 700, rng, -1, 1);
+  std::vector<double> x(60);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform_real(-2, 2);
+  const auto full = spmv(a, x);
+  std::vector<double> pieced(80, 0.0);
+  spmv_row_range(a, x, pieced, 0, 33);
+  spmv_row_range(a, x, pieced, 33, 80);
+  EXPECT_LT(max_abs_diff(full, pieced), 1e-14);
+}
+
+TEST(Spmv, ParallelMatchesSequential) {
+  Rng rng(2);
+  const CsrMatrix a = random_uniform(500, 500, 6000, rng, -1, 1);
+  std::vector<double> x(500);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform_real();
+  ThreadPool pool(4);
+  EXPECT_EQ(spmv(a, x), spmv_parallel(a, x, pool));
+}
+
+TEST(Spmv, ShapeMismatchThrows) {
+  const CsrMatrix a(2, 3);
+  const std::vector<double> wrong(4, 0.0);
+  EXPECT_THROW(spmv(a, wrong), Error);
+}
+
+TEST(Spmv, MaxAbsDiffBasics) {
+  const std::vector<double> a = {1, 2}, b = {1.5, 1};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  const std::vector<double> c = {1};
+  EXPECT_THROW(max_abs_diff(a, c), Error);
+}
+
+}  // namespace
+}  // namespace nbwp::sparse

@@ -1,0 +1,60 @@
+#include "util/bestfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+namespace {
+
+TEST(BestFit, IdentityDataPicksIdentity) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  const auto best = best_threshold_model(xs, xs);
+  EXPECT_EQ(best.family, "identity");
+  EXPECT_NEAR(best.mean_rel_error, 0.0, 1e-12);
+}
+
+TEST(BestFit, SquareDataPicksSquare) {
+  // The paper's Section V relation t = t'^2.
+  const std::vector<double> xs = {2, 3, 5, 9};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(x * x);
+  const auto best = best_threshold_model(xs, ys);
+  // square and power(a=1,b=2) both fit exactly; either is acceptable.
+  EXPECT_TRUE(best.family == "square" || best.family == "power");
+  EXPECT_NEAR(best.apply(4.0), 16.0, 1e-6);
+}
+
+TEST(BestFit, ScaledDataPicksScale) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(17.0 * x);
+  const auto models = fit_threshold_models(xs, ys);
+  EXPECT_NEAR(models.front().apply(10.0), 170.0, 1e-6);
+}
+
+TEST(BestFit, AllFamiliesReturnedSortedByError) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  const auto models = fit_threshold_models(xs, ys);
+  ASSERT_GE(models.size(), 4u);
+  for (size_t i = 1; i < models.size(); ++i)
+    EXPECT_LE(models[i - 1].mean_rel_error, models[i].mean_rel_error);
+}
+
+TEST(BestFit, PowerFamilySkippedOnNonPositiveData) {
+  const std::vector<double> xs = {0, 1, 2};
+  const std::vector<double> ys = {0, 1, 2};
+  const auto models = fit_threshold_models(xs, ys);
+  for (const auto& m : models) EXPECT_NE(m.family, "power");
+}
+
+TEST(BestFit, RequiresTwoPoints) {
+  const std::vector<double> one = {1};
+  EXPECT_THROW(fit_threshold_models(one, one), Error);
+}
+
+}  // namespace
+}  // namespace nbwp

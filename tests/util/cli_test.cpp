@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.add_flag("verbose", "enable chatter");
+  cli.add_option("scale", "1.0", "generation scale");
+  cli.add_option("name", "cant", "dataset");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 1.0);
+  EXPECT_EQ(cli.str("name"), "cant");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--scale", "0.25"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 0.25);
+}
+
+TEST(Cli, EqualsValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--name=pwtk", "--verbose"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.str("name"), "pwtk");
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--scale"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, IntegerParsing) {
+  Cli cli("prog", "x");
+  cli.add_option("count", "7", "a count");
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.integer("count"), 42);
+}
+
+}  // namespace
+}  // namespace nbwp

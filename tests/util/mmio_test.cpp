@@ -1,0 +1,99 @@
+#include "util/mmio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+namespace {
+
+TEST(Mmio, ParsesGeneralRealMatrix) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 2 1.5\n"
+      "3 4 -2.0\n");
+  const TripletMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.rows, 3u);
+  EXPECT_EQ(m.cols, 4u);
+  EXPECT_FALSE(m.pattern);
+  EXPECT_FALSE(m.symmetric);
+  ASSERT_EQ(m.entries.size(), 2u);
+  EXPECT_EQ(m.entries[0].r, 0u);  // 0-based
+  EXPECT_EQ(m.entries[0].c, 1u);
+  EXPECT_DOUBLE_EQ(m.entries[1].v, -2.0);
+}
+
+TEST(Mmio, ParsesPatternSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  TripletMatrix m = read_matrix_market(in);
+  EXPECT_TRUE(m.pattern);
+  EXPECT_TRUE(m.symmetric);
+  m.expand_symmetry();
+  EXPECT_FALSE(m.symmetric);
+  // (1,0) mirrored to (0,1); diagonal (2,2) not duplicated.
+  EXPECT_EQ(m.entries.size(), 3u);
+}
+
+TEST(Mmio, ExpandSymmetryIdempotent) {
+  TripletMatrix m;
+  m.rows = m.cols = 2;
+  m.symmetric = true;
+  m.entries = {{1, 0, 2.0}};
+  m.expand_symmetry();
+  m.expand_symmetry();
+  EXPECT_EQ(m.entries.size(), 2u);
+}
+
+TEST(Mmio, RoundTrip) {
+  TripletMatrix m;
+  m.rows = 5;
+  m.cols = 6;
+  m.entries = {{0, 0, 1.0}, {4, 5, 2.5}, {2, 3, -1.0}};
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  std::istringstream in(out.str());
+  const TripletMatrix back = read_matrix_market(in);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  ASSERT_EQ(back.entries.size(), m.entries.size());
+  for (size_t i = 0; i < m.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].r, m.entries[i].r);
+    EXPECT_EQ(back.entries[i].c, m.entries[i].c);
+    EXPECT_DOUBLE_EQ(back.entries[i].v, m.entries[i].v);
+  }
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nbwp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{10}, uint64_t{1000}, uint64_t{1} << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBoundZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SampleWithoutReplacement, SortedUniqueCorrectSize) {
+  Rng rng(1);
+  for (uint64_t n : {uint64_t{10}, uint64_t{100}, uint64_t{10000}}) {
+    for (uint64_t k : {uint64_t{0}, uint64_t{1}, n / 7, n / 2, n}) {
+      const auto ids = sample_without_replacement(n, k, rng);
+      ASSERT_EQ(ids.size(), k);
+      EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+      EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()).size(), k);
+      for (uint64_t v : ids) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacement, SparseCaseCoversRange) {
+  // k << n exercises Floyd's algorithm.
+  Rng rng(2);
+  const auto ids = sample_without_replacement(1 << 20, 64, rng);
+  ASSERT_EQ(ids.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNThrows) {
+  Rng rng(3);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), Error);
+}
+
+TEST(SampleWithoutReplacement, EachElementEquallyLikely) {
+  Rng rng(17);
+  constexpr uint64_t kN = 20, kK = 5;
+  int counts[kN] = {};
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (uint64_t v : sample_without_replacement(kN, kK, rng)) ++counts[v];
+  }
+  const double expected = 20000.0 * kK / kN;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(23);
+  const auto perm = random_permutation(1000, rng);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(Hash64, DeterministicAndSpread) {
+  EXPECT_EQ(hash64(1), hash64(1));
+  EXPECT_NE(hash64(1), hash64(2));
+}
+
+}  // namespace
+}  // namespace nbwp

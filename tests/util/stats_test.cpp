@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nbwp {
+namespace {
+
+const std::vector<double> kXs = {1, 2, 3, 4, 5};
+
+TEST(Stats, Mean) { EXPECT_DOUBLE_EQ(mean(kXs), 3.0); }
+
+TEST(Stats, Variance) { EXPECT_DOUBLE_EQ(variance(kXs), 2.0); }
+
+TEST(Stats, Stddev) { EXPECT_NEAR(stddev(kXs), 1.41421356, 1e-6); }
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(kXs), 3.0);
+  const std::vector<double> even = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, MedianDoesNotReorderInput) {
+  std::vector<double> xs = {5, 1, 3};
+  (void)median(xs);
+  EXPECT_EQ(xs, (std::vector<double>{5, 1, 3}));
+}
+
+TEST(Stats, Percentiles) {
+  EXPECT_DOUBLE_EQ(percentile(kXs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(kXs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(kXs, 25), 2.0);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  EXPECT_THROW(percentile(kXs, -1), Error);
+  EXPECT_THROW(percentile(kXs, 101), Error);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs = {1, 4, 16};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-9);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1, 0};
+  EXPECT_THROW(geomean(xs), Error);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of(kXs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(kXs), 5.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), Error);
+  EXPECT_THROW(variance(empty), Error);
+  EXPECT_THROW(median(empty), Error);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit(10), 21.0, 1e-9);
+}
+
+TEST(LinearFit, ConstantXGivesFlatLine) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x);  // y = 3 x^2
+  }
+  const PowerFit fit = power_fit(xs, ys);
+  EXPECT_NEAR(fit.scale, 3.0, 1e-6);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit(3.0), 27.0, 1e-6);
+}
+
+TEST(PowerFit, RejectsNonPositive) {
+  const std::vector<double> xs = {1, -1};
+  const std::vector<double> ys = {1, 1};
+  EXPECT_THROW(power_fit(xs, ys), Error);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  RunningStats rs;
+  for (double x : kXs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_NEAR(rs.variance(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strfmt("plain"), "plain");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Strfmt, LongOutputsNotTruncated) {
+  const std::string big(5000, 'a');
+  EXPECT_EQ(strfmt("%s!", big.c_str()).size(), 5001u);
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash (output goes to stderr and is filtered).
+  log_debug("hidden");
+  log_info("hidden");
+  log_warn("hidden");
+  log_error("visible");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -1,0 +1,34 @@
+// Scratch calibration probe (not part of the library build).
+#include <cstdio>
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "datasets/table2.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+using namespace nbwp;
+int main() {
+  const auto& plat = hetsim::Platform::reference();
+  printf("NaiveStatic gpu share: %.1f%%\n", plat.naive_static_gpu_share_pct());
+
+  printf("\n== CC (scale 1/8 or min) ==\n");
+  for (const auto& spec : datasets::table2()) {
+    const double scale = spec.paper_n > 1200000 ? 0.25 : 1.0;
+    auto g = datasets::make_graph(spec, scale);
+    hetalg::HeteroCc cc(std::move(g), plat);
+    auto ex = core::exhaustive_search(cc, 1.0);
+    core::SamplingConfig cfg;
+    cfg.method = core::IdentifyMethod::kCoarseToFine;
+    auto est = core::estimate_partition(cc, cfg);
+    const double t_est_time = cc.time_ns(est.threshold);
+    printf("%-16s n=%7u m=%9llu exh_t=%5.1f (gpu %4.1f) est_t=%5.1f exh_ms=%8.2f est_ms=%8.2f (+%5.1f%%) ovh=%5.1f%%\n",
+           spec.name.c_str(), cc.input().num_vertices(),
+           (unsigned long long)cc.input().num_edges(),
+           ex.best_threshold, 100-ex.best_threshold, est.threshold,
+           ex.best_time_ns/1e6, t_est_time/1e6,
+           100.0*(t_est_time-ex.best_time_ns)/ex.best_time_ns,
+           100.0*est.estimation_cost_ns/(est.estimation_cost_ns+t_est_time));
+  }
+  return 0;
+}

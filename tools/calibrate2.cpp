@@ -1,0 +1,58 @@
+#include <cstdio>
+#include "core/baselines.hpp"
+#include "core/exhaustive.hpp"
+#include "core/sampling_partitioner.hpp"
+#include "datasets/table2.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "core/extrapolate.hpp"
+using namespace nbwp;
+int main(int argc, char**) {
+  const auto& plat = hetsim::Platform::reference();
+  printf("NaiveStatic cpu share: %.1f\n", core::naive_static_cpu_share_pct(plat));
+  printf("\n== SPMM (Alg 2) ==\n");
+  for (const auto& spec : datasets::spmm_datasets()) {
+    const double scale = spec.paper_n > 1200000 ? 0.25 : 1.0;
+    auto a = datasets::make_matrix(spec, scale);
+    hetalg::HeteroSpmm prob(std::move(a), plat);
+    auto ex = core::exhaustive_search(prob, 1.0);
+    core::SamplingConfig cfg;
+    cfg.sample_factor = 0.25;
+    cfg.method = core::IdentifyMethod::kRaceThenFine;
+    auto est = core::estimate_partition(prob, cfg);
+    const double te = prob.time_ns(est.threshold);
+    printf("%-16s n=%7u nnz=%9llu work=%11llu exh_r=%5.1f est_r=%5.1f exh_ms=%9.2f est_ms=%9.2f (+%5.1f%%) ovh=%5.1f%%\n",
+      spec.name.c_str(), prob.a().rows(), (unsigned long long)prob.a().nnz(),
+      (unsigned long long)prob.total_work(), ex.best_threshold, est.threshold,
+      ex.best_time_ns/1e6, te/1e6, 100*(te-ex.best_time_ns)/ex.best_time_ns,
+      100*est.estimation_cost_ns/(est.estimation_cost_ns+te));
+  }
+  printf("\n== Scale-free HH (Alg 3) ==\n");
+  for (const auto& spec : datasets::scale_free_datasets()) {
+    auto a = datasets::make_matrix(spec, 1.0);
+    hetalg::HeteroSpmmHh prob(std::move(a), plat);
+    auto cands = prob.candidate_thresholds(192);
+    auto ex = core::exhaustive_search_over(prob, cands);
+    core::SamplingConfig cfg;
+    cfg.sample_factor = 1.0;
+    cfg.method = core::IdentifyMethod::kGradientDescent;
+    cfg.gradient.log_space = true;
+    cfg.gradient.starts = 2;
+    cfg.gradient.max_iterations = 10;
+    cfg.gradient.initial_step_fraction = 0.2;
+    auto est = core::estimate_partition(
+        prob, cfg,
+        [](const hetalg::HeteroSpmmHh& f, const hetalg::HeteroSpmmHh& smp,
+           double ts) { return core::work_share_extrapolate(f, smp, ts); });
+    const double fold = core::fold_inversion(
+        est.sample_threshold, (double)prob.sample_size(cfg.sample_factor));
+    const double t_scaled = est.threshold;
+    const double te = prob.time_ns(est.threshold);
+    printf("%-16s n=%7u maxdeg=%6llu exh_t=%8.1f ts=%6.2f est=%8.1f fold=%8.1f exh_ms=%9.2f est_ms=%9.2f (+%6.1f%%) ovh=%5.2f%%\n",
+      spec.name.c_str(), prob.a().rows(), (unsigned long long)prob.max_degree(),
+      ex.best_threshold, est.sample_threshold, t_scaled, fold,
+      ex.best_time_ns/1e6, te/1e6, 100*(te-ex.best_time_ns)/ex.best_time_ns,
+      100*est.estimation_cost_ns/(est.estimation_cost_ns+te));
+  }
+  return 0;
+}
