@@ -31,7 +31,11 @@
 #include "hetalg/hetero_spmm_hh.hpp"
 #include "hetalg/hetero_spmv.hpp"
 #include "hetsim/trace.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -45,6 +49,8 @@ struct Request {
   double threshold = -1;
   std::string csv;
   std::string trace;
+  std::string metrics;     ///< --metrics: metric snapshot JSON path
+  std::string trace_real;  ///< --trace-real: wall-clock Chrome trace path
 };
 
 core::SamplingConfig config_for(const std::string& workload,
@@ -103,6 +109,12 @@ int drive(const char* command, const Request& req, const Problem& problem,
   // estimate (default)
   const auto ex = exhaust(problem);
   const auto est = estimate(problem);
+  if (obs::metrics_enabled() || obs::trace_enabled()) {
+    // Execute the algorithm once at the estimate so kernel spans and
+    // thread-pool utilization show up alongside the estimation metrics.
+    obs::Span span("execute");
+    (void)problem.run(est.threshold);
+  }
   Table table("estimate — " + req.workload + " on " + req.dataset);
   table.set_header({"strategy", "threshold", "makespan(ms)",
                     "vs exhaustive"});
@@ -228,7 +240,11 @@ int main(int argc, char** argv) {
   cli.add_option("mtx-dir", "", "directory with original .mtx files");
   cli.add_option("threshold", "-1", "run: threshold (default: estimate)");
   cli.add_option("csv", "", "sweep: CSV output path");
-  cli.add_option("trace", "", "run: Chrome trace output path");
+  cli.add_option("trace", "", "run: virtual-time Chrome trace output path");
+  cli.add_option("metrics", "", "write a metric snapshot JSON here");
+  cli.add_option("trace-real", "",
+                 "write a wall-clock Chrome/Perfetto trace here");
+  cli.add_option("log-level", "info", "debug | info | warn | error");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
 
   Request req;
@@ -242,9 +258,37 @@ int main(int argc, char** argv) {
   req.threshold = cli.real("threshold");
   req.csv = cli.str("csv");
   req.trace = cli.str("trace");
+  req.metrics = cli.str("metrics");
+  req.trace_real = cli.str("trace-real");
 
   try {
-    return run_command(command, req);
+    set_log_level(parse_log_level(cli.str("log-level")));
+    if (!req.metrics.empty()) obs::set_metrics_enabled(true);
+    if (!req.trace_real.empty()) obs::set_trace_enabled(true);
+
+    const int rc = run_command(command, req);
+
+    if (!req.metrics.empty()) {
+      obs::RunManifest manifest;
+      manifest.tool = "nbwp_cli";
+      manifest.command = command;
+      for (const auto& [k, v] : cli.items()) manifest.config[k] = v;
+      manifest.outputs["metrics"] = req.metrics;
+      if (!req.trace_real.empty())
+        manifest.outputs["trace_real"] = req.trace_real;
+      manifest.metrics = obs::Registry::global().snapshot();
+      obs::write_metrics_json_file(req.metrics, manifest.metrics);
+      obs::write_manifest_file(obs::manifest_path_for(req.metrics),
+                               manifest);
+      std::printf("metrics written: %s (+%s)\n", req.metrics.c_str(),
+                  obs::manifest_path_for(req.metrics).c_str());
+    }
+    if (!req.trace_real.empty()) {
+      obs::Tracer::global().write_chrome_trace_file(
+          req.trace_real, req.workload + ":" + req.dataset);
+      std::printf("real-time trace written: %s\n", req.trace_real.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -76,5 +76,6 @@ int main(int argc, char** argv) {
     ablate("Identify ablation — spmm on web-BerkStan (sample n/4)", problem,
            problem.make_sample(0.25, rng));
   }
+  bench::finish_run(cli, "ablate_identify");
   return 0;
 }

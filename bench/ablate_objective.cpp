@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
                    Table::num(slow(mks.threshold), 1)});
   }
   exp::emit(table);
+  bench::finish_run(cli, "ablate_objective");
   return 0;
 }

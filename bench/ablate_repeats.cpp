@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   exp::emit(table);
   std::printf("Expected shape: thresholds steady or tightening toward the "
               "exhaustive value as repeats grow; cost scales ~linearly.\n");
+  bench::finish_run(cli, "ablate_repeats");
   return 0;
 }

@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
   std::printf("Shape: importance samples hold orders of magnitude more "
               "edges; whether that helps depends on how degree-biased the "
               "subgraph's balance is — the trade-off the paper deferred.\n");
+  bench::finish_run(cli, "ablate_sampling_method");
   return 0;
 }

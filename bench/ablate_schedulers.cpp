@@ -78,5 +78,6 @@ int main(int argc, char** argv) {
               "dispatch traffic) to match it; profile rebalance suffers on "
               "the gradient FEM inputs whose early rows are "
               "unrepresentative of the tail.\n");
+  bench::finish_run(cli, "ablate_schedulers");
   return 0;
 }

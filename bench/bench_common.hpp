@@ -4,12 +4,29 @@
 #include <string>
 
 #include "exp/experiment.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace nbwp::bench {
 
+/// Observability options shared by every bench binary (including the
+/// ones without suite options).
+inline void add_observability_options(Cli& cli) {
+  cli.add_option("log-level", "info", "debug | info | warn | error");
+  cli.add_option("metrics", "", "write a metric snapshot JSON here");
+}
+
+/// Apply --log-level and enable metric collection when --metrics is set.
+inline void apply_observability(const Cli& cli) {
+  set_log_level(parse_log_level(cli.str("log-level")));
+  if (!cli.str("metrics").empty()) obs::set_metrics_enabled(true);
+}
+
 /// Standard options: --scale (0 = per-dataset default), --seed,
-/// --sampling-seed, --repeats, --csv <path>.
+/// --sampling-seed, --repeats, --csv <path>, --log-level, --metrics.
 inline void add_suite_options(Cli& cli) {
   cli.add_option("scale", "0",
                  "dataset generation scale; 0 = per-dataset default");
@@ -19,9 +36,11 @@ inline void add_suite_options(Cli& cli) {
   cli.add_option("mtx-dir", "",
                  "directory with original .mtx files (loaded when present)");
   cli.add_option("csv", "", "also write results to this CSV path");
+  add_observability_options(cli);
 }
 
 inline exp::SuiteOptions suite_options(const Cli& cli) {
+  apply_observability(cli);
   exp::SuiteOptions o;
   o.scale = cli.real("scale");
   o.seed = static_cast<uint64_t>(cli.integer("seed"));
@@ -29,6 +48,27 @@ inline exp::SuiteOptions suite_options(const Cli& cli) {
   o.repeats = static_cast<int>(cli.integer("repeats"));
   o.mtx_dir = cli.str("mtx-dir");
   return o;
+}
+
+/// Call before returning from a bench main: writes the metric snapshot
+/// when --metrics was given, and a run manifest (tool, resolved options,
+/// outputs, metrics) next to the CSV when --csv was given, so every
+/// result file is self-describing.
+inline void finish_run(const Cli& cli, const std::string& tool) {
+  const std::string metrics_path =
+      cli.has_option("metrics") ? cli.str("metrics") : "";
+  const std::string csv = cli.has_option("csv") ? cli.str("csv") : "";
+  if (!metrics_path.empty())
+    obs::write_metrics_json_file(metrics_path,
+                                 obs::Registry::global().snapshot());
+  if (csv.empty()) return;
+  obs::RunManifest manifest;
+  manifest.tool = tool;
+  for (const auto& [k, v] : cli.items()) manifest.config[k] = v;
+  manifest.outputs["csv"] = csv;
+  if (!metrics_path.empty()) manifest.outputs["metrics"] = metrics_path;
+  manifest.metrics = obs::Registry::global().snapshot();
+  obs::write_manifest_file(obs::manifest_path_for(csv), manifest);
 }
 
 }  // namespace nbwp::bench

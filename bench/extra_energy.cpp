@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
                    Table::num(energy_at(best_t_energy), 2)});
   }
   exp::emit(table);
+  bench::finish_run(cli, "extra_energy");
   return 0;
 }

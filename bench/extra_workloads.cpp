@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
     }
     exp::emit(table);
   }
+  bench::finish_run(cli, "extra_workloads");
   return 0;
 }

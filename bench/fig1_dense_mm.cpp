@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
                  "comma-separated square matrix sizes");
   cli.add_option("seed", "1", "data seed");
   cli.add_option("csv", "", "also write results to this CSV path");
+  bench::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::apply_observability(cli);
 
   std::vector<uint32_t> sizes;
   {
@@ -34,5 +36,6 @@ int main(int argc, char** argv) {
   exp::emit(exp::dense_figure(results), cli.str("csv"));
   std::cout << "Shape check: NaiveStatic should be within a few points of "
                "Exhaustive on every size (regular workload).\n";
+  bench::finish_run(cli, "fig1_dense_mm");
   return 0;
 }

@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
               "%.1f%% (paper 4), overhead %.1f%% (paper 9)\n",
               summary.threshold_diff_pct, summary.time_diff_pct,
               summary.overhead_pct);
+  bench::finish_run(cli, "fig3_cc");
   return 0;
 }

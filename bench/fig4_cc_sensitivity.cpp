@@ -29,5 +29,6 @@ int main(int argc, char** argv) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  bench::finish_run(cli, "fig4_cc_sensitivity");
   return 0;
 }

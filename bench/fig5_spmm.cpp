@@ -24,5 +24,6 @@ int main(int argc, char** argv) {
               "diff %.1f%% (paper 19.1), overhead %.1f%% (paper 13)\n",
               summary.threshold_diff_pct, summary.time_diff_pct,
               summary.overhead_pct);
+  bench::finish_run(cli, "fig5_spmm");
   return 0;
 }

@@ -27,5 +27,6 @@ int main(int argc, char** argv) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  bench::finish_run(cli, "fig6_spmm_sensitivity");
   return 0;
 }

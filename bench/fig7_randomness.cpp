@@ -26,5 +26,6 @@ int main(int argc, char** argv) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+  bench::finish_run(cli, "fig7_randomness");
   return 0;
 }

@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
               "EXPERIMENTS.md on the sampling variant)\n",
               summary.threshold_diff_pct, summary.time_diff_pct,
               summary.overhead_pct);
+  bench::finish_run(cli, "fig8_scalefree");
   return 0;
 }

@@ -82,5 +82,6 @@ int main(int argc, char** argv) {
               rel_err(fold_pred), rel_err(share_pred));
   std::printf("(the library's default for HH is work-share matching; see "
               "DESIGN.md §9.3)\n");
+  bench::finish_run(cli, "fit_extrapolation");
   return 0;
 }

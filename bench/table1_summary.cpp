@@ -18,5 +18,6 @@ int main(int argc, char** argv) {
   rows.push_back(exp::summarize("Scale-free spmm",
                                 exp::run_hh_suite(platform, options)));
   exp::emit(exp::table_one(rows), cli.str("csv"));
+  bench::finish_run(cli, "table1_summary");
   return 0;
 }

@@ -10,10 +10,13 @@ int main(int argc, char** argv) {
                  "scale applied to the multi-million-node datasets");
   cli.add_option("seed", "1", "generation seed");
   cli.add_option("csv", "", "also write results to this CSV path");
+  bench::add_observability_options(cli);
   if (!cli.parse(argc, argv)) return 0;
+  bench::apply_observability(cli);
 
   exp::emit(exp::table_two(cli.real("scale-large"),
                            static_cast<uint64_t>(cli.integer("seed"))),
             cli.str("csv"));
+  bench::finish_run(cli, "table2_datasets");
   return 0;
 }

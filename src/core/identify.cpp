@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strfmt.hpp"
 
 namespace nbwp::core {
 
@@ -30,10 +35,43 @@ IdentifyResult grid(const Evaluator& eval, double lo, double hi,
   return r;
 }
 
-}  // namespace
+/// Run `search` on `eval`, with per-method accounting when metrics
+/// collection is on: objective evaluations, *distinct* thresholds
+/// visited (grids visit each once; descent revisits its incumbent), and
+/// the virtual cost charged to the estimation overhead.
+template <typename Search>
+IdentifyResult instrumented(const char* method, const Evaluator& eval,
+                            const Search& search) {
+  if (!obs::metrics_enabled()) {
+    const IdentifyResult r = search(eval);
+    log_debug(strfmt("identify.%s: t'=%.2f after %d evaluations", method,
+                     r.best_threshold, r.evaluations));
+    return r;
+  }
+  std::vector<double> visited;
+  Evaluator probe = eval;
+  probe.objective_ns = [&eval, &visited](double t) {
+    visited.push_back(t);
+    return eval.objective_ns(t);
+  };
+  const IdentifyResult r = search(probe);
+  std::sort(visited.begin(), visited.end());
+  const auto distinct = static_cast<double>(
+      std::unique(visited.begin(), visited.end()) - visited.begin());
+  const std::string prefix = std::string("identify.") + method;
+  obs::count(prefix + ".calls");
+  obs::count(prefix + ".evaluations", r.evaluations);
+  obs::count(prefix + ".thresholds_visited", distinct);
+  obs::count(prefix + ".virtual_cost_ns", r.cost_ns);
+  log_debug(strfmt("identify.%s: t'=%.2f after %d evaluations "
+                   "(%.0f distinct thresholds, virtual cost %.3f ms)",
+                   method, r.best_threshold, r.evaluations, distinct,
+                   r.cost_ns / 1e6));
+  return r;
+}
 
-IdentifyResult coarse_to_fine(const Evaluator& eval, double coarse_step,
-                              double fine_step) {
+IdentifyResult coarse_to_fine_impl(const Evaluator& eval, double coarse_step,
+                                   double fine_step) {
   IdentifyResult coarse = grid(eval, eval.lo, eval.hi, coarse_step);
   const double lo = std::max(eval.lo, coarse.best_threshold - coarse_step);
   const double hi = std::min(eval.hi, coarse.best_threshold + coarse_step);
@@ -47,13 +85,13 @@ IdentifyResult coarse_to_fine(const Evaluator& eval, double coarse_step,
   return fine;
 }
 
-IdentifyResult flat_grid(const Evaluator& eval, double step) {
+IdentifyResult flat_grid_impl(const Evaluator& eval, double step) {
   return grid(eval, eval.lo, eval.hi, step);
 }
 
-IdentifyResult race_then_fine(const Evaluator& eval, double cpu_all_ns,
-                              double gpu_all_ns, double fine_halfwidth,
-                              double fine_step) {
+IdentifyResult race_then_fine_impl(const Evaluator& eval, double cpu_all_ns,
+                                   double gpu_all_ns, double fine_halfwidth,
+                                   double fine_step) {
   NBWP_REQUIRE(cpu_all_ns >= 0 && gpu_all_ns >= 0,
                "device times must be non-negative");
   const double denom = cpu_all_ns + gpu_all_ns;
@@ -69,8 +107,8 @@ IdentifyResult race_then_fine(const Evaluator& eval, double cpu_all_ns,
   return r;
 }
 
-IdentifyResult gradient_descent(const Evaluator& eval,
-                                GradientDescentOptions options) {
+IdentifyResult gradient_descent_impl(const Evaluator& eval,
+                                     GradientDescentOptions options) {
   const bool logs = options.log_space;
   NBWP_REQUIRE(!logs || eval.lo > 0, "log-space search needs lo > 0");
   NBWP_REQUIRE(options.starts >= 1, "need at least one start");
@@ -109,8 +147,8 @@ IdentifyResult gradient_descent(const Evaluator& eval,
   return best;
 }
 
-IdentifyResult golden_section(const Evaluator& eval, double tolerance,
-                              int max_iterations) {
+IdentifyResult golden_section_impl(const Evaluator& eval, double tolerance,
+                                   int max_iterations) {
   constexpr double kPhi = 0.6180339887498949;
   IdentifyResult r;
   double a = eval.lo, b = eval.hi;
@@ -137,6 +175,44 @@ IdentifyResult golden_section(const Evaluator& eval, double tolerance,
     }
   }
   return r;
+}
+
+}  // namespace
+
+IdentifyResult coarse_to_fine(const Evaluator& eval, double coarse_step,
+                              double fine_step) {
+  return instrumented("coarse_to_fine", eval, [&](const Evaluator& e) {
+    return coarse_to_fine_impl(e, coarse_step, fine_step);
+  });
+}
+
+IdentifyResult flat_grid(const Evaluator& eval, double step) {
+  return instrumented("flat_grid", eval, [&](const Evaluator& e) {
+    return flat_grid_impl(e, step);
+  });
+}
+
+IdentifyResult race_then_fine(const Evaluator& eval, double cpu_all_ns,
+                              double gpu_all_ns, double fine_halfwidth,
+                              double fine_step) {
+  return instrumented("race_then_fine", eval, [&](const Evaluator& e) {
+    return race_then_fine_impl(e, cpu_all_ns, gpu_all_ns, fine_halfwidth,
+                               fine_step);
+  });
+}
+
+IdentifyResult gradient_descent(const Evaluator& eval,
+                                GradientDescentOptions options) {
+  return instrumented("gradient_descent", eval, [&](const Evaluator& e) {
+    return gradient_descent_impl(e, options);
+  });
+}
+
+IdentifyResult golden_section(const Evaluator& eval, double tolerance,
+                              int max_iterations) {
+  return instrumented("golden_section", eval, [&](const Evaluator& e) {
+    return golden_section_impl(e, tolerance, max_iterations);
+  });
 }
 
 }  // namespace nbwp::core

@@ -23,8 +23,11 @@
 #include <functional>
 
 #include "core/identify.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/strfmt.hpp"
 
 namespace nbwp::core {
 
@@ -135,21 +138,43 @@ PartitionEstimate estimate_partition(const P& problem,
                                      const SamplingConfig& cfg,
                                      ExtrapolateFn&& extrapolate) {
   NBWP_REQUIRE(cfg.repeats >= 1, "repeats must be >= 1");
+  obs::Span estimate_span("estimate");
+  obs::count("estimate.calls");
   Rng rng(cfg.seed);
   PartitionEstimate est;
   double threshold_sum = 0;
   for (int rep = 0; rep < cfg.repeats; ++rep) {
-    const P sample = problem.make_sample(cfg.sample_factor, rng);
+    const P sample = [&] {
+      obs::Span span("estimate.sample");
+      return problem.make_sample(cfg.sample_factor, rng);
+    }();
     est.estimation_cost_ns += problem.sampling_cost_ns(cfg.sample_factor);
     Rng noise_rng = rng.fork();
-    const IdentifyResult found = detail::identify_on(sample, cfg, noise_rng);
+    const IdentifyResult found = [&] {
+      obs::Span span("estimate.identify");
+      return detail::identify_on(sample, cfg, noise_rng);
+    }();
     est.estimation_cost_ns += found.cost_ns;
     est.evaluations += found.evaluations;
     est.sample_threshold = found.best_threshold;
-    threshold_sum += extrapolate(problem, sample, found.best_threshold);
+    {
+      obs::Span span("estimate.extrapolate");
+      threshold_sum += extrapolate(problem, sample, found.best_threshold);
+    }
+    log_debug(strfmt("estimate repeat %d/%d: t'=%.2f after %d evaluations "
+                     "(virtual cost %.3f ms)",
+                     rep + 1, cfg.repeats, found.best_threshold,
+                     found.evaluations, found.cost_ns / 1e6));
   }
   est.threshold = std::clamp(threshold_sum / cfg.repeats,
                              problem.threshold_lo(), problem.threshold_hi());
+  obs::count("estimate.repeats", cfg.repeats);
+  obs::count("estimate.evaluations", est.evaluations);
+  obs::count("estimate.virtual_cost_ns", est.estimation_cost_ns);
+  log_debug(strfmt("estimate: extrapolated threshold %.2f (%d evaluations, "
+                   "virtual cost %.3f ms)",
+                   est.threshold, est.evaluations,
+                   est.estimation_cost_ns / 1e6));
   return est;
 }
 

@@ -13,6 +13,7 @@
 #include "hetalg/hetero_gemm.hpp"
 #include "hetalg/hetero_spmm.hpp"
 #include "hetalg/hetero_spmm_hh.hpp"
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/mmio.hpp"
 #include "util/stats.hpp"
@@ -86,9 +87,11 @@ std::vector<CaseResult> run_suite(const std::vector<datasets::DatasetSpec>& spec
                                   const Build& build,
                                   const Estimate& estimate,
                                   const Exhaust& exhaust, bool relative_diff) {
+  obs::Span suite_span("suite");
   std::vector<double> optima(specs.size());
   std::vector<core::ExhaustiveResult> oracle(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
+    obs::Span span("suite.exhaustive");
     const Problem problem = build(specs[i]);
     oracle[i] = exhaust(problem);
     optima[i] = oracle[i].best_threshold;
@@ -100,6 +103,9 @@ std::vector<CaseResult> run_suite(const std::vector<datasets::DatasetSpec>& spec
   std::vector<CaseResult> results;
   results.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
+    obs::Span case_span("suite.case");
+    log_debug(strfmt("estimating %s (%zu/%zu)", specs[i].name.c_str(),
+                     i + 1, specs.size()));
     const Problem problem = build(specs[i]);
     CaseResult r;
     r.dataset = specs[i].name;
@@ -148,6 +154,11 @@ std::vector<CaseResult> run_suite(const std::vector<datasets::DatasetSpec>& spec
         100.0 * (r.estimated_ns - r.exhaustive_ns) / r.exhaustive_ns;
     r.overhead_pct = 100.0 * r.estimation_cost_ns /
                      (r.estimation_cost_ns + r.estimated_ns);
+    log_debug(strfmt("%s: estimated t=%.1f vs exhaustive t=%.1f "
+                     "(slowdown %.2f%%, overhead %.2f%%)",
+                     r.dataset.c_str(), r.estimated_threshold,
+                     r.exhaustive_threshold, r.time_diff_pct,
+                     r.overhead_pct));
     results.push_back(std::move(r));
   }
   return results;
@@ -272,6 +283,10 @@ std::vector<SensitivityPoint> run_sensitivity(
     p.estimation_cost_ns = est.estimation_cost_ns;
     p.run_ns = run_ns;
     p.total_ns = est.estimation_cost_ns + run_ns;
+    log_debug(strfmt("sensitivity factor %.3f: sample %llu, t=%.2f, "
+                     "total %.3f ms",
+                     factor, static_cast<unsigned long long>(sample_size),
+                     est.threshold, p.total_ns / 1e6));
     out.push_back(p);
   };
   switch (workload) {
@@ -328,6 +343,8 @@ std::vector<RandomnessPoint> run_randomness_study(
     p.run_ns = problem.time_ns(threshold);
     p.exhaustive_threshold = ex.best_threshold;
     p.exhaustive_ns = ex.best_time_ns;
+    log_debug(strfmt("randomness %s: t=%.2f (exhaustive %.2f)",
+                     label.c_str(), threshold, ex.best_threshold));
     out.push_back(p);
   };
 

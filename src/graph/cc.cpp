@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/error.hpp"
 
@@ -102,6 +103,7 @@ CcResult cc_dfs(const CsrGraph& g) {
 }
 
 CcResult cc_union_find(const CsrGraph& g) {
+  obs::Span span("kernel.cc.union_find");
   const Vertex n = g.num_vertices();
   Dsu dsu(n);
   for (Vertex u = 0; u < n; ++u)
@@ -116,6 +118,7 @@ CcResult cc_union_find(const CsrGraph& g) {
 
 CcResult cc_chunked_parallel(const CsrGraph& g, ThreadPool& pool,
                              unsigned chunks) {
+  obs::Span span("kernel.cc.chunked_parallel");
   const Vertex n = g.num_vertices();
   CcResult r;
   r.labels.assign(n, kUnvisited);
@@ -147,6 +150,7 @@ CcResult cc_chunked_parallel(const CsrGraph& g, ThreadPool& pool,
 
 CcResult cc_label_propagation(const CsrGraph& g, ThreadPool& pool,
                               uint64_t max_iters) {
+  obs::Span span("kernel.cc.label_propagation");
   const Vertex n = g.num_vertices();
   CcResult r;
   r.labels.resize(n);
@@ -168,10 +172,13 @@ CcResult cc_label_propagation(const CsrGraph& g, ThreadPool& pool,
     ++r.iterations;
   }
   r.num_components = count_components(r.labels);
+  obs::count("kernel.cc.label_propagation.iterations",
+             static_cast<double>(r.iterations));
   return r;
 }
 
 CcResult cc_shiloach_vishkin(const CsrGraph& g) {
+  obs::Span span("kernel.cc.shiloach_vishkin");
   const Vertex n = g.num_vertices();
   CcResult r;
   r.labels.resize(n);
@@ -214,6 +221,9 @@ CcResult cc_shiloach_vishkin(const CsrGraph& g) {
 
 Vertex merge_cross_edges(std::span<Vertex> labels,
                          std::span<const Edge> cross_edges) {
+  obs::Span span("kernel.cc.merge_cross_edges");
+  obs::count("kernel.cc.cross_edges",
+             static_cast<double>(cross_edges.size()));
   const auto n = static_cast<Vertex>(labels.size());
   Dsu dsu(n);
   // Seed the DSU with the existing label structure.

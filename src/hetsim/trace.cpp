@@ -5,20 +5,12 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strfmt.hpp"
 
 namespace nbwp::hetsim {
 
 namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') out += '\\';
-    out += ch;
-  }
-  return out;
-}
-
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;

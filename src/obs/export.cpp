@@ -1,0 +1,116 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::obs {
+
+namespace {
+
+/// Shortest round-trippable representation that is always valid JSON
+/// (never "nan"/"inf", which JSON forbids).
+std::string json_num(double v) {
+  if (v != v) return "null";
+  if (v > 1e308 || v < -1e308) return "null";
+  std::string s = strfmt("%.17g", v);
+  // Prefer a compact form when it round-trips exactly.
+  const std::string compact = strfmt("%.12g", v);
+  if (std::stod(compact) == v) s = compact;
+  return s;
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "nbwp_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << json_num(v);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << json_num(v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name)
+       << strfmt(":{\"count\":%zu,\"sum\":%s,\"min\":%s,\"max\":%s,"
+                 "\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+                 h.count, json_num(h.sum).c_str(), json_num(h.min).c_str(),
+                 json_num(h.max).c_str(), json_num(h.mean).c_str(),
+                 json_num(h.p50).c_str(), json_num(h.p95).c_str(),
+                 json_num(h.p99).c_str());
+  }
+  os << "}}";
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snap) {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open metrics output " + path);
+  write_metrics_json(f, snap);
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "kind,name,stat,value\n";
+  for (const auto& [name, v] : snap.counters)
+    os << strfmt("counter,%s,value,%.17g\n", name.c_str(), v);
+  for (const auto& [name, v] : snap.gauges)
+    os << strfmt("gauge,%s,value,%.17g\n", name.c_str(), v);
+  for (const auto& [name, h] : snap.histograms) {
+    os << strfmt("histogram,%s,count,%zu\n", name.c_str(), h.count);
+    os << strfmt("histogram,%s,sum,%.17g\n", name.c_str(), h.sum);
+    os << strfmt("histogram,%s,min,%.17g\n", name.c_str(), h.min);
+    os << strfmt("histogram,%s,max,%.17g\n", name.c_str(), h.max);
+    os << strfmt("histogram,%s,mean,%.17g\n", name.c_str(), h.mean);
+    os << strfmt("histogram,%s,p50,%.17g\n", name.c_str(), h.p50);
+    os << strfmt("histogram,%s,p95,%.17g\n", name.c_str(), h.p95);
+    os << strfmt("histogram,%s,p99,%.17g\n", name.c_str(), h.p99);
+  }
+}
+
+void write_metrics_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << strfmt("%s %.17g\n", n.c_str(), v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << strfmt("%s %.17g\n", n.c_str(), v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " summary\n";
+    os << strfmt("%s{quantile=\"0.5\"} %.17g\n", n.c_str(), h.p50);
+    os << strfmt("%s{quantile=\"0.95\"} %.17g\n", n.c_str(), h.p95);
+    os << strfmt("%s{quantile=\"0.99\"} %.17g\n", n.c_str(), h.p99);
+    os << strfmt("%s_sum %.17g\n", n.c_str(), h.sum);
+    os << strfmt("%s_count %zu\n", n.c_str(), h.count);
+  }
+}
+
+}  // namespace nbwp::obs

@@ -1,0 +1,26 @@
+// Metric snapshot exporters: JSON (machine consumption, --metrics), CSV
+// (spreadsheet joins against bench CSVs), and Prometheus text exposition
+// (scrape-style integration).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nbwp::obs {
+
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+/// max,mean,p50,p95,p99}}}
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snap);
+
+/// One row per metric: kind,name,stat,value.
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Prometheus text format; dots in names become underscores, histogram
+/// summaries become <name>{quantile="..."} gauges plus _count/_sum.
+void write_metrics_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace nbwp::obs

@@ -1,0 +1,50 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::obs {
+
+void write_manifest_json(std::ostream& os, const RunManifest& manifest) {
+  os << "{\"tool\":" << json_quote(manifest.tool)
+     << ",\"command\":" << json_quote(manifest.command) << ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : manifest.config) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(k) << ':' << json_quote(v);
+  }
+  os << "},\"outputs\":{";
+  first = true;
+  for (const auto& [k, v] : manifest.outputs) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(k) << ':' << json_quote(v);
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::seconds>(now).count();
+  os << strfmt("},\"written_at_unix\":%lld,\"metrics\":",
+               static_cast<long long>(secs));
+  write_metrics_json(os, manifest.metrics);
+  os << "}";
+}
+
+void write_manifest_file(const std::string& path,
+                         const RunManifest& manifest) {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open manifest output " + path);
+  write_manifest_json(f, manifest);
+}
+
+std::string manifest_path_for(const std::string& output_path) {
+  return output_path + ".manifest.json";
+}
+
+}  // namespace nbwp::obs

@@ -1,0 +1,37 @@
+// Structured run manifests.
+//
+// A bench CSV on its own does not say how it was produced; six months
+// later "fig3.csv" is a mystery.  A RunManifest written next to the CSV
+// makes the trajectory self-describing: which binary, which options
+// (seeds, scale, dataset source), and the metric snapshot of the run.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nbwp::obs {
+
+struct RunManifest {
+  std::string tool;     ///< binary name, e.g. "fig3_cc"
+  std::string command;  ///< subcommand when applicable, e.g. "estimate"
+  /// Flat configuration: CLI options, seeds, dataset, workload.  String
+  /// values keep the writer trivial and lossless for replay.
+  std::map<std::string, std::string> config;
+  /// Output files this run produced (csv, metrics, trace paths).
+  std::map<std::string, std::string> outputs;
+  MetricsSnapshot metrics;
+};
+
+/// {"tool":...,"command":...,"config":{...},"outputs":{...},
+///  "written_at_unix":...,"metrics":{...}}
+void write_manifest_json(std::ostream& os, const RunManifest& manifest);
+void write_manifest_file(const std::string& path,
+                         const RunManifest& manifest);
+
+/// Conventional manifest path for an output file: "<path>.manifest.json".
+std::string manifest_path_for(const std::string& output_path);
+
+}  // namespace nbwp::obs

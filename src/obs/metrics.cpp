@@ -1,0 +1,86 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace nbwp::obs {
+
+void Histogram::record(double sample) {
+  std::scoped_lock lock(mutex_);
+  samples_.push_back(sample);
+}
+
+size_t Histogram::count() const {
+  std::scoped_lock lock(mutex_);
+  return samples_.size();
+}
+
+HistogramSummary Histogram::summary() const {
+  std::vector<double> xs;
+  {
+    std::scoped_lock lock(mutex_);
+    xs = samples_;
+  }
+  HistogramSummary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  for (double x : xs) s.sum += x;
+  s.mean = s.sum / static_cast<double>(xs.size());
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.p50 = percentile(xs, 50.0);
+  s.p95 = percentile(xs, 95.0);
+  s.p99 = percentile(xs, 99.0);
+  return s;
+}
+
+std::vector<double> Histogram::samples() const {
+  std::scoped_lock lock(mutex_);
+  return samples_;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = h->summary();
+  return snap;
+}
+
+void Registry::clear() {
+  std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace nbwp::obs

@@ -1,0 +1,128 @@
+// Real-time (wall-clock) observability: a process-wide metrics registry.
+//
+// The hetsim layer accounts *virtual* time — what the simulated platform
+// would take.  This module answers the complementary question: where does
+// the reproduction itself spend wall-clock time and work?  Counters count
+// events (threshold evaluations, pool jobs), gauges hold last-written
+// values (utilization), histograms keep raw samples and summarize them as
+// p50/p95/p99 (span durations).
+//
+// Collection is off by default and guarded by one relaxed atomic load, so
+// instrumented hot paths cost nothing measurable until someone opts in
+// with --metrics / --trace-real (or set_metrics_enabled in code).  All
+// types are safe to use concurrently from ThreadPool workers; metric
+// handles returned by the registry stay valid for the registry's
+// lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nbwp::obs {
+
+namespace detail {
+inline std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+/// Global collection switch.  Instrumentation sites check this before
+/// touching the registry; when false they reduce to one relaxed load.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+inline void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonically increasing sum (C++20 atomic<double> fetch_add).
+class Counter {
+ public:
+  void add(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSummary {
+  size_t count = 0;
+  double sum = 0, min = 0, max = 0, mean = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+/// Keeps every recorded sample (runs here are short; a run that records
+/// millions of samples should count instead) and summarizes on demand
+/// with the same interpolation as util/stats percentile().
+class Histogram {
+ public:
+  void record(double sample);
+  size_t count() const;
+  HistogramSummary summary() const;
+  std::vector<double> samples() const;  ///< copy, for tests
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+/// Everything the exporters need, decoupled from live metric objects.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Name -> metric map.  Lookup takes a mutex; hold the returned reference
+/// when instrumenting a hot loop.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drop every registered metric (tests; between CLI subcommands).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One-shot helpers for call sites that fire at most a few times per
+/// phase: no-ops (single relaxed load) while collection is disabled.
+inline void count(const std::string& name, double delta = 1.0) {
+  if (metrics_enabled()) Registry::global().counter(name).add(delta);
+}
+inline void set_gauge(const std::string& name, double value) {
+  if (metrics_enabled()) Registry::global().gauge(name).set(value);
+}
+inline void observe(const std::string& name, double sample) {
+  if (metrics_enabled()) Registry::global().histogram(name).record(sample);
+}
+
+}  // namespace nbwp::obs

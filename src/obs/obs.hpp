@@ -1,0 +1,8 @@
+// Umbrella header for instrumentation sites: metrics + spans.
+// Exporters and manifests are separate includes (only frontends need
+// them).
+#pragma once
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/span.hpp"     // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

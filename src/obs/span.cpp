@@ -1,0 +1,18 @@
+#include "obs/span.hpp"
+
+#include <string>
+
+namespace nbwp::obs {
+
+void Span::finish() {
+  if (!active_) return;
+  active_ = false;
+  const auto dt = std::chrono::steady_clock::now() - start_;
+  const double ns = std::chrono::duration<double, std::nano>(dt).count();
+  if (metrics_enabled())
+    Registry::global().histogram(std::string("span.") + name_).record(ns);
+  if (trace_enabled())
+    Tracer::global().record(name_, ts_us_, ns / 1e3);
+}
+
+}  // namespace nbwp::obs

@@ -1,0 +1,47 @@
+// RAII wall-clock spans.
+//
+//   {
+//     obs::Span span("estimate.identify");
+//     ... work ...
+//   }  // records span.estimate.identify into the histogram registry and,
+//      // when real-time tracing is on, an event on this thread's track.
+//
+// A span is active when either metrics collection or tracing is enabled
+// at construction; otherwise the constructor is one relaxed load and the
+// destructor a branch.  Spans may nest freely (including across threads:
+// each thread gets its own trace track) — Perfetto renders the nesting
+// from the timestamps.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nbwp::obs {
+
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name) {
+    if (!metrics_enabled() && !trace_enabled()) return;
+    active_ = true;
+    ts_us_ = Tracer::global().now_us();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// End the span early (idempotent; the destructor then does nothing).
+  void finish();
+
+ private:
+  const char* name_;
+  bool active_ = false;
+  double ts_us_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nbwp::obs

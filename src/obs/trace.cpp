@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void Tracer::record(std::string name, double ts_us, double dur_us) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.tid = current_thread_tid();
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os,
+                                const std::string& process_name) const {
+  const auto evs = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : evs) {
+    if (!first) os << ',';
+    first = false;
+    os << strfmt(
+        "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f}",
+        json_quote(ev.name).c_str(), ev.tid, ev.ts_us, ev.dur_us);
+  }
+  os << strfmt(
+      "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":%s,"
+      "\"clock\":\"wall\"}}",
+      json_quote(process_name).c_str());
+}
+
+void Tracer::write_chrome_trace_file(const std::string& path,
+                                     const std::string& process_name) const {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open trace output " + path);
+  write_chrome_trace(f, process_name);
+}
+
+int current_thread_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1);
+  return tid;
+}
+
+void set_trace_enabled(bool on) { Tracer::global().set_enabled(on); }
+
+}  // namespace nbwp::obs

@@ -1,0 +1,69 @@
+// Real-time (wall-clock) Chrome/Perfetto trace collection.
+//
+// Complements hetsim::write_chrome_trace, which lays out *virtual* time
+// charged by the cost models: this tracer records what actually happened
+// on the host — spans opened by obs::Span on any thread, stamped with a
+// steady-clock time relative to the process-wide epoch.  Events are
+// "X" (complete) events; Perfetto nests overlapping events on the same
+// track automatically, so nested Span scopes render as a flame graph.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nbwp::obs {
+
+struct TraceEvent {
+  std::string name;
+  int tid = 0;        ///< stable small per-thread id (0 = first seen)
+  double ts_us = 0;   ///< start, microseconds since the tracer epoch
+  double dur_us = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (construction or last clear()).
+  double now_us() const;
+
+  /// Record a completed span on the calling thread's track.
+  void record(std::string name, double ts_us, double dur_us);
+
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Chrome trace JSON (load in ui.perfetto.dev or chrome://tracing).
+  void write_chrome_trace(std::ostream& os,
+                          const std::string& process_name = "nbwp") const;
+  void write_chrome_trace_file(const std::string& path,
+                               const std::string& process_name = "nbwp") const;
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Stable small integer id for the calling thread (assigned on first use).
+int current_thread_tid();
+
+/// Convenience: enable/disable metrics and real-time tracing together.
+void set_trace_enabled(bool on);
+inline bool trace_enabled() { return Tracer::global().enabled(); }
+
+}  // namespace nbwp::obs

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nbwp {
@@ -22,7 +23,10 @@ void parallel_for(ThreadPool& pool, int64_t begin, int64_t end,
   const int64_t n = end - begin;
   if (n <= 0) return;
   const auto team = static_cast<int64_t>(pool.size());
-  if (n == 1 || team == 1) {
+  // Serial fast path (skips the region barrier); when metrics are on,
+  // fall through to run_team so single-thread regions still show up in
+  // the pool accounting.
+  if ((n == 1 || team == 1) && !obs::metrics_enabled()) {
     for (int64_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -1,8 +1,36 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "util/strfmt.hpp"
 
 namespace nbwp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::nano>(b - a).count();
+}
+
+/// Fold one executed parallel-region job into the per-worker and
+/// aggregate pool counters.  `idle_ns` is the wait that preceded the job
+/// (0 for the calling thread, which never parks).
+void record_job(unsigned worker, double busy_ns, double idle_ns) {
+  auto& reg = obs::Registry::global();
+  reg.counter(strfmt("pool.worker.%u.tasks", worker)).add(1);
+  reg.counter(strfmt("pool.worker.%u.busy_ns", worker)).add(busy_ns);
+  reg.counter("pool.busy_ns").add(busy_ns);
+  if (idle_ns > 0) {
+    reg.counter(strfmt("pool.worker.%u.idle_ns", worker)).add(idle_ns);
+    reg.counter("pool.idle_ns").add(idle_ns);
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -29,6 +57,9 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
   cv_start_.notify_all();
   lock.unlock();
 
+  const bool measured = obs::metrics_enabled();
+  const auto t0 = measured ? Clock::now() : Clock::time_point{};
+
   // The calling thread participates as worker 0.
   try {
     body(0);
@@ -36,16 +67,31 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
     std::scoped_lock elock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  if (measured) record_job(0, ns_between(t0, Clock::now()), 0);
 
   lock.lock();
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  lock.unlock();
+  if (measured) {
+    auto& reg = obs::Registry::global();
+    reg.counter("pool.regions").add(1);
+    const double busy = reg.counter("pool.busy_ns").value();
+    const double idle = reg.counter("pool.idle_ns").value();
+    if (busy + idle > 0)
+      reg.gauge("pool.utilization").set(busy / (busy + idle));
+    reg.gauge("pool.workers").set(size());
+  }
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
 void ThreadPool::worker_loop(unsigned index) {
   uint64_t seen = 0;
   for (;;) {
+    // Sample the switch before parking so a wait that began while
+    // collection was off is not misattributed as idle time later.
+    const bool measured = obs::metrics_enabled();
+    const auto wait_start = measured ? Clock::now() : Clock::time_point{};
     const std::function<void(unsigned)>* job = nullptr;
     {
       std::unique_lock lock(mutex_);
@@ -55,11 +101,17 @@ void ThreadPool::worker_loop(unsigned index) {
       seen = generation_;
       job = job_;
     }
+    const auto job_start = measured ? Clock::now() : Clock::time_point{};
     try {
       (*job)(index);
     } catch (...) {
       std::scoped_lock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (measured) {
+      const auto job_end = Clock::now();
+      record_job(index, ns_between(job_start, job_end),
+                 ns_between(wait_start, job_start));
     }
     {
       std::scoped_lock lock(mutex_);

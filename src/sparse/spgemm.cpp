@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace nbwp::sparse {
@@ -79,6 +80,14 @@ CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
   }
   local.rows = last - first;
   if (counters) *counters += local;
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("kernel.spgemm.rows").add(static_cast<double>(local.rows));
+    reg.counter("kernel.spgemm.multiplies")
+        .add(static_cast<double>(local.multiplies));
+    reg.counter("kernel.spgemm.c_nnz")
+        .add(static_cast<double>(local.c_nnz));
+  }
   return builder.finish();
 }
 
@@ -87,6 +96,7 @@ CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
 CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
                            Index first, Index last,
                            SpgemmCounters* counters) {
+  obs::Span span("kernel.spgemm.row_range");
   return spgemm_impl(a, b, first, last, [](Index) { return true; }, counters);
 }
 
@@ -97,6 +107,7 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
 
 CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
                           ThreadPool& pool, SpgemmCounters* counters) {
+  obs::Span span("kernel.spgemm.parallel");
   const unsigned team = pool.size();
   if (team == 1 || a.rows() < team * 4) return spgemm(a, b, counters);
   std::vector<CsrMatrix> parts(team);
@@ -120,6 +131,7 @@ CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
                                   Index first, Index last,
                                   std::span<const uint8_t> b_row_mask,
                                   uint8_t keep, SpgemmCounters* counters) {
+  obs::Span span("kernel.spgemm.masked");
   NBWP_REQUIRE(b_row_mask.size() == b.rows(), "mask size mismatch");
   return spgemm_impl(
       a, b, first, last,

@@ -59,6 +59,10 @@ bool Cli::parse(int argc, const char* const* argv) {
   return true;
 }
 
+bool Cli::has_option(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
 bool Cli::flag(const std::string& name) const {
   const Opt* opt = find(name);
   NBWP_REQUIRE(opt != nullptr && opt->is_flag, "unknown flag " + name);
@@ -79,6 +83,17 @@ long long Cli::integer(const std::string& name) const {
 
 double Cli::real(const std::string& name) const {
   return std::strtod(str(name).c_str(), nullptr);
+}
+
+std::vector<std::pair<std::string, std::string>> Cli::items() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(opts_.size());
+  for (const auto& [name, opt] : opts_) {
+    if (name == "help") continue;
+    const auto it = values_.find(name);
+    out.emplace_back(name, it != values_.end() ? it->second : opt.def);
+  }
+  return out;
 }
 
 void Cli::print_usage() const {

@@ -24,10 +24,18 @@ class Cli {
   /// Parses argv; on `--help` prints usage and returns false.
   bool parse(int argc, const char* const* argv);
 
+  /// True when an option or flag of this name was registered.
+  bool has_option(const std::string& name) const;
+
   bool flag(const std::string& name) const;
   std::string str(const std::string& name) const;
   long long integer(const std::string& name) const;
   double real(const std::string& name) const;
+
+  /// Every option with its resolved value (parsed or default), in
+  /// declaration order; flags render as "true"/"false".  This is what a
+  /// run manifest records so a result file can be reproduced verbatim.
+  std::vector<std::pair<std::string, std::string>> items() const;
 
   void print_usage() const;
 

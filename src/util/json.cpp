@@ -1,0 +1,34 @@
+#include "util/json.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace nbwp {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += strfmt("\\u%04x", static_cast<unsigned char>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+}  // namespace nbwp

@@ -1,0 +1,24 @@
+// Minimal JSON string escaping shared by every JSON emitter in the
+// library (hetsim virtual-time traces, obs real-time traces, metric and
+// manifest exporters).
+//
+// Only escaping lives here: the emitters build their documents with
+// strfmt because each has a fixed, flat schema.  Escaping is the one part
+// that is easy to get subtly wrong (control characters inside dataset or
+// phase names produce JSON that chrome://tracing silently refuses).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nbwp {
+
+/// Escape `s` for inclusion inside a double-quoted JSON string: quotes,
+/// backslashes, and all control characters below 0x20 (named escapes for
+/// \b \f \n \r \t, \u00XX for the rest).
+std::string json_escape(std::string_view s);
+
+/// `"` + json_escape(s) + `"`.
+std::string json_quote(std::string_view s);
+
+}  // namespace nbwp

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/error.hpp"
+
 namespace nbwp {
 
 namespace {
@@ -23,6 +25,15 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  NBWP_REQUIRE(false, "unknown log level '" + name +
+                          "' (debug|info|warn|error)");
+}
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;

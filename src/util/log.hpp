@@ -14,6 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parse "debug" | "info" | "warn" | "error" (throws nbwp::Error on
+/// anything else) — the value space of the binaries' --log-level flag.
+LogLevel parse_log_level(const std::string& name);
+
 /// Emit a log line if `level` >= the global minimum.
 void log(LogLevel level, const std::string& message);
 

@@ -1,0 +1,217 @@
+// Exporters: the JSON emitters must produce syntactically valid JSON
+// (checked with a small recursive-descent validator), CSV rows must be
+// well-formed, and the Prometheus output must follow the text format.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace nbwp {
+namespace {
+
+// Minimal JSON syntax validator — enough to reject unescaped quotes,
+// trailing commas, and bad numbers in the emitters' output.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+obs::MetricsSnapshot sample_snapshot() {
+  obs::MetricsSnapshot snap;
+  snap.counters["identify.coarse_to_fine.evaluations"] = 42;
+  snap.counters["weird \"name\"\t"] = 1;  // must be escaped
+  snap.gauges["pool.utilization"] = 0.875;
+  obs::HistogramSummary h;
+  h.count = 3;
+  h.sum = 6;
+  h.min = 1;
+  h.max = 3;
+  h.mean = 2;
+  h.p50 = 2;
+  h.p95 = 2.9;
+  h.p99 = 2.98;
+  snap.histograms["span.estimate"] = h;
+  return snap;
+}
+
+TEST(Export, MetricsJsonIsValidJson) {
+  std::ostringstream os;
+  obs::write_metrics_json(os, sample_snapshot());
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.find("\"p99\""), std::string::npos);
+}
+
+TEST(Export, EmptySnapshotIsValidJson) {
+  std::ostringstream os;
+  obs::write_metrics_json(os, obs::MetricsSnapshot{});
+  EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerStat) {
+  std::ostringstream os;
+  obs::write_metrics_csv(os, sample_snapshot());
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "kind,name,stat,value");
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_GE(std::count(line.begin(), line.end(), ','), 3);
+  }
+  // 2 counters + 1 gauge + 8 histogram stats.
+  EXPECT_EQ(rows, 11u);
+}
+
+TEST(Export, PrometheusSanitizesNamesAndEmitsQuantiles) {
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os, sample_snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("nbwp_identify_coarse_to_fine_evaluations 42"),
+            std::string::npos);
+  EXPECT_NE(out.find("nbwp_pool_utilization 0.875"), std::string::npos);
+  EXPECT_NE(out.find("nbwp_span_estimate{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("nbwp_span_estimate_count 3"), std::string::npos);
+  EXPECT_NE(out.find("nbwp_span_estimate_sum 6"), std::string::npos);
+}
+
+TEST(Export, ManifestJsonIsValidAndSelfDescribing) {
+  obs::RunManifest m;
+  m.tool = "fig3_cc";
+  m.command = "estimate";
+  m.config["seed"] = "1";
+  m.config["dataset"] = "pwtk \"quoted\"";
+  m.outputs["csv"] = "out/fig3.csv";
+  m.metrics = sample_snapshot();
+  std::ostringstream os;
+  obs::write_manifest_json(os, m);
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_NE(out.find("\"tool\":\"fig3_cc\""), std::string::npos);
+  EXPECT_NE(out.find("\"written_at_unix\""), std::string::npos);
+  EXPECT_NE(out.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Export, ManifestPathConvention) {
+  EXPECT_EQ(obs::manifest_path_for("out/fig3.csv"),
+            "out/fig3.csv.manifest.json");
+}
+
+}  // namespace
+}  // namespace nbwp

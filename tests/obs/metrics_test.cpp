@@ -1,0 +1,114 @@
+// Metrics registry: enable gating, concurrent updates from ThreadPool
+// workers, and histogram summaries agreeing with util/stats.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stats.hpp"
+
+namespace nbwp {
+namespace {
+
+// Each test runs against the global registry; isolate by clearing and
+// restoring the disabled default.
+struct MetricsFixture : ::testing::Test {
+  void SetUp() override {
+    obs::Registry::global().clear();
+    obs::set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::Registry::global().clear();
+  }
+};
+
+TEST_F(MetricsFixture, CounterGaugeRoundTrip) {
+  obs::count("events");
+  obs::count("events", 2.5);
+  obs::set_gauge("level", 7.0);
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("events"), 3.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("level"), 7.0);
+}
+
+TEST_F(MetricsFixture, DisabledHelpersRecordNothing) {
+  obs::set_metrics_enabled(false);
+  obs::count("ghost");
+  obs::set_gauge("ghost", 1.0);
+  obs::observe("ghost", 1.0);
+  EXPECT_TRUE(obs::Registry::global().snapshot().empty());
+}
+
+TEST_F(MetricsFixture, CounterHammeredFromThreadPool) {
+  ThreadPool pool(4);
+  obs::Counter& c = obs::Registry::global().counter("hammer");
+  constexpr int kPerWorker = 20000;
+  pool.run_team([&](unsigned) {
+    for (int i = 0; i < kPerWorker; ++i) c.add(1.0);
+  });
+  EXPECT_DOUBLE_EQ(c.value(), 4.0 * kPerWorker);
+}
+
+TEST_F(MetricsFixture, RegistryLookupRacesAreSafe) {
+  // Workers create/look up the same names while another name is being
+  // snapshotted; handles must stay valid and no update may be lost.
+  ThreadPool pool(4);
+  parallel_for(pool, 0, 4000, [&](int64_t i) {
+    obs::count("lookup." + std::to_string(i % 8));
+    obs::observe("samples", static_cast<double>(i));
+  });
+  const auto snap = obs::Registry::global().snapshot();
+  // The instrumented pool adds its own pool.* counters; sum only ours.
+  double total = 0;
+  size_t lookup_names = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("lookup.", 0) != 0) continue;
+    ++lookup_names;
+    total += v;
+  }
+  EXPECT_EQ(lookup_names, 8u);
+  EXPECT_DOUBLE_EQ(total, 4000.0);
+  EXPECT_EQ(snap.histograms.at("samples").count, 4000u);
+}
+
+TEST_F(MetricsFixture, HistogramSummaryMatchesUtilStats) {
+  obs::Histogram& h = obs::Registry::global().histogram("lat");
+  std::vector<double> xs;
+  for (int i = 0; i < 997; ++i) {
+    const double v = std::fmod(i * 37.0, 101.0);
+    xs.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.p50, percentile(std::span<const double>(xs), 50.0));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(std::span<const double>(xs), 95.0));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(std::span<const double>(xs), 99.0));
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, mean(std::span<const double>(xs)));
+}
+
+TEST_F(MetricsFixture, PoolRegionsReportUtilization) {
+  ThreadPool pool(2);
+  pool.run_team([&](unsigned) {
+    volatile double sink = 0;
+    for (int i = 0; i < 200000; ++i) sink = sink + 1.0;
+  });
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("pool.regions"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("pool.workers"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.counters.at("pool.worker.0.tasks"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.counters.at("pool.worker.1.tasks"), 1.0);
+  const double u = snap.gauges.at("pool.utilization");
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -1,0 +1,115 @@
+// RAII spans and the real-time tracer: histogram recording, nesting
+// (child events contained within the parent on the same track), and the
+// Chrome trace JSON shape.
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace nbwp {
+namespace {
+
+struct TraceFixture : ::testing::Test {
+  void SetUp() override {
+    obs::Registry::global().clear();
+    obs::Tracer::global().clear();
+    obs::set_metrics_enabled(true);
+    obs::Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::global().set_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::Tracer::global().clear();
+    obs::Registry::global().clear();
+  }
+};
+
+const obs::TraceEvent& event_named(const std::vector<obs::TraceEvent>& evs,
+                                   const std::string& name) {
+  const auto it = std::find_if(evs.begin(), evs.end(),
+                               [&](const auto& e) { return e.name == name; });
+  EXPECT_NE(it, evs.end()) << "missing trace event " << name;
+  return *it;
+}
+
+TEST_F(TraceFixture, SpanRecordsHistogramAndEvent) {
+  {
+    obs::Span span("unit.work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto snap = obs::Registry::global().snapshot();
+  ASSERT_EQ(snap.histograms.count("span.unit.work"), 1u);
+  // Slept >= 2ms; the histogram is in nanoseconds.
+  EXPECT_GE(snap.histograms.at("span.unit.work").min, 1e6);
+  const auto evs = obs::Tracer::global().events();
+  const auto& e = event_named(evs, "unit.work");
+  EXPECT_GE(e.dur_us, 1e3);
+}
+
+TEST_F(TraceFixture, NestedSpansAreContainedAndShareTrack) {
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto evs = obs::Tracer::global().events();
+  const auto& outer = event_named(evs, "outer");
+  const auto& inner = event_named(evs, "inner");
+  EXPECT_EQ(outer.tid, inner.tid);  // same thread -> same track
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+}
+
+TEST_F(TraceFixture, ThreadsGetDistinctTracks) {
+  {
+    obs::Span main_span("on-main");
+  }
+  std::thread t([] { obs::Span s("on-worker"); });
+  t.join();
+  const auto evs = obs::Tracer::global().events();
+  EXPECT_NE(event_named(evs, "on-main").tid,
+            event_named(evs, "on-worker").tid);
+}
+
+TEST_F(TraceFixture, FinishIsIdempotent) {
+  obs::Span span("once");
+  span.finish();
+  span.finish();  // destructor will be a third call
+  EXPECT_EQ(obs::Registry::global().histogram("span.once").count(), 1u);
+}
+
+TEST_F(TraceFixture, InactiveWhenBothDisabled) {
+  obs::set_metrics_enabled(false);
+  obs::Tracer::global().set_enabled(false);
+  {
+    obs::Span span("silent");
+  }
+  EXPECT_TRUE(obs::Registry::global().snapshot().empty());
+  EXPECT_TRUE(obs::Tracer::global().events().empty());
+}
+
+TEST_F(TraceFixture, ChromeTraceJsonShape) {
+  {
+    obs::Span span("quoted \"name\"\nnewline");
+  }
+  std::ostringstream os;
+  obs::Tracer::global().write_chrome_trace(os, "proc \"x\"");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(out.find("quoted \\\"name\\\"\\nnewline"), std::string::npos);
+  // No raw control characters may survive escaping.
+  for (const char c : out) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+}  // namespace
+}  // namespace nbwp
