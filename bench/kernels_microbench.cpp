@@ -8,6 +8,9 @@
 #include "graph/partition.hpp"
 #include "graph/sampling.hpp"
 #include <cmath>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sparse/generators.hpp"
 #include "sparse/sampling.hpp"
@@ -16,6 +19,7 @@
 #include "sparse/spmv.hpp"
 #include "sort/sort_kernels.hpp"
 #include "graph/list_ranking.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 using namespace nbwp;
@@ -93,13 +97,112 @@ BENCHMARK(BM_InducedSubgraph)->Arg(1 << 14)->Arg(1 << 16);
 
 void BM_Spgemm(benchmark::State& state) {
   const auto a = make_bench_matrix(state.range(0));
+  uint64_t multiplies = 0;
   for (auto _ : state) {
     sparse::SpgemmCounters counters;
     benchmark::DoNotOptimize(sparse::spgemm(a, a, &counters).nnz());
-    state.SetItemsProcessed(state.iterations() * counters.multiplies);
+    multiplies += counters.multiplies;
   }
+  state.SetItemsProcessed(static_cast<int64_t>(multiplies));
 }
 BENCHMARK(BM_Spgemm)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+sparse::CsrMatrix make_skewed_matrix(int64_t n) {
+  Rng rng(7);
+  return sparse::scale_free(static_cast<sparse::Index>(n), 12, 2.0, rng);
+}
+
+/// Pre-two-phase parallel SpGEMM: equal row counts per worker, one
+/// partial CSR per worker, merged by a pairwise vstack chain.  Kept as a
+/// bench-local baseline so the work-balanced kernel has something honest
+/// to beat on skewed inputs.
+sparse::CsrMatrix spgemm_equal_rows_vstack(const sparse::CsrMatrix& a,
+                                           const sparse::CsrMatrix& b,
+                                           ThreadPool& pool) {
+  const auto team = static_cast<sparse::Index>(pool.size());
+  const sparse::Index n = a.rows();
+  std::vector<sparse::CsrMatrix> parts(team);
+  pool.run_team([&](unsigned w) {
+    const sparse::Index lo = n * w / team;
+    const sparse::Index hi = n * (w + 1) / team;
+    parts[w] = sparse::spgemm_row_range(a, b, lo, hi);
+  });
+  sparse::CsrMatrix c = std::move(parts[0]);
+  for (sparse::Index w = 1; w < team; ++w)
+    c = sparse::CsrMatrix::vstack(c, parts[w]);
+  return c;
+}
+
+void BM_SpgemmSkewedSerial(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  uint64_t multiplies = 0;
+  for (auto _ : state) {
+    sparse::SpgemmCounters counters;
+    benchmark::DoNotOptimize(sparse::spgemm(a, a, &counters).nnz());
+    multiplies += counters.multiplies;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(multiplies));
+}
+BENCHMARK(BM_SpgemmSkewedSerial)->Arg(1 << 12);
+
+// Args: {matrix size, workers}.  The scale-free matrix concentrates the
+// flops in a few dense rows, so equal row counts leave most of the team
+// idle while the unlucky worker grinds; the flops-balanced two-phase
+// kernel below runs the same product on the same pool sizes.
+void BM_SpgemmEqualRowsVstack(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_equal_rows_vstack(a, a, pool).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmEqualRowsVstack)
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 12, 8});
+
+void BM_SpgemmParallel(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  sparse::SpgemmParallelOptions options;
+  options.schedule = sparse::SpgemmSchedule::kWorkBalanced;
+  uint64_t multiplies = 0;
+  for (auto _ : state) {
+    sparse::SpgemmCounters counters;
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel(a, a, pool, &counters, options).nnz());
+    multiplies += counters.multiplies;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(multiplies));
+}
+BENCHMARK(BM_SpgemmParallel)
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 12, 8});
+
+void BM_SpgemmParallelDynamic(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  sparse::SpgemmParallelOptions options;
+  options.schedule = sparse::SpgemmSchedule::kDynamic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel(a, a, pool, nullptr, options).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmParallelDynamic)->Args({1 << 12, 4})->Args({1 << 12, 8});
+
+void BM_SpgemmParallelMasked(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  std::vector<uint8_t> mask(a.rows());
+  for (sparse::Index r = 0; r < a.rows(); ++r) mask[r] = r % 2;
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel_masked(a, a, pool, mask, 1).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmParallelMasked)->Args({1 << 12, 4});
 
 void BM_LoadVector(benchmark::State& state) {
   const auto a = make_bench_matrix(state.range(0));
@@ -181,4 +284,26 @@ BENCHMARK(BM_SequentialRanking)->Arg(1 << 12)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same contract as BENCHMARK_MAIN(), plus a default JSON artifact: unless
+// the caller passes --benchmark_out themselves, results also land in
+// BENCH_kernels.json (machine-readable, consumed by CI).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0)
+      has_out = true;
+  }
+  char out_flag[] = "--benchmark_out=BENCH_kernels.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -15,30 +16,69 @@ namespace nbwp::core {
 
 namespace {
 
-/// Evaluate one candidate, folding it into the running result.
-void consider(const Evaluator& eval, double t, IdentifyResult& r) {
-  t = std::clamp(t, eval.lo, eval.hi);
-  const double obj = eval.objective_ns(t);
-  r.cost_ns += eval.cost_ns ? eval.cost_ns(t) : 0.0;
-  ++r.evaluations;
-  if (r.evaluations == 1 || obj < r.best_objective) {
-    r.best_objective = obj;
-    r.best_threshold = t;
-  }
-}
+/// Threshold→objective memo scoped to one search invocation.  Each
+/// evaluation stands for a full run of the sampled algorithm, so
+/// re-probing an already-visited threshold (a descent incumbent, the
+/// coarse/fine grid overlap) answers from the cache: no second run, no
+/// second virtual-cost charge.  Probes are keyed on the clamped threshold;
+/// only exact revisits hit, which is what the searches produce.
+class MemoEval {
+ public:
+  explicit MemoEval(const Evaluator& eval) : eval_(&eval) {}
 
-IdentifyResult grid(const Evaluator& eval, double lo, double hi,
-                    double step) {
+  double lo() const { return eval_->lo; }
+  double hi() const { return eval_->hi; }
+
+  /// Evaluate (or recall) the clamped threshold, fold it into the running
+  /// result, and return the objective.
+  double consider(double t, IdentifyResult& r) {
+    t = std::clamp(t, eval_->lo, eval_->hi);
+    double obj;
+    const auto it = cache_.find(t);
+    if (it != cache_.end()) {
+      obj = it->second;
+      ++r.cache_hits;
+    } else {
+      obj = eval_->objective_ns(t);
+      cache_.emplace(t, obj);
+      r.cost_ns += eval_->cost_ns ? eval_->cost_ns(t) : 0.0;
+      ++r.evaluations;
+    }
+    if (r.evaluations + r.cache_hits == 1 || obj < r.best_objective) {
+      r.best_objective = obj;
+      r.best_threshold = t;
+    }
+    return obj;
+  }
+
+ private:
+  const Evaluator* eval_;
+  std::unordered_map<double, double> cache_;
+};
+
+IdentifyResult grid(MemoEval& memo, double lo, double hi, double step) {
   NBWP_REQUIRE(step > 0, "grid step must be positive");
   IdentifyResult r;
-  for (double t = lo; t <= hi + 1e-9; t += step) consider(eval, t, r);
+  for (double t = lo; t <= hi + 1e-9; t += step) memo.consider(t, r);
   return r;
+}
+
+/// Merge a sub-search's accounting (cost, counts) into `into` while
+/// keeping `into`'s incumbent unless `from` found a better one.
+void fold(IdentifyResult& into, const IdentifyResult& from) {
+  into.cost_ns += from.cost_ns;
+  into.evaluations += from.evaluations;
+  into.cache_hits += from.cache_hits;
+  if (from.best_objective < into.best_objective) {
+    into.best_objective = from.best_objective;
+    into.best_threshold = from.best_threshold;
+  }
 }
 
 /// Run `search` on `eval`, with per-method accounting when metrics
 /// collection is on: objective evaluations, *distinct* thresholds
-/// visited (grids visit each once; descent revisits its incumbent), and
-/// the virtual cost charged to the estimation overhead.
+/// visited, memo hits, and the virtual cost charged to the estimation
+/// overhead.
 template <typename Search>
 IdentifyResult instrumented(const char* method, const Evaluator& eval,
                             const Search& search) {
@@ -62,31 +102,32 @@ IdentifyResult instrumented(const char* method, const Evaluator& eval,
   obs::count(prefix + ".calls");
   obs::count(prefix + ".evaluations", r.evaluations);
   obs::count(prefix + ".thresholds_visited", distinct);
+  obs::count(prefix + ".cache_hits", r.cache_hits);
   obs::count(prefix + ".virtual_cost_ns", r.cost_ns);
   log_debug(strfmt("identify.%s: t'=%.2f after %d evaluations "
-                   "(%.0f distinct thresholds, virtual cost %.3f ms)",
+                   "(%.0f distinct thresholds, %d memo hits, "
+                   "virtual cost %.3f ms)",
                    method, r.best_threshold, r.evaluations, distinct,
-                   r.cost_ns / 1e6));
+                   r.cache_hits, r.cost_ns / 1e6));
   return r;
 }
 
 IdentifyResult coarse_to_fine_impl(const Evaluator& eval, double coarse_step,
                                    double fine_step) {
-  IdentifyResult coarse = grid(eval, eval.lo, eval.hi, coarse_step);
+  MemoEval memo(eval);
+  IdentifyResult coarse = grid(memo, eval.lo, eval.hi, coarse_step);
   const double lo = std::max(eval.lo, coarse.best_threshold - coarse_step);
   const double hi = std::min(eval.hi, coarse.best_threshold + coarse_step);
-  IdentifyResult fine = grid(eval, lo, hi, fine_step);
-  fine.cost_ns += coarse.cost_ns;
-  fine.evaluations += coarse.evaluations;
-  if (coarse.best_objective < fine.best_objective) {
-    fine.best_objective = coarse.best_objective;
-    fine.best_threshold = coarse.best_threshold;
-  }
+  // The fine grid's endpoints land on coarse points: the memo answers
+  // those probes without re-running the sampled algorithm.
+  IdentifyResult fine = grid(memo, lo, hi, fine_step);
+  fold(fine, coarse);
   return fine;
 }
 
 IdentifyResult flat_grid_impl(const Evaluator& eval, double step) {
-  return grid(eval, eval.lo, eval.hi, step);
+  MemoEval memo(eval);
+  return grid(memo, eval.lo, eval.hi, step);
 }
 
 IdentifyResult race_then_fine_impl(const Evaluator& eval, double cpu_all_ns,
@@ -98,7 +139,8 @@ IdentifyResult race_then_fine_impl(const Evaluator& eval, double cpu_all_ns,
   const double r0 =
       denom <= 0 ? 50.0
                  : eval.lo + (eval.hi - eval.lo) * gpu_all_ns / denom;
-  IdentifyResult r = grid(eval, std::max(eval.lo, r0 - fine_halfwidth),
+  MemoEval memo(eval);
+  IdentifyResult r = grid(memo, std::max(eval.lo, r0 - fine_halfwidth),
                           std::min(eval.hi, r0 + fine_halfwidth), fine_step);
   // The race itself: both devices run in parallel on the whole sample and
   // stop at the first finish.
@@ -116,6 +158,8 @@ IdentifyResult gradient_descent_impl(const Evaluator& eval,
   auto back = [&](double x) { return logs ? std::exp(x) : x; };
   const double xlo = fwd(eval.lo), xhi = fwd(eval.hi);
 
+  // One memo across all starts: later starts re-cross earlier basins.
+  MemoEval memo(eval);
   IdentifyResult best;
   for (int s = 0; s < options.starts; ++s) {
     IdentifyResult r;
@@ -123,25 +167,20 @@ IdentifyResult gradient_descent_impl(const Evaluator& eval,
         options.starts == 1
             ? 0.5
             : (static_cast<double>(s) + 0.5) / options.starts;
-    consider(eval, back(xlo + f * (xhi - xlo)), r);
+    memo.consider(back(xlo + f * (xhi - xlo)), r);
     double step = options.initial_step_fraction * (xhi - xlo);
     for (int i = 0; i < options.max_iterations && step > 1e-6 * (xhi - xlo);
          ++i) {
       const double before = r.best_objective;
       const double bx = fwd(r.best_threshold);
-      consider(eval, back(std::clamp(bx + step, xlo, xhi)), r);
-      consider(eval, back(std::clamp(bx - step, xlo, xhi)), r);
+      memo.consider(back(std::clamp(bx + step, xlo, xhi)), r);
+      memo.consider(back(std::clamp(bx - step, xlo, xhi)), r);
       if (r.best_objective >= before) step *= options.shrink;
     }
-    if (s == 0 || r.best_objective < best.best_objective) {
-      const double cost = best.cost_ns + r.cost_ns;
-      const int evals = best.evaluations + r.evaluations;
+    if (s == 0) {
       best = r;
-      best.cost_ns = cost;
-      best.evaluations = evals;
     } else {
-      best.cost_ns += r.cost_ns;
-      best.evaluations += r.evaluations;
+      fold(best, r);
     }
   }
   return best;
@@ -150,14 +189,14 @@ IdentifyResult gradient_descent_impl(const Evaluator& eval,
 IdentifyResult golden_section_impl(const Evaluator& eval, double tolerance,
                                    int max_iterations) {
   constexpr double kPhi = 0.6180339887498949;
+  MemoEval memo(eval);
   IdentifyResult r;
   double a = eval.lo, b = eval.hi;
   double c = b - kPhi * (b - a);
   double d = a + kPhi * (b - a);
-  auto probe = [&](double t) {
-    consider(eval, t, r);
-    return eval.objective_ns(std::clamp(t, eval.lo, eval.hi));
-  };
+  // consider() returns the objective it measured, so each probed
+  // threshold costs exactly one objective_ns run.
+  auto probe = [&](double t) { return memo.consider(t, r); };
   double fc = probe(c), fd = probe(d);
   for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
     if (fc < fd) {

@@ -33,7 +33,8 @@ struct IdentifyResult {
   double best_threshold = 0.0;
   double best_objective = 0.0;
   double cost_ns = 0.0;
-  int evaluations = 0;
+  int evaluations = 0;  ///< actual objective_ns runs (cache hits excluded)
+  int cache_hits = 0;   ///< probes answered from the threshold memo
 };
 
 /// Grid at `coarse_step`, then a grid at `fine_step` inside the winning

@@ -235,16 +235,19 @@ hetsim::RunReport HeteroSpmmHh::run(double t_cutoff) const {
   CsrMatrix a_h = sparse::extract_rows(a_, ids_h);
   CsrMatrix a_l = sparse::extract_rows(a_, ids_l);
 
-  // Phases II + III (executed).
+  // Phases II + III (executed): the four masked partial products run on
+  // the work-balanced parallel kernel (bit-identical to the serial one,
+  // which small sampled instances still fall back to).
+  ThreadPool& pool = ThreadPool::global();
   sparse::SpgemmCounters hh, hl, ll, lh;
-  CsrMatrix c_hh = sparse::spgemm_row_range_masked(a_h, a_, 0, a_h.rows(),
-                                                   mask, 1, &hh);
-  CsrMatrix c_ll = sparse::spgemm_row_range_masked(a_l, a_, 0, a_l.rows(),
-                                                   mask, 0, &ll);
-  CsrMatrix c_hl = sparse::spgemm_row_range_masked(a_h, a_, 0, a_h.rows(),
-                                                   mask, 0, &hl);
-  CsrMatrix c_lh = sparse::spgemm_row_range_masked(a_l, a_, 0, a_l.rows(),
-                                                   mask, 1, &lh);
+  CsrMatrix c_hh = sparse::spgemm_parallel_masked(a_h, a_, pool, mask, 1,
+                                                  &hh);
+  CsrMatrix c_ll = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 0,
+                                                  &ll);
+  CsrMatrix c_hl = sparse::spgemm_parallel_masked(a_h, a_, pool, mask, 0,
+                                                  &hl);
+  CsrMatrix c_lh = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 1,
+                                                  &lh);
   NBWP_REQUIRE(hh.multiplies == s.cpu2.multiplies &&
                    hl.multiplies == s.cpu3.multiplies &&
                    ll.multiplies == s.gpu2.multiplies &&

@@ -59,24 +59,61 @@ void parallel_for(int64_t begin, int64_t end, const Body& body,
   parallel_for(ThreadPool::global(), begin, end, body, sched, chunk);
 }
 
+/// Chunk-granular parallel_for: body(worker, lo, hi) runs once per chunk
+/// with the executing worker's index, so a chunk can use per-worker state
+/// (leased workspaces, local counters) without per-index overhead.  Static
+/// scheduling hands each worker one contiguous chunk; dynamic scheduling
+/// deals `chunk`-sized pieces from an atomic counter.
+template <typename ChunkBody>
+void parallel_for_chunks(ThreadPool& pool, int64_t begin, int64_t end,
+                         const ChunkBody& body,
+                         Schedule sched = Schedule::kStatic,
+                         int64_t chunk = 0) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const auto team = static_cast<int64_t>(pool.size());
+  if (sched == Schedule::kStatic) {
+    pool.run_team([&](unsigned worker) {
+      const auto w = static_cast<int64_t>(worker);
+      const int64_t per = n / team, extra = n % team;
+      const int64_t lo = begin + w * per + std::min(w, extra);
+      const int64_t hi = lo + per + (w < extra ? 1 : 0);
+      if (lo < hi) body(worker, lo, hi);
+    });
+  } else {
+    if (chunk <= 0) chunk = std::max<int64_t>(1, n / (team * 8));
+    std::atomic<int64_t> next{begin};
+    pool.run_team([&, chunk](unsigned worker) {
+      for (;;) {
+        const int64_t lo = next.fetch_add(chunk);
+        if (lo >= end) break;
+        body(worker, lo, std::min(lo + chunk, end));
+      }
+    });
+  }
+}
+
 /// Parallel reduction: combines per-worker partials with `combine`.
 /// `body(i, acc)` folds index i into the worker-local accumulator.
+/// Dynamic scheduling load-balances irregular per-index work; the combine
+/// order over workers is fixed, but which indices land in which partial is
+/// schedule-dependent, so `combine` should be associative and commutative.
 template <typename T, typename Body, typename Combine>
 T parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end, T init,
-                  const Body& body, const Combine& combine) {
+                  const Body& body, const Combine& combine,
+                  Schedule sched = Schedule::kStatic, int64_t chunk = 0) {
   const int64_t n = end - begin;
   if (n <= 0) return init;
   const auto team = static_cast<int64_t>(pool.size());
   std::vector<T> partials(static_cast<size_t>(team), init);
-  pool.run_team([&](unsigned worker) {
-    const auto w = static_cast<int64_t>(worker);
-    const int64_t per = n / team, extra = n % team;
-    const int64_t lo = begin + w * per + std::min(w, extra);
-    const int64_t hi = lo + per + (w < extra ? 1 : 0);
-    T acc = init;
-    for (int64_t i = lo; i < hi; ++i) body(i, acc);
-    partials[static_cast<size_t>(worker)] = acc;
-  });
+  parallel_for_chunks(
+      pool, begin, end,
+      [&](unsigned worker, int64_t lo, int64_t hi) {
+        T acc = partials[worker];
+        for (int64_t i = lo; i < hi; ++i) body(i, acc);
+        partials[worker] = acc;
+      },
+      sched, chunk);
   T result = init;
   for (const T& p : partials) result = combine(result, p);
   return result;

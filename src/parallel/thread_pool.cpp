@@ -16,10 +16,14 @@ double ns_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::nano>(b - a).count();
 }
 
-/// Fold one executed parallel-region job into the per-worker and
-/// aggregate pool counters.  `idle_ns` is the wait that preceded the job
-/// (0 for the calling thread, which never parks).
-void record_job(unsigned worker, double busy_ns, double idle_ns) {
+}  // namespace
+
+/// `idle_ns` is the wait that preceded the job (0 for the calling thread,
+/// which never parks).
+void ThreadPool::record_job(unsigned worker, double busy_ns,
+                            double idle_ns) {
+  region_busy_ns_.fetch_add(static_cast<uint64_t>(busy_ns),
+                            std::memory_order_relaxed);
   auto& reg = obs::Registry::global();
   reg.counter(strfmt("pool.worker.%u.tasks", worker)).add(1);
   reg.counter(strfmt("pool.worker.%u.busy_ns", worker)).add(busy_ns);
@@ -29,8 +33,6 @@ void record_job(unsigned worker, double busy_ns, double idle_ns) {
     reg.counter("pool.idle_ns").add(idle_ns);
   }
 }
-
-}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -49,6 +51,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
+  // Region wall-clock starts before the workers are released so no job
+  // can begin ahead of it (keeps busy <= team * wall below).
+  const bool measured = obs::metrics_enabled();
+  const auto region_start = measured ? Clock::now() : Clock::time_point{};
+  if (measured) region_busy_ns_.store(0, std::memory_order_relaxed);
+
   std::unique_lock lock(mutex_);
   job_ = &body;
   first_error_ = nullptr;
@@ -57,7 +65,6 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
   cv_start_.notify_all();
   lock.unlock();
 
-  const bool measured = obs::metrics_enabled();
   const auto t0 = measured ? Clock::now() : Clock::time_point{};
 
   // The calling thread participates as worker 0.
@@ -76,10 +83,15 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
   if (measured) {
     auto& reg = obs::Registry::global();
     reg.counter("pool.regions").add(1);
-    const double busy = reg.counter("pool.busy_ns").value();
-    const double idle = reg.counter("pool.idle_ns").value();
-    if (busy + idle > 0)
-      reg.gauge("pool.utilization").set(busy / (busy + idle));
+    // Per-region utilization: this region's busy time over the team's
+    // capacity for the region's wall-clock span.  (The lifetime busy/idle
+    // sums stay available as the pool.busy_ns / pool.idle_ns counters.)
+    const double wall = ns_between(region_start, Clock::now());
+    const auto busy = static_cast<double>(
+        region_busy_ns_.load(std::memory_order_relaxed));
+    if (wall > 0)
+      reg.gauge("pool.utilization")
+          .set(std::min(1.0, busy / (size() * wall)));
     reg.gauge("pool.workers").set(size());
   }
   if (first_error_) std::rethrow_exception(first_error_);

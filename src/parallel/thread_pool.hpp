@@ -9,6 +9,7 @@
 // every parallel region.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,11 @@ class ThreadPool {
  private:
   void worker_loop(unsigned index);
 
+  /// Fold one executed job into the cumulative pool counters and this
+  /// region's busy total (for the per-region utilization gauge).
+  void record_job(unsigned worker, double busy_ns, double idle_ns);
+
+  std::atomic<uint64_t> region_busy_ns_{0};
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_start_;

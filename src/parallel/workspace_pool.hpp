@@ -1,0 +1,93 @@
+// A pool of reusable worker workspaces (sparse accumulators, scratch
+// buffers) that persist across parallel regions.
+//
+// The SpGEMM kernels used to construct a fresh SPA — two O(cols) arrays —
+// on every call; under the estimation pipeline the sampled algorithm runs
+// hundreds of times, so the allocations dominated small products.  A
+// WorkspacePool keeps the instances alive: acquire() pops a free one (or
+// default-constructs the first time a worker shows up) and the Lease
+// returns it when the region ends.  Concurrent acquire/release from pool
+// workers is safe; a workspace is owned by exactly one lease at a time.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace nbwp {
+
+template <typename T>
+class WorkspacePool {
+ public:
+  /// Exclusive ownership of one workspace for the lease's lifetime.
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), ws_(std::move(o.ws_)), reused_(o.reused_) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() {
+      if (ws_) pool_->release(std::move(ws_));
+    }
+
+    T& operator*() { return *ws_; }
+    T* operator->() { return ws_.get(); }
+
+    /// False when this lease had to construct a new workspace.
+    bool reused() const { return reused_; }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, std::unique_ptr<T> ws, bool reused)
+        : pool_(pool), ws_(std::move(ws)), reused_(reused) {}
+
+    WorkspacePool* pool_;
+    std::unique_ptr<T> ws_;
+    bool reused_;
+  };
+
+  Lease acquire() {
+    {
+      std::scoped_lock lock(mutex_);
+      if (!free_.empty()) {
+        auto ws = std::move(free_.back());
+        free_.pop_back();
+        ++reuses_;
+        return Lease(this, std::move(ws), true);
+      }
+      ++creations_;
+    }
+    return Lease(this, std::make_unique<T>(), false);
+  }
+
+  /// Lifetime counts (for tests and the kernel.*.workspace counters).
+  size_t created() const {
+    std::scoped_lock lock(mutex_);
+    return creations_;
+  }
+  size_t reused() const {
+    std::scoped_lock lock(mutex_);
+    return reuses_;
+  }
+  size_t idle() const {
+    std::scoped_lock lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<T> ws) {
+    std::scoped_lock lock(mutex_);
+    free_.push_back(std::move(ws));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+  size_t creations_ = 0;
+  size_t reuses_ = 0;
+};
+
+}  // namespace nbwp

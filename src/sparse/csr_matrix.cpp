@@ -53,6 +53,25 @@ CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
   return m;
 }
 
+CsrMatrix CsrMatrix::from_parts(Index rows, Index cols,
+                                std::vector<uint64_t> row_ptr,
+                                std::vector<Index> col_idx,
+                                std::vector<double> values) {
+  NBWP_REQUIRE(row_ptr.size() == static_cast<size_t>(rows) + 1,
+               "from_parts: row_ptr must have rows+1 entries");
+  NBWP_REQUIRE(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+               "from_parts: row_ptr must start at 0 and end at nnz");
+  NBWP_REQUIRE(col_idx.size() == values.size(),
+               "from_parts: col_idx/values size mismatch");
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::from_mm(const TripletMatrix& mm) {
   TripletMatrix full = mm;
   full.expand_symmetry();
@@ -179,6 +198,21 @@ void CsrBuilder::append_row(std::span<const Index> cols,
     m_.col_idx_.push_back(c);
     m_.values_.push_back(v);
   }
+  ++next_row_;
+  m_.row_ptr_[next_row_] = m_.col_idx_.size();
+}
+
+void CsrBuilder::append_sorted_row(std::span<const Index> cols,
+                                   std::span<const double> vals) {
+  NBWP_REQUIRE(next_row_ < m_.rows_, "too many rows appended");
+  NBWP_REQUIRE(cols.size() == vals.size(), "cols/vals size mismatch");
+  for (size_t i = 0; i < cols.size(); ++i) {
+    NBWP_REQUIRE(cols[i] < m_.cols_, "column out of range");
+    NBWP_REQUIRE(i == 0 || cols[i - 1] < cols[i],
+                 "append_sorted_row: columns must be strictly increasing");
+  }
+  m_.col_idx_.insert(m_.col_idx_.end(), cols.begin(), cols.end());
+  m_.values_.insert(m_.values_.end(), vals.begin(), vals.end());
   ++next_row_;
   m_.row_ptr_[next_row_] = m_.col_idx_.size();
 }

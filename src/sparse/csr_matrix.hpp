@@ -34,6 +34,15 @@ class CsrMatrix {
   static CsrMatrix from_mm(const TripletMatrix& m);
   TripletMatrix to_mm() const;
 
+  /// Adopt pre-built CSR arrays (single-allocation kernels size their
+  /// output with a prefix sum and write rows in place).  `row_ptr` must
+  /// have rows+1 monotone entries starting at 0 and ending at
+  /// col_idx.size(); each row's columns must be sorted and in range.
+  static CsrMatrix from_parts(Index rows, Index cols,
+                              std::vector<uint64_t> row_ptr,
+                              std::vector<Index> col_idx,
+                              std::vector<double> values);
+
   static CsrMatrix identity(Index n);
 
   Index rows() const { return rows_; }
@@ -93,6 +102,11 @@ class CsrBuilder {
 
   /// Append the next row; `cols_and_vals` need not be sorted.
   void append_row(std::span<const Index> cols, std::span<const double> vals);
+
+  /// Append a row whose columns are already sorted strictly increasing
+  /// (skips the sort + pair copy of append_row).
+  void append_sorted_row(std::span<const Index> cols,
+                         std::span<const double> vals);
 
   CsrMatrix finish();
 

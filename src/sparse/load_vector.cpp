@@ -24,6 +24,23 @@ std::vector<uint64_t> load_vector(const CsrMatrix& a,
   return load;
 }
 
+std::vector<uint64_t> load_vector_masked(const CsrMatrix& a,
+                                         std::span<const uint64_t> v_b,
+                                         std::span<const uint8_t> b_row_mask,
+                                         uint8_t keep) {
+  NBWP_REQUIRE(v_b.size() == a.cols(), "V_B size must equal cols(A)");
+  NBWP_REQUIRE(b_row_mask.size() == v_b.size(),
+               "mask size must equal cols(A)");
+  std::vector<uint64_t> load(a.rows(), 0);
+  for (Index r = 0; r < a.rows(); ++r) {
+    uint64_t w = 0;
+    for (Index k : a.row_cols(r))
+      if (b_row_mask[k] == keep) w += v_b[k];
+    load[r] = w;
+  }
+  return load;
+}
+
 std::vector<uint64_t> prefix_sums(std::span<const uint64_t> loads) {
   std::vector<uint64_t> out(loads.size() + 1, 0);
   for (size_t i = 0; i < loads.size(); ++i) out[i + 1] = out[i] + loads[i];
@@ -54,6 +71,28 @@ Index split_row_for_share(std::span<const uint64_t> load_prefix,
   const auto target =
       static_cast<uint64_t>(cpu_share_pct / 100.0 * static_cast<double>(total));
   return split_row_for_load(load_prefix, target);
+}
+
+std::vector<Index> balanced_boundaries(std::span<const uint64_t> load_prefix,
+                                       unsigned parts) {
+  NBWP_REQUIRE(!load_prefix.empty(), "empty load prefix");
+  NBWP_REQUIRE(parts >= 1, "need at least one part");
+  const auto n = static_cast<Index>(load_prefix.size() - 1);
+  const uint64_t total = load_prefix.back();
+  std::vector<Index> bounds(parts + 1, 0);
+  bounds[parts] = n;
+  for (unsigned p = 1; p < parts; ++p) {
+    Index b;
+    if (total == 0) {
+      b = static_cast<Index>(static_cast<uint64_t>(n) * p / parts);
+    } else {
+      const auto target = static_cast<uint64_t>(
+          static_cast<unsigned __int128>(total) * p / parts);
+      b = split_row_for_load(load_prefix, target);
+    }
+    bounds[p] = std::max(b, bounds[p - 1]);
+  }
+  return bounds;
 }
 
 }  // namespace nbwp::sparse

@@ -21,6 +21,13 @@ std::vector<uint64_t> row_nnz_vector(const CsrMatrix& b);
 std::vector<uint64_t> load_vector(const CsrMatrix& a,
                                   std::span<const uint64_t> v_b);
 
+/// Load vector of the masked product A x B[mask == keep]: only the rows k
+/// of B with b_row_mask[k] == keep contribute V_B[k].
+std::vector<uint64_t> load_vector_masked(const CsrMatrix& a,
+                                         std::span<const uint64_t> v_b,
+                                         std::span<const uint8_t> b_row_mask,
+                                         uint8_t keep);
+
 /// Prefix sums: out[i] = sum of loads[0..i), out has size loads.size()+1.
 std::vector<uint64_t> prefix_sums(std::span<const uint64_t> loads);
 
@@ -32,5 +39,13 @@ Index split_row_for_load(std::span<const uint64_t> load_prefix,
 /// Convenience: split index for a CPU share of r% of the total load.
 Index split_row_for_share(std::span<const uint64_t> load_prefix,
                           double cpu_share_pct);
+
+/// Nearly balanced contiguous partition of the rows into `parts` ranges:
+/// out[p] is the first row of part p, out[0] = 0, out[parts] = row count,
+/// and part p's prefix load ends closest to (p+1)/parts of the total
+/// (Algorithm 2's split applied at every internal boundary).  When the
+/// total load is zero the split degenerates to equal row counts.
+std::vector<Index> balanced_boundaries(std::span<const uint64_t> load_prefix,
+                                       unsigned parts);
 
 }  // namespace nbwp::sparse

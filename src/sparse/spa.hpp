@@ -1,0 +1,76 @@
+// Sparse accumulator (SPA) for Gustavson-style row products.
+//
+// A dense value array plus generation stamps give O(1) insert and O(1)
+// reset per row; `touched_` tracks the row's pattern.  The accumulator is
+// a reusable workspace: `ensure(cols)` grows it to the target width and is
+// a no-op afterwards, so a pooled instance (see parallel/workspace_pool.hpp)
+// amortizes its two O(cols) arrays across every product of a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::sparse {
+
+class Spa {
+ public:
+  Spa() = default;
+  explicit Spa(Index cols) { ensure(cols); }
+
+  /// Grow to accumulate rows of width `cols`; keeps existing capacity.
+  void ensure(Index cols) {
+    if (cols > values_.size()) {
+      values_.resize(cols, 0.0);
+      stamp_.resize(cols, 0);  // stamp 0 < generation_: reads as untouched
+    }
+  }
+
+  Index cols() const { return static_cast<Index>(values_.size()); }
+
+  void start_row() {
+    ++generation_;
+    touched_.clear();
+  }
+
+  /// Numeric insert: accumulate v into column c.
+  void add(Index c, double v) {
+    if (stamp_[c] != generation_) {
+      stamp_[c] = generation_;
+      values_[c] = v;
+      touched_.push_back(c);
+    } else {
+      values_[c] += v;
+    }
+  }
+
+  /// Symbolic insert: record that column c appears, without a value.
+  void mark(Index c) {
+    if (stamp_[c] != generation_) {
+      stamp_[c] = generation_;
+      touched_.push_back(c);
+    }
+  }
+
+  /// Number of distinct columns inserted since start_row().
+  size_t touched() const { return touched_.size(); }
+
+  /// Touched columns, sorted; values via value().
+  std::span<const Index> touched_sorted() {
+    std::sort(touched_.begin(), touched_.end());
+    return touched_;
+  }
+
+  double value(Index c) const { return values_[c]; }
+
+ private:
+  std::vector<double> values_;
+  std::vector<uint64_t> stamp_;
+  std::vector<Index> touched_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace nbwp::sparse

@@ -1,49 +1,40 @@
 #include "sparse/spgemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/obs.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/workspace_pool.hpp"
+#include "sparse/load_vector.hpp"
+#include "sparse/spa.hpp"
 #include "util/error.hpp"
 
 namespace nbwp::sparse {
 
 namespace {
 
-/// Sparse accumulator: dense value array + generation stamps, O(1) reset.
-class Spa {
- public:
-  explicit Spa(Index cols)
-      : values_(cols, 0.0), stamp_(cols, 0) {}
+/// Process-lifetime SPA pool: the two O(cols) accumulator arrays survive
+/// across products, so the estimation pipeline's hundreds of sampled runs
+/// stop paying an allocation + zero-fill per call.
+WorkspacePool<Spa>& spa_pool() {
+  static WorkspacePool<Spa> pool;
+  return pool;
+}
 
-  void start_row() {
-    ++generation_;
-    touched_.clear();
-  }
+void count_workspace(const WorkspacePool<Spa>::Lease& lease) {
+  obs::count(lease.reused() ? "kernel.spgemm.workspace.reused"
+                            : "kernel.spgemm.workspace.created");
+}
 
-  void add(Index c, double v) {
-    if (stamp_[c] != generation_) {
-      stamp_[c] = generation_;
-      values_[c] = v;
-      touched_.push_back(c);
-    } else {
-      values_[c] += v;
-    }
-  }
-
-  /// Touched columns, sorted; values via value().
-  std::vector<Index>& touched_sorted() {
-    std::sort(touched_.begin(), touched_.end());
-    return touched_;
-  }
-
-  double value(Index c) const { return values_[c]; }
-
- private:
-  std::vector<double> values_;
-  std::vector<uint64_t> stamp_;
-  std::vector<Index> touched_;
-  uint64_t generation_ = 0;
-};
+void emit_kernel_counters(const SpgemmCounters& c) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter("kernel.spgemm.rows").add(static_cast<double>(c.rows));
+  reg.counter("kernel.spgemm.multiplies")
+      .add(static_cast<double>(c.multiplies));
+  reg.counter("kernel.spgemm.c_nnz").add(static_cast<double>(c.c_nnz));
+}
 
 template <typename KeepRow>
 CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
@@ -51,12 +42,61 @@ CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
                       SpgemmCounters* counters) {
   NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
   NBWP_REQUIRE(first <= last && last <= a.rows(), "row range out of bounds");
-  Spa spa(b.cols());
+  auto spa = spa_pool().acquire();
+  count_workspace(spa);
+  spa->ensure(b.cols());
   CsrBuilder builder(last - first, b.cols());
   SpgemmCounters local;
-  std::vector<Index> cols_out;
   std::vector<double> vals_out;
   for (Index i = first; i < last; ++i) {
+    spa->start_row();
+    const auto acs = a.row_cols(i);
+    const auto avs = a.row_vals(i);
+    for (size_t j = 0; j < acs.size(); ++j) {
+      const Index k = acs[j];
+      if (!keep_row(k)) continue;
+      const double aik = avs[j];
+      const auto bcs = b.row_cols(k);
+      const auto bvs = b.row_vals(k);
+      for (size_t t = 0; t < bcs.size(); ++t) spa->add(bcs[t], aik * bvs[t]);
+      local.multiplies += bcs.size();
+    }
+    local.a_nnz += acs.size();
+    const auto touched = spa->touched_sorted();
+    vals_out.resize(touched.size());
+    for (size_t t = 0; t < touched.size(); ++t)
+      vals_out[t] = spa->value(touched[t]);
+    builder.append_sorted_row(touched, vals_out);
+    local.c_nnz += touched.size();
+  }
+  local.rows = last - first;
+  if (counters) *counters += local;
+  emit_kernel_counters(local);
+  return builder.finish();
+}
+
+/// Phase 1: per-row output nnz for rows [lo, hi) of A.
+template <typename KeepRow>
+void symbolic_rows(const CsrMatrix& a, const CsrMatrix& b,
+                   const KeepRow& keep_row, Index lo, Index hi, Spa& spa,
+                   uint64_t* row_nnz) {
+  for (Index i = lo; i < hi; ++i) {
+    spa.start_row();
+    for (Index k : a.row_cols(i)) {
+      if (!keep_row(k)) continue;
+      for (Index c : b.row_cols(k)) spa.mark(c);
+    }
+    row_nnz[i] = spa.touched();
+  }
+}
+
+/// Phase 2: accumulate rows [lo, hi) and write them into their slots.
+template <typename KeepRow>
+void numeric_rows(const CsrMatrix& a, const CsrMatrix& b,
+                  const KeepRow& keep_row, Index lo, Index hi, Spa& spa,
+                  std::span<const uint64_t> row_ptr, Index* col_out,
+                  double* val_out, SpgemmCounters& local) {
+  for (Index i = lo; i < hi; ++i) {
     spa.start_row();
     const auto acs = a.row_cols(i);
     const auto avs = a.row_vals(i);
@@ -70,25 +110,92 @@ CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
       local.multiplies += bcs.size();
     }
     local.a_nnz += acs.size();
-    auto& touched = spa.touched_sorted();
-    cols_out.assign(touched.begin(), touched.end());
-    vals_out.resize(cols_out.size());
-    for (size_t t = 0; t < cols_out.size(); ++t)
-      vals_out[t] = spa.value(cols_out[t]);
-    builder.append_row(cols_out, vals_out);
-    local.c_nnz += cols_out.size();
+    const auto touched = spa.touched_sorted();
+    const uint64_t at = row_ptr[i];
+    for (size_t t = 0; t < touched.size(); ++t) {
+      col_out[at + t] = touched[t];
+      val_out[at + t] = spa.value(touched[t]);
+    }
+    local.c_nnz += touched.size();
   }
-  local.rows = last - first;
-  if (counters) *counters += local;
-  if (obs::metrics_enabled()) {
-    auto& reg = obs::Registry::global();
-    reg.counter("kernel.spgemm.rows").add(static_cast<double>(local.rows));
-    reg.counter("kernel.spgemm.multiplies")
-        .add(static_cast<double>(local.multiplies));
-    reg.counter("kernel.spgemm.c_nnz")
-        .add(static_cast<double>(local.c_nnz));
+  local.rows += hi - lo;
+}
+
+/// Two-phase work-balanced parallel product over all rows of A.
+/// `load` is the per-row flops vector matching `keep_row`.
+template <typename KeepRow>
+CsrMatrix spgemm_parallel_impl(const CsrMatrix& a, const CsrMatrix& b,
+                               ThreadPool& pool, const KeepRow& keep_row,
+                               std::vector<uint64_t> load,
+                               SpgemmCounters* counters,
+                               const SpgemmParallelOptions& options) {
+  const Index n = a.rows();
+  const unsigned team = pool.size();
+  const auto prefix = prefix_sums(load);
+  std::vector<uint64_t> row_nnz(std::move(load));  // reuse as phase-1 output
+  const bool dynamic = options.schedule == SpgemmSchedule::kDynamic;
+  const std::vector<Index> bounds =
+      dynamic ? std::vector<Index>{} : balanced_boundaries(prefix, team);
+
+  // Run `work(worker, lo, hi, spa)` over all rows under the schedule.
+  const auto dispatch = [&](const auto& work) {
+    if (dynamic) {
+      parallel_for_chunks(
+          pool, 0, n,
+          [&](unsigned w, int64_t lo, int64_t hi) {
+            auto spa = spa_pool().acquire();
+            count_workspace(spa);
+            spa->ensure(b.cols());
+            work(w, static_cast<Index>(lo), static_cast<Index>(hi), *spa);
+          },
+          Schedule::kDynamic, options.dynamic_chunk);
+    } else {
+      pool.run_team([&](unsigned w) {
+        if (bounds[w] >= bounds[w + 1]) return;
+        auto spa = spa_pool().acquire();
+        count_workspace(spa);
+        spa->ensure(b.cols());
+        work(w, bounds[w], bounds[w + 1], *spa);
+      });
+    }
+  };
+
+  {
+    obs::Span symbolic("kernel.spgemm.symbolic");
+    dispatch([&](unsigned, Index lo, Index hi, Spa& spa) {
+      symbolic_rows(a, b, keep_row, lo, hi, spa, row_nnz.data());
+    });
   }
-  return builder.finish();
+
+  // Single allocation: prefix-sum the row sizes and place every row.
+  std::vector<uint64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index i = 0; i < n; ++i) row_ptr[i + 1] = row_ptr[i] + row_nnz[i];
+  const uint64_t nnz = row_ptr.back();
+  std::vector<Index> col_idx(nnz);
+  std::vector<double> values(nnz);
+
+  std::vector<SpgemmCounters> part(team);
+  {
+    obs::Span numeric("kernel.spgemm.numeric");
+    dispatch([&](unsigned w, Index lo, Index hi, Spa& spa) {
+      numeric_rows(a, b, keep_row, lo, hi, spa, row_ptr, col_idx.data(),
+                   values.data(), part[w]);
+    });
+  }
+
+  SpgemmCounters total;
+  for (const auto& pc : part) total += pc;
+  if (counters) *counters += total;
+  emit_kernel_counters(total);
+  return CsrMatrix::from_parts(n, b.cols(), std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
+bool use_serial(const CsrMatrix& a, ThreadPool& pool,
+                const SpgemmParallelOptions& options) {
+  if (pool.size() == 1) return true;
+  return options.schedule == SpgemmSchedule::kAuto &&
+         a.rows() < pool.size() * 4;
 }
 
 }  // namespace
@@ -106,25 +213,14 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
 }
 
 CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
-                          ThreadPool& pool, SpgemmCounters* counters) {
+                          ThreadPool& pool, SpgemmCounters* counters,
+                          const SpgemmParallelOptions& options) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
+  if (use_serial(a, pool, options)) return spgemm(a, b, counters);
   obs::Span span("kernel.spgemm.parallel");
-  const unsigned team = pool.size();
-  if (team == 1 || a.rows() < team * 4) return spgemm(a, b, counters);
-  std::vector<CsrMatrix> parts(team);
-  std::vector<SpgemmCounters> part_counters(team);
-  pool.run_team([&](unsigned w) {
-    const Index n = a.rows();
-    const Index per = n / team, extra = n % team;
-    const Index first = w * per + std::min<Index>(w, extra);
-    const Index last = first + per + (w < extra ? 1 : 0);
-    parts[w] = spgemm_row_range(a, b, first, last, &part_counters[w]);
-  });
-  CsrMatrix result = std::move(parts[0]);
-  for (unsigned w = 1; w < team; ++w)
-    result = CsrMatrix::vstack(result, parts[w]);
-  if (counters)
-    for (const auto& pc : part_counters) *counters += pc;
-  return result;
+  return spgemm_parallel_impl(
+      a, b, pool, [](Index) { return true; },
+      load_vector(a, row_nnz_vector(b)), counters, options);
 }
 
 CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
@@ -136,6 +232,24 @@ CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
   return spgemm_impl(
       a, b, first, last,
       [&](Index k) { return b_row_mask[k] == keep; }, counters);
+}
+
+CsrMatrix spgemm_parallel_masked(const CsrMatrix& a, const CsrMatrix& b,
+                                 ThreadPool& pool,
+                                 std::span<const uint8_t> b_row_mask,
+                                 uint8_t keep, SpgemmCounters* counters,
+                                 const SpgemmParallelOptions& options) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
+  NBWP_REQUIRE(b_row_mask.size() == b.rows(), "mask size mismatch");
+  if (use_serial(a, pool, options))
+    return spgemm_row_range_masked(a, b, 0, a.rows(), b_row_mask, keep,
+                                   counters);
+  obs::Span span("kernel.spgemm.masked.parallel");
+  const auto keep_row = [&](Index k) { return b_row_mask[k] == keep; };
+  return spgemm_parallel_impl(
+      a, b, pool, keep_row,
+      load_vector_masked(a, row_nnz_vector(b), b_row_mask, keep), counters,
+      options);
 }
 
 CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b) {
@@ -166,7 +280,7 @@ CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b) {
         ++j;
       }
     }
-    builder.append_row(cols, vals);
+    builder.append_sorted_row(cols, vals);
   }
   return builder.finish();
 }

@@ -5,6 +5,16 @@
 // is the formulation of Gustavson [13] used by the heterogeneous algorithm
 // of Matam et al. [22] on both the CPU and the GPU.
 //
+// The parallel kernels are two-phase (symbolic/numeric): phase 1 counts
+// each output row's nnz, a prefix sum sizes the result CSR once, and
+// phase 2 writes every row directly into its slot — no per-worker partial
+// matrices, no merge copies.  Rows are assigned to workers by a flops
+// prefix sum (the paper's load vector L_AB, the same machinery Algorithm 2
+// uses for the CPU/GPU split), so skewed inputs no longer serialize on
+// whoever drew the dense rows; a dynamic-chunk schedule is available as a
+// fallback for adversarial load vectors.  Output is bit-identical to the
+// serial kernel under every schedule and team size.
+//
 // Counters report the structural work of the execution; the hetsim cost
 // model converts them to virtual device time (see hetalg/spmm_cost.hpp).
 #pragma once
@@ -31,6 +41,18 @@ struct SpgemmCounters {
   }
 };
 
+/// Worker scheduling for the parallel kernels.
+enum class SpgemmSchedule {
+  kAuto,          ///< serial below ~4 rows/worker, else work-balanced
+  kWorkBalanced,  ///< contiguous ranges split by the flops prefix sum
+  kDynamic,       ///< dynamic row chunks off an atomic counter
+};
+
+struct SpgemmParallelOptions {
+  SpgemmSchedule schedule = SpgemmSchedule::kAuto;
+  int64_t dynamic_chunk = 0;  ///< rows per dynamic chunk; 0 = n/(8*team)
+};
+
 /// Rows [first, last) of A times B.  Result has (last - first) rows.
 CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
                            Index first, Index last,
@@ -40,11 +62,12 @@ CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
 CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
                  SpgemmCounters* counters = nullptr);
 
-/// Multicore product: contiguous row chunks per worker, stitched in order.
+/// Multicore product: two-phase, work-balanced, single output allocation.
 /// Bitwise-identical to `spgemm`.
 CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
                           ThreadPool& pool,
-                          SpgemmCounters* counters = nullptr);
+                          SpgemmCounters* counters = nullptr,
+                          const SpgemmParallelOptions& options = {});
 
 /// Row-range product using only the rows k of B for which
 /// b_row_mask[k] == keep; the HH-CPU algorithm's A_x × B_H / A_x × B_L
@@ -54,6 +77,16 @@ CsrMatrix spgemm_row_range_masked(const CsrMatrix& a, const CsrMatrix& b,
                                   std::span<const uint8_t> b_row_mask,
                                   uint8_t keep,
                                   SpgemmCounters* counters = nullptr);
+
+/// Multicore masked product over all rows of A.  Bitwise-identical to
+/// spgemm_row_range_masked(a, b, 0, a.rows(), ...); the mask-aware load
+/// vector balances the workers on the surviving flops only.
+CsrMatrix spgemm_parallel_masked(const CsrMatrix& a, const CsrMatrix& b,
+                                 ThreadPool& pool,
+                                 std::span<const uint8_t> b_row_mask,
+                                 uint8_t keep,
+                                 SpgemmCounters* counters = nullptr,
+                                 const SpgemmParallelOptions& options = {});
 
 /// Sparse matrix addition C = A + B (same shape).
 CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace nbwp::core {
@@ -121,6 +122,83 @@ TEST(GoldenSection, FewerEvaluationsThanFlatGrid) {
 TEST(Identify, CostAccumulatesPerEvaluation) {
   const IdentifyResult r = flat_grid(vee(10.0, 0, 100, 7.5), 10);
   EXPECT_DOUBLE_EQ(r.cost_ns, 7.5 * r.evaluations);
+}
+
+/// Evaluator that counts how often objective_ns actually runs.
+Evaluator counted_vee(double opt, int& calls) {
+  Evaluator e = vee(opt);
+  auto base = e.objective_ns;
+  e.objective_ns = [&calls, base](double t) {
+    ++calls;
+    return base(t);
+  };
+  return e;
+}
+
+TEST(GoldenSection, OneObjectiveCallPerProbedThreshold) {
+  // Regression: probe() used to evaluate the objective through consider()
+  // and then a second time for its return value.
+  int calls = 0;
+  const IdentifyResult r = golden_section(counted_vee(61.8, calls), 0.5);
+  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_DOUBLE_EQ(r.cost_ns, 10.0 * r.evaluations);
+}
+
+TEST(GoldenSection, EvaluationsCounterMatchesObjectiveCalls) {
+  // The acceptance check runs against the metrics pipeline: with
+  // collection on, identify.golden_section.evaluations must equal the
+  // number of objective_ns runs exactly.
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  int calls = 0;
+  const IdentifyResult r = golden_section(counted_vee(42.0, calls));
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_DOUBLE_EQ(snap.counters.at("identify.golden_section.evaluations"),
+                   static_cast<double>(calls));
+  // Every probed threshold was distinct and evaluated exactly once.
+  EXPECT_DOUBLE_EQ(
+      snap.counters.at("identify.golden_section.thresholds_visited"),
+      static_cast<double>(calls));
+}
+
+TEST(GradientDescent, MemoizesIncumbentReprobes) {
+  // Moving right then probing left lands exactly on the previous
+  // incumbent; without the memo each such probe re-ran the objective.
+  int calls = 0;
+  GradientDescentOptions opt;
+  opt.starts = 1;
+  const IdentifyResult r = gradient_descent(counted_vee(30.0, calls), opt);
+  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_GT(r.cache_hits, 0);
+  EXPECT_DOUBLE_EQ(r.cost_ns, 10.0 * r.evaluations);  // hits charge nothing
+  EXPECT_NEAR(r.best_threshold, 30.0, 2.0);
+}
+
+TEST(CoarseToFine, MemoizesGridOverlap) {
+  // The fine grid re-visits up to three coarse points (best and the two
+  // neighbors at ±coarse_step).
+  int calls = 0;
+  const IdentifyResult r = coarse_to_fine(counted_vee(50.0, calls), 8, 1);
+  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_GE(r.cache_hits, 2);
+  EXPECT_DOUBLE_EQ(r.cost_ns, 10.0 * r.evaluations);
+}
+
+TEST(Identify, CacheHitsReportedToMetrics) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  int calls = 0;
+  const IdentifyResult r = coarse_to_fine(counted_vee(50.0, calls), 8, 1);
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+  EXPECT_DOUBLE_EQ(snap.counters.at("identify.coarse_to_fine.cache_hits"),
+                   static_cast<double>(r.cache_hits));
+  EXPECT_DOUBLE_EQ(snap.counters.at("identify.coarse_to_fine.evaluations"),
+                   static_cast<double>(calls));
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -108,6 +110,25 @@ TEST_F(MetricsFixture, PoolRegionsReportUtilization) {
   const double u = snap.gauges.at("pool.utilization");
   EXPECT_GT(u, 0.0);
   EXPECT_LE(u, 1.0);
+}
+
+TEST_F(MetricsFixture, UtilizationReflectsLastRegionNotLifetime) {
+  // A lifetime average would keep the gauge dragged down by the first,
+  // deliberately imbalanced region; the per-region gauge recovers when
+  // the following region is balanced.
+  using namespace std::chrono_literals;
+  ThreadPool pool(2);
+  pool.run_team([&](unsigned w) {
+    if (w == 0) std::this_thread::sleep_for(60ms);
+  });
+  const double unbalanced =
+      obs::Registry::global().snapshot().gauges.at("pool.utilization");
+  pool.run_team([&](unsigned) { std::this_thread::sleep_for(60ms); });
+  const double balanced =
+      obs::Registry::global().snapshot().gauges.at("pool.utilization");
+  EXPECT_LE(unbalanced, 0.75);  // ~0.5: one of two workers busy
+  EXPECT_GE(balanced, 0.80);    // ~1.0: both busy the whole region
+  EXPECT_GT(balanced, unbalanced);
 }
 
 }  // namespace

@@ -77,5 +77,59 @@ TEST(ParallelReduce, MaxReduction) {
   EXPECT_EQ(best, 990);
 }
 
+TEST(ParallelReduce, DynamicScheduleSumsCorrectly) {
+  ThreadPool pool(4);
+  const int64_t n = 100000;
+  const int64_t sum = parallel_reduce(
+      pool, 0, n, int64_t{0},
+      [](int64_t i, int64_t& acc) { acc += i; },
+      [](int64_t a, int64_t b) { return a + b; }, Schedule::kDynamic);
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, DynamicScheduleWithTinyChunks) {
+  ThreadPool pool(3);
+  const int64_t sum = parallel_reduce(
+      pool, 10, 500, int64_t{0},
+      [](int64_t i, int64_t& acc) { acc += i; },
+      [](int64_t a, int64_t b) { return a + b; }, Schedule::kDynamic, 1);
+  EXPECT_EQ(sum, (499 * 500 - 9 * 10) / 2);
+}
+
+class ParallelForChunksTest : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ParallelForChunksTest, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  std::vector<std::atomic<int>> worker_chunks(4);
+  parallel_for_chunks(
+      pool, 0, 777,
+      [&](unsigned w, int64_t lo, int64_t hi) {
+        EXPECT_LT(lo, hi);
+        EXPECT_LT(w, 4u);
+        ++worker_chunks[w];
+        for (int64_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      GetParam(), 10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ParallelForChunksTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_chunks(
+      pool, 9, 9, [&](unsigned, int64_t, int64_t) { ++calls; }, GetParam());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ParallelForChunksTest,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kDynamic),
+                         [](const auto& info) {
+                           return info.param == Schedule::kStatic
+                                      ? "Static"
+                                      : "Dynamic";
+                         });
+
 }  // namespace
 }  // namespace nbwp

@@ -1,0 +1,66 @@
+#include "parallel/workspace_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace nbwp {
+namespace {
+
+struct Scratch {
+  std::vector<int> data;
+};
+
+TEST(WorkspacePool, FirstAcquireCreatesLaterAcquiresReuse) {
+  WorkspacePool<Scratch> pool;
+  {
+    auto lease = pool.acquire();
+    EXPECT_FALSE(lease.reused());
+    lease->data.assign(100, 7);
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.idle(), 1u);
+  {
+    auto lease = pool.acquire();
+    EXPECT_TRUE(lease.reused());
+    // The workspace came back with its buffers intact (capacity reuse).
+    EXPECT_EQ(lease->data.size(), 100u);
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.reused(), 1u);
+}
+
+TEST(WorkspacePool, ConcurrentLeasesAreExclusive) {
+  WorkspacePool<Scratch> ws_pool;
+  ThreadPool pool(4);
+  std::atomic<int> collisions{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run_team([&](unsigned) {
+      auto lease = ws_pool.acquire();
+      if (!lease->data.empty() && lease->data[0] != 0) ++collisions;
+      lease->data.assign(8, 1);
+      lease->data.assign(8, 0);
+    });
+  }
+  EXPECT_EQ(collisions.load(), 0);
+  // Never more live workspaces than the team had members.
+  EXPECT_LE(ws_pool.created(), 4u);
+  EXPECT_EQ(ws_pool.idle(), ws_pool.created());
+}
+
+TEST(WorkspacePool, MovedLeaseKeepsOwnership) {
+  WorkspacePool<Scratch> pool;
+  {
+    auto lease = pool.acquire();
+    auto moved = std::move(lease);
+    moved->data.push_back(1);
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);  // released exactly once
+}
+
+}  // namespace
+}  // namespace nbwp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sparse/generators.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/rng.hpp"
@@ -76,6 +78,62 @@ TEST(RowNnzVector, MatchesMatrix) {
   const auto v = row_nnz_vector(b);
   ASSERT_EQ(v.size(), b.rows());
   for (Index r = 0; r < b.rows(); ++r) EXPECT_EQ(v[r], b.row_nnz(r));
+}
+
+TEST(LoadVectorMasked, MatchesExecutedMaskedMultiplyCount) {
+  Rng rng(4);
+  const CsrMatrix a = random_uniform(40, 40, 400, rng);
+  std::vector<uint8_t> mask(a.rows());
+  for (Index r = 0; r < a.rows(); ++r) mask[r] = r % 2;
+  for (uint8_t keep : {uint8_t{0}, uint8_t{1}}) {
+    const auto load = load_vector_masked(a, row_nnz_vector(a), mask, keep);
+    for (Index i = 0; i < a.rows(); ++i) {
+      SpgemmCounters counters;
+      spgemm_row_range_masked(a, a, i, i + 1, mask, keep, &counters);
+      EXPECT_EQ(load[i], counters.multiplies) << "row " << i;
+    }
+  }
+}
+
+TEST(BalancedBoundaries, NearlyEqualWorkOnSkewedLoads) {
+  // A power-law-ish load vector: equal-count splits would give the first
+  // part almost everything; balanced boundaries keep every part within a
+  // one-row resolution of the ideal share.
+  std::vector<uint64_t> loads;
+  uint64_t max_load = 0;
+  for (int i = 0; i < 200; ++i) {
+    loads.push_back(static_cast<uint64_t>(10000.0 / ((i + 1) * (i + 1))));
+    max_load = std::max(max_load, loads.back());
+  }
+  const auto prefix = prefix_sums(loads);
+  const auto bounds = balanced_boundaries(prefix, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[4], 200u);
+  const uint64_t ideal = prefix.back() / 4;
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_LE(bounds[p], bounds[p + 1]);
+    const uint64_t part = prefix[bounds[p + 1]] - prefix[bounds[p]];
+    // Each part is within one max-row of the ideal share (the split can
+    // never do better than row granularity).
+    EXPECT_LE(part, ideal + max_load);
+  }
+}
+
+TEST(BalancedBoundaries, ZeroLoadFallsBackToEqualRows) {
+  const std::vector<uint64_t> loads(12, 0);
+  const auto bounds = balanced_boundaries(prefix_sums(loads), 3);
+  EXPECT_EQ(bounds, (std::vector<Index>{0, 4, 8, 12}));
+}
+
+TEST(BalancedBoundaries, MorePartsThanRows) {
+  const std::vector<uint64_t> loads = {5, 5};
+  const auto bounds = balanced_boundaries(prefix_sums(loads), 6);
+  ASSERT_EQ(bounds.size(), 7u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LE(bounds[i - 1], bounds[i]);
 }
 
 }  // namespace

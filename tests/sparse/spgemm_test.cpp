@@ -87,6 +87,103 @@ TEST(Spgemm, ParallelMatchesSequential) {
   EXPECT_EQ(seq_counters.multiplies, par_counters.multiplies);
 }
 
+class SpgemmScheduleTest : public ::testing::TestWithParam<SpgemmSchedule> {
+ protected:
+  SpgemmParallelOptions options() const {
+    SpgemmParallelOptions o;
+    o.schedule = GetParam();
+    return o;
+  }
+};
+
+TEST_P(SpgemmScheduleTest, BitIdenticalOnSkewedMatrix) {
+  // Power-law row degrees: the work-volume split earns its keep here,
+  // and the output must still be bit-identical to the serial kernel.
+  Rng rng(9);
+  const CsrMatrix a = scale_free(300, 8, 2.0, rng);
+  ThreadPool pool(4);
+  SpgemmCounters seq_counters, par_counters;
+  const CsrMatrix seq = spgemm(a, a, &seq_counters);
+  const CsrMatrix par =
+      spgemm_parallel(a, a, pool, &par_counters, options());
+  EXPECT_TRUE(seq == par);
+  EXPECT_EQ(seq_counters.multiplies, par_counters.multiplies);
+  EXPECT_EQ(seq_counters.c_nnz, par_counters.c_nnz);
+  EXPECT_EQ(seq_counters.rows, par_counters.rows);
+  EXPECT_EQ(seq_counters.a_nnz, par_counters.a_nnz);
+}
+
+TEST_P(SpgemmScheduleTest, HandlesEmptyRowsAndColumns) {
+  // Rows 3, 7, and the tail of A are empty; several columns never occur.
+  std::vector<Triplet> trips;
+  Rng rng(10);
+  for (Index r = 0; r < 40; ++r) {
+    if (r == 3 || r == 7 || r >= 30) continue;
+    for (int j = 0; j < 4; ++j)
+      trips.push_back({r, static_cast<Index>(rng.uniform(40)),
+                       rng.uniform_real(-1, 1)});
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(40, 40, trips);
+  ThreadPool pool(4);
+  const CsrMatrix seq = spgemm(a, a);
+  const CsrMatrix par = spgemm_parallel(a, a, pool, nullptr, options());
+  EXPECT_TRUE(seq == par);
+}
+
+TEST_P(SpgemmScheduleTest, TeamLargerThanRows) {
+  Rng rng(11);
+  const CsrMatrix a = random_uniform(5, 5, 15, rng);
+  ThreadPool pool(8);
+  const CsrMatrix seq = spgemm(a, a);
+  EXPECT_TRUE(seq == spgemm_parallel(a, a, pool, nullptr, options()));
+}
+
+TEST_P(SpgemmScheduleTest, SingleThreadPool) {
+  Rng rng(12);
+  const CsrMatrix a = random_uniform(50, 50, 400, rng);
+  ThreadPool pool(1);
+  const CsrMatrix seq = spgemm(a, a);
+  EXPECT_TRUE(seq == spgemm_parallel(a, a, pool, nullptr, options()));
+}
+
+TEST_P(SpgemmScheduleTest, MaskedParallelMatchesSerialMasked) {
+  Rng rng(13);
+  const CsrMatrix a = scale_free(200, 6, 2.2, rng);
+  std::vector<uint8_t> mask(a.rows());
+  for (Index r = 0; r < a.rows(); ++r) mask[r] = a.row_nnz(r) > 8;
+  ThreadPool pool(4);
+  for (uint8_t keep : {uint8_t{0}, uint8_t{1}}) {
+    SpgemmCounters serial_counters, par_counters;
+    const CsrMatrix serial = spgemm_row_range_masked(
+        a, a, 0, a.rows(), mask, keep, &serial_counters);
+    const CsrMatrix par = spgemm_parallel_masked(
+        a, a, pool, mask, keep, &par_counters, options());
+    EXPECT_TRUE(serial == par) << "keep=" << int(keep);
+    EXPECT_EQ(serial_counters.multiplies, par_counters.multiplies);
+    EXPECT_EQ(serial_counters.c_nnz, par_counters.c_nnz);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, SpgemmScheduleTest,
+    ::testing::Values(SpgemmSchedule::kAuto, SpgemmSchedule::kWorkBalanced,
+                      SpgemmSchedule::kDynamic),
+    [](const auto& info) {
+      switch (info.param) {
+        case SpgemmSchedule::kAuto: return "Auto";
+        case SpgemmSchedule::kWorkBalanced: return "WorkBalanced";
+        default: return "Dynamic";
+      }
+    });
+
+TEST(Spgemm, ParallelRectangularProduct) {
+  Rng rng(14);
+  const CsrMatrix a = random_uniform(120, 80, 900, rng, -1, 1);
+  const CsrMatrix b = random_uniform(80, 60, 700, rng, -1, 1);
+  ThreadPool pool(3);
+  EXPECT_TRUE(spgemm(a, b) == spgemm_parallel(a, b, pool));
+}
+
 TEST(Spgemm, MaskedDecompositionSums) {
   // C = A x B_mask0 + A x B_mask1 for any row bipartition of B — the HH
   // algorithm's correctness hinges on this.
