@@ -23,6 +23,7 @@
 #include "core/baselines.hpp"
 #include "core/exhaustive.hpp"
 #include "core/extrapolate.hpp"
+#include "core/robust_estimate.hpp"
 #include "core/sampling_partitioner.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -51,7 +52,18 @@ struct Request {
   std::string trace;
   std::string metrics;     ///< --metrics: metric snapshot JSON path
   std::string trace_real;  ///< --trace-real: wall-clock Chrome trace path
+  std::string fault_plan;  ///< --fault-plan: hetsim::FaultPlan spec
+  double identify_deadline_ms = 0;  ///< --identify-deadline-ms
+  std::string fallback = "auto";    ///< --fallback: auto|race|naive-static|off
 };
+
+core::FallbackStage parse_fallback_stage(const std::string& s) {
+  if (s == "auto") return core::FallbackStage::kSampled;
+  if (s == "race") return core::FallbackStage::kRace;
+  if (s == "naive-static") return core::FallbackStage::kNaiveStatic;
+  throw Error("unknown --fallback value '" + s +
+              "' (auto | race | naive-static | off)");
+}
 
 core::SamplingConfig config_for(const std::string& workload,
                                 uint64_t seed) {
@@ -75,7 +87,7 @@ core::SamplingConfig config_for(const std::string& workload,
 template <typename Problem, typename Estimate, typename Exhaust>
 int drive(const char* command, const Request& req, const Problem& problem,
           const Estimate& estimate, const Exhaust& exhaust) {
-  const auto& platform = hetsim::Platform::reference();
+  const auto& platform = problem.platform();
   if (std::strcmp(command, "exhaustive") == 0) {
     const auto ex = exhaust(problem);
     std::printf("exhaustive threshold: %.1f  (makespan %.3f ms)\n",
@@ -132,20 +144,57 @@ int drive(const char* command, const Request& req, const Problem& problem,
   table.print(std::cout);
   std::printf("estimation cost: %.3f ms over %d sample runs\n",
               est.estimation_cost_ns / 1e6, est.evaluations);
+  if constexpr (requires { est.stage; }) {
+    std::printf("estimate stage: %s%s%s\n",
+                core::fallback_stage_name(est.stage),
+                est.reason.empty() ? "" : " — after ",
+                est.reason.c_str());
+  }
   return 0;
 }
 
 int run_command(const char* command, const Request& req) {
-  const auto& platform = hetsim::Platform::reference();
+  // A by-value copy of the reference platform so an injected fault plan
+  // stays local to this invocation.
+  hetsim::Platform platform = hetsim::Platform::reference();
+  if (!req.fault_plan.empty()) {
+    const auto plan = hetsim::FaultPlan::parse(req.fault_plan);
+    platform.set_fault_plan(plan);
+    log_info("fault plan: " + plan.summary());
+  }
   const auto& spec = datasets::spec_by_name(req.dataset);
-  const auto cfg = config_for(req.workload, req.options.sampling_seed);
+  auto cfg = config_for(req.workload, req.options.sampling_seed);
+  cfg.identify_wall_deadline_ns = req.identify_deadline_ms * 1e6;
+
+  core::RobustConfig rcfg;
+  rcfg.sampling = cfg;
+  if (req.fallback != "off")
+    rcfg.start_stage = parse_fallback_stage(req.fallback);
+
+  // Estimate through the guarded fallback chain unless --fallback off, in
+  // which case estimation errors (deadline, faults) propagate to main().
+  auto guarded = [&](const auto& p, const auto& rich) {
+    if (req.fallback == "off") {
+      const auto est = core::estimate_partition(p, cfg, rich);
+      core::RobustEstimate out;
+      out.threshold = est.threshold;
+      out.estimation_cost_ns = est.estimation_cost_ns;
+      out.evaluations = est.evaluations;
+      out.sampled = est;
+      return out;
+    }
+    return core::robust_estimate_partition(p, rcfg, rich);
+  };
+  auto scalar_extrapolate = [&cfg](const auto&, const auto&, double ts) {
+    return cfg.extrapolate ? cfg.extrapolate(ts) : ts;
+  };
 
   if (req.workload == "cc") {
     const hetalg::HeteroCc problem(exp::load_graph(spec, req.options),
                                    platform);
     return drive(command, req, problem,
                  [&](const hetalg::HeteroCc& p) {
-                   return core::estimate_partition(p, cfg);
+                   return guarded(p, scalar_extrapolate);
                  },
                  [](const hetalg::HeteroCc& p) {
                    return core::exhaustive_search(p, 1.0);
@@ -156,7 +205,7 @@ int run_command(const char* command, const Request& req) {
                                      platform);
     return drive(command, req, problem,
                  [&](const hetalg::HeteroSpmm& p) {
-                   return core::estimate_partition(p, cfg);
+                   return guarded(p, scalar_extrapolate);
                  },
                  [](const hetalg::HeteroSpmm& p) {
                    return core::exhaustive_search(p, 1.0);
@@ -167,7 +216,7 @@ int run_command(const char* command, const Request& req) {
                                      platform);
     return drive(command, req, problem,
                  [&](const hetalg::HeteroSpmv& p) {
-                   return core::estimate_partition(p, cfg);
+                   return guarded(p, scalar_extrapolate);
                  },
                  [](const hetalg::HeteroSpmv& p) {
                    return core::exhaustive_search(p, 1.0);
@@ -178,10 +227,9 @@ int run_command(const char* command, const Request& req) {
                                        platform);
     return drive(command, req, problem,
                  [&](const hetalg::HeteroSpmmHh& p) {
-                   return core::estimate_partition(
-                       p, cfg,
-                       [](const hetalg::HeteroSpmmHh& full,
-                          const hetalg::HeteroSpmmHh& sample, double ts) {
+                   return guarded(
+                       p, [](const hetalg::HeteroSpmmHh& full,
+                             const hetalg::HeteroSpmmHh& sample, double ts) {
                          return core::work_share_extrapolate(full, sample,
                                                              ts);
                        });
@@ -244,6 +292,13 @@ int main(int argc, char** argv) {
   cli.add_option("metrics", "", "write a metric snapshot JSON here");
   cli.add_option("trace-real", "",
                  "write a wall-clock Chrome/Perfetto trace here");
+  cli.add_option("fault-plan", "",
+                 "fault injection plan, e.g. gpu-hard@0,pcie-degrade=4 "
+                 "(see hetsim/faults.hpp)");
+  cli.add_option("identify-deadline-ms", "0",
+                 "wall-clock budget for the identify search (0 = none)");
+  cli.add_option("fallback", "auto",
+                 "estimate fallback chain: auto | race | naive-static | off");
   cli.add_option("log-level", "info", "debug | info | warn | error");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
 
@@ -260,6 +315,9 @@ int main(int argc, char** argv) {
   req.trace = cli.str("trace");
   req.metrics = cli.str("metrics");
   req.trace_real = cli.str("trace-real");
+  req.fault_plan = cli.str("fault-plan");
+  req.identify_deadline_ms = cli.real("identify-deadline-ms");
+  req.fallback = cli.str("fallback");
 
   try {
     set_log_level(parse_log_level(cli.str("log-level")));

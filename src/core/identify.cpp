@@ -1,6 +1,7 @@
 #include "core/identify.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -24,13 +25,15 @@ namespace {
 /// only exact revisits hit, which is what the searches produce.
 class MemoEval {
  public:
-  explicit MemoEval(const Evaluator& eval) : eval_(&eval) {}
+  explicit MemoEval(const Evaluator& eval)
+      : eval_(&eval), start_(std::chrono::steady_clock::now()) {}
 
   double lo() const { return eval_->lo; }
   double hi() const { return eval_->hi; }
 
   /// Evaluate (or recall) the clamped threshold, fold it into the running
-  /// result, and return the objective.
+  /// result, and return the objective.  Budget limits are enforced here,
+  /// before each new evaluation: cache hits never trip a deadline.
   double consider(double t, IdentifyResult& r) {
     t = std::clamp(t, eval_->lo, eval_->hi);
     double obj;
@@ -39,10 +42,14 @@ class MemoEval {
       obj = it->second;
       ++r.cache_hits;
     } else {
+      check_budgets();
       obj = eval_->objective_ns(t);
       cache_.emplace(t, obj);
-      r.cost_ns += eval_->cost_ns ? eval_->cost_ns(t) : 0.0;
+      const double cost = eval_->cost_ns ? eval_->cost_ns(t) : 0.0;
+      r.cost_ns += cost;
+      total_cost_ns_ += cost;
       ++r.evaluations;
+      ++total_evaluations_;
     }
     if (r.evaluations + r.cache_hits == 1 || obj < r.best_objective) {
       r.best_objective = obj;
@@ -52,8 +59,45 @@ class MemoEval {
   }
 
  private:
+  double wall_elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void check_budgets() const {
+    if (eval_->max_evaluations > 0 &&
+        total_evaluations_ >= eval_->max_evaluations) {
+      throw IdentifyDeadlineExceeded(
+          strfmt("identify: evaluation budget of %d exhausted",
+                 eval_->max_evaluations),
+          total_evaluations_, wall_elapsed_ns(), total_cost_ns_);
+    }
+    if (eval_->virtual_budget_ns > 0 &&
+        total_cost_ns_ >= eval_->virtual_budget_ns) {
+      throw IdentifyDeadlineExceeded(
+          strfmt("identify: virtual budget of %.3g ms exhausted after %d "
+                 "evaluations",
+                 eval_->virtual_budget_ns / 1e6, total_evaluations_),
+          total_evaluations_, wall_elapsed_ns(), total_cost_ns_);
+    }
+    if (eval_->wall_deadline_ns > 0) {
+      const double elapsed = wall_elapsed_ns();
+      if (elapsed >= eval_->wall_deadline_ns) {
+        throw IdentifyDeadlineExceeded(
+            strfmt("identify: wall deadline of %.3g ms exceeded after %d "
+                   "evaluations",
+                   eval_->wall_deadline_ns / 1e6, total_evaluations_),
+            total_evaluations_, elapsed, total_cost_ns_);
+      }
+    }
+  }
+
   const Evaluator* eval_;
+  std::chrono::steady_clock::time_point start_;
   std::unordered_map<double, double> cache_;
+  int total_evaluations_ = 0;
+  double total_cost_ns_ = 0.0;
 };
 
 IdentifyResult grid(MemoEval& memo, double lo, double hi, double step) {
@@ -82,8 +126,19 @@ void fold(IdentifyResult& into, const IdentifyResult& from) {
 template <typename Search>
 IdentifyResult instrumented(const char* method, const Evaluator& eval,
                             const Search& search) {
+  // A deadline hit aborts the search; count it under the method so the
+  // manifest shows which strategy ran out of budget, then let the caller's
+  // fallback chain take over.
+  auto counting_deadline = [&](const auto& run) {
+    try {
+      return run();
+    } catch (const IdentifyDeadlineExceeded&) {
+      obs::count(std::string("identify.") + method + ".deadline_hits");
+      throw;
+    }
+  };
   if (!obs::metrics_enabled()) {
-    const IdentifyResult r = search(eval);
+    const IdentifyResult r = counting_deadline([&] { return search(eval); });
     log_debug(strfmt("identify.%s: t'=%.2f after %d evaluations", method,
                      r.best_threshold, r.evaluations));
     return r;
@@ -94,7 +149,7 @@ IdentifyResult instrumented(const char* method, const Evaluator& eval,
     visited.push_back(t);
     return eval.objective_ns(t);
   };
-  const IdentifyResult r = search(probe);
+  const IdentifyResult r = counting_deadline([&] { return search(probe); });
   std::sort(visited.begin(), visited.end());
   const auto distinct = static_cast<double>(
       std::unique(visited.begin(), visited.end()) - visited.begin());

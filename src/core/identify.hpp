@@ -17,16 +17,51 @@
 #pragma once
 
 #include <functional>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace nbwp::core {
 
 /// One threshold evaluation: `objective_ns` is minimized; `cost_ns` is the
 /// virtual time the evaluation takes (charged to the estimation overhead).
+///
+/// The three budget fields bound the search (0 disables each).  Limits are
+/// checked before every *new* objective evaluation — memo hits are free —
+/// so total wall time stays under `wall_deadline_ns` plus at most one
+/// evaluation.  Virtual and evaluation-count budgets are deterministic;
+/// the wall deadline is the only machine-dependent trigger (see
+/// docs/ROBUSTNESS.md).  On exceeding any budget the search throws
+/// IdentifyDeadlineExceeded for the caller's fallback chain
+/// (core/robust_estimate.hpp).
 struct Evaluator {
   std::function<double(double)> objective_ns;
   std::function<double(double)> cost_ns;
   double lo = 0.0;
   double hi = 100.0;
+  double wall_deadline_ns = 0.0;    ///< wall-clock budget for the search
+  double virtual_budget_ns = 0.0;   ///< cap on the charged estimation cost
+  int max_evaluations = 0;          ///< cap on objective_ns runs
+};
+
+/// Thrown by the identify searches when an Evaluator budget is exhausted.
+class IdentifyDeadlineExceeded : public Error {
+ public:
+  IdentifyDeadlineExceeded(const std::string& what, int evaluations,
+                           double wall_elapsed_ns, double virtual_spent_ns)
+      : Error(what),
+        evaluations_(evaluations),
+        wall_elapsed_ns_(wall_elapsed_ns),
+        virtual_spent_ns_(virtual_spent_ns) {}
+
+  int evaluations() const { return evaluations_; }
+  double wall_elapsed_ns() const { return wall_elapsed_ns_; }
+  double virtual_spent_ns() const { return virtual_spent_ns_; }
+
+ private:
+  int evaluations_;
+  double wall_elapsed_ns_;
+  double virtual_spent_ns_;
 };
 
 struct IdentifyResult {

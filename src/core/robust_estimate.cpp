@@ -1,0 +1,19 @@
+#include "core/robust_estimate.hpp"
+
+namespace nbwp::core {
+
+const char* fallback_stage_name(FallbackStage stage) {
+  switch (stage) {
+    case FallbackStage::kSampled:
+      return "sampled";
+    case FallbackStage::kRace:
+      return "race";
+    case FallbackStage::kNaiveStatic:
+      return "naive_static";
+    case FallbackStage::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+}  // namespace nbwp::core

@@ -70,6 +70,19 @@ struct SamplingConfig {
   /// floor, which is what makes undersized samples misestimate (the left
   /// side of the Fig. 4/6/9 U-curves).  Deterministic per seed.
   double timing_noise_ns = 150.0;
+  /// Identify budgets, forwarded to Evaluator (0 disables each; see
+  /// identify.hpp).  On exhaustion the identify step throws
+  /// IdentifyDeadlineExceeded — use robust_estimate_partition() to turn
+  /// that into a fallback instead of a failure.
+  double identify_wall_deadline_ns = 0.0;
+  double identify_virtual_budget_ns = 0.0;
+  int identify_max_evaluations = 0;
+  /// Called once per objective evaluation on the sample; returns a sigma
+  /// multiplier for that observation's timing noise and may throw (e.g.
+  /// hetsim::DeviceFault from a fault injector) to abort identification.
+  /// This is how injected platform adversity reaches the estimation
+  /// pipeline's probes.
+  std::function<double(double)> probe_hook;
 };
 
 struct PartitionEstimate {
@@ -87,9 +100,15 @@ IdentifyResult identify_on(const P& sample, const SamplingConfig& cfg,
   Evaluator eval;
   eval.lo = sample.threshold_lo();
   eval.hi = sample.threshold_hi();
+  eval.wall_deadline_ns = cfg.identify_wall_deadline_ns;
+  eval.virtual_budget_ns = cfg.identify_virtual_budget_ns;
+  eval.max_evaluations = cfg.identify_max_evaluations;
   auto observe = [&cfg, &noise_rng](double objective) {
+    const double sigma_factor =
+        cfg.probe_hook ? cfg.probe_hook(objective) : 1.0;
     if (cfg.timing_noise_ns <= 0) return objective;
-    return std::max(0.0, objective + noise_rng.normal(0, cfg.timing_noise_ns));
+    return std::max(0.0, objective + noise_rng.normal(
+                                         0, cfg.timing_noise_ns * sigma_factor));
   };
   if (cfg.objective == Objective::kBalance) {
     eval.objective_ns = [&sample, observe](double t) {

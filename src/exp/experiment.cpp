@@ -171,7 +171,11 @@ graph::CsrGraph load_graph(const datasets::DatasetSpec& spec,
   const std::string path = mtx_path(spec, options);
   if (!path.empty()) {
     log_info("loading " + path);
-    return graph::graph_from_triplets(read_matrix_market_file(path));
+    const TripletMatrix mm = read_matrix_market_file(path);
+    if (mm.duplicates_coalesced > 0)
+      obs::count("mmio.duplicate_entries",
+                 static_cast<double>(mm.duplicates_coalesced));
+    return graph::graph_from_triplets(mm);
   }
   return datasets::make_graph(spec, scale_of(options, spec), options.seed);
 }
@@ -181,7 +185,11 @@ sparse::CsrMatrix load_matrix(const datasets::DatasetSpec& spec,
   const std::string path = mtx_path(spec, options);
   if (!path.empty()) {
     log_info("loading " + path);
-    return sparse::CsrMatrix::from_mm(read_matrix_market_file(path));
+    const TripletMatrix mm = read_matrix_market_file(path);
+    if (mm.duplicates_coalesced > 0)
+      obs::count("mmio.duplicate_entries",
+                 static_cast<double>(mm.duplicates_coalesced));
+    return sparse::CsrMatrix::from_mm(mm);
   }
   return datasets::make_matrix(spec, scale_of(options, spec), options.seed);
 }

@@ -50,15 +50,32 @@ CsrGraph CsrGraph::from_undirected_edges(Vertex n,
 
 CsrGraph CsrGraph::from_csr(Vertex n, std::vector<uint64_t> row_ptr,
                             std::vector<Vertex> adj) {
-  NBWP_REQUIRE(row_ptr.size() == static_cast<size_t>(n) + 1,
-               "row_ptr must have n+1 entries");
-  NBWP_REQUIRE(row_ptr.back() == adj.size(),
-               "row_ptr.back() must equal adjacency size");
   CsrGraph g;
   g.n_ = n;
   g.row_ptr_ = std::move(row_ptr);
   g.adj_ = std::move(adj);
+  g.validate();
   return g;
+}
+
+void CsrGraph::validate() const {
+  NBWP_REQUIRE(row_ptr_.size() == static_cast<size_t>(n_) + 1,
+               "graph csr: row_ptr must have n+1 entries");
+  NBWP_REQUIRE(row_ptr_.front() == 0, "graph csr: row_ptr must start at 0");
+  NBWP_REQUIRE(row_ptr_.back() == adj_.size(),
+               "graph csr: row_ptr must end at the adjacency size");
+  for (Vertex v = 0; v < n_; ++v) {
+    NBWP_REQUIRE(row_ptr_[v] <= row_ptr_[v + 1],
+                 "graph csr: row_ptr must be monotone non-decreasing");
+    for (uint64_t i = row_ptr_[v]; i < row_ptr_[v + 1]; ++i) {
+      NBWP_REQUIRE(adj_[i] < n_, "graph csr: neighbor id out of range");
+      NBWP_REQUIRE(adj_[i] != v, "graph csr: self-loop");
+      NBWP_REQUIRE(i == row_ptr_[v] || adj_[i - 1] < adj_[i],
+                   "graph csr: neighbors must be strictly increasing");
+      NBWP_REQUIRE(has_edge(adj_[i], v),
+                   "graph csr: missing reverse arc (asymmetric adjacency)");
+    }
+  }
 }
 
 bool CsrGraph::has_edge(Vertex u, Vertex v) const {

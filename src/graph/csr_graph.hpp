@@ -44,6 +44,14 @@ class CsrGraph {
 
   bool has_edge(Vertex u, Vertex v) const;
 
+  /// Check every adjacency-CSR invariant and throw nbwp::Error on the
+  /// first violation: row_ptr has n+1 monotone entries from 0 to the
+  /// adjacency size, neighbor ids are in range and strictly increasing
+  /// per list (sorted, duplicate-free), no self-loops, and every arc has
+  /// its reverse (undirected symmetry).  from_csr runs this on adopted
+  /// arrays.
+  void validate() const;
+
   /// Memory footprint of the CSR arrays in bytes (used for PCIe costs).
   double bytes() const {
     return static_cast<double>(row_ptr_.size() * sizeof(uint64_t) +

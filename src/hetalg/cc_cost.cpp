@@ -137,4 +137,36 @@ CcTimes cc_times(const hetsim::Platform& platform, const CcStructure& s,
   return t;
 }
 
+double cc_reroute_phase2_ns(const hetsim::Platform& platform,
+                            const CcStructure& s, unsigned cpu_chunks) {
+  if (s.n_gpu == 0) return 0.0;
+  using hetsim::WorkProfile;
+  // The rerouted subgraph runs the same chunked DFS as the CPU share.
+  WorkProfile p;
+  const auto de = 2.0 * static_cast<double>(s.m_gpu);
+  p.bytes_random =
+      kImpl * (kCpuBytesRandomPerDirEdge * de +
+               kCpuBytesRandomPerVertex * static_cast<double>(s.n_gpu));
+  p.bytes_stream = kImpl * kCpuBytesStreamPerDirEdge * de;
+  p.ops = kImpl * kCpuOpsPerDirEdge * de;
+  p.parallel_items = cpu_chunks;
+  p.steps = 0;
+  WorkProfile barriers;
+  barriers.steps = 2;
+  return platform.cpu().time_ns(p) + platform.cpu().time_ns(barriers);
+}
+
+double cc_reroute_merge_ns(const hetsim::Platform& platform,
+                           const CcStructure& s) {
+  using hetsim::WorkProfile;
+  WorkProfile p;
+  p.bytes_random =
+      kImpl * kMergeBytesRandomPerCross * static_cast<double>(s.cross);
+  p.bytes_stream = kImpl * 8.0 * static_cast<double>(s.cross);
+  p.ops = kImpl * 4.0 * static_cast<double>(s.cross);
+  p.parallel_items = static_cast<double>(platform.cpu_threads());
+  p.steps = s.cross > 0 ? 2.0 : 0.0;
+  return platform.cpu().time_ns(p);
+}
+
 }  // namespace nbwp::hetalg

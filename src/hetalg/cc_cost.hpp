@@ -72,4 +72,15 @@ uint64_t sv_model_iterations(uint64_t n);
 CcTimes cc_times(const hetsim::Platform& platform, const CcStructure& s,
                  unsigned cpu_chunks);
 
+/// CPU cost of the *GPU share* of Phase II when a GPU fault reroutes it:
+/// the G_GPU subgraph runs as chunked DFS on the CPU, sequentially after
+/// the CPU's own share (no overlap left to exploit).
+double cc_reroute_phase2_ns(const hetsim::Platform& platform,
+                            const CcStructure& s, unsigned cpu_chunks);
+
+/// CPU cost of the Phase III cross-edge merge when the GPU cannot take it
+/// (labels never leave host memory, so no PCIe traffic).
+double cc_reroute_merge_ns(const hetsim::Platform& platform,
+                           const CcStructure& s);
+
 }  // namespace nbwp::hetalg

@@ -1,0 +1,61 @@
+// Retry-then-reroute gating for the executors' GPU kernels.
+//
+// Every GPU piece of the three case studies funnels through
+// run_gpu_or_reroute(): on a healthy platform (no fault injector) it is a
+// zero-cost passthrough; under an injected fault the invocation is retried
+// once and, if the device still fails, *rerouted* — the same kernel lambda
+// runs on the CPU instead.  The lambda executes exactly once on every
+// path, so the computed output is bitwise-identical to a healthy run; only
+// the virtual-time accounting changes (the caller charges the rerouted
+// piece at CPU cost, non-overlapped).  Counters: robustness.retry,
+// robustness.retry.success, robustness.reroute(.<what>).
+#pragma once
+
+#include <string>
+
+#include "hetsim/faults.hpp"
+#include "hetsim/platform.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace nbwp::hetalg {
+
+/// Run `kernel` on the GPU if the platform's injector lets it through,
+/// else on the CPU.  Returns true when the GPU executed it.  `what` names
+/// the kernel for counters/logs ("cc.sv", "spmm.c2", ...); `expected_ns`
+/// is the kernel's modeled GPU time, advanced on the injector's virtual
+/// clock when the invocation succeeds.
+template <typename Kernel>
+bool run_gpu_or_reroute(const hetsim::Platform& platform, const char* what,
+                        double expected_ns, Kernel&& kernel) {
+  hetsim::FaultInjector* injector = platform.faults();
+  if (injector) {
+    bool retried = false;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      try {
+        injector->gpu_kernel(what, expected_ns);
+        if (retried) obs::count("robustness.retry.success");
+        kernel();
+        return true;
+      } catch (const hetsim::DeviceFault& fault) {
+        if (attempt == 0) {
+          retried = true;
+          obs::count("robustness.retry");
+          log_warn(std::string("gpu kernel '") + what +
+                   "' failed: " + fault.what() + "; retrying");
+          continue;
+        }
+        obs::count("robustness.reroute");
+        obs::count(std::string("robustness.reroute.") + what);
+        log_warn(std::string("gpu kernel '") + what +
+                 "' failed again: " + fault.what() + "; rerouting to cpu");
+        kernel();
+        return false;
+      }
+    }
+  }
+  kernel();
+  return true;
+}
+
+}  // namespace nbwp::hetalg

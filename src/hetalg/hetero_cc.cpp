@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/sampling.hpp"
+#include "hetalg/gpu_guard.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -50,7 +51,8 @@ double HeteroCc::balance_ns(double t_cpu_pct) const {
       .balance_ns();
 }
 
-RunReport HeteroCc::run(double t_cpu_pct) const {
+RunReport HeteroCc::run(double t_cpu_pct,
+                        std::vector<Vertex>* labels_out) const {
   const Vertex cut = cut_for(t_cpu_pct);
   const Vertex n = graph_.num_vertices();
 
@@ -69,39 +71,70 @@ RunReport HeteroCc::run(double t_cpu_pct) const {
   const CcTimes times = cc_times(*platform_, s, config_.cpu_chunks);
 
   // Phase II: both sides execute for real; virtual time overlaps them.
+  // The SV piece goes through the fault gate — under a persistent GPU
+  // fault the identical kernel runs on the CPU instead, sequentially.
   graph::CcResult cpu_cc, gpu_cc;
   if (cut > 0) {
     cpu_cc = graph::cc_chunked_parallel(part.cpu_part, ThreadPool::global(),
                                         config_.cpu_chunks);
   }
+  bool sv_on_gpu = true;
   if (cut < n) {
-    gpu_cc = graph::cc_shiloach_vishkin(part.gpu_part);
+    sv_on_gpu = run_gpu_or_reroute(*platform_, "cc.sv", times.gpu_ns(), [&] {
+      gpu_cc = graph::cc_shiloach_vishkin(part.gpu_part);
+    });
   }
 
   // Phase III: merge through the cross edges.
   std::vector<Vertex> labels(n);
   for (Vertex v = 0; v < cut; ++v) labels[v] = cpu_cc.labels[v];
   for (Vertex v = cut; v < n; ++v) labels[v] = gpu_cc.labels[v - cut] + cut;
-  const Vertex components =
-      graph::merge_cross_edges(labels, part.cross_edges);
+  Vertex components = 0;
+  bool merge_on_gpu = true;
+  auto do_merge = [&] {
+    components = graph::merge_cross_edges(labels, part.cross_edges);
+  };
+  if (s.cross > 0) {
+    merge_on_gpu =
+        run_gpu_or_reroute(*platform_, "cc.merge", times.merge_ns, do_merge);
+  } else {
+    do_merge();
+  }
 
   RunReport report;
   report.add_phase("partition", times.partition_ns);
-  report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
-  report.add_phase("merge", times.merge_ns);
+  if (sv_on_gpu) {
+    report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
+  } else {
+    report.add_overlapped_phase("phase2", times.cpu_ns(), 0.0);
+    report.add_phase("phase2.reroute",
+                     cc_reroute_phase2_ns(*platform_, s, config_.cpu_chunks));
+  }
+  if (merge_on_gpu) {
+    report.add_phase("merge", times.merge_ns);
+  } else {
+    report.add_phase("merge.reroute", cc_reroute_merge_ns(*platform_, s));
+  }
+  report.set_counter("gpu_rerouted",
+                     (sv_on_gpu ? 0.0 : 1.0) + (merge_on_gpu ? 0.0 : 1.0));
   report.set_counter("components", components);
   report.set_counter("cpu_work_ns", times.cpu_work_ns);
   report.set_counter("gpu_work_ns", times.gpu_work_ns);
   report.set_counter("sv_iterations", static_cast<double>(gpu_cc.iterations));
   report.set_counter("cross_edges", static_cast<double>(s.cross));
+  if (labels_out) *labels_out = std::move(labels);
   return report;
 }
 
 Vertex HeteroCc::sample_size(double sqrt_n_factor) const {
-  const double n = graph_.num_vertices();
-  const double s = sqrt_n_factor * std::sqrt(n);
-  return std::clamp<Vertex>(static_cast<Vertex>(std::llround(s)), 2,
-                            graph_.num_vertices());
+  const auto n = static_cast<int64_t>(graph_.num_vertices());
+  if (n == 0) return 0;
+  const double s = sqrt_n_factor * std::sqrt(static_cast<double>(n));
+  const int64_t k = s > 0 ? std::llround(s) : 0;
+  // A sample needs two vertices to carry a split, but never more than the
+  // graph has (tiny graphs would otherwise make the clamp bounds cross).
+  return static_cast<Vertex>(std::clamp<int64_t>(k, std::min<int64_t>(2, n),
+                                                 n));
 }
 
 HeteroCc HeteroCc::make_sample(double sqrt_n_factor, Rng& rng) const {

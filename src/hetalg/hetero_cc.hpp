@@ -51,7 +51,16 @@ class HeteroCc {
   /// Execute Algorithm 1 at threshold t (CPU vertex share in percent).
   /// Counters: "components", "cpu_work_ns", "gpu_work_ns"; phases:
   /// "partition", "phase2.cpu", "phase2.gpu", "merge".
-  hetsim::RunReport run(double t_cpu_pct) const;
+  ///
+  /// GPU kernels ("cc.sv", "cc.merge") are gated through the platform's
+  /// fault injector (hetalg/gpu_guard.hpp): a persistently failing kernel
+  /// is rerouted to the CPU, charged non-overlapped at CPU cost under the
+  /// "*.reroute" phases, and counted in "gpu_rerouted" — the labels are
+  /// identical either way.  `labels_out`, when non-null, receives the
+  /// component labels (for output-equivalence checks).
+  hetsim::RunReport run(double t_cpu_pct,
+                        std::vector<graph::Vertex>* labels_out = nullptr)
+      const;
 
   /// Analytic makespan at threshold t (equals run(t).total_ns()).
   double time_ns(double t_cpu_pct) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hetalg/gpu_guard.hpp"
 #include "hetsim/work_profile.hpp"
 #include "sparse/load_vector.hpp"
 #include "sparse/sampling.hpp"
@@ -83,17 +84,30 @@ std::pair<double, double> HeteroSpmm::device_times_all() const {
   return {cpu, gpu};
 }
 
-hetsim::RunReport HeteroSpmm::run(double r_cpu_pct) const {
+hetsim::RunReport HeteroSpmm::run(double r_cpu_pct,
+                                  CsrMatrix* c_out) const {
   const Index split = split_row(r_cpu_pct);
   const Index n = a_.rows();
   const SpmmStructure s = structure_at(r_cpu_pct);
   const SpmmTimes times = spmm_times(*platform_, s);
 
   // Execute both sides (the same Gustavson kernel computes both halves;
-  // only the virtual-time accounting differs per device).
+  // only the virtual-time accounting differs per device).  The GPU half
+  // goes through the fault gate — a persistent fault reroutes it to the
+  // CPU with an identical product.
   sparse::SpgemmCounters ccpu, cgpu;
   CsrMatrix c1 = sparse::spgemm_row_range(a_, b_, 0, split, &ccpu);
-  CsrMatrix c2 = sparse::spgemm_row_range(a_, b_, split, n, &cgpu);
+  CsrMatrix c2;
+  bool c2_on_gpu = true;
+  auto c2_kernel = [&] {
+    c2 = sparse::spgemm_row_range(a_, b_, split, n, &cgpu);
+  };
+  if (split < n) {
+    c2_on_gpu =
+        run_gpu_or_reroute(*platform_, "spmm.c2", times.gpu_ns(), c2_kernel);
+  } else {
+    c2_kernel();
+  }
   NBWP_REQUIRE(ccpu.multiplies == s.cpu.multiplies &&
                    cgpu.multiplies == s.gpu.multiplies,
                "executed work disagrees with the load vector");
@@ -101,13 +115,20 @@ hetsim::RunReport HeteroSpmm::run(double r_cpu_pct) const {
 
   hetsim::RunReport report;
   report.add_phase("phase1", times.phase1_ns);
-  report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
+  if (c2_on_gpu) {
+    report.add_overlapped_phase("phase2", times.cpu_ns(), times.gpu_ns());
+  } else {
+    report.add_overlapped_phase("phase2", times.cpu_ns(), 0.0);
+    report.add_phase("phase2.reroute", spgemm_cpu_work_ns(*platform_, s.gpu));
+  }
+  report.set_counter("gpu_rerouted", c2_on_gpu ? 0.0 : 1.0);
   report.add_phase("stitch", times.stitch_ns);
   report.set_counter("c_nnz", static_cast<double>(c.nnz()));
   report.set_counter("split_row", split);
   report.set_counter("work_total", static_cast<double>(total_work()));
   report.set_counter("cpu_work_ns", times.cpu_work_ns);
   report.set_counter("gpu_work_ns", times.gpu_work_ns);
+  if (c_out) *c_out = std::move(c);
   return report;
 }
 
@@ -138,15 +159,26 @@ double HeteroSpmm::range_cost_gpu_ns(Index first, Index last) const {
 
 Index HeteroSpmm::sample_rows(double frac) const {
   NBWP_REQUIRE(frac > 0.0 && frac <= 1.0, "sample fraction out of range");
-  const auto k = static_cast<Index>(
-      std::llround(frac * static_cast<double>(a_.rows())));
-  return std::clamp<Index>(k, 2, a_.rows());
+  const auto n = static_cast<int64_t>(a_.rows());
+  if (n == 0) return 0;
+  const int64_t k = std::llround(frac * static_cast<double>(n));
+  return static_cast<Index>(
+      std::clamp<int64_t>(k, std::min<int64_t>(2, n), n));
 }
+
+namespace {
+Index sample_cols_for(double frac, Index cols) {
+  const auto n = static_cast<int64_t>(cols);
+  if (n == 0) return 0;
+  const int64_t k = std::llround(frac * static_cast<double>(n));
+  return static_cast<Index>(
+      std::clamp<int64_t>(k, std::min<int64_t>(2, n), n));
+}
+}  // namespace
 
 HeteroSpmm HeteroSpmm::make_sample(double frac, Rng& rng) const {
   const Index k_rows = sample_rows(frac);
-  const auto k_cols = std::clamp<Index>(
-      static_cast<Index>(std::llround(frac * a_.cols())), 2, a_.cols());
+  const Index k_cols = sample_cols_for(frac, a_.cols());
   // Row set for A', column set shared by A' columns and B' rows/cols so
   // the sampled product A' x B' is well defined.
   const auto rows =
@@ -163,8 +195,7 @@ HeteroSpmm HeteroSpmm::make_sample(double frac, Rng& rng) const {
 HeteroSpmm HeteroSpmm::make_sample_predetermined(double frac,
                                                  double anchor) const {
   const Index k_rows = sample_rows(frac);
-  const auto k_cols = std::clamp<Index>(
-      static_cast<Index>(std::llround(frac * a_.cols())), 2, a_.cols());
+  const Index k_cols = sample_cols_for(frac, a_.cols());
   const auto row0 = static_cast<Index>(anchor * (a_.rows() - k_rows));
   const auto col0 = static_cast<Index>(anchor * (a_.cols() - k_cols));
   CsrMatrix a_s =

@@ -47,7 +47,13 @@ class HeteroSpmm {
   /// Execute Algorithm 2.  Counters: "c_nnz", "cpu_work_ns",
   /// "gpu_work_ns", "split_row"; phases: "phase1", "phase2.cpu",
   /// "phase2.gpu", "stitch".  The product C itself is validated in tests.
-  hetsim::RunReport run(double r_cpu_pct) const;
+  ///
+  /// The GPU product ("spmm.c2") is gated through the platform's fault
+  /// injector (hetalg/gpu_guard.hpp); a persistent fault reroutes it to
+  /// the CPU ("phase2.reroute" phase, "gpu_rerouted" counter) with an
+  /// identical product.  `c_out`, when non-null, receives C.
+  hetsim::RunReport run(double r_cpu_pct,
+                        sparse::CsrMatrix* c_out = nullptr) const;
 
   /// Analytic makespan (equals run(r).total_ns()).
   double time_ns(double r_cpu_pct) const;

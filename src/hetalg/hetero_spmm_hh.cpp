@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hetalg/gpu_guard.hpp"
 #include "hetsim/work_profile.hpp"
 #include "sparse/row_subset.hpp"
 #include "sparse/sampling.hpp"
@@ -216,7 +217,8 @@ double HeteroSpmmHh::balance_ns(double t_cutoff) const {
   return hh_times(*platform_, structure_at(t_cutoff)).balance_ns();
 }
 
-hetsim::RunReport HeteroSpmmHh::run(double t_cutoff) const {
+hetsim::RunReport HeteroSpmmHh::run(double t_cutoff,
+                                    CsrMatrix* c_out) const {
   const Index n = a_.rows();
   const HhStructure s = structure_at(t_cutoff);
   const HhTimes times = hh_times(*platform_, s);
@@ -237,17 +239,35 @@ hetsim::RunReport HeteroSpmmHh::run(double t_cutoff) const {
 
   // Phases II + III (executed): the four masked partial products run on
   // the work-balanced parallel kernel (bit-identical to the serial one,
-  // which small sampled instances still fall back to).
+  // which small sampled instances still fall back to).  The two GPU
+  // products are gated through the fault injector; rerouted products are
+  // computed by the same kernel and charged at CPU cost.
   ThreadPool& pool = ThreadPool::global();
   sparse::SpgemmCounters hh, hl, ll, lh;
   CsrMatrix c_hh = sparse::spgemm_parallel_masked(a_h, a_, pool, mask, 1,
                                                   &hh);
-  CsrMatrix c_ll = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 0,
-                                                  &ll);
+  CsrMatrix c_ll, c_lh;
+  bool ll_on_gpu = true, lh_on_gpu = true;
+  auto ll_kernel = [&] {
+    c_ll = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 0, &ll);
+  };
+  auto lh_kernel = [&] {
+    c_lh = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 1, &lh);
+  };
+  if (s.rows_l > 0) {
+    ll_on_gpu =
+        run_gpu_or_reroute(*platform_, "hh.ll", times.gpu2_ns(), ll_kernel);
+  } else {
+    ll_kernel();
+  }
   CsrMatrix c_hl = sparse::spgemm_parallel_masked(a_h, a_, pool, mask, 0,
                                                   &hl);
-  CsrMatrix c_lh = sparse::spgemm_parallel_masked(a_l, a_, pool, mask, 1,
-                                                  &lh);
+  if (s.rows_l > 0) {
+    lh_on_gpu =
+        run_gpu_or_reroute(*platform_, "hh.lh", times.gpu3_ns(), lh_kernel);
+  } else {
+    lh_kernel();
+  }
   NBWP_REQUIRE(hh.multiplies == s.cpu2.multiplies &&
                    hl.multiplies == s.cpu3.multiplies &&
                    ll.multiplies == s.gpu2.multiplies &&
@@ -261,22 +281,39 @@ hetsim::RunReport HeteroSpmmHh::run(double t_cutoff) const {
 
   hetsim::RunReport report;
   report.add_phase("phase1", times.phase1_ns);
-  report.add_overlapped_phase("phase2", times.cpu2_ns, times.gpu2_ns());
-  report.add_overlapped_phase("phase3", times.cpu3_ns, times.gpu3_ns());
+  if (ll_on_gpu) {
+    report.add_overlapped_phase("phase2", times.cpu2_ns, times.gpu2_ns());
+  } else {
+    report.add_overlapped_phase("phase2", times.cpu2_ns, 0.0);
+    report.add_phase("phase2.reroute",
+                     spgemm_cpu_work_ns(*platform_, s.gpu2));
+  }
+  if (lh_on_gpu) {
+    report.add_overlapped_phase("phase3", times.cpu3_ns, times.gpu3_ns());
+  } else {
+    report.add_overlapped_phase("phase3", times.cpu3_ns, 0.0);
+    report.add_phase("phase3.reroute",
+                     spgemm_cpu_work_ns(*platform_, s.gpu3));
+  }
+  report.set_counter("gpu_rerouted",
+                     (ll_on_gpu ? 0.0 : 1.0) + (lh_on_gpu ? 0.0 : 1.0));
   report.add_phase("phase4", times.phase4_ns);
   report.set_counter("c_nnz", static_cast<double>(c.nnz()));
   report.set_counter("rows_h", static_cast<double>(s.rows_h));
   report.set_counter("cpu_work_ns", times.cpu2_ns + times.cpu3_ns);
   report.set_counter("gpu_work_ns",
                      times.gpu2_work_ns + times.gpu3_work_ns);
+  if (c_out) *c_out = std::move(c);
   return report;
 }
 
 Index HeteroSpmmHh::sample_size(double sqrt_n_factor) const {
-  const double n = a_.rows();
-  const double s = sqrt_n_factor * std::sqrt(n);
-  return std::clamp<Index>(static_cast<Index>(std::llround(s)), 2,
-                           a_.rows());
+  const auto n = static_cast<int64_t>(a_.rows());
+  if (n == 0) return 0;
+  const double s = sqrt_n_factor * std::sqrt(static_cast<double>(n));
+  const int64_t k = s > 0 ? std::llround(s) : 0;
+  return static_cast<Index>(
+      std::clamp<int64_t>(k, std::min<int64_t>(2, n), n));
 }
 
 HeteroSpmmHh HeteroSpmmHh::make_sample(double sqrt_n_factor,

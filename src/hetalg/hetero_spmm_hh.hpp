@@ -76,7 +76,14 @@ class HeteroSpmmHh {
 
   /// Execute Algorithm 3 at cutoff t.  Counters: "c_nnz", "rows_h",
   /// "cpu_work_ns", "gpu_work_ns".
-  hetsim::RunReport run(double t_cutoff) const;
+  ///
+  /// The two GPU products ("hh.ll", "hh.lh") are gated through the
+  /// platform's fault injector (hetalg/gpu_guard.hpp); persistent faults
+  /// reroute them to the CPU ("phase2.reroute" / "phase3.reroute" phases,
+  /// "gpu_rerouted" counter) with an identical product.  `c_out`, when
+  /// non-null, receives C.
+  hetsim::RunReport run(double t_cutoff,
+                        sparse::CsrMatrix* c_out = nullptr) const;
 
   /// Analytic makespan at cutoff t (equals run(t).total_ns()).
   double time_ns(double t_cutoff) const;

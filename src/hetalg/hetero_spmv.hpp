@@ -26,6 +26,7 @@ class HeteroSpmv {
              unsigned rounds = 32);
 
   const sparse::CsrMatrix& a() const { return a_; }
+  const hetsim::Platform& platform() const { return *platform_; }
   unsigned rounds() const { return rounds_; }
 
   static constexpr double threshold_lo() { return 0.0; }

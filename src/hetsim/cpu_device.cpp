@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace nbwp::hetsim {
+
+void CpuDevice::set_slowdown(double factor) {
+  NBWP_REQUIRE(factor >= 1.0 && std::isfinite(factor),
+               "cpu slowdown factor must be finite and >= 1");
+  slowdown_ = factor;
+}
 
 double CpuDevice::time_ns(const WorkProfile& p) const {
   const double seq_s = p.seq_ops / spec_.scalar_ops_per_s();
@@ -17,7 +25,7 @@ double CpuDevice::time_ns(const WorkProfile& p) const {
                        p.bytes_random / spec_.bw_random_bps;
 
   const double barrier_s = p.steps * spec_.barrier_ns * 1e-9;
-  return (seq_s + std::max(comp_s, mem_s) + barrier_s) * 1e9;
+  return (seq_s + std::max(comp_s, mem_s) + barrier_s) * 1e9 * slowdown_;
 }
 
 }  // namespace nbwp::hetsim

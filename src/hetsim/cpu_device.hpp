@@ -18,6 +18,14 @@ class CpuDevice {
   /// Peak single-precision throughput (used by the NaiveStatic baseline).
   double peak_ops_per_s() const { return spec_.peak_ops_per_s(); }
 
+  /// Peak throughput divided by any injected slowdown (hetsim/faults.hpp);
+  /// what a ratio-based static split should believe about a degraded core.
+  double effective_ops_per_s() const { return peak_ops_per_s() / slowdown_; }
+
+  /// Fault-injected slowdown factor (>= 1); multiplies every kernel time.
+  void set_slowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
   /// Virtual nanoseconds to execute a kernel with the given profile.
   ///
   /// time = seq_ops/scalar_rate
@@ -32,6 +40,7 @@ class CpuDevice {
 
  private:
   CpuSpec spec_;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace nbwp::hetsim

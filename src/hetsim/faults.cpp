@@ -1,0 +1,215 @@
+#include "hetsim/faults.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::hetsim {
+
+bool FaultPlan::empty() const {
+  return cpu_slowdown == 1.0 && gpu_slowdown == 1.0 &&
+         pcie_degradation == 1.0 && gpu_fail_at_kernel < 0 &&
+         gpu_fail_after_ms < 0 && gpu_transient_rate == 0.0 &&
+         noise_spike_rate == 0.0;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  NBWP_REQUIRE(end != value.c_str() && *end == '\0' && std::isfinite(v),
+               "fault plan: bad numeric value for '" + key + "': " + value);
+  return v;
+}
+
+int64_t parse_int(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  NBWP_REQUIRE(v == std::floor(v),
+               "fault plan: '" + key + "' wants an integer, got " + value);
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "none") return plan;
+  for (const std::string& raw : split(spec, ',')) {
+    if (raw.empty()) continue;
+    std::string key = raw;
+    std::string value;
+    bool at_form = false;
+    if (auto eq = raw.find('='); eq != std::string::npos) {
+      key = raw.substr(0, eq);
+      value = raw.substr(eq + 1);
+    } else if (auto at = raw.find('@'); at != std::string::npos) {
+      key = raw.substr(0, at);
+      value = raw.substr(at + 1);
+      at_form = true;
+    }
+    if (key == "gpu-hard" && at_form) {
+      plan.gpu_fail_at_kernel = parse_int(key, value);
+      plan.gpu_fail_transient = false;
+      NBWP_REQUIRE(plan.gpu_fail_at_kernel >= 0,
+                   "fault plan: gpu-hard@K wants K >= 0");
+    } else if (key == "gpu-transient" && at_form) {
+      plan.gpu_fail_at_kernel = parse_int(key, value);
+      plan.gpu_fail_transient = true;
+      NBWP_REQUIRE(plan.gpu_fail_at_kernel >= 0,
+                   "fault plan: gpu-transient@K wants K >= 0");
+    } else if (key == "gpu-hard-after") {
+      plan.gpu_fail_after_ms = parse_double(key, value);
+      NBWP_REQUIRE(plan.gpu_fail_after_ms >= 0,
+                   "fault plan: gpu-hard-after wants ms >= 0");
+    } else if (key == "gpu-transient-rate") {
+      plan.gpu_transient_rate = parse_double(key, value);
+      NBWP_REQUIRE(
+          plan.gpu_transient_rate >= 0 && plan.gpu_transient_rate <= 1,
+          "fault plan: gpu-transient-rate wants a probability in [0,1]");
+    } else if (key == "gpu-slow") {
+      plan.gpu_slowdown = parse_double(key, value);
+      NBWP_REQUIRE(plan.gpu_slowdown >= 1.0,
+                   "fault plan: gpu-slow wants a factor >= 1");
+    } else if (key == "cpu-slow") {
+      plan.cpu_slowdown = parse_double(key, value);
+      NBWP_REQUIRE(plan.cpu_slowdown >= 1.0,
+                   "fault plan: cpu-slow wants a factor >= 1");
+    } else if (key == "pcie-degrade") {
+      plan.pcie_degradation = parse_double(key, value);
+      NBWP_REQUIRE(plan.pcie_degradation >= 1.0,
+                   "fault plan: pcie-degrade wants a factor >= 1");
+    } else if (key == "noise-spikes") {
+      plan.noise_spike_rate = parse_double(key, value);
+      NBWP_REQUIRE(plan.noise_spike_rate >= 0 && plan.noise_spike_rate <= 1,
+                   "fault plan: noise-spikes wants a probability in [0,1]");
+    } else if (key == "noise-factor") {
+      plan.noise_spike_factor = parse_double(key, value);
+      NBWP_REQUIRE(plan.noise_spike_factor >= 1.0,
+                   "fault plan: noise-factor wants a factor >= 1");
+    } else if (key == "seed") {
+      plan.seed = static_cast<uint64_t>(parse_int(key, value));
+    } else {
+      throw Error("fault plan: unknown directive '" + raw +
+                  "' (see FaultPlan::parse for the grammar)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  if (empty()) return "healthy";
+  std::ostringstream os;
+  const char* sep = "";
+  auto item = [&](const std::string& s) {
+    os << sep << s;
+    sep = ", ";
+  };
+  if (gpu_fail_at_kernel >= 0)
+    item(std::string(gpu_fail_transient ? "transient" : "hard") +
+         " gpu fault at kernel #" + std::to_string(gpu_fail_at_kernel));
+  if (gpu_fail_after_ms >= 0)
+    item(strfmt("hard gpu fault after %.3g virtual ms", gpu_fail_after_ms));
+  if (gpu_transient_rate > 0)
+    item(strfmt("transient gpu rate %.3g", gpu_transient_rate));
+  if (gpu_slowdown != 1.0) item(strfmt("gpu slowdown %.3gx", gpu_slowdown));
+  if (cpu_slowdown != 1.0) item(strfmt("cpu slowdown %.3gx", cpu_slowdown));
+  if (pcie_degradation != 1.0)
+    item(strfmt("pcie degraded %.3gx", pcie_degradation));
+  if (noise_spike_rate > 0)
+    item(strfmt("noise spikes %.3g@%.3gx", noise_spike_rate,
+                noise_spike_factor));
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+void FaultInjector::gpu_kernel(const char* what, double expected_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t index = gpu_invocations_++;
+  if (gpu_dead_) {
+    throw DeviceFault("gpu", /*transient=*/false,
+                      std::string("gpu offline (hard fault) at '") + what +
+                          "' invocation #" + std::to_string(index));
+  }
+  const bool scheduled =
+      plan_.gpu_fail_at_kernel >= 0 &&
+      index == static_cast<uint64_t>(plan_.gpu_fail_at_kernel);
+  if (scheduled && !plan_.gpu_fail_transient) {
+    gpu_dead_ = true;
+    obs::count("robustness.fault.gpu.hard");
+    throw DeviceFault("gpu", /*transient=*/false,
+                      std::string("injected hard gpu fault at '") + what +
+                          "' invocation #" + std::to_string(index));
+  }
+  if (scheduled ||
+      (plan_.gpu_transient_rate > 0 && rng_.bernoulli(plan_.gpu_transient_rate))) {
+    obs::count("robustness.fault.gpu.transient");
+    throw DeviceFault("gpu", /*transient=*/true,
+                      std::string("injected transient gpu fault at '") + what +
+                          "' invocation #" + std::to_string(index));
+  }
+  if (plan_.gpu_fail_after_ms >= 0 &&
+      gpu_busy_ns_ > plan_.gpu_fail_after_ms * 1e6) {
+    gpu_dead_ = true;
+    obs::count("robustness.fault.gpu.hard");
+    throw DeviceFault(
+        "gpu", /*transient=*/false,
+        strfmt("injected hard gpu fault at '%s': virtual clock %.3g ms past "
+               "the %.3g ms failure point",
+               what, gpu_busy_ns_ / 1e6, plan_.gpu_fail_after_ms));
+  }
+  if (expected_ns > 0) gpu_busy_ns_ += expected_ns;
+}
+
+bool FaultInjector::gpu_dead() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gpu_dead_;
+}
+
+double FaultInjector::noise_sigma_factor() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.noise_spike_rate <= 0) return 1.0;
+  return rng_.bernoulli(plan_.noise_spike_rate) ? plan_.noise_spike_factor
+                                                : 1.0;
+}
+
+uint64_t FaultInjector::gpu_invocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gpu_invocations_;
+}
+
+double FaultInjector::gpu_busy_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gpu_busy_ns_ / 1e6;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.reseed(plan_.seed);
+  gpu_invocations_ = 0;
+  gpu_busy_ns_ = 0.0;
+  gpu_dead_ = false;
+}
+
+}  // namespace nbwp::hetsim

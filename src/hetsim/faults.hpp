@@ -1,0 +1,133 @@
+// Fault injection for the simulated heterogeneous platform.
+//
+// A production partitioner cannot assume the devices behave: GPUs drop off
+// the bus, kernels fail transiently, PCIe links train down to fewer lanes,
+// and timing measurements spike under interference (the heterogeneous-
+// clusters literature reports device-performance variability as the main
+// practical obstacle to static splits).  A FaultPlan describes such
+// adversity declaratively; the Platform carries a FaultInjector built from
+// it, and every case study can then be exercised under faults without
+// touching kernel code:
+//
+//   * per-device slowdown factors (CPU, GPU) and PCIe bandwidth
+//     degradation, applied inside the device cost models;
+//   * transient and hard GPU failures, scheduled either by kernel
+//     invocation index or by a point on the GPU's virtual clock;
+//   * a per-invocation transient-failure rate and timing-noise spikes,
+//     drawn from a dedicated seeded Rng so every run is reproducible.
+//
+// Consumers: the hetalg executors gate each GPU kernel through
+// FaultInjector::gpu_kernel (retry-then-reroute, see hetalg/gpu_guard.hpp)
+// and the guarded estimation entry point (core/robust_estimate.hpp) gates
+// its identify probes the same way.  All injected events are counted under
+// the robustness.* metric namespace (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::hetsim {
+
+/// Thrown by the injector when the plan schedules a failure for the
+/// current device operation.  Transient faults succeed when retried; a
+/// hard fault marks the device dead for the rest of the run.
+class DeviceFault : public Error {
+ public:
+  DeviceFault(std::string device, bool transient, const std::string& what)
+      : Error(what), device_(std::move(device)), transient_(transient) {}
+
+  const std::string& device() const { return device_; }
+  bool transient() const { return transient_; }
+
+ private:
+  std::string device_;
+  bool transient_;
+};
+
+/// Declarative description of the adversity to inject.  Default-constructed
+/// plans are empty (healthy platform).
+struct FaultPlan {
+  uint64_t seed = 0xFA117;     ///< stream for rate draws and noise spikes
+  double cpu_slowdown = 1.0;   ///< >= 1: CPU kernel times multiplied
+  double gpu_slowdown = 1.0;   ///< >= 1: GPU kernel times multiplied
+  double pcie_degradation = 1.0;  ///< >= 1: PCIe bandwidth divided
+
+  /// Fail the GPU kernel invocation with this 0-based index (-1: never).
+  /// Hard unless `gpu_fail_transient`; a hard fault kills the device for
+  /// every later invocation.
+  int64_t gpu_fail_at_kernel = -1;
+  bool gpu_fail_transient = false;
+
+  /// Hard-fail the GPU once its cumulative virtual busy time exceeds this
+  /// wall-clock point (< 0: never).
+  double gpu_fail_after_ms = -1.0;
+
+  /// Per-invocation transient failure probability (deterministic per seed).
+  double gpu_transient_rate = 0.0;
+
+  /// Timing-noise spikes: with this probability an estimation probe's
+  /// measurement noise sigma is multiplied by `noise_spike_factor`.
+  double noise_spike_rate = 0.0;
+  double noise_spike_factor = 10.0;
+
+  bool empty() const;
+
+  /// Parse a comma-separated plan spec, e.g.
+  ///   "gpu-hard@2"              hard-fail GPU kernel #2
+  ///   "gpu-transient@0"         transient fault on kernel #0
+  ///   "gpu-hard-after=5"        hard fault after 5 virtual ms of GPU work
+  ///   "gpu-transient-rate=0.1"  10% transient failures per invocation
+  ///   "gpu-slow=3,pcie-degrade=4,noise-spikes=0.2,seed=7"
+  /// "none" and "" yield an empty plan.  Throws nbwp::Error on unknown
+  /// keys or malformed values.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Human-readable one-line summary (for logs and manifests).
+  std::string summary() const;
+};
+
+/// Mutable per-run fault state built from a FaultPlan.  Thread-safe; the
+/// executors and the estimation pipeline share one injector through the
+/// Platform, so kernel invocation indices and the virtual GPU clock are
+/// global to the run — exactly like a real device.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Gate one GPU kernel invocation.  Throws DeviceFault when the plan
+  /// schedules a failure for this invocation; otherwise advances the
+  /// invocation counter and the GPU virtual clock by `expected_ns`.
+  /// Fault events are counted as robustness.fault.gpu.{transient,hard}.
+  void gpu_kernel(const char* what, double expected_ns);
+
+  /// True once a hard GPU fault has triggered (the device is offline and
+  /// every later gpu_kernel call fails hard).
+  bool gpu_dead() const;
+
+  /// Sigma multiplier for one timing observation: noise_spike_factor with
+  /// probability noise_spike_rate, else 1.  Deterministic per seed.
+  double noise_sigma_factor();
+
+  uint64_t gpu_invocations() const;
+  double gpu_busy_ms() const;
+
+  /// Restore pristine state (same plan, reseeded Rng): invocation counter,
+  /// virtual clock, and device liveness all reset.
+  void reset();
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  uint64_t gpu_invocations_ = 0;
+  double gpu_busy_ns_ = 0.0;
+  bool gpu_dead_ = false;
+};
+
+}  // namespace nbwp::hetsim

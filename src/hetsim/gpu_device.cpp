@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace nbwp::hetsim {
+
+void GpuDevice::set_slowdown(double factor) {
+  NBWP_REQUIRE(factor >= 1.0 && std::isfinite(factor),
+               "gpu slowdown factor must be finite and >= 1");
+  slowdown_ = factor;
+}
 
 double GpuDevice::time_ns(const WorkProfile& p) const {
   const double launch_s = p.steps * spec_.launch_ns * 1e-9;
@@ -22,7 +30,7 @@ double GpuDevice::time_ns(const WorkProfile& p) const {
 
   const double body_s =
       std::max(comp_s, mem_s) * std::max(1.0, p.simd_inflation) / occupancy;
-  return (launch_s + body_s + seq_s) * 1e9;
+  return (launch_s + body_s + seq_s) * 1e9 * slowdown_;
 }
 
 }  // namespace nbwp::hetsim

@@ -26,6 +26,14 @@ class GpuDevice {
 
   double peak_ops_per_s() const { return spec_.peak_ops_per_s(); }
 
+  /// Peak throughput divided by any injected slowdown (hetsim/faults.hpp);
+  /// what a ratio-based static split should believe about a degraded card.
+  double effective_ops_per_s() const { return peak_ops_per_s() / slowdown_; }
+
+  /// Fault-injected slowdown factor (>= 1); multiplies every kernel time.
+  void set_slowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
   /// Virtual nanoseconds to execute a kernel with the given profile.
   ///
   /// time = steps * launch latency
@@ -37,6 +45,7 @@ class GpuDevice {
 
  private:
   GpuSpec spec_;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace nbwp::hetsim

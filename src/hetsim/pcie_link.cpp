@@ -1,10 +1,21 @@
 #include "hetsim/pcie_link.hpp"
 
+#include <cmath>
+
+#include "util/error.hpp"
+
 namespace nbwp::hetsim {
+
+void PcieLink::set_degradation(double factor) {
+  NBWP_REQUIRE(factor >= 1.0 && std::isfinite(factor),
+               "pcie degradation factor must be finite and >= 1");
+  degradation_ = factor;
+}
 
 double PcieLink::transfer_ns(double bytes) const {
   if (bytes <= 0) return 0.0;
-  return spec_.latency_ns + bytes / spec_.bandwidth_bps * 1e9;
+  return spec_.latency_ns +
+         bytes / (spec_.bandwidth_bps / degradation_) * 1e9;
 }
 
 }  // namespace nbwp::hetsim

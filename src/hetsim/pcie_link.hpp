@@ -14,8 +14,15 @@ class PcieLink {
   /// Virtual nanoseconds to move `bytes` across the link (either direction).
   double transfer_ns(double bytes) const;
 
+  /// Fault-injected bandwidth degradation (>= 1): effective bandwidth is
+  /// divided by this factor, modelling a link that trained down to fewer
+  /// lanes or a lower generation.
+  void set_degradation(double factor);
+  double degradation() const { return degradation_; }
+
  private:
   PcieSpec spec_;
+  double degradation_ = 1.0;
 };
 
 }  // namespace nbwp::hetsim

@@ -3,9 +3,16 @@
 namespace nbwp::hetsim {
 
 double Platform::naive_static_gpu_share_pct() const {
-  const double g = gpu_.peak_ops_per_s();
-  const double c = cpu_.peak_ops_per_s();
+  const double g = gpu_.effective_ops_per_s();
+  const double c = cpu_.effective_ops_per_s();
   return 100.0 * g / (g + c);
+}
+
+void Platform::set_fault_plan(const FaultPlan& plan) {
+  cpu_.set_slowdown(plan.cpu_slowdown);
+  gpu_.set_slowdown(plan.gpu_slowdown);
+  link_.set_degradation(plan.pcie_degradation);
+  faults_ = plan.empty() ? nullptr : std::make_shared<FaultInjector>(plan);
 }
 
 const Platform& Platform::reference() {

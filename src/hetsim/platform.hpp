@@ -6,7 +6,10 @@
 // the same).
 #pragma once
 
+#include <memory>
+
 #include "hetsim/cpu_device.hpp"
+#include "hetsim/faults.hpp"
 #include "hetsim/gpu_device.hpp"
 #include "hetsim/pcie_link.hpp"
 #include "hetsim/report.hpp"
@@ -29,8 +32,20 @@ class Platform {
 
   /// The NaiveStatic partition: percentage of work routed to the GPU based
   /// purely on the peak-FLOPS ratio of the two devices (Section III-B.2
-  /// reports ~88% for the paper's testbed).
+  /// reports ~88% for the paper's testbed).  Under an injected slowdown the
+  /// ratio uses the devices' effective (degraded) throughput, so the static
+  /// split shifts toward the healthy device.
   double naive_static_gpu_share_pct() const;
+
+  /// Install a fault plan: slowdown factors are applied to the device cost
+  /// models immediately and an injector is created for failure/noise
+  /// events.  An empty plan removes any injector.  Copies of this Platform
+  /// share the injector state (invocation counter, virtual GPU clock), so
+  /// estimation probes and execution kernels see one device timeline.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// The active fault injector, or nullptr for a healthy platform.
+  FaultInjector* faults() const { return faults_.get(); }
 
   /// Default platform shared by tests/benches (paper calibration).
   static const Platform& reference();
@@ -39,6 +54,7 @@ class Platform {
   CpuDevice cpu_;
   GpuDevice gpu_;
   PcieLink link_;
+  std::shared_ptr<FaultInjector> faults_;
 };
 
 }  // namespace nbwp::hetsim

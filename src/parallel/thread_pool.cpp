@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "util/strfmt.hpp"
@@ -79,6 +80,11 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
   lock.lock();
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  // Take the error while still holding the mutex: the member must not be
+  // read unlocked (a worker publishes it under the mutex) and must be
+  // cleared so the pool is clean for the next region even when this one
+  // ends by rethrow.
+  std::exception_ptr error = std::exchange(first_error_, nullptr);
   lock.unlock();
   if (measured) {
     auto& reg = obs::Registry::global();
@@ -94,7 +100,7 @@ void ThreadPool::run_team(const std::function<void(unsigned)>& body) {
           .set(std::min(1.0, busy / (size() * wall)));
     reg.gauge("pool.workers").set(size());
   }
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(unsigned index) {

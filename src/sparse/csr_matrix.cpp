@@ -57,19 +57,36 @@ CsrMatrix CsrMatrix::from_parts(Index rows, Index cols,
                                 std::vector<uint64_t> row_ptr,
                                 std::vector<Index> col_idx,
                                 std::vector<double> values) {
-  NBWP_REQUIRE(row_ptr.size() == static_cast<size_t>(rows) + 1,
-               "from_parts: row_ptr must have rows+1 entries");
-  NBWP_REQUIRE(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
-               "from_parts: row_ptr must start at 0 and end at nnz");
-  NBWP_REQUIRE(col_idx.size() == values.size(),
-               "from_parts: col_idx/values size mismatch");
   CsrMatrix m;
   m.rows_ = rows;
   m.cols_ = cols;
   m.row_ptr_ = std::move(row_ptr);
   m.col_idx_ = std::move(col_idx);
   m.values_ = std::move(values);
+  m.validate();
   return m;
+}
+
+void CsrMatrix::validate() const {
+  NBWP_REQUIRE(row_ptr_.size() == static_cast<size_t>(rows_) + 1,
+               "csr: row_ptr must have rows+1 entries");
+  NBWP_REQUIRE(row_ptr_.front() == 0,
+               "csr: row_ptr must start at 0");
+  NBWP_REQUIRE(row_ptr_.back() == col_idx_.size(),
+               "csr: row_ptr must end at nnz");
+  NBWP_REQUIRE(col_idx_.size() == values_.size(),
+               "csr: col_idx/values size mismatch");
+  for (Index r = 0; r < rows_; ++r) {
+    NBWP_REQUIRE(row_ptr_[r] <= row_ptr_[r + 1],
+                 "csr: row_ptr must be monotone non-decreasing");
+    for (uint64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      NBWP_REQUIRE(col_idx_[i] < cols_, "csr: column index out of range");
+      NBWP_REQUIRE(i == row_ptr_[r] || col_idx_[i - 1] < col_idx_[i],
+                   "csr: row columns must be strictly increasing");
+      NBWP_REQUIRE(std::isfinite(values_[i]),
+                   "csr: non-finite value");
+    }
+  }
 }
 
 CsrMatrix CsrMatrix::from_mm(const TripletMatrix& mm) {

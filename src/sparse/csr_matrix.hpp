@@ -83,6 +83,14 @@ class CsrMatrix {
   /// mismatch.  Used to validate kernels against references.
   static double max_abs_diff(const CsrMatrix& a, const CsrMatrix& b);
 
+  /// Check every CSR invariant and throw nbwp::Error on the first
+  /// violation: row_ptr has rows+1 monotone entries from 0 to nnz,
+  /// col_idx/values sizes agree, every row's columns are strictly
+  /// increasing and inside [0, cols), and every value is finite.
+  /// from_parts runs this on adopted arrays, so kernels that size their
+  /// output with a prefix sum cannot smuggle a corrupt matrix downstream.
+  void validate() const;
+
   bool operator==(const CsrMatrix& other) const = default;
 
  private:

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/strfmt.hpp"
 
 namespace nbwp {
 
@@ -16,6 +19,40 @@ std::string lower(std::string s) {
   return s;
 }
 }  // namespace
+
+void TripletMatrix::coalesce_duplicates() {
+  duplicates_coalesced = 0;
+  if (entries.size() < 2) return;
+  // Group equal coordinates through an index permutation so surviving
+  // entries keep their first-occurrence positions.
+  std::vector<size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Entry& x = entries[a];
+    const Entry& y = entries[b];
+    if (x.r != y.r) return x.r < y.r;
+    if (x.c != y.c) return x.c < y.c;
+    return a < b;
+  });
+  std::vector<char> drop(entries.size(), 0);
+  size_t group = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const Entry& first = entries[order[group]];
+    const Entry& cur = entries[order[i]];
+    if (cur.r == first.r && cur.c == first.c) {
+      entries[order[group]].v += cur.v;
+      drop[order[i]] = 1;
+      ++duplicates_coalesced;
+    } else {
+      group = i;
+    }
+  }
+  if (duplicates_coalesced == 0) return;
+  size_t out = 0;
+  for (size_t i = 0; i < entries.size(); ++i)
+    if (!drop[i]) entries[out++] = entries[i];
+  entries.resize(out);
+}
 
 void TripletMatrix::expand_symmetry() {
   if (!symmetric) return;
@@ -57,21 +94,41 @@ TripletMatrix read_matrix_market(std::istream& in) {
     std::istringstream sizes(line);
     NBWP_REQUIRE(static_cast<bool>(sizes >> m.rows >> m.cols >> nnz),
                  "malformed size line");
+    std::string extra;
+    NBWP_REQUIRE(!(sizes >> extra),
+                 "trailing garbage on size line: '" + extra + "'");
   }
   m.entries.reserve(nnz);
   for (uint64_t i = 0; i < nnz; ++i) {
-    NBWP_REQUIRE(std::getline(in, line), "unexpected end of entries");
+    NBWP_REQUIRE(std::getline(in, line),
+                 strfmt("unexpected end of entries: file promised %llu, "
+                        "found %llu",
+                        static_cast<unsigned long long>(nnz),
+                        static_cast<unsigned long long>(i)));
     std::istringstream entry(line);
     uint64_t r = 0, c = 0;
     double v = 1.0;
-    NBWP_REQUIRE(static_cast<bool>(entry >> r >> c), "malformed entry line");
+    NBWP_REQUIRE(static_cast<bool>(entry >> r >> c),
+                 "truncated or malformed entry line: '" + line + "'");
     if (!m.pattern) {
-      NBWP_REQUIRE(static_cast<bool>(entry >> v), "missing entry value");
+      NBWP_REQUIRE(static_cast<bool>(entry >> v),
+                   "missing or malformed entry value: '" + line + "'");
+      NBWP_REQUIRE(std::isfinite(v),
+                   "non-finite entry value: '" + line + "'");
     }
-    NBWP_REQUIRE(r >= 1 && r <= m.rows && c >= 1 && c <= m.cols,
-                 "entry index out of bounds");
+    {
+      std::string extra;
+      NBWP_REQUIRE(!(entry >> extra),
+                   "trailing garbage on entry line: '" + line + "'");
+    }
+    NBWP_REQUIRE(r >= 1 && c >= 1,
+                 "zero entry index (Matrix Market indices are 1-based): '" +
+                     line + "'");
+    NBWP_REQUIRE(r <= m.rows && c <= m.cols,
+                 "entry index out of bounds: '" + line + "'");
     m.entries.push_back({r - 1, c - 1, v});
   }
+  m.coalesce_duplicates();
   return m;
 }
 

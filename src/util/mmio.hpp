@@ -25,15 +25,27 @@ struct TripletMatrix {
     double v;
   };
   std::vector<Entry> entries;
+  /// Entries removed by coalesce_duplicates() on the last call (the reader
+  /// invokes it, so after read_matrix_market this is the file's duplicate
+  /// count).  Callers with a metrics sink should surface it.
+  uint64_t duplicates_coalesced = 0;
 
   /// Expands symmetric storage to full storage (mirrors off-diagonals) and
   /// clears the `symmetric` flag.  Idempotent.
   void expand_symmetry();
+
+  /// Sums entries that share a coordinate (the conventional finite-element
+  /// assembly semantics; the MM spec leaves the policy to the consumer).
+  /// First-occurrence order is preserved.  Idempotent.
+  void coalesce_duplicates();
 };
 
 /// Parse a Matrix Market stream (header `%%MatrixMarket matrix coordinate
 /// {real,integer,pattern} {general,symmetric}`).  Throws nbwp::Error on
-/// malformed input.
+/// malformed input: bad banner, truncated size/entry lines, 1-based
+/// indices outside [1, rows] x [1, cols] (including the classic 0-based
+/// off-by-one), non-finite values, and trailing garbage on entry lines.
+/// Duplicate coordinates are summed (see coalesce_duplicates).
 TripletMatrix read_matrix_market(std::istream& in);
 TripletMatrix read_matrix_market_file(const std::string& path);
 

@@ -1,0 +1,120 @@
+// Deadline-bounded identification: every identify method must respect the
+// Evaluator budgets (max evaluations, virtual cost, wall clock) and throw
+// IdentifyDeadlineExceeded instead of running past them.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/sampling_partitioner.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "sparse/generators.hpp"
+
+namespace nbwp::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+hetalg::HeteroSpmm test_problem(uint64_t seed = 1) {
+  Rng rng(seed);
+  return hetalg::HeteroSpmm(
+      sparse::random_uniform(1200, 1200, 9600, rng),
+      hetsim::Platform::reference());
+}
+
+SamplingConfig config_with(IdentifyMethod method) {
+  SamplingConfig cfg;
+  cfg.method = method;
+  cfg.sample_factor = 0.25;
+  if (method == IdentifyMethod::kGradientDescent) {
+    cfg.gradient.starts = 2;
+    cfg.gradient.max_iterations = 10;
+  }
+  return cfg;
+}
+
+const IdentifyMethod kAllMethods[] = {
+    IdentifyMethod::kCoarseToFine, IdentifyMethod::kRaceThenFine,
+    IdentifyMethod::kGradientDescent, IdentifyMethod::kGoldenSection};
+
+TEST(IdentifyDeadline, MaxEvaluationsBoundsEveryMethod) {
+  const auto problem = test_problem();
+  for (IdentifyMethod method : kAllMethods) {
+    SamplingConfig cfg = config_with(method);
+    cfg.identify_max_evaluations = 3;
+    try {
+      (void)estimate_partition(problem, cfg);
+      FAIL() << "method " << static_cast<int>(method)
+             << " ignored the evaluation budget";
+    } catch (const IdentifyDeadlineExceeded& e) {
+      // The throw happens before the evaluation past the budget runs.
+      EXPECT_EQ(e.evaluations(), 3);
+    }
+  }
+}
+
+TEST(IdentifyDeadline, VirtualBudgetBoundsEveryMethod) {
+  const auto problem = test_problem();
+  for (IdentifyMethod method : kAllMethods) {
+    SamplingConfig cfg = config_with(method);
+    cfg.identify_virtual_budget_ns = 1.0;  // exhausted after one evaluation
+    try {
+      (void)estimate_partition(problem, cfg);
+      FAIL() << "method " << static_cast<int>(method)
+             << " ignored the virtual budget";
+    } catch (const IdentifyDeadlineExceeded& e) {
+      EXPECT_GE(e.evaluations(), 1);
+      EXPECT_GT(e.virtual_spent_ns(), 1.0);
+    }
+  }
+}
+
+TEST(IdentifyDeadline, WallDeadlineBoundsEveryMethodWithinTwiceBudget) {
+  // Budgets are checked before each new evaluation, so the wall overshoot
+  // is at most one evaluation.  With evaluations pinned at ~5 ms by the
+  // probe hook, a 20 ms deadline must end the search well inside 2x.
+  const auto problem = test_problem();
+  const double deadline_ms = 20.0;
+  for (IdentifyMethod method : kAllMethods) {
+    SamplingConfig cfg = config_with(method);
+    cfg.identify_wall_deadline_ns = deadline_ms * 1e6;
+    cfg.probe_hook = [](double) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return 1.0;
+    };
+    const auto t0 = Clock::now();
+    EXPECT_THROW((void)estimate_partition(problem, cfg),
+                 IdentifyDeadlineExceeded)
+        << "method " << static_cast<int>(method);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    EXPECT_LT(elapsed_ms, 2 * deadline_ms)
+        << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(IdentifyDeadline, ZeroBudgetsMeanUnlimited) {
+  const auto problem = test_problem();
+  SamplingConfig cfg = config_with(IdentifyMethod::kRaceThenFine);
+  // All budget fields default to 0 = disabled.
+  const auto est = estimate_partition(problem, cfg);
+  EXPECT_GE(est.threshold, 0.0);
+  EXPECT_LE(est.threshold, 100.0);
+  EXPECT_GT(est.evaluations, 0);
+}
+
+TEST(IdentifyDeadline, ErrorCarriesDiagnostics) {
+  const auto problem = test_problem();
+  SamplingConfig cfg = config_with(IdentifyMethod::kCoarseToFine);
+  cfg.identify_max_evaluations = 2;
+  try {
+    (void)estimate_partition(problem, cfg);
+    FAIL() << "expected IdentifyDeadlineExceeded";
+  } catch (const IdentifyDeadlineExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("evaluation"), std::string::npos);
+    EXPECT_GE(e.wall_elapsed_ns(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nbwp::core

@@ -1,0 +1,192 @@
+// Guarded estimation: the fallback chain must always produce a usable
+// threshold — under injected device faults, identify deadlines, degenerate
+// inputs and degenerate samples — and must be deterministic per seed.
+#include "core/robust_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/baselines.hpp"
+#include "graph/generators.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/generators.hpp"
+
+namespace nbwp::core {
+namespace {
+
+hetalg::HeteroSpmm spmm_problem(const hetsim::Platform& platform,
+                                uint64_t seed = 1) {
+  Rng rng(seed);
+  return hetalg::HeteroSpmm(sparse::random_uniform(1500, 1500, 12000, rng),
+                            platform);
+}
+
+RobustConfig spmm_config() {
+  RobustConfig cfg;
+  cfg.sampling.sample_factor = 0.25;
+  cfg.sampling.method = IdentifyMethod::kRaceThenFine;
+  return cfg;
+}
+
+TEST(RobustEstimate, HealthyPlatformUsesSampledStage) {
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  const RobustEstimate est = robust_estimate_partition(problem, spmm_config());
+  EXPECT_EQ(est.stage, FallbackStage::kSampled);
+  EXPECT_TRUE(est.reason.empty());
+  EXPECT_GE(est.threshold, 0.0);
+  EXPECT_LE(est.threshold, 100.0);
+  EXPECT_GT(est.evaluations, 0);
+  // Matches the unguarded pipeline bit for bit.
+  const auto plain = estimate_partition(problem, spmm_config().sampling);
+  EXPECT_DOUBLE_EQ(est.threshold, plain.threshold);
+}
+
+TEST(RobustEstimate, HardGpuFaultFallsThroughToNaiveStaticCpuOnly) {
+  hetsim::Platform platform = hetsim::Platform::reference();
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  const auto problem = spmm_problem(platform);
+  const RobustEstimate est = robust_estimate_partition(problem, spmm_config());
+  // The probe fault kills the sampled stage, the dead GPU kills the race,
+  // and naive static collapses to a CPU-only split.
+  EXPECT_EQ(est.stage, FallbackStage::kNaiveStatic);
+  EXPECT_NE(est.reason.find("device_fault"), std::string::npos);
+  EXPECT_DOUBLE_EQ(est.threshold, 100.0);
+}
+
+TEST(RobustEstimate, DeadGpuShortCircuitsToDegradedStage) {
+  hetsim::Platform platform = hetsim::Platform::reference();
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  ASSERT_THROW(platform.faults()->gpu_kernel("warmup", 0.0),
+               hetsim::DeviceFault);
+  ASSERT_TRUE(platform.faults()->gpu_dead());
+  const auto problem = spmm_problem(platform);
+  const RobustEstimate est = robust_estimate_partition(problem, spmm_config());
+  EXPECT_EQ(est.stage, FallbackStage::kDegraded);
+  EXPECT_EQ(est.reason, "gpu_offline");
+  EXPECT_DOUBLE_EQ(est.threshold, 100.0);
+}
+
+TEST(RobustEstimate, IdentifyDeadlineTriggersRaceFallback) {
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  RobustConfig cfg = spmm_config();
+  cfg.sampling.identify_max_evaluations = 1;
+  const RobustEstimate est = robust_estimate_partition(problem, cfg);
+  EXPECT_EQ(est.stage, FallbackStage::kRace);
+  EXPECT_NE(est.reason.find("identify_deadline"), std::string::npos);
+  EXPECT_GE(est.threshold, 0.0);
+  EXPECT_LE(est.threshold, 100.0);
+}
+
+TEST(RobustEstimate, StartStageRaceSkipsSampling) {
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  RobustConfig cfg = spmm_config();
+  cfg.start_stage = FallbackStage::kRace;
+  const RobustEstimate est = robust_estimate_partition(problem, cfg);
+  EXPECT_EQ(est.stage, FallbackStage::kRace);
+  EXPECT_TRUE(est.reason.empty());
+  // The race split follows the device throughput ratio.
+  const auto [cpu_all, gpu_all] = problem.device_times_all();
+  EXPECT_NEAR(est.threshold, 100.0 * gpu_all / (cpu_all + gpu_all), 1e-9);
+}
+
+TEST(RobustEstimate, StartStageNaiveStaticMatchesBaseline) {
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  RobustConfig cfg = spmm_config();
+  cfg.start_stage = FallbackStage::kNaiveStatic;
+  const RobustEstimate est = robust_estimate_partition(problem, cfg);
+  EXPECT_EQ(est.stage, FallbackStage::kNaiveStatic);
+  EXPECT_NEAR(est.threshold,
+              naive_static_cpu_share_pct(hetsim::Platform::reference()),
+              1e-9);
+}
+
+TEST(RobustEstimate, EmptyMatrixNeverReachesTheSampler) {
+  const hetalg::HeteroSpmm problem(sparse::CsrMatrix(0, 0),
+                                   hetsim::Platform::reference());
+  const RobustEstimate est = robust_estimate_partition(problem, spmm_config());
+  EXPECT_NE(est.stage, FallbackStage::kSampled);
+  EXPECT_NE(est.reason.find("degenerate_input"), std::string::npos);
+  EXPECT_TRUE(std::isfinite(est.threshold));
+}
+
+TEST(RobustEstimate, EmptyGraphFallsBack) {
+  const hetalg::HeteroCc problem(graph::CsrGraph{},
+                                 hetsim::Platform::reference());
+  const RobustEstimate est = robust_estimate_partition(problem, RobustConfig{});
+  EXPECT_NE(est.stage, FallbackStage::kSampled);
+  EXPECT_TRUE(std::isfinite(est.threshold));
+}
+
+TEST(RobustEstimate, SingleVertexGraphFallsBack) {
+  const graph::CsrGraph g = graph::CsrGraph::from_undirected_edges(1, {});
+  const hetalg::HeteroCc problem(g, hetsim::Platform::reference());
+  const RobustEstimate est = robust_estimate_partition(problem, RobustConfig{});
+  EXPECT_NE(est.stage, FallbackStage::kSampled);
+  EXPECT_TRUE(std::isfinite(est.threshold));
+}
+
+TEST(RobustEstimate, InvalidSamplingKnobsDegradeInsteadOfThrowing) {
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  {
+    RobustConfig cfg = spmm_config();
+    cfg.sampling.sample_factor = 0.0;  // sampler rejects the fraction
+    const RobustEstimate est = robust_estimate_partition(problem, cfg);
+    EXPECT_EQ(est.stage, FallbackStage::kRace);
+    EXPECT_NE(est.reason.find("estimate_error"), std::string::npos);
+  }
+  {
+    RobustConfig cfg = spmm_config();
+    cfg.sampling.repeats = 0;  // estimate_partition requires >= 1
+    const RobustEstimate est = robust_estimate_partition(problem, cfg);
+    EXPECT_EQ(est.stage, FallbackStage::kRace);
+    EXPECT_TRUE(std::isfinite(est.threshold));
+  }
+}
+
+TEST(RobustEstimate, FallbackChainIsDeterministicPerSeed) {
+  auto run_once = [] {
+    hetsim::Platform platform = hetsim::Platform::reference();
+    platform.set_fault_plan(
+        hetsim::FaultPlan::parse("gpu-transient-rate=0.4,seed=11"));
+    const auto problem = spmm_problem(platform);
+    obs::Registry::global().clear();
+    const RobustEstimate est =
+        robust_estimate_partition(problem, spmm_config());
+    // Compare only the robustness counters: pool.* counters hold wall-clock
+    // sums and are legitimately nondeterministic.
+    std::map<std::string, double> robustness;
+    for (const auto& [k, v] : obs::Registry::global().snapshot().counters)
+      if (k.rfind("robustness.", 0) == 0) robustness.emplace(k, v);
+    return std::make_tuple(est.threshold, static_cast<int>(est.stage),
+                           est.reason, robustness);
+  };
+  obs::set_metrics_enabled(true);
+  const auto a = run_once();
+  const auto b = run_once();
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+  EXPECT_EQ(a, b);
+}
+
+TEST(RobustEstimate, CountersRecordTriggersAndStages) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().clear();
+  hetsim::Platform platform = hetsim::Platform::reference();
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  const auto problem = spmm_problem(platform);
+  (void)robust_estimate_partition(problem, spmm_config());
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+  EXPECT_EQ(snap.counters.at("robustness.fallback.naive_static"), 1.0);
+  EXPECT_EQ(snap.counters.at("robustness.fault.gpu.hard"), 1.0);
+  EXPECT_GE(snap.counters.at("robustness.trigger.device_fault"), 1.0);
+}
+
+}  // namespace
+}  // namespace nbwp::core

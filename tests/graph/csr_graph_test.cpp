@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/error.hpp"
 
 namespace nbwp::graph {
@@ -78,6 +82,72 @@ TEST(CsrGraph, FromCsrValidates) {
 TEST(CsrGraph, BytesReflectFootprint) {
   const CsrGraph g = triangle_plus_isolated();
   EXPECT_DOUBLE_EQ(g.bytes(), 5 * 8 + 6 * 4);
+}
+
+// --- validate(): each invariant violated individually ----------------------
+
+namespace {
+void expect_invalid(Vertex n, std::vector<uint64_t> row_ptr,
+                    std::vector<Vertex> adj, const std::string& needle) {
+  try {
+    (void)CsrGraph::from_csr(n, std::move(row_ptr), std::move(adj));
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+}  // namespace
+
+TEST(CsrGraphValidate, AcceptsWellFormedArcs) {
+  // Path 0-1-2, both arc directions present, lists sorted.
+  const CsrGraph g = CsrGraph::from_csr(3, {0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_NO_THROW(CsrGraph{}.validate());  // empty graph is valid
+}
+
+TEST(CsrGraphValidate, RejectsWrongRowPtrLength) {
+  expect_invalid(2, {0, 1}, {1}, "row_ptr");
+}
+
+TEST(CsrGraphValidate, RejectsNonZeroRowPtrFront) {
+  expect_invalid(1, {1, 1}, {}, "row_ptr");
+}
+
+TEST(CsrGraphValidate, RejectsRowPtrBackMismatch) {
+  expect_invalid(1, {0, 2}, {0}, "row_ptr");
+}
+
+TEST(CsrGraphValidate, RejectsDecreasingRowPtr) {
+  // Edge 0-1 is intact and back() matches the adjacency size; the only
+  // violation is the dip at vertex 2, placed after every span the
+  // symmetry check walks.
+  expect_invalid(4, {0, 1, 2, 1, 2}, {1, 0}, "monotone");
+}
+
+TEST(CsrGraphValidate, RejectsNeighborOutOfRange) {
+  // The bad id sits in the first list so the range check fires before the
+  // symmetry check can.
+  expect_invalid(2, {0, 1, 1}, {5}, "range");
+}
+
+TEST(CsrGraphValidate, RejectsSelfLoop) {
+  expect_invalid(2, {0, 1, 2}, {0, 0}, "self-loop");
+}
+
+TEST(CsrGraphValidate, RejectsUnsortedNeighborList) {
+  // Vertex 0 lists {2, 1}: out of order (edges 0-1, 0-2 with reverses).
+  expect_invalid(3, {0, 2, 3, 4}, {2, 1, 0, 0}, "increasing");
+}
+
+TEST(CsrGraphValidate, RejectsDuplicateNeighbors) {
+  expect_invalid(2, {0, 2, 4}, {1, 1, 0, 0}, "increasing");
+}
+
+TEST(CsrGraphValidate, RejectsMissingReverseArc) {
+  // Arc 0->1 present, 1->0 absent: directed, not an undirected CSR.
+  expect_invalid(2, {0, 1, 1}, {1}, "reverse");
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// Retry-then-reroute: under injected GPU faults every case study must
+// complete without throwing and produce output bitwise-identical to the
+// healthy run — only the virtual-time accounting and the reroute counters
+// may differ.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "sparse/generators.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+hetsim::Platform faulty(const std::string& plan) {
+  hetsim::Platform p = hetsim::Platform::reference();
+  p.set_fault_plan(hetsim::FaultPlan::parse(plan));
+  return p;
+}
+
+graph::CsrGraph test_graph() {
+  Rng rng(1);
+  return graph::banded_mesh(3000, 10, 32, rng);
+}
+
+sparse::CsrMatrix test_matrix() {
+  Rng rng(2);
+  return sparse::random_uniform(800, 800, 6400, rng);
+}
+
+sparse::CsrMatrix scale_free_matrix() {
+  Rng rng(3);
+  return sparse::scale_free(800, 8, 2.2, rng);
+}
+
+// Hard faults at several injection points: the first GPU kernel, the
+// second one, and a virtual-clock point mid-run (the latter two only for
+// executors with more than one GPU kernel — SpMM gates a single kernel).
+const char* const kTwoKernelPlans[] = {"gpu-hard@0", "gpu-hard@1",
+                                       "gpu-hard-after=0.001"};
+const char* const kOneKernelPlans[] = {"gpu-hard@0"};
+
+TEST(FaultReroute, CcLabelsIdenticalUnderHardFaults) {
+  const graph::CsrGraph g = test_graph();
+  std::vector<graph::Vertex> healthy;
+  HeteroCc(g, hetsim::Platform::reference()).run(25.0, &healthy);
+  ASSERT_EQ(healthy.size(), g.num_vertices());
+
+  for (const char* plan : kTwoKernelPlans) {
+    const hetsim::Platform platform = faulty(plan);
+    const HeteroCc problem(g, platform);
+    std::vector<graph::Vertex> labels;
+    hetsim::RunReport report;
+    ASSERT_NO_THROW(report = problem.run(25.0, &labels)) << plan;
+    EXPECT_EQ(labels, healthy) << plan;
+    EXPECT_GE(report.counter("gpu_rerouted"), 1.0) << plan;
+  }
+}
+
+TEST(FaultReroute, SpmmProductIdenticalUnderHardFaults) {
+  const sparse::CsrMatrix a = test_matrix();
+  sparse::CsrMatrix healthy;
+  HeteroSpmm(a, hetsim::Platform::reference()).run(30.0, &healthy);
+
+  for (const char* plan : kOneKernelPlans) {
+    const hetsim::Platform platform = faulty(plan);
+    const HeteroSpmm problem(a, platform);
+    sparse::CsrMatrix c;
+    hetsim::RunReport report;
+    ASSERT_NO_THROW(report = problem.run(30.0, &c)) << plan;
+    EXPECT_TRUE(c == healthy) << plan;
+    EXPECT_GE(report.counter("gpu_rerouted"), 1.0) << plan;
+  }
+}
+
+TEST(FaultReroute, HhProductIdenticalUnderHardFaults) {
+  const sparse::CsrMatrix a = scale_free_matrix();
+  const HeteroSpmmHh reference(a, hetsim::Platform::reference());
+  const double t = reference.threshold_for_work_share(0.5);
+  sparse::CsrMatrix healthy;
+  reference.run(t, &healthy);
+
+  for (const char* plan : kTwoKernelPlans) {
+    const hetsim::Platform platform = faulty(plan);
+    const HeteroSpmmHh problem(a, platform);
+    sparse::CsrMatrix c;
+    hetsim::RunReport report;
+    ASSERT_NO_THROW(report = problem.run(t, &c)) << plan;
+    EXPECT_TRUE(c == healthy) << plan;
+    EXPECT_GE(report.counter("gpu_rerouted"), 1.0) << plan;
+  }
+}
+
+TEST(FaultReroute, TransientFaultRecoversWithoutReroute) {
+  const graph::CsrGraph g = test_graph();
+  std::vector<graph::Vertex> healthy;
+  HeteroCc(g, hetsim::Platform::reference()).run(25.0, &healthy);
+
+  const hetsim::Platform platform = faulty("gpu-transient@0");
+  const HeteroCc problem(g, platform);
+  std::vector<graph::Vertex> labels;
+  const hetsim::RunReport report = problem.run(25.0, &labels);
+  EXPECT_EQ(labels, healthy);
+  EXPECT_EQ(report.counter("gpu_rerouted"), 0.0);  // retry succeeded
+}
+
+TEST(FaultReroute, ReroutedRunChargesCpuTime) {
+  // A rerouted GPU piece must cost more virtual time than the healthy run
+  // (the CPU absorbs the GPU share, non-overlapped).
+  const graph::CsrGraph g = test_graph();
+  const double healthy_ns =
+      HeteroCc(g, hetsim::Platform::reference()).run(25.0).total_ns();
+  const hetsim::Platform platform = faulty("gpu-hard@0");
+  const double faulted_ns = HeteroCc(g, platform).run(25.0).total_ns();
+  EXPECT_GT(faulted_ns, healthy_ns);
+}
+
+TEST(FaultReroute, HealthyPlatformReportsNoReroutes) {
+  const graph::CsrGraph g = test_graph();
+  const auto report = HeteroCc(g, hetsim::Platform::reference()).run(25.0);
+  EXPECT_EQ(report.counter("gpu_rerouted"), 0.0);
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

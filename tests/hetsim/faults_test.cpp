@@ -1,0 +1,178 @@
+#include "hetsim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hetsim/platform.hpp"
+#include "hetsim/work_profile.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::hetsim {
+namespace {
+
+TEST(FaultPlan, EmptySpecsYieldEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("none").empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+  EXPECT_EQ(FaultPlan{}.summary(), "healthy");
+}
+
+TEST(FaultPlan, ParsesEveryDirective) {
+  const FaultPlan p = FaultPlan::parse(
+      "gpu-hard@3,gpu-hard-after=5.5,gpu-transient-rate=0.1,gpu-slow=2,"
+      "cpu-slow=1.5,pcie-degrade=4,noise-spikes=0.2,noise-factor=8,seed=7");
+  EXPECT_EQ(p.gpu_fail_at_kernel, 3);
+  EXPECT_FALSE(p.gpu_fail_transient);
+  EXPECT_DOUBLE_EQ(p.gpu_fail_after_ms, 5.5);
+  EXPECT_DOUBLE_EQ(p.gpu_transient_rate, 0.1);
+  EXPECT_DOUBLE_EQ(p.gpu_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(p.cpu_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(p.pcie_degradation, 4.0);
+  EXPECT_DOUBLE_EQ(p.noise_spike_rate, 0.2);
+  EXPECT_DOUBLE_EQ(p.noise_spike_factor, 8.0);
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_FALSE(p.empty());
+  EXPECT_FALSE(p.summary().empty());
+}
+
+TEST(FaultPlan, ParsesTransientAtForm) {
+  const FaultPlan p = FaultPlan::parse("gpu-transient@0");
+  EXPECT_EQ(p.gpu_fail_at_kernel, 0);
+  EXPECT_TRUE(p.gpu_fail_transient);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("frobnicate=1"), Error);
+  EXPECT_THROW(FaultPlan::parse("gpu-hard@-1"), Error);
+  EXPECT_THROW(FaultPlan::parse("gpu-hard@two"), Error);
+  EXPECT_THROW(FaultPlan::parse("gpu-slow=0.5"), Error);
+  EXPECT_THROW(FaultPlan::parse("gpu-transient-rate=1.5"), Error);
+  EXPECT_THROW(FaultPlan::parse("pcie-degrade=abc"), Error);
+  EXPECT_THROW(FaultPlan::parse("gpu-hard-after=-2"), Error);
+}
+
+TEST(FaultInjector, HardFaultAtIndexKillsDevice) {
+  FaultInjector inj(FaultPlan::parse("gpu-hard@1"));
+  EXPECT_NO_THROW(inj.gpu_kernel("k", 1e6));  // invocation #0
+  EXPECT_FALSE(inj.gpu_dead());
+  try {
+    inj.gpu_kernel("k", 1e6);  // invocation #1: scheduled hard fault
+    FAIL() << "expected DeviceFault";
+  } catch (const DeviceFault& f) {
+    EXPECT_FALSE(f.transient());
+    EXPECT_EQ(f.device(), "gpu");
+  }
+  EXPECT_TRUE(inj.gpu_dead());
+  // Every later invocation fails hard too.
+  EXPECT_THROW(inj.gpu_kernel("k", 1e6), DeviceFault);
+  EXPECT_EQ(inj.gpu_invocations(), 3u);
+}
+
+TEST(FaultInjector, TransientFaultPassesOnRetry) {
+  FaultInjector inj(FaultPlan::parse("gpu-transient@0"));
+  try {
+    inj.gpu_kernel("k", 1e6);
+    FAIL() << "expected DeviceFault";
+  } catch (const DeviceFault& f) {
+    EXPECT_TRUE(f.transient());
+  }
+  EXPECT_FALSE(inj.gpu_dead());
+  EXPECT_NO_THROW(inj.gpu_kernel("k", 1e6));  // retry = invocation #1
+}
+
+TEST(FaultInjector, VirtualClockTriggersHardFault) {
+  FaultInjector inj(FaultPlan::parse("gpu-hard-after=2"));
+  EXPECT_NO_THROW(inj.gpu_kernel("k", 1.5e6));  // clock: 1.5 ms
+  EXPECT_NO_THROW(inj.gpu_kernel("k", 1.0e6));  // clock: 2.5 ms
+  EXPECT_THROW(inj.gpu_kernel("k", 1.0e6), DeviceFault);  // past the point
+  EXPECT_TRUE(inj.gpu_dead());
+  EXPECT_NEAR(inj.gpu_busy_ms(), 2.5, 1e-9);
+}
+
+TEST(FaultInjector, TransientRateIsDeterministicPerSeed) {
+  const FaultPlan plan = FaultPlan::parse("gpu-transient-rate=0.3,seed=42");
+  auto pattern = [&] {
+    FaultInjector inj(plan);
+    std::vector<bool> faults;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        inj.gpu_kernel("k", 1e3);
+        faults.push_back(false);
+      } catch (const DeviceFault&) {
+        faults.push_back(true);
+      }
+    }
+    return faults;
+  };
+  const auto a = pattern();
+  const auto b = pattern();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultInjector, ResetRestoresPristineState) {
+  FaultInjector inj(FaultPlan::parse("gpu-hard@0"));
+  EXPECT_THROW(inj.gpu_kernel("k", 1e6), DeviceFault);
+  EXPECT_TRUE(inj.gpu_dead());
+  inj.reset();
+  EXPECT_FALSE(inj.gpu_dead());
+  EXPECT_EQ(inj.gpu_invocations(), 0u);
+  EXPECT_DOUBLE_EQ(inj.gpu_busy_ms(), 0.0);
+  EXPECT_THROW(inj.gpu_kernel("k", 1e6), DeviceFault);  // same schedule
+}
+
+TEST(FaultInjector, NoiseSigmaFactorSpikes) {
+  FaultInjector always(FaultPlan::parse("noise-spikes=1,noise-factor=10"));
+  EXPECT_DOUBLE_EQ(always.noise_sigma_factor(), 10.0);
+  FaultInjector never(FaultPlan::parse("gpu-slow=2"));  // no spike rate
+  EXPECT_DOUBLE_EQ(never.noise_sigma_factor(), 1.0);
+}
+
+TEST(Platform, FaultPlanAppliesSlowdownsToCostModels) {
+  Platform healthy = Platform::reference();
+  Platform degraded = Platform::reference();
+  degraded.set_fault_plan(
+      FaultPlan::parse("cpu-slow=2,gpu-slow=3,pcie-degrade=4"));
+
+  WorkProfile p;
+  p.ops = 1e9;
+  p.bytes_stream = 1e8;
+  p.parallel_items = 1024;
+  EXPECT_NEAR(degraded.cpu().time_ns(p), 2 * healthy.cpu().time_ns(p),
+              1e-6 * healthy.cpu().time_ns(p));
+  EXPECT_NEAR(degraded.gpu().time_ns(p), 3 * healthy.gpu().time_ns(p),
+              1e-6 * healthy.gpu().time_ns(p));
+  const double healthy_xfer = healthy.link().transfer_ns(1e8) -
+                              healthy.link().spec().latency_ns;
+  const double degraded_xfer = degraded.link().transfer_ns(1e8) -
+                               degraded.link().spec().latency_ns;
+  EXPECT_NEAR(degraded_xfer, 4 * healthy_xfer, 1e-6 * healthy_xfer);
+  // A slower GPU shifts the naive-static split toward the CPU.
+  EXPECT_LT(degraded.naive_static_gpu_share_pct(),
+            healthy.naive_static_gpu_share_pct());
+}
+
+TEST(Platform, CopiesShareInjectorState) {
+  Platform a = Platform::reference();
+  a.set_fault_plan(FaultPlan::parse("gpu-hard@1"));
+  const Platform b = a;  // estimation pipelines copy the platform
+  ASSERT_NE(a.faults(), nullptr);
+  ASSERT_EQ(a.faults(), b.faults());
+  a.faults()->gpu_kernel("k", 1e3);  // invocation #0 through copy A
+  EXPECT_THROW(b.faults()->gpu_kernel("k", 1e3), DeviceFault);  // #1
+  EXPECT_TRUE(a.faults()->gpu_dead());
+}
+
+TEST(Platform, EmptyPlanRemovesInjector) {
+  Platform p = Platform::reference();
+  p.set_fault_plan(FaultPlan::parse("gpu-hard@0"));
+  ASSERT_NE(p.faults(), nullptr);
+  p.set_fault_plan(FaultPlan{});
+  EXPECT_EQ(p.faults(), nullptr);
+}
+
+}  // namespace
+}  // namespace nbwp::hetsim

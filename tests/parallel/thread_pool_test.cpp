@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace nbwp {
@@ -68,6 +69,48 @@ TEST(ThreadPool, CallerExceptionPropagates) {
         if (w == 0) throw std::runtime_error("caller boom");
       }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentThrowersPropagateExactlyOne) {
+  // Every worker throws at once; run_team must surface exactly one
+  // exception (no torn reads of the shared error slot) and stay usable.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    int caught = 0;
+    try {
+      pool.run_team([](unsigned w) {
+        throw std::runtime_error("worker " + std::to_string(w));
+      });
+    } catch (const std::runtime_error&) {
+      caught = 1;
+    }
+    EXPECT_EQ(caught, 1) << "round " << round;
+  }
+  std::atomic<int> count{0};
+  pool.run_team([&](unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, ThrowingRegionDoesNotPoisonLaterRegions) {
+  // A stale first_error_ must not resurface: after a throwing region,
+  // clean regions succeed, and the next throwing region reports its own
+  // (new) error rather than the stale one.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_team([](unsigned w) {
+                 if (w == 1) throw std::runtime_error("first");
+               }),
+               std::runtime_error);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_NO_THROW(pool.run_team([](unsigned) {}));
+  }
+  try {
+    pool.run_team([](unsigned w) {
+      if (w == 1) throw std::runtime_error("second");
+    });
+    FAIL() << "expected the second error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "second");
+  }
 }
 
 TEST(ThreadPool, GlobalPoolSingleton) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -119,6 +122,69 @@ TEST(CsrBuilder, TooManyRowsThrows) {
   CsrBuilder b(1, 2);
   b.append_row({}, {});
   EXPECT_THROW(b.append_row({}, {}), Error);
+}
+
+// --- validate(): each invariant violated individually ----------------------
+
+namespace {
+void expect_invalid(Index rows, Index cols, std::vector<uint64_t> row_ptr,
+                    std::vector<Index> col_idx, std::vector<double> values,
+                    const std::string& needle) {
+  try {
+    (void)CsrMatrix::from_parts(rows, cols, std::move(row_ptr),
+                                std::move(col_idx), std::move(values));
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+}  // namespace
+
+TEST(CsrMatrixValidate, AcceptsWellFormedParts) {
+  const CsrMatrix m =
+      CsrMatrix::from_parts(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_NO_THROW(CsrMatrix(0, 0).validate());  // empty matrix is valid
+}
+
+TEST(CsrMatrixValidate, RejectsWrongRowPtrLength) {
+  expect_invalid(2, 2, {0, 1}, {0}, {1.0}, "row_ptr");
+}
+
+TEST(CsrMatrixValidate, RejectsNonZeroRowPtrFront) {
+  expect_invalid(1, 2, {1, 1}, {}, {}, "row_ptr");
+}
+
+TEST(CsrMatrixValidate, RejectsRowPtrBackMismatch) {
+  expect_invalid(1, 2, {0, 2}, {0}, {1.0}, "row_ptr");
+}
+
+TEST(CsrMatrixValidate, RejectsColIdxValuesSizeMismatch) {
+  expect_invalid(1, 2, {0, 1}, {0}, {1.0, 2.0}, "values");
+}
+
+TEST(CsrMatrixValidate, RejectsDecreasingRowPtr) {
+  // back() matches nnz so only the interior monotonicity is violated.
+  expect_invalid(3, 2, {0, 2, 1, 3}, {0, 1, 0}, {1.0, 2.0, 3.0}, "monotone");
+}
+
+TEST(CsrMatrixValidate, RejectsColumnOutOfRange) {
+  expect_invalid(1, 2, {0, 1}, {2}, {1.0}, "range");
+}
+
+TEST(CsrMatrixValidate, RejectsUnsortedColumns) {
+  expect_invalid(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}, "increasing");
+}
+
+TEST(CsrMatrixValidate, RejectsDuplicateColumns) {
+  expect_invalid(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}, "increasing");
+}
+
+TEST(CsrMatrixValidate, RejectsNonFiniteValues) {
+  expect_invalid(1, 2, {0, 1}, {0}, {std::nan("")}, "finite");
+  expect_invalid(1, 2, {0, 1}, {0}, {HUGE_VAL}, "finite");
 }
 
 }  // namespace

@@ -95,5 +95,80 @@ TEST(Mmio, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
 }
 
+// --- hardened-reader fixtures ---------------------------------------------
+
+namespace {
+std::string mtx(const std::string& body) {
+  return "%%MatrixMarket matrix coordinate real general\n" + body;
+}
+
+void expect_rejected(const std::string& content, const std::string& needle) {
+  std::istringstream in(content);
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+}  // namespace
+
+TEST(MmioHardened, RejectsZeroBasedIndices) {
+  expect_rejected(mtx("2 2 1\n0 1 1.0\n"), "1-based");
+  expect_rejected(mtx("2 2 1\n1 0 1.0\n"), "1-based");
+}
+
+TEST(MmioHardened, RejectsNonFiniteValues) {
+  expect_rejected(mtx("2 2 1\n1 1 inf\n"), "1 1 inf");
+  expect_rejected(mtx("2 2 1\n1 1 nan\n"), "1 1 nan");
+  expect_rejected(mtx("2 2 1\n1 1 1e99999\n"), "1 1 1e99999");
+}
+
+TEST(MmioHardened, RejectsTruncatedEntryLine) {
+  expect_rejected(mtx("2 2 1\n1\n"), "truncated");
+}
+
+TEST(MmioHardened, RejectsMissingEntries) {
+  expect_rejected(mtx("2 2 3\n1 1 1.0\n"), "unexpected end of entries");
+}
+
+TEST(MmioHardened, RejectsTrailingGarbage) {
+  expect_rejected(mtx("2 2 1\n1 1 1.0 surprise\n"), "trailing garbage");
+  expect_rejected(mtx("2 2 1 extra\n1 1 1.0\n"), "trailing garbage");
+}
+
+TEST(MmioHardened, RejectsMalformedSizeLine) {
+  expect_rejected(mtx("2 two 1\n1 1 1.0\n"), "size line");
+}
+
+TEST(MmioHardened, SumsDuplicateEntries) {
+  std::istringstream in(mtx("3 3 4\n1 2 1.5\n3 3 1.0\n1 2 2.5\n1 2 -1.0\n"));
+  const TripletMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.duplicates_coalesced, 2u);
+  ASSERT_EQ(m.entries.size(), 2u);
+  // First-occurrence order is preserved; values summed.
+  EXPECT_EQ(m.entries[0].r, 0u);
+  EXPECT_EQ(m.entries[0].c, 1u);
+  EXPECT_DOUBLE_EQ(m.entries[0].v, 3.0);
+  EXPECT_DOUBLE_EQ(m.entries[1].v, 1.0);
+}
+
+TEST(MmioHardened, CoalesceIsIdempotentAndHandlesCleanInput) {
+  TripletMatrix m;
+  m.rows = m.cols = 4;
+  m.entries = {{0, 0, 1.0}, {1, 2, 2.0}, {3, 3, 3.0}};
+  m.coalesce_duplicates();
+  EXPECT_EQ(m.duplicates_coalesced, 0u);
+  EXPECT_EQ(m.entries.size(), 3u);
+  m.entries.push_back({1, 2, 5.0});
+  m.coalesce_duplicates();
+  EXPECT_EQ(m.duplicates_coalesced, 1u);
+  m.coalesce_duplicates();
+  EXPECT_EQ(m.duplicates_coalesced, 0u);
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.entries[1].v, 7.0);
+}
+
 }  // namespace
 }  // namespace nbwp
