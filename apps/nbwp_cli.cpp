@@ -13,12 +13,20 @@
 //                       [--trace run.json]
 //       execute the heterogeneous algorithm once, print the phase
 //       breakdown, optionally write a Chrome trace.
+//   nbwp_cli batch      --batch <manifest> [--plan-cache on|off]
+//                       [--plan-cache-capacity N] [--plan-cache-shards N]
+//       plan every request in the manifest through the serve layer
+//       (fingerprint cache + warm starts + in-flight dedup); each
+//       manifest line is `workload=<w> dataset=<d> [scale=] [seed=]
+//       [repeat=]` (see docs/SERVING.md for a worked example).
 //
 // Datasets resolve against the synthetic Table II catalog, or against
 // --mtx-dir when the original files are present.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/baselines.hpp"
 #include "core/exhaustive.hpp"
@@ -35,8 +43,10 @@
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
+#include "serve/serve.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/strfmt.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -55,6 +65,10 @@ struct Request {
   std::string fault_plan;  ///< --fault-plan: hetsim::FaultPlan spec
   double identify_deadline_ms = 0;  ///< --identify-deadline-ms
   std::string fallback = "auto";    ///< --fallback: auto|race|naive-static|off
+  std::string batch_manifest;       ///< --batch: request manifest path
+  bool plan_cache = true;           ///< --plan-cache on|off
+  int plan_cache_capacity = 256;    ///< --plan-cache-capacity
+  int plan_cache_shards = 4;        ///< --plan-cache-shards
 };
 
 core::FallbackStage parse_fallback_stage(const std::string& s) {
@@ -71,15 +85,22 @@ core::SamplingConfig config_for(const std::string& workload,
   cfg.seed = seed;
   if (workload == "cc") {
     cfg.method = core::IdentifyMethod::kCoarseToFine;
+    cfg.warm.halfwidth = 4;  // 9 probes vs ~27 for the cold 8-then-1 grid
+    cfg.warm.step = 1;
   } else if (workload == "spmm" || workload == "spmv") {
     cfg.sample_factor = 0.25;
     cfg.method = core::IdentifyMethod::kRaceThenFine;
+    cfg.warm.halfwidth = 3;  // 3 probes vs ~7 for the cold race + grid
+    cfg.warm.step = 3;
   } else {  // hh
     cfg.method = core::IdentifyMethod::kGradientDescent;
     cfg.gradient.log_space = true;
     cfg.gradient.starts = 2;
     cfg.gradient.max_iterations = 10;
     cfg.gradient.initial_step_fraction = 0.2;
+    cfg.warm.log_space = true;  // 7 probes vs ~20+ for cold multi-start
+    cfg.warm.log_ratio = 1.5;
+    cfg.warm.log_points = 3;
   }
   return cfg;
 }
@@ -153,7 +174,156 @@ int drive(const char* command, const Request& req, const Problem& problem,
   return 0;
 }
 
+struct BatchEntry {
+  std::string workload;
+  std::string dataset;
+  double scale = 0;
+  uint64_t seed = 1;
+  int repeat = 1;
+};
+
+/// One request per non-empty, non-comment line; fields are key=value
+/// tokens separated by whitespace.  Unknown keys are rejected so typos
+/// don't silently plan the default dataset.
+std::vector<BatchEntry> parse_batch_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open batch manifest '" + path + "'");
+  std::vector<BatchEntry> entries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tokens(line);
+    std::string token;
+    BatchEntry entry;
+    bool any = false;
+    while (tokens >> token) {
+      if (token[0] == '#') break;
+      const auto eq = token.find('=');
+      if (eq == std::string::npos)
+        throw Error(strfmt("%s:%d: expected key=value, got '%s'",
+                           path.c_str(), lineno, token.c_str()));
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "workload") {
+        entry.workload = value;
+      } else if (key == "dataset") {
+        entry.dataset = value;
+      } else if (key == "scale") {
+        entry.scale = std::stod(value);
+      } else if (key == "seed") {
+        entry.seed = std::stoull(value);
+      } else if (key == "repeat") {
+        entry.repeat = std::stoi(value);
+      } else {
+        throw Error(strfmt("%s:%d: unknown key '%s'", path.c_str(), lineno,
+                           key.c_str()));
+      }
+      any = true;
+    }
+    if (!any) continue;
+    if (entry.workload.empty() || entry.dataset.empty())
+      throw Error(strfmt("%s:%d: workload= and dataset= are required",
+                         path.c_str(), lineno));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+serve::PlanRequest make_batch_request(const BatchEntry& entry,
+                                      const std::string& id,
+                                      const Request& req,
+                                      const hetsim::Platform& platform) {
+  const auto& spec = datasets::spec_by_name(entry.dataset);
+  exp::SuiteOptions options = req.options;
+  options.scale = entry.scale;
+  options.seed = entry.seed;
+
+  core::RobustConfig rcfg;
+  rcfg.sampling = config_for(entry.workload, req.options.sampling_seed);
+  rcfg.sampling.identify_wall_deadline_ns = req.identify_deadline_ms * 1e6;
+  if (req.fallback != "off")
+    rcfg.start_stage = parse_fallback_stage(req.fallback);
+
+  if (entry.workload == "cc") {
+    return serve::make_plan_request(
+        id, entry.workload,
+        hetalg::HeteroCc(exp::load_graph(spec, options), platform), rcfg);
+  }
+  if (entry.workload == "spmm") {
+    return serve::make_plan_request(
+        id, entry.workload,
+        hetalg::HeteroSpmm(exp::load_matrix(spec, options), platform), rcfg);
+  }
+  if (entry.workload == "spmv") {
+    return serve::make_plan_request(
+        id, entry.workload,
+        hetalg::HeteroSpmv(exp::load_matrix(spec, options), platform), rcfg);
+  }
+  if (entry.workload == "hh") {
+    return serve::make_plan_request(
+        id, entry.workload,
+        hetalg::HeteroSpmmHh(exp::load_matrix(spec, options), platform),
+        rcfg,
+        [](const hetalg::HeteroSpmmHh& full,
+           const hetalg::HeteroSpmmHh& sample, double ts) {
+          return core::work_share_extrapolate(full, sample, ts);
+        });
+  }
+  throw Error("unknown workload '" + entry.workload +
+              "' in batch manifest (cc|spmm|hh|spmv)");
+}
+
+int run_batch(const Request& req) {
+  hetsim::Platform platform = hetsim::Platform::reference();
+  if (!req.fault_plan.empty()) {
+    const auto plan = hetsim::FaultPlan::parse(req.fault_plan);
+    platform.set_fault_plan(plan);
+    log_info("fault plan: " + plan.summary());
+  }
+  const auto entries = parse_batch_manifest(req.batch_manifest);
+  std::vector<serve::PlanRequest> requests;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (int r = 0; r < entries[i].repeat; ++r) {
+      const std::string id = strfmt("%s:%s:%zu.%d",
+                                    entries[i].workload.c_str(),
+                                    entries[i].dataset.c_str(), i, r);
+      requests.push_back(make_batch_request(entries[i], id, req, platform));
+    }
+  }
+
+  serve::PlanService::Options options;
+  options.cache_enabled = req.plan_cache;
+  options.cache.capacity = static_cast<size_t>(req.plan_cache_capacity);
+  options.cache.shards = static_cast<size_t>(req.plan_cache_shards);
+  serve::PlanService service(options);
+  const auto results = service.plan_all(requests);
+
+  Table table(strfmt("batch plan — %zu requests, cache %s",
+                     requests.size(), req.plan_cache ? "on" : "off"));
+  table.set_header({"request", "source", "stage", "threshold",
+                    "makespan(ms)", "evals", "saved"});
+  double evaluations = 0, saved = 0;
+  for (const auto& r : results) {
+    const std::string source =
+        r.coalesced ? "coalesced" : serve::hit_kind_name(r.cache);
+    table.add_row({r.id, source, core::fallback_stage_name(r.stage),
+                   Table::num(r.threshold, 1),
+                   Table::ns_to_ms(r.objective_ns),
+                   Table::num(r.evaluations, 0), Table::num(r.evals_saved,
+                                                            0)});
+    evaluations += r.evaluations;
+    saved += r.evals_saved;
+  }
+  table.print(std::cout);
+  std::printf("identify evaluations: %.0f spent, %.0f saved "
+              "(cache entries: %zu)\n",
+              evaluations, saved, service.cache().size());
+  return 0;
+}
+
 int run_command(const char* command, const Request& req) {
+  if (std::strcmp(command, "batch") == 0) return run_batch(req);
   // A by-value copy of the reference platform so an injected fault plan
   // stays local to this invocation.
   hetsim::Platform platform = hetsim::Platform::reference();
@@ -272,7 +442,8 @@ int info() {
 int main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
     std::printf(
-        "usage: nbwp_cli <info|estimate|exhaustive|sweep|run> [options]\n"
+        "usage: nbwp_cli <info|estimate|exhaustive|sweep|run|batch> "
+        "[options]\n"
         "run `nbwp_cli estimate --help` for the option list.\n");
     return argc < 2 ? 1 : 0;
   }
@@ -299,6 +470,12 @@ int main(int argc, char** argv) {
                  "wall-clock budget for the identify search (0 = none)");
   cli.add_option("fallback", "auto",
                  "estimate fallback chain: auto | race | naive-static | off");
+  cli.add_option("batch", "",
+                 "batch: request manifest (workload=.. dataset=.. lines)");
+  cli.add_option("plan-cache", "on", "batch: plan cache on | off");
+  cli.add_option("plan-cache-capacity", "256",
+                 "batch: total cached plans across shards");
+  cli.add_option("plan-cache-shards", "4", "batch: plan cache shard count");
   cli.add_option("log-level", "info", "debug | info | warn | error");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
 
@@ -318,6 +495,11 @@ int main(int argc, char** argv) {
   req.fault_plan = cli.str("fault-plan");
   req.identify_deadline_ms = cli.real("identify-deadline-ms");
   req.fallback = cli.str("fallback");
+  req.batch_manifest = cli.str("batch");
+  req.plan_cache = cli.str("plan-cache") != "off";
+  req.plan_cache_capacity =
+      static_cast<int>(cli.integer("plan-cache-capacity"));
+  req.plan_cache_shards = static_cast<int>(cli.integer("plan-cache-shards"));
 
   try {
     set_log_level(parse_log_level(cli.str("log-level")));

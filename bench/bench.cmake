@@ -23,7 +23,8 @@ set(NBWP_BENCH_TARGETS
   ablate_sampling_method
   extra_energy
   extra_workloads
-  ablate_objective)
+  ablate_objective
+  serve_throughput)
 
 foreach(target ${NBWP_BENCH_TARGETS})
   add_executable(${target} ${CMAKE_SOURCE_DIR}/bench/${target}.cpp)

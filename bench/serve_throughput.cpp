@@ -1,0 +1,206 @@
+// serve_throughput — cold vs cached vs warm-started planning cost.
+//
+// Plans the same three-workload mix (cc:pwtk, spmm:cant, hh:web-BerkStan)
+// through one PlanService three times:
+//
+//   cold       empty cache: every request pays the full sampled search;
+//   repeat     the identical inputs again: exact fingerprint hits reuse
+//              the cached thresholds verbatim (zero identify evaluations,
+//              bit-identical thresholds);
+//   perturbed  the same datasets regenerated with a different seed (the
+//              "web crawl grown a day" case): near fingerprint hits
+//              warm-start a narrow refinement around the cached optimum.
+//
+// Emits BENCH_serve.json with per-round evaluation counts, the serve.*
+// counter snapshot, and two machine-checked claims consumed by CI:
+// exact repeats return identical thresholds, and repeat/perturbed rounds
+// spend strictly fewer identify evaluations than the cold round.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/extrapolate.hpp"
+#include "exp/report.hpp"
+#include "core/robust_estimate.hpp"
+#include "hetalg/hetero_cc.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "hetalg/hetero_spmm_hh.hpp"
+#include "serve/serve.hpp"
+#include "util/json.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nbwp;
+
+core::RobustConfig config_for(const std::string& workload, uint64_t seed) {
+  core::RobustConfig rcfg;
+  core::SamplingConfig& cfg = rcfg.sampling;
+  cfg.seed = seed;
+  if (workload == "cc") {
+    cfg.method = core::IdentifyMethod::kCoarseToFine;
+    cfg.warm.halfwidth = 4;
+    cfg.warm.step = 1;
+  } else if (workload == "spmm") {
+    cfg.sample_factor = 0.25;
+    cfg.method = core::IdentifyMethod::kRaceThenFine;
+    cfg.warm.halfwidth = 3;
+    cfg.warm.step = 3;
+  } else {  // hh
+    cfg.method = core::IdentifyMethod::kGradientDescent;
+    cfg.gradient.log_space = true;
+    cfg.gradient.starts = 2;
+    cfg.gradient.max_iterations = 10;
+    cfg.gradient.initial_step_fraction = 0.2;
+    cfg.warm.log_space = true;
+    cfg.warm.log_ratio = 1.5;
+    cfg.warm.log_points = 3;
+  }
+  return rcfg;
+}
+
+std::vector<serve::PlanRequest> make_mix(const exp::SuiteOptions& options,
+                                         uint64_t generation_seed,
+                                         const std::string& tag) {
+  const hetsim::Platform& platform = hetsim::Platform::reference();
+  exp::SuiteOptions opt = options;
+  opt.seed = generation_seed;
+  std::vector<serve::PlanRequest> requests;
+  requests.push_back(serve::make_plan_request(
+      "cc:pwtk:" + tag, "cc",
+      hetalg::HeteroCc(
+          exp::load_graph(datasets::spec_by_name("pwtk"), opt), platform),
+      config_for("cc", options.sampling_seed)));
+  requests.push_back(serve::make_plan_request(
+      "spmm:cant:" + tag, "spmm",
+      hetalg::HeteroSpmm(
+          exp::load_matrix(datasets::spec_by_name("cant"), opt), platform),
+      config_for("spmm", options.sampling_seed)));
+  requests.push_back(serve::make_plan_request(
+      "hh:web-BerkStan:" + tag, "hh",
+      hetalg::HeteroSpmmHh(
+          exp::load_matrix(datasets::spec_by_name("web-BerkStan"), opt),
+          platform),
+      config_for("hh", options.sampling_seed),
+      [](const hetalg::HeteroSpmmHh& full,
+         const hetalg::HeteroSpmmHh& sample, double ts) {
+        return core::work_share_extrapolate(full, sample, ts);
+      }));
+  return requests;
+}
+
+struct Round {
+  std::string name;
+  std::vector<serve::PlannedPartition> plans;
+  double evaluations = 0;
+  double evals_saved = 0;
+};
+
+Round run_round(serve::PlanService& service, const std::string& name,
+                std::vector<serve::PlanRequest> requests) {
+  Round round;
+  round.name = name;
+  round.plans = service.plan_all(requests);
+  for (const auto& plan : round.plans) {
+    round.evaluations += plan.evaluations;
+    round.evals_saved += plan.evals_saved;
+  }
+  return round;
+}
+
+void write_json(const std::string& path, const std::vector<Round>& rounds,
+                bool exact_identical, bool warm_fewer) {
+  std::ofstream out(path);
+  out << "{\n  \"tool\": \"serve_throughput\",\n  \"rounds\": [\n";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const Round& round = rounds[i];
+    out << "    {\"name\": " << json_quote(round.name)
+        << ", \"evaluations\": " << round.evaluations
+        << ", \"evals_saved\": " << round.evals_saved << ", \"plans\": [\n";
+    for (size_t j = 0; j < round.plans.size(); ++j) {
+      const auto& plan = round.plans[j];
+      out << "      {\"id\": " << json_quote(plan.id) << ", \"source\": "
+          << json_quote(serve::hit_kind_name(plan.cache))
+          << ", \"threshold\": " << strfmt("%.17g", plan.threshold)
+          << ", \"makespan_ns\": " << strfmt("%.6g", plan.objective_ns)
+          << ", \"evaluations\": " << plan.evaluations
+          << ", \"evals_saved\": " << plan.evals_saved << "}"
+          << (j + 1 < round.plans.size() ? ",\n" : "\n");
+    }
+    out << "    ]}" << (i + 1 < rounds.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  const auto snapshot = obs::Registry::global().snapshot();
+  out << "  \"counters\": {\n";
+  bool first = true;
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key.rfind("serve.", 0) != 0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    " << json_quote(key) << ": " << strfmt("%.17g", value);
+  }
+  out << "\n  },\n";
+  out << "  \"exact_repeat_identical\": "
+      << (exact_identical ? "true" : "false") << ",\n";
+  out << "  \"warm_fewer_evals_than_cold\": "
+      << (warm_fewer ? "true" : "false") << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("serve_throughput",
+          "cold vs cached vs warm-started planning cost (BENCH_serve.json)");
+  bench::add_suite_options(cli);
+  cli.add_option("json", "BENCH_serve.json", "machine-readable output path");
+  cli.add_option("perturb-seed", "7",
+                 "generation seed of the perturbed round");
+  if (!cli.parse(argc, argv)) return 0;
+  const exp::SuiteOptions options = bench::suite_options(cli);
+  obs::set_metrics_enabled(true);  // serve.* counters feed the JSON
+
+  serve::PlanService service;
+  std::vector<Round> rounds;
+  rounds.push_back(
+      run_round(service, "cold", make_mix(options, options.seed, "cold")));
+  rounds.push_back(run_round(service, "repeat",
+                             make_mix(options, options.seed, "repeat")));
+  rounds.push_back(run_round(
+      service, "perturbed",
+      make_mix(options,
+               static_cast<uint64_t>(cli.integer("perturb-seed")),
+               "perturbed")));
+
+  bool exact_identical = true;
+  for (size_t i = 0; i < rounds[0].plans.size(); ++i) {
+    if (rounds[1].plans[i].threshold != rounds[0].plans[i].threshold)
+      exact_identical = false;
+  }
+  const bool warm_fewer =
+      rounds[1].evaluations < rounds[0].evaluations &&
+      rounds[2].evaluations < rounds[0].evaluations &&
+      rounds[1].evals_saved > 0 && rounds[2].evals_saved > 0;
+
+  Table table("serve throughput — cold vs cached vs warm");
+  table.set_header({"round", "source mix", "evals", "saved"});
+  for (const Round& round : rounds) {
+    std::string sources;
+    for (const auto& plan : round.plans) {
+      if (!sources.empty()) sources += ",";
+      sources += serve::hit_kind_name(plan.cache);
+    }
+    table.add_row({round.name, sources, Table::num(round.evaluations, 0),
+                   Table::num(round.evals_saved, 0)});
+  }
+  exp::emit(table, cli.str("csv"));
+  std::printf("exact repeats identical: %s; warm rounds cheaper: %s\n",
+              exact_identical ? "yes" : "NO",
+              warm_fewer ? "yes" : "NO");
+
+  write_json(cli.str("json"), rounds, exact_identical, warm_fewer);
+  std::printf("json written: %s\n", cli.str("json").c_str());
+  bench::finish_run(cli, "serve_throughput");
+  return exact_identical && warm_fewer ? 0 : 1;
+}

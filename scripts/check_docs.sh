@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Validate the documentation graph:
+#   1. every relative markdown link in README/EXPERIMENTS/DESIGN/ROADMAP
+#      and docs/*.md resolves to a file in the repo;
+#   2. every inline-code file path mentioned in docs/*.md exists, either
+#      as written or under src/ (docs use include-style paths like
+#      `util/rng.hpp` for src/util/rng.hpp).
+# Exits non-zero listing every dangling reference.  No dependencies
+# beyond python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import glob
+import os
+import re
+import sys
+
+md_files = sorted(
+    [p for p in ("README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md")
+     if os.path.exists(p)]
+    + glob.glob("docs/*.md"))
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE = re.compile(r"`([^`\n]+)`")
+PATHLIKE = re.compile(r"^[A-Za-z0-9_.-]+(/[A-Za-z0-9_.-]+)+\."
+                      r"(hpp|cpp|h|cc|sh|py|cmake|md)$")
+
+def strip_fenced(text):
+    # Fenced blocks hold example output and shell transcripts, not
+    # repo-path claims; only inline code and links are checked.
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+errors = []
+for md in md_files:
+    with open(md, encoding="utf-8") as f:
+        text = strip_fenced(f.read())
+    base = os.path.dirname(md)
+
+    for target in LINK.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, target))):
+            errors.append(f"{md}: dangling link ({target})")
+
+    if not md.startswith("docs/"):
+        continue
+    for span in CODE.findall(text):
+        if not PATHLIKE.match(span):
+            continue
+        if not (os.path.exists(span) or os.path.exists(os.path.join("src", span))):
+            errors.append(f"{md}: missing code path ({span})")
+
+if errors:
+    print("check_docs: FAIL")
+    for e in errors:
+        print("  " + e)
+    sys.exit(1)
+print(f"check_docs: OK ({len(md_files)} files checked)")
+EOF

@@ -241,6 +241,33 @@ IdentifyResult gradient_descent_impl(const Evaluator& eval,
   return best;
 }
 
+IdentifyResult warm_refine_impl(const Evaluator& eval, double t0,
+                                WarmRefineOptions options) {
+  MemoEval memo(eval);
+  IdentifyResult r;
+  // The cached threshold is probed first: the bracket can only improve
+  // on it, never lose it.
+  memo.consider(t0, r);
+  if (options.log_space) {
+    NBWP_REQUIRE(eval.lo > 0, "log-space refinement needs lo > 0");
+    NBWP_REQUIRE(options.log_ratio > 1.0, "log ratio must exceed 1");
+    t0 = std::clamp(t0, eval.lo, eval.hi);
+    double factor = options.log_ratio;
+    for (int i = 1; i <= options.log_points; ++i, factor *= options.log_ratio) {
+      memo.consider(t0 * factor, r);
+      memo.consider(t0 / factor, r);
+    }
+  } else {
+    NBWP_REQUIRE(options.step > 0, "refinement step must be positive");
+    for (double d = options.step; d <= options.halfwidth + 1e-9;
+         d += options.step) {
+      memo.consider(t0 + d, r);
+      memo.consider(t0 - d, r);
+    }
+  }
+  return r;
+}
+
 IdentifyResult golden_section_impl(const Evaluator& eval, double tolerance,
                                    int max_iterations) {
   constexpr double kPhi = 0.6180339887498949;
@@ -306,6 +333,13 @@ IdentifyResult golden_section(const Evaluator& eval, double tolerance,
                               int max_iterations) {
   return instrumented("golden_section", eval, [&](const Evaluator& e) {
     return golden_section_impl(e, tolerance, max_iterations);
+  });
+}
+
+IdentifyResult warm_refine(const Evaluator& eval, double t0,
+                           WarmRefineOptions options) {
+  return instrumented("warm_refine", eval, [&](const Evaluator& e) {
+    return warm_refine_impl(e, t0, options);
   });
 }
 

@@ -107,4 +107,23 @@ IdentifyResult gradient_descent(const Evaluator& eval,
 IdentifyResult golden_section(const Evaluator& eval, double tolerance = 0.5,
                               int max_iterations = 48);
 
+/// Warm-started local refinement (serve/plan_cache.hpp): instead of a
+/// cold search over the whole range, probe the cached threshold `t0`
+/// itself plus a narrow symmetric bracket around it.  Linear brackets
+/// probe t0 ± step, ± 2·step, … up to `halfwidth`; log-space brackets
+/// (cutoff thresholds spanning orders of magnitude) probe
+/// t0 · ratio^±i for i = 1..log_points.  Probes are clamped to
+/// [lo, hi]; clamped duplicates cost nothing (per-search memo).
+/// Because t0 is always probed, refining around a search's own optimum
+/// can never return a worse objective than that search did.
+struct WarmRefineOptions {
+  double halfwidth = 4.0;  ///< linear bracket half-width
+  double step = 1.0;       ///< linear probe spacing
+  bool log_space = false;  ///< geometric bracket (needs lo > 0)
+  double log_ratio = 1.5;  ///< geometric probe spacing
+  int log_points = 3;      ///< probes per side of t0 in log space
+};
+IdentifyResult warm_refine(const Evaluator& eval, double t0,
+                           WarmRefineOptions options = {});
+
 }  // namespace nbwp::core

@@ -90,16 +90,8 @@ double gpu_most_threshold(const P& p) {
   }
 }
 
-/// Map a CPU work-share fraction in [0,1] to a threshold for `p`.
-template <typename P>
-double threshold_for_cpu_share(const P& p, double share) {
-  share = std::clamp(share, 0.0, 1.0);
-  if constexpr (requires { p.threshold_for_work_share(share); }) {
-    return p.threshold_for_work_share(share);
-  } else {
-    return p.threshold_lo() + share * (p.threshold_hi() - p.threshold_lo());
-  }
-}
+// threshold_for_cpu_share / cpu_share_of_threshold live in
+// core/sampling_partitioner.hpp (shared with the serve warm-start path).
 
 /// True when `p` carries no partitionable signal: estimating on it would
 /// return an arbitrary threshold (and some kernels would divide by zero).

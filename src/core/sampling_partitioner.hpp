@@ -83,6 +83,14 @@ struct SamplingConfig {
   /// This is how injected platform adversity reaches the estimation
   /// pipeline's probes.
   std::function<double(double)> probe_hook;
+  /// Warm start (serve/plan_cache.hpp): when in [0, 1], the cold identify
+  /// search is replaced by warm_refine() around the sample threshold whose
+  /// CPU work share equals this value — the cached threshold of a
+  /// structurally similar input, re-expressed in the share space that
+  /// survives sampling (identity for percent thresholds, work-share
+  /// inversion for cutoffs).  Negative disables (cold search).
+  double warm_start_cpu_share = -1.0;
+  WarmRefineOptions warm{};  ///< bracket of the warm-started refinement
 };
 
 struct PartitionEstimate {
@@ -93,6 +101,32 @@ struct PartitionEstimate {
 };
 
 namespace detail {
+
+/// Map a CPU work-share fraction in [0,1] to a threshold for `p`.
+/// Problems exposing work-share inversion (HH-style cutoffs) use it;
+/// percent thresholds map linearly.  Shared by the robustness fallbacks
+/// (core/robust_estimate.hpp) and the serve warm-start path.
+template <typename P>
+double threshold_for_cpu_share(const P& p, double share) {
+  share = std::clamp(share, 0.0, 1.0);
+  if constexpr (requires { p.threshold_for_work_share(share); }) {
+    return p.threshold_for_work_share(share);
+  } else {
+    return p.threshold_lo() + share * (p.threshold_hi() - p.threshold_lo());
+  }
+}
+
+/// Inverse of threshold_for_cpu_share: the CPU work share a threshold
+/// routes to the CPU on `p` (heavy rows for cutoff problems).
+template <typename P>
+double cpu_share_of_threshold(const P& p, double t) {
+  if constexpr (requires { p.work_share_above(t); }) {
+    return p.work_share_above(t);
+  } else {
+    const double lo = p.threshold_lo(), hi = p.threshold_hi();
+    return hi > lo ? std::clamp((t - lo) / (hi - lo), 0.0, 1.0) : 0.0;
+  }
+}
 
 template <typename P>
 IdentifyResult identify_on(const P& sample, const SamplingConfig& cfg,
@@ -122,6 +156,12 @@ IdentifyResult identify_on(const P& sample, const SamplingConfig& cfg,
   // Each candidate evaluation stands for one run of the heterogeneous
   // algorithm on the sample; charge its makespan.
   eval.cost_ns = [&sample](double t) { return sample.time_ns(t); };
+
+  if (cfg.warm_start_cpu_share >= 0.0) {
+    const double t0 =
+        threshold_for_cpu_share(sample, cfg.warm_start_cpu_share);
+    return warm_refine(eval, t0, cfg.warm);
+  }
 
   switch (cfg.method) {
     case IdentifyMethod::kCoarseToFine:

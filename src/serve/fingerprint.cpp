@@ -1,0 +1,180 @@
+#include "serve/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace nbwp::serve {
+
+namespace {
+
+// splitmix64 finalizer: the standard strong 64-bit mix.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t hash_combine(uint64_t seed, double v) {
+  return mix64(seed ^ mix64(std::bit_cast<uint64_t>(v)));
+}
+
+// Degrees must be sorted ascending.  Linear-interpolated quantile, same
+// convention as util/stats percentile().
+double quantile_sorted(const std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  const double rank = p / 100.0 * (static_cast<double>(xs.size()) - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+// Gini coefficient of the (ascending) degree sequence: 0 for a regular
+// input, approaching 1 as all work concentrates in a few hubs.
+double gini_sorted(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double weighted = 0, total = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * xs[i];
+    total += xs[i];
+  }
+  if (total <= 0) return 0;
+  const auto n = static_cast<double>(xs.size());
+  return std::clamp(2.0 * weighted / (n * total) - (n + 1.0) / n, 0.0, 1.0);
+}
+
+// Share of the total work held by the heaviest 1% of rows (at least one).
+double hub_mass_sorted(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double total = 0;
+  for (double x : xs) total += x;
+  if (total <= 0) return 0;
+  const size_t hubs = std::max<size_t>(1, xs.size() / 100);
+  double top = 0;
+  for (size_t i = xs.size() - hubs; i < xs.size(); ++i) top += xs[i];
+  return top / total;
+}
+
+// Sketch fields shared by graphs and matrices, from the degree sequence.
+// `degrees` is consumed (sorted in place).
+void fill_degree_stats(std::vector<double>& degrees, StructuralSketch& s) {
+  std::sort(degrees.begin(), degrees.end());
+  double total = 0;
+  for (double d : degrees) total += d;
+  s.deg_mean = degrees.empty() ? 0 : total / static_cast<double>(degrees.size());
+  s.deg_p50 = quantile_sorted(degrees, 50);
+  s.deg_p90 = quantile_sorted(degrees, 90);
+  s.deg_p99 = quantile_sorted(degrees, 99);
+  s.deg_max = degrees.empty() ? 0 : degrees.back();
+  s.gini = gini_sorted(degrees);
+  s.hub_mass = hub_mass_sorted(degrees);
+}
+
+// Mean normalized |col - row| over (a stride sample of) the entries.
+// The stride bounds the pass at ~64k probes so fingerprinting stays far
+// cheaper than a single threshold evaluation even on the largest inputs;
+// the stride is deterministic, so the sketch is too.
+constexpr uint64_t kBandProbeCap = 1 << 16;
+
+template <typename EntryAt>  // EntryAt(i) -> (row_distance, cols)
+double mean_band(uint64_t count, double norm, const EntryAt& entry_at) {
+  if (count == 0 || norm <= 0) return 0;
+  const uint64_t stride = std::max<uint64_t>(1, count / kBandProbeCap);
+  double sum = 0;
+  uint64_t probes = 0;
+  for (uint64_t i = 0; i < count; i += stride, ++probes) sum += entry_at(i);
+  return sum / (static_cast<double>(probes) * norm);
+}
+
+Fingerprint finish(StructuralSketch s) {
+  Fingerprint fp;
+  fp.sketch = s;
+  uint64_t h = 0x6e627770;  // "nbwp"
+  h = hash_combine(h, s.n);
+  h = hash_combine(h, s.nnz);
+  h = hash_combine(h, s.deg_mean);
+  h = hash_combine(h, s.deg_p50);
+  h = hash_combine(h, s.deg_p90);
+  h = hash_combine(h, s.deg_p99);
+  h = hash_combine(h, s.deg_max);
+  h = hash_combine(h, s.gini);
+  h = hash_combine(h, s.hub_mass);
+  h = hash_combine(h, s.bandedness);
+  fp.exact_hash = h;
+  const auto log_bucket = [](double x) {
+    return static_cast<uint64_t>(std::lround(std::log2(x + 1.0)));
+  };
+  fp.bucket = (log_bucket(s.n) << 8) | log_bucket(s.nnz);
+  return fp;
+}
+
+}  // namespace
+
+Fingerprint fingerprint_of(const graph::CsrGraph& g) {
+  StructuralSketch s;
+  s.n = static_cast<double>(g.num_vertices());
+  s.nnz = static_cast<double>(g.num_directed_edges());
+  std::vector<double> degrees(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    degrees[v] = static_cast<double>(g.degree(v));
+  fill_degree_stats(degrees, s);
+  const auto row_ptr = g.row_ptr();
+  const auto adj = g.adjacency();
+  s.bandedness = mean_band(
+      adj.size(), s.n, [&](uint64_t i) {
+        const auto row = static_cast<uint64_t>(
+            std::upper_bound(row_ptr.begin(), row_ptr.end(), i) -
+            row_ptr.begin() - 1);
+        return std::abs(static_cast<double>(adj[i]) -
+                        static_cast<double>(row));
+      });
+  return finish(s);
+}
+
+Fingerprint fingerprint_of(const sparse::CsrMatrix& a) {
+  StructuralSketch s;
+  s.n = static_cast<double>(a.rows());
+  s.nnz = static_cast<double>(a.nnz());
+  std::vector<double> degrees(a.rows());
+  for (sparse::Index r = 0; r < a.rows(); ++r)
+    degrees[r] = static_cast<double>(a.row_nnz(r));
+  fill_degree_stats(degrees, s);
+  const auto row_ptr = a.row_ptr();
+  const auto cols = a.col_idx();
+  s.bandedness = mean_band(
+      cols.size(), static_cast<double>(a.cols()), [&](uint64_t i) {
+        const auto row = static_cast<uint64_t>(
+            std::upper_bound(row_ptr.begin(), row_ptr.end(), i) -
+            row_ptr.begin() - 1);
+        return std::abs(static_cast<double>(cols[i]) -
+                        static_cast<double>(row));
+      });
+  return finish(s);
+}
+
+double sketch_distance(const StructuralSketch& a, const StructuralSketch& b) {
+  // Size-like fields compare as |log ratio| so "twice as big" reads the
+  // same at every scale; [0,1]-bounded shape fields compare absolutely.
+  const auto log_ratio = [](double x, double y) {
+    if (x <= 0 && y <= 0) return 0.0;
+    if (x <= 0 || y <= 0) return 1e9;
+    return std::abs(std::log2(x) - std::log2(y));
+  };
+  double d = 0;
+  d = std::max(d, log_ratio(a.n, b.n));
+  d = std::max(d, log_ratio(a.nnz, b.nnz));
+  d = std::max(d, log_ratio(a.deg_mean + 1, b.deg_mean + 1));
+  d = std::max(d, log_ratio(a.deg_p50 + 1, b.deg_p50 + 1));
+  d = std::max(d, log_ratio(a.deg_p90 + 1, b.deg_p90 + 1));
+  d = std::max(d, log_ratio(a.deg_p99 + 1, b.deg_p99 + 1));
+  d = std::max(d, log_ratio(a.deg_max + 1, b.deg_max + 1));
+  d = std::max(d, std::abs(a.gini - b.gini));
+  d = std::max(d, std::abs(a.hub_mass - b.hub_mass));
+  d = std::max(d, std::abs(a.bandedness - b.bandedness));
+  return d;
+}
+
+}  // namespace nbwp::serve

@@ -1,0 +1,69 @@
+// Structural fingerprints: cheap sketches of an input's shape.
+//
+// The serving layer (plan_cache.hpp, plan_service.hpp) amortizes the
+// framework's estimation cost across structurally similar inputs — the
+// same graph family at a slightly different scale, a mesh refined once
+// more, yesterday's web crawl grown a day.  What makes two inputs "the
+// same" for partitioning purposes is not their bytes but the shape of
+// their work distribution: size, density, degree skew, hub concentration
+// and bandedness are what drive the optimal CPU/GPU threshold in the cost
+// model.  A StructuralSketch captures exactly those quantities in a few
+// doubles; a Fingerprint adds two hashes over the sketch:
+//
+//   exact_hash   mixes the raw bits of every sketch field — equal only
+//                when the sketch is bitwise identical (same generator,
+//                same seed, same scale), the exact-reuse key;
+//   bucket       quantizes size to (round(log2 n), round(log2 nnz)) — the
+//                coarse cache-key component under which *near* inputs
+//                collide, with sketch_distance() deciding whether a
+//                candidate is close enough to warm-start from.
+//
+// Cost: one O(degree-array) sort plus one bounded pass over (a stride
+// sample of) the adjacency — orders of magnitude below one threshold
+// evaluation of the sampled search it replaces.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace nbwp::serve {
+
+/// The shape statistics the cost model is sensitive to.  All fields are
+/// deterministic functions of the input (no sampling randomness), so the
+/// same input always produces the same sketch.
+struct StructuralSketch {
+  double n = 0;        ///< rows (matrix) or vertices (graph)
+  double nnz = 0;      ///< stored entries / directed edges
+  double deg_mean = 0;
+  double deg_p50 = 0;  ///< row-length / degree quantiles
+  double deg_p90 = 0;
+  double deg_p99 = 0;
+  double deg_max = 0;
+  double gini = 0;      ///< degree concentration in [0, 1)
+  double hub_mass = 0;  ///< share of nnz held by the top 1% heaviest rows
+  double bandedness = 0;  ///< mean |col - row| / cols (0 = diagonal band)
+
+  bool operator==(const StructuralSketch&) const = default;
+};
+
+struct Fingerprint {
+  StructuralSketch sketch;
+  uint64_t exact_hash = 0;
+  uint64_t bucket = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint_of(const graph::CsrGraph& g);
+Fingerprint fingerprint_of(const sparse::CsrMatrix& a);
+
+/// Scale-free distance between two sketches: the maximum relative
+/// difference over the sketch fields (log-ratio for the size/degree
+/// fields, absolute difference for the [0,1]-bounded shape fields).
+/// 0 means identical; ~0.1 is "the same family one refinement apart";
+/// anything above ~1 is a different kind of input.
+double sketch_distance(const StructuralSketch& a, const StructuralSketch& b);
+
+}  // namespace nbwp::serve

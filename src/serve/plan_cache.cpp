@@ -1,0 +1,105 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace nbwp::serve {
+
+namespace {
+
+uint64_t fnv1a(const std::string& s, uint64_t h = 0xcbf29ce484222325ULL) {
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+const char* hit_kind_name(HitKind kind) {
+  switch (kind) {
+    case HitKind::kMiss:
+      return "miss";
+    case HitKind::kExact:
+      return "exact";
+    case HitKind::kNear:
+      return "near";
+  }
+  return "unknown";
+}
+
+PlanCache::PlanCache(Options options) : options_(options) {
+  NBWP_REQUIRE(options_.shards >= 1, "plan cache needs at least one shard");
+  NBWP_REQUIRE(options_.capacity >= options_.shards,
+               "plan cache capacity below shard count");
+  per_shard_capacity_ = options_.capacity / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+PlanCache::Shard& PlanCache::shard_for(const PlanKey& key) {
+  uint64_t h = fnv1a(key.algorithm);
+  h ^= key.platform_key * 0x9e3779b97f4a7c15ULL;
+  h ^= key.bucket * 0xbf58476d1ce4e5b9ULL;
+  return *shards_[h % shards_.size()];
+}
+
+CacheLookup PlanCache::lookup(const PlanKey& key, const Fingerprint& fp) {
+  obs::count("serve.cache.lookups");
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto best = shard.entries.end();
+  double best_distance = options_.near_distance;
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+    if (it->key != key) continue;
+    if (it->fp.exact_hash == fp.exact_hash) {
+      shard.entries.splice(shard.entries.begin(), shard.entries, it);
+      obs::count("serve.cache.hits.exact");
+      return {HitKind::kExact, shard.entries.front().plan};
+    }
+    const double d = sketch_distance(it->fp.sketch, fp.sketch);
+    if (d <= best_distance) {
+      best_distance = d;
+      best = it;
+    }
+  }
+  if (best != shard.entries.end()) {
+    shard.entries.splice(shard.entries.begin(), shard.entries, best);
+    obs::count("serve.cache.hits.near");
+    return {HitKind::kNear, shard.entries.front().plan};
+  }
+  obs::count("serve.cache.misses");
+  return {};
+}
+
+void PlanCache::insert(const PlanKey& key, const Fingerprint& fp,
+                       const PartitionPlan& plan) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+    if (it->key == key && it->fp.exact_hash == fp.exact_hash) {
+      it->plan = plan;
+      shard.entries.splice(shard.entries.begin(), shard.entries, it);
+      obs::count("serve.cache.insertions");
+      return;
+    }
+  }
+  shard.entries.push_front({key, fp, plan});
+  obs::count("serve.cache.insertions");
+  while (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.pop_back();
+    obs::count("serve.cache.evictions");
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace nbwp::serve

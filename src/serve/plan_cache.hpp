@@ -1,0 +1,121 @@
+// PlanCache: a thread-safe sharded LRU of identified partition plans.
+//
+// Keys are (algorithm, platform, fingerprint bucket); values are
+// PartitionPlan records carrying everything a later request needs to
+// either reuse a threshold outright or warm-start a narrow search around
+// it.  Two hit kinds (docs/SERVING.md):
+//
+//   exact   the candidate's Fingerprint::exact_hash matches — the stored
+//           threshold is returned verbatim (identical partition, zero
+//           identify evaluations);
+//   near    same bucket, sketch_distance() below `near_distance` — the
+//           stored plan seeds warm_refine() (core/identify.hpp), cutting
+//           the search from a full cold sweep to a few probes around the
+//           cached optimum.
+//
+// Invalidation is by key construction, not by eviction: the platform key
+// hashes the device specs, injected slowdowns/degradation and the active
+// fault plan (plan_service.hpp platform_key_of), so changing any of them
+// simply addresses a different cache line.  Entries never go stale —
+// inputs are immutable once fingerprinted — so the only eviction is LRU
+// capacity pressure, per shard.
+//
+// Locking: one mutex per shard; lookups and inserts for the same
+// (algorithm, platform, bucket) serialize, everything else proceeds in
+// parallel.  All serve.cache.* counters fire here.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/robust_estimate.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace nbwp::serve {
+
+/// A cached identification outcome, sufficient both for exact reuse and
+/// for warm-starting a neighbour.
+struct PartitionPlan {
+  double threshold = 0;     ///< extrapolated threshold, full-input scale
+  double objective_ns = 0;  ///< full-input makespan at `threshold`
+  /// CPU work share of `threshold` on the input it was identified for.
+  /// Warm starts re-express the plan in share space because shares
+  /// survive sampling and input growth where raw cutoffs do not
+  /// (core/sampling_partitioner.hpp warm_start_cpu_share).
+  double cpu_share = 0;
+  int cold_evaluations = 0;  ///< identify evaluations the producing search
+                             ///< spent (the savings baseline)
+  core::FallbackStage stage = core::FallbackStage::kSampled;
+  std::string provenance;  ///< request id that produced the plan
+
+  bool operator==(const PartitionPlan&) const = default;
+};
+
+/// Cache-key: which algorithm, on which platform, for inputs of which
+/// coarse size class.
+struct PlanKey {
+  std::string algorithm;
+  uint64_t platform_key = 0;
+  uint64_t bucket = 0;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+enum class HitKind { kMiss, kExact, kNear };
+
+const char* hit_kind_name(HitKind kind);
+
+struct CacheLookup {
+  HitKind kind = HitKind::kMiss;
+  PartitionPlan plan{};  ///< valid when kind != kMiss
+};
+
+class PlanCache {
+ public:
+  struct Options {
+    size_t capacity = 256;  ///< total entries, split evenly across shards
+    size_t shards = 4;
+    /// Largest sketch_distance() still accepted as a near hit.  0.5 keeps
+    /// "same family, one growth step apart" and rejects different input
+    /// kinds (fingerprint.hpp sketch_distance scale).
+    double near_distance = 0.5;
+  };
+
+  PlanCache() : PlanCache(Options{}) {}
+  explicit PlanCache(Options options);
+
+  /// Exact match on fingerprint hash, else the nearest same-key entry
+  /// within near_distance, else miss.  Hits refresh LRU recency.
+  CacheLookup lookup(const PlanKey& key, const Fingerprint& fp);
+
+  /// Insert or overwrite the plan for (key, fp).  Evicts the least
+  /// recently used entry of the shard when over per-shard capacity.
+  void insert(const PlanKey& key, const Fingerprint& fp,
+              const PartitionPlan& plan);
+
+  size_t size() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    PlanKey key;
+    Fingerprint fp;
+    PartitionPlan plan;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> entries;  ///< front = most recently used
+  };
+
+  Shard& shard_for(const PlanKey& key);
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nbwp::serve

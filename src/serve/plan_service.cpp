@@ -1,0 +1,203 @@
+#include "serve/plan_service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+
+#include "obs/obs.hpp"
+#include "util/log.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::serve {
+
+namespace {
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t combine(uint64_t seed, double v) {
+  return mix64(seed ^ mix64(std::bit_cast<uint64_t>(v)));
+}
+
+uint64_t combine_str(uint64_t seed, const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return mix64(seed ^ h);
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+uint64_t platform_key_of(const hetsim::Platform& platform) {
+  const hetsim::CpuSpec& c = platform.cpu().spec();
+  const hetsim::GpuSpec& g = platform.gpu().spec();
+  const hetsim::PcieSpec& p = platform.link().spec();
+  uint64_t h = 0x706c6174;  // "plat"
+  for (double v : {c.cores, c.freq_hz, c.ops_per_cycle, c.ipc_scalar,
+                   c.bw_stream_bps, c.bw_random_bps, c.barrier_ns,
+                   c.parallel_eff})
+    h = combine(h, v);
+  for (double v : {g.sm_count, g.cores, g.freq_hz, g.ops_per_cycle,
+                   g.bw_stream_bps, g.bw_random_bps, g.launch_ns,
+                   g.full_occupancy_items, g.parallel_eff, g.ipc_scalar,
+                   static_cast<double>(g.warp_size)})
+    h = combine(h, v);
+  for (double v : {p.bandwidth_bps, p.latency_ns}) h = combine(h, v);
+  // Injected adversity changes what a good threshold is: slowdowns and
+  // link degradation shift the device ratio, and a fault plan can kill
+  // probes mid-search.  All of it lands in the key.
+  h = combine(h, platform.cpu().slowdown());
+  h = combine(h, platform.gpu().slowdown());
+  h = combine(h, platform.link().degradation());
+  if (const hetsim::FaultInjector* injector = platform.faults())
+    h = combine_str(h, injector->plan().summary());
+  return h;
+}
+
+PlanService::PlanService(Options options)
+    : options_(options), cache_(options.cache) {}
+
+PlannedPartition PlanService::run_job(const PlanRequest& request) {
+  const double start_ms = now_ms();
+  PlannedPartition out;
+  out.id = request.id;
+
+  CacheLookup hit;
+  if (options_.cache_enabled)
+    hit = cache_.lookup(request.key(), request.fingerprint);
+  out.cache = hit.kind;
+
+  if (hit.kind == HitKind::kExact) {
+    // Verbatim reuse: same input bytes-for-bytes as far as the sketch can
+    // tell, same platform — the stored threshold *is* the plan.
+    out.threshold = hit.plan.threshold;
+    out.objective_ns = hit.plan.objective_ns;
+    out.stage = hit.plan.stage;
+    out.evaluations = 0;
+    out.evals_saved = hit.plan.cold_evaluations;
+    obs::observe("serve.plan_ms", now_ms() - start_ms);
+    return out;
+  }
+
+  const double warm_share =
+      hit.kind == HitKind::kNear ? hit.plan.cpu_share : -1.0;
+  if (hit.kind == HitKind::kNear) obs::count("serve.warm_starts");
+  const PlanOutcome planned = request.solve(warm_share);
+
+  out.threshold = planned.threshold;
+  out.objective_ns = planned.objective_ns;
+  out.stage = planned.stage;
+  out.reason = planned.reason;
+  out.evaluations = planned.evaluations;
+  if (hit.kind == HitKind::kNear) {
+    out.evals_saved = std::max(
+        0.0, static_cast<double>(hit.plan.cold_evaluations -
+                                 planned.evaluations));
+  } else {
+    obs::count("serve.plans.cold");
+  }
+
+  // Only cleanly sampled plans are worth remembering: fallback stages
+  // carry no identified optimum to warm-start from.
+  if (options_.cache_enabled &&
+      planned.stage == core::FallbackStage::kSampled) {
+    PartitionPlan plan;
+    plan.threshold = planned.threshold;
+    plan.objective_ns = planned.objective_ns;
+    plan.cpu_share = planned.cpu_share;
+    // A warm job inherits the cold baseline from its seed plan so savings
+    // keep comparing against a from-scratch search, not against the
+    // previous warm run.
+    plan.cold_evaluations = hit.kind == HitKind::kNear
+                                ? hit.plan.cold_evaluations
+                                : planned.evaluations;
+    plan.stage = planned.stage;
+    plan.provenance = request.id;
+    cache_.insert(request.key(), request.fingerprint, plan);
+  }
+  obs::observe("serve.plan_ms", now_ms() - start_ms);
+  return out;
+}
+
+PlannedPartition PlanService::plan_one(const PlanRequest& request) {
+  obs::count("serve.requests");
+  PlannedPartition out = run_job(request);
+  obs::count("serve.evals_saved", out.evals_saved);
+  return out;
+}
+
+std::vector<PlannedPartition> PlanService::plan_all(
+    const std::vector<PlanRequest>& requests) {
+  obs::Span span("serve.batch");
+  obs::count("serve.batches");
+  obs::count("serve.requests", static_cast<double>(requests.size()));
+  const double start_ms = now_ms();
+
+  // Coalesce identical in-flight inputs: one leader job per distinct
+  // (cache key, exact fingerprint), followers copy its result.
+  struct Group {
+    size_t leader;
+    std::vector<size_t> followers;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, size_t> group_of;
+  std::vector<Group> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    uint64_t key_hash = combine_str(0x73657276, requests[i].algorithm);
+    key_hash = mix64(key_hash ^ requests[i].platform_key);
+    key_hash = mix64(key_hash ^ requests[i].fingerprint.bucket);
+    const std::pair<uint64_t, uint64_t> ident{
+        key_hash, requests[i].fingerprint.exact_hash};
+    auto [it, inserted] = group_of.try_emplace(ident, groups.size());
+    if (inserted) {
+      groups.push_back({i, {}});
+    } else {
+      groups[it->second].followers.push_back(i);
+      obs::count("serve.dedup.coalesced");
+    }
+  }
+
+  std::vector<PlannedPartition> results(requests.size());
+  ThreadPool& pool = options_.pool ? *options_.pool : ThreadPool::global();
+  parallel_for(
+      pool, 0, static_cast<int64_t>(groups.size()),
+      [&](int64_t gi) {
+        const Group& group = groups[static_cast<size_t>(gi)];
+        results[group.leader] = run_job(requests[group.leader]);
+      },
+      Schedule::kDynamic, 1);
+
+  double saved = 0;
+  for (const Group& group : groups) {
+    const PlannedPartition& lead = results[group.leader];
+    saved += lead.evals_saved;
+    for (size_t fi : group.followers) {
+      PlannedPartition follower = lead;
+      follower.id = requests[fi].id;
+      follower.coalesced = true;
+      follower.evaluations = 0;
+      // The follower avoided everything its leader spent plus whatever
+      // the leader itself already saved.
+      follower.evals_saved = lead.evals_saved + lead.evaluations;
+      saved += follower.evals_saved;
+      results[fi] = std::move(follower);
+    }
+  }
+  obs::count("serve.evals_saved", saved);
+  obs::observe("serve.batch_ms", now_ms() - start_ms);
+  log_debug(strfmt(
+      "plan_all: %zu requests, %zu distinct jobs, %.0f evaluations saved",
+      requests.size(), groups.size(), saved));
+  return results;
+}
+
+}  // namespace nbwp::serve

@@ -1,0 +1,179 @@
+// PlanService: batched, cached, concurrent partition planning.
+//
+// One-shot estimation (core/sampling_partitioner.hpp) pays the full
+// Sample -> Identify -> Extrapolate cost for every input.  The service
+// turns that into a planning layer fit for the ROADMAP's many-requests
+// setting:
+//
+//   * every request carries a structural Fingerprint; plans for finished
+//     requests land in a PlanCache keyed by (algorithm, platform,
+//     size bucket);
+//   * an exact fingerprint repeat reuses the cached threshold verbatim
+//     (identical partition, zero identify evaluations);
+//   * a near repeat warm-starts: the cached plan's CPU work share seeds
+//     warm_refine() around the equivalent sample threshold, replacing
+//     the cold search with a handful of probes;
+//   * plan_all() schedules the remaining cold/warm jobs over the
+//     ThreadPool and coalesces requests with identical fingerprints so
+//     each distinct input is identified exactly once per batch;
+//   * every job runs through the robust_estimate fallback chain
+//     (core/robust_estimate.hpp), so a faulty platform degrades a
+//     request's plan instead of failing the batch.  Fallback plans
+//     (race / naive-static / degraded) are not cached — they are not
+//     identified optima worth warm-starting from.
+//
+// Savings are reported via serve.* counters (docs/SERVING.md): each plan
+// records the identify evaluations a cold search would have spent
+// (cold_evaluations of the cached plan), and serve.evals_saved
+// accumulates cold_evaluations - actually_spent across hits, warm starts
+// and coalesced duplicates.
+//
+// Concurrency note: planning jobs run *on* pool workers, which is safe
+// precisely because the estimation path is analytic — make_sample and
+// the cost-model evaluations never enter a nested parallel region (the
+// pool is only used by run()/execution kernels).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/robust_estimate.hpp"
+#include "hetsim/platform.hpp"
+#include "parallel/parallel_for.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace nbwp::serve {
+
+/// Hash of everything that invalidates a plan when the machine changes:
+/// device specs, injected slowdowns, link degradation, and the active
+/// fault plan.  Two platforms with equal keys cost identically, so their
+/// plans are interchangeable; any drift lands on a different cache line.
+uint64_t platform_key_of(const hetsim::Platform& platform);
+
+/// What one planning job produced (the type-erased closure's result).
+struct PlanOutcome {
+  double threshold = 0;
+  double objective_ns = 0;  ///< full-input makespan at `threshold`
+  double cpu_share = 0;     ///< share-space seed for future warm starts
+  int evaluations = 0;      ///< identify evaluations actually spent
+  core::FallbackStage stage = core::FallbackStage::kSampled;
+  std::string reason;       ///< fallback trail, empty when sampled cleanly
+};
+
+/// One planning request: the fingerprint/key pair that addresses the
+/// cache plus a type-erased `solve` closure owning the bound problem.
+/// `solve(warm_cpu_share)` runs the robust estimation pipeline; a
+/// negative argument means cold, a value in [0, 1] warm-starts the
+/// identify search at that CPU work share.  Build with
+/// make_plan_request().
+struct PlanRequest {
+  std::string id;         ///< caller label, e.g. "cc:pwtk:0"
+  std::string algorithm;  ///< cache-key component, e.g. "cc"
+  Fingerprint fingerprint;
+  uint64_t platform_key = 0;
+  std::function<PlanOutcome(double)> solve;
+
+  PlanKey key() const {
+    return {algorithm, platform_key, fingerprint.bucket};
+  }
+};
+
+/// Per-request planning result.
+struct PlannedPartition {
+  std::string id;
+  double threshold = 0;
+  double objective_ns = 0;
+  core::FallbackStage stage = core::FallbackStage::kSampled;
+  std::string reason;
+  HitKind cache = HitKind::kMiss;
+  bool coalesced = false;  ///< deduplicated onto an identical in-flight job
+  int evaluations = 0;     ///< identify evaluations this request spent
+  double evals_saved = 0;  ///< evaluations avoided vs a cold plan
+};
+
+class PlanService {
+ public:
+  struct Options {
+    PlanCache::Options cache{};
+    bool cache_enabled = true;
+    ThreadPool* pool = nullptr;  ///< nullptr = ThreadPool::global()
+  };
+
+  PlanService() : PlanService(Options{}) {}
+  explicit PlanService(Options options);
+
+  /// Plan one request through the cache (no batching machinery).
+  PlannedPartition plan_one(const PlanRequest& request);
+
+  /// Plan a batch: requests with identical (key, exact fingerprint) are
+  /// coalesced onto one job, jobs run concurrently on the pool, results
+  /// come back in request order.
+  std::vector<PlannedPartition> plan_all(
+      const std::vector<PlanRequest>& requests);
+
+  PlanCache& cache() { return cache_; }
+  const Options& options() const { return options_; }
+
+ private:
+  PlannedPartition run_job(const PlanRequest& request);
+
+  Options options_;
+  PlanCache cache_;
+};
+
+/// Bind a problem to a PlanRequest.  The problem is moved into the
+/// closure (requests own their inputs, so a batch can outlive the
+/// loader's locals).  `rich_extrapolate` has the estimate_partition rich
+/// signature (full, sample, t_sample) -> t_full.
+template <core::PartitionProblem P, typename ExtrapolateFn>
+  requires std::invocable<ExtrapolateFn, const P&, const P&, double>
+PlanRequest make_plan_request(std::string id, std::string algorithm,
+                              P problem, core::RobustConfig config,
+                              ExtrapolateFn rich_extrapolate) {
+  PlanRequest req;
+  req.id = std::move(id);
+  req.algorithm = std::move(algorithm);
+  if constexpr (requires { problem.input(); }) {
+    req.fingerprint = fingerprint_of(problem.input());
+  } else {
+    req.fingerprint = fingerprint_of(problem.a());
+  }
+  req.platform_key = platform_key_of(core::detail::platform_of(problem));
+  req.solve = [problem = std::make_shared<const P>(std::move(problem)),
+               config = std::move(config),
+               rich_extrapolate =
+                   std::move(rich_extrapolate)](double warm_cpu_share) {
+    core::RobustConfig cfg = config;
+    cfg.sampling.warm_start_cpu_share = warm_cpu_share;
+    const core::RobustEstimate est =
+        core::robust_estimate_partition(*problem, cfg, rich_extrapolate);
+    PlanOutcome out;
+    out.threshold = est.threshold;
+    out.objective_ns = problem->time_ns(est.threshold);
+    out.cpu_share = core::detail::cpu_share_of_threshold(*problem,
+                                                         est.threshold);
+    out.evaluations = est.evaluations;
+    out.stage = est.stage;
+    out.reason = est.reason;
+    return out;
+  };
+  return req;
+}
+
+/// Scalar-extrapolation convenience overload (mirrors estimate_partition).
+template <core::PartitionProblem P>
+PlanRequest make_plan_request(std::string id, std::string algorithm,
+                              P problem, core::RobustConfig config) {
+  auto scalar = [extrapolate = config.sampling.extrapolate](
+                    const P&, const P&, double t_sample) {
+    return extrapolate ? extrapolate(t_sample) : t_sample;
+  };
+  return make_plan_request(std::move(id), std::move(algorithm),
+                           std::move(problem), std::move(config),
+                           std::move(scalar));
+}
+
+}  // namespace nbwp::serve

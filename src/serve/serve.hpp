@@ -1,0 +1,7 @@
+// Umbrella header for the serving layer: fingerprints, the plan cache,
+// and the batched PlanService.  See docs/SERVING.md.
+#pragma once
+
+#include "serve/fingerprint.hpp"   // IWYU pragma: export
+#include "serve/plan_cache.hpp"    // IWYU pragma: export
+#include "serve/plan_service.hpp"  // IWYU pragma: export

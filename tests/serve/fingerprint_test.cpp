@@ -1,0 +1,88 @@
+// Structural fingerprints: deterministic per input, stable under
+// regeneration within a family, and discriminating across families —
+// the properties the plan cache's exact/near hit kinds rest on.
+#include "serve/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::serve {
+namespace {
+
+sparse::CsrMatrix banded(uint64_t seed, sparse::Index n = 2000) {
+  Rng rng(seed);
+  return sparse::banded_fem(n, 8, 40, 4, rng);
+}
+
+sparse::CsrMatrix skewed(uint64_t seed, sparse::Index n = 2000) {
+  Rng rng(seed);
+  return sparse::scale_free(n, 8, 2.2, rng);
+}
+
+TEST(Fingerprint, DeterministicPerInput) {
+  const Fingerprint a = fingerprint_of(banded(1));
+  const Fingerprint b = fingerprint_of(banded(1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.exact_hash, b.exact_hash);
+}
+
+TEST(Fingerprint, SketchFieldsAreSane) {
+  const auto m = skewed(1);
+  const StructuralSketch s = fingerprint_of(m).sketch;
+  EXPECT_EQ(s.n, static_cast<double>(m.rows()));
+  EXPECT_EQ(s.nnz, static_cast<double>(m.nnz()));
+  EXPECT_LE(s.deg_p50, s.deg_p90);
+  EXPECT_LE(s.deg_p90, s.deg_p99);
+  EXPECT_LE(s.deg_p99, s.deg_max);
+  EXPECT_GE(s.gini, 0.0);
+  EXPECT_LE(s.gini, 1.0);
+  EXPECT_GT(s.hub_mass, 0.0);
+  EXPECT_LE(s.hub_mass, 1.0);
+  EXPECT_GE(s.bandedness, 0.0);
+}
+
+TEST(Fingerprint, RegeneratedFamilyMemberIsNearNotExact) {
+  const Fingerprint a = fingerprint_of(banded(1));
+  const Fingerprint b = fingerprint_of(banded(7));
+  EXPECT_NE(a.exact_hash, b.exact_hash);
+  EXPECT_EQ(a.bucket, b.bucket);  // same size class
+  EXPECT_LT(sketch_distance(a.sketch, b.sketch), 0.5);
+}
+
+TEST(Fingerprint, DifferentFamiliesAreFar) {
+  const Fingerprint fem = fingerprint_of(banded(1));
+  const Fingerprint web = fingerprint_of(skewed(1));
+  // A banded FEM matrix and a scale-free one must never warm-start each
+  // other: the skew fields (gini/hub mass) and bandedness both separate
+  // them far beyond any near-hit tolerance.
+  EXPECT_GT(sketch_distance(fem.sketch, web.sketch), 0.5);
+}
+
+TEST(Fingerprint, DoubledScaleChangesBucket) {
+  const Fingerprint small = fingerprint_of(banded(1, 2000));
+  const Fingerprint large = fingerprint_of(banded(1, 8000));
+  EXPECT_NE(small.bucket, large.bucket);
+}
+
+TEST(Fingerprint, GraphOverloadMatchesGraphShape) {
+  Rng rng(3);
+  const auto g = graph::road_network(3000, rng);
+  const Fingerprint fp = fingerprint_of(g);
+  EXPECT_EQ(fp.sketch.n, static_cast<double>(g.num_vertices()));
+  EXPECT_EQ(fp.sketch.nnz, static_cast<double>(g.num_directed_edges()));
+  // Road networks are near-regular: low skew, tiny hub share.
+  EXPECT_LT(fp.sketch.gini, 0.4);
+  const Fingerprint again = fingerprint_of(g);
+  EXPECT_EQ(fp, again);
+}
+
+TEST(Fingerprint, IdenticalSketchMeansZeroDistance) {
+  const Fingerprint a = fingerprint_of(banded(1));
+  EXPECT_EQ(sketch_distance(a.sketch, a.sketch), 0.0);
+}
+
+}  // namespace
+}  // namespace nbwp::serve

@@ -1,0 +1,130 @@
+// PlanCache mechanics: exact vs near vs miss, LRU recency and eviction,
+// and key isolation across algorithms and platforms.  Fingerprints are
+// fabricated directly so each property is tested in isolation from the
+// sketch computation (tests/serve/fingerprint_test.cpp covers that).
+#include "serve/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbwp::serve {
+namespace {
+
+Fingerprint fp(uint64_t exact_hash, double deg_p50 = 4.0,
+               uint64_t bucket = 42) {
+  Fingerprint f;
+  f.sketch.n = 1000;
+  f.sketch.nnz = 8000;
+  f.sketch.deg_mean = 8;
+  f.sketch.deg_p50 = deg_p50;
+  f.sketch.deg_p90 = 12;
+  f.sketch.deg_p99 = 20;
+  f.sketch.deg_max = 30;
+  f.exact_hash = exact_hash;
+  f.bucket = bucket;
+  return f;
+}
+
+PartitionPlan plan(double threshold) {
+  PartitionPlan p;
+  p.threshold = threshold;
+  p.objective_ns = threshold * 10;
+  p.cpu_share = threshold / 100.0;
+  p.cold_evaluations = 27;
+  p.provenance = "test";
+  return p;
+}
+
+const PlanKey kKey{"cc", 0xabc, 42};
+
+TEST(PlanCache, ExactHitReturnsBitwiseEqualPlan) {
+  PlanCache cache;
+  const PartitionPlan stored = plan(21.0);
+  cache.insert(kKey, fp(1), stored);
+  const CacheLookup hit = cache.lookup(kKey, fp(1));
+  ASSERT_EQ(hit.kind, HitKind::kExact);
+  EXPECT_EQ(hit.plan, stored);  // every field, bit for bit
+}
+
+TEST(PlanCache, NearHitWithinDistanceMissBeyond) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1, /*deg_p50=*/4.0), plan(21.0));
+  // Same bucket, slightly different quantile: near.
+  const CacheLookup near = cache.lookup(kKey, fp(2, /*deg_p50=*/4.5));
+  EXPECT_EQ(near.kind, HitKind::kNear);
+  EXPECT_EQ(near.plan.threshold, 21.0);
+  // Same bucket but a very different degree profile: miss.
+  const CacheLookup far = cache.lookup(kKey, fp(3, /*deg_p50=*/40.0));
+  EXPECT_EQ(far.kind, HitKind::kMiss);
+}
+
+TEST(PlanCache, NearestOfSeveralCandidatesWins) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1, 4.0), plan(10.0));
+  cache.insert(kKey, fp(2, 5.0), plan(20.0));
+  const CacheLookup hit = cache.lookup(kKey, fp(3, 4.9));
+  ASSERT_EQ(hit.kind, HitKind::kNear);
+  EXPECT_EQ(hit.plan.threshold, 20.0);
+}
+
+TEST(PlanCache, LruEvictsOldestWhenOverCapacity) {
+  // Sketches far enough apart that evicted entries cannot near-hit the
+  // survivors.
+  PlanCache cache({.capacity = 2, .shards = 1});
+  cache.insert(kKey, fp(1, 4.0), plan(1));
+  cache.insert(kKey, fp(2, 40.0), plan(2));
+  cache.insert(kKey, fp(3, 400.0), plan(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(kKey, fp(1, 4.0)).kind, HitKind::kMiss);
+  EXPECT_EQ(cache.lookup(kKey, fp(2, 40.0)).kind, HitKind::kExact);
+  EXPECT_EQ(cache.lookup(kKey, fp(3, 400.0)).kind, HitKind::kExact);
+}
+
+TEST(PlanCache, LookupRefreshesRecency) {
+  PlanCache cache({.capacity = 2, .shards = 1});
+  cache.insert(kKey, fp(1, 4.0), plan(1));
+  cache.insert(kKey, fp(2, 40.0), plan(2));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_EQ(cache.lookup(kKey, fp(1, 4.0)).kind, HitKind::kExact);
+  cache.insert(kKey, fp(3, 400.0), plan(3));
+  EXPECT_EQ(cache.lookup(kKey, fp(1, 4.0)).kind, HitKind::kExact);
+  EXPECT_EQ(cache.lookup(kKey, fp(2, 40.0)).kind, HitKind::kMiss);
+}
+
+TEST(PlanCache, ReinsertOverwritesInPlace) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1), plan(10.0));
+  cache.insert(kKey, fp(1), plan(30.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(kKey, fp(1)).plan.threshold, 30.0);
+}
+
+TEST(PlanCache, PlatformKeyIsolatesEntries) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1), plan(21.0));
+  PlanKey other = kKey;
+  other.platform_key = 0xdef;  // degraded GPU, different fault plan, ...
+  EXPECT_EQ(cache.lookup(other, fp(1)).kind, HitKind::kMiss);
+  EXPECT_EQ(cache.lookup(kKey, fp(1)).kind, HitKind::kExact);
+}
+
+TEST(PlanCache, AlgorithmIsolatesEntries) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1), plan(21.0));
+  PlanKey other = kKey;
+  other.algorithm = "spmm";
+  EXPECT_EQ(cache.lookup(other, fp(1)).kind, HitKind::kMiss);
+}
+
+TEST(PlanCache, BucketIsolatesEntries) {
+  PlanCache cache;
+  cache.insert(kKey, fp(1), plan(21.0));
+  // A different size class never near-hits, however similar the sketch
+  // (PlanRequest::key() derives the key bucket from the fingerprint).
+  PlanKey other = kKey;
+  other.bucket = 43;
+  EXPECT_EQ(cache.lookup(other, fp(2, 4.0, /*bucket=*/43)).kind,
+            HitKind::kMiss);
+}
+
+}  // namespace
+}  // namespace nbwp::serve

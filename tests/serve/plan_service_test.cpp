@@ -1,0 +1,186 @@
+// PlanService semantics: exact repeats reuse plans verbatim, near repeats
+// warm-start and never do worse than the cold search on the same sample,
+// batches coalesce identical in-flight inputs (identify runs once), and
+// fallback plans degrade per request without polluting the cache.
+#include "serve/plan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/identify.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::serve {
+namespace {
+
+hetalg::HeteroSpmm spmm_problem(const hetsim::Platform& platform,
+                                uint64_t seed = 1) {
+  Rng rng(seed);
+  return hetalg::HeteroSpmm(sparse::random_uniform(1500, 1500, 12000, rng),
+                            platform);
+}
+
+core::RobustConfig spmm_config() {
+  core::RobustConfig cfg;
+  cfg.sampling.sample_factor = 0.25;
+  cfg.sampling.method = core::IdentifyMethod::kRaceThenFine;
+  cfg.sampling.warm.halfwidth = 3;
+  cfg.sampling.warm.step = 3;
+  return cfg;
+}
+
+PlanRequest request(const std::string& id, uint64_t seed = 1,
+                    const hetsim::Platform& platform =
+                        hetsim::Platform::reference()) {
+  return make_plan_request(id, "spmm", spmm_problem(platform, seed),
+                           spmm_config());
+}
+
+TEST(PlanService, ExactRepeatReusesThresholdWithZeroEvaluations) {
+  PlanService service;
+  const PlannedPartition cold = service.plan_one(request("a"));
+  EXPECT_EQ(cold.cache, HitKind::kMiss);
+  EXPECT_GT(cold.evaluations, 0);
+
+  const PlannedPartition hit = service.plan_one(request("b"));
+  EXPECT_EQ(hit.cache, HitKind::kExact);
+  EXPECT_EQ(hit.evaluations, 0);
+  EXPECT_EQ(hit.threshold, cold.threshold);  // identical partition
+  EXPECT_EQ(hit.objective_ns, cold.objective_ns);
+  EXPECT_EQ(hit.evals_saved, cold.evaluations);
+}
+
+TEST(PlanService, PerturbedInputWarmStartsWithFewerEvaluations) {
+  PlanService service;
+  const PlannedPartition cold = service.plan_one(request("cold", 1));
+  const PlannedPartition warm = service.plan_one(request("warm", 2));
+  EXPECT_EQ(warm.cache, HitKind::kNear);
+  EXPECT_GT(warm.evaluations, 0);
+  EXPECT_LT(warm.evaluations, cold.evaluations);
+  EXPECT_EQ(warm.evals_saved,
+            static_cast<double>(cold.evaluations - warm.evaluations));
+}
+
+TEST(PlanService, WarmRefineNeverWorseThanTheSearchItSeeds) {
+  // The identify-level guarantee behind warm starts: refining around a
+  // search's own optimum always probes that optimum, so the refined best
+  // objective can only match or improve it — at a fraction of the probes.
+  core::Evaluator eval;
+  eval.lo = 0;
+  eval.hi = 100;
+  eval.objective_ns = [](double t) { return (t - 37.3) * (t - 37.3) + 5; };
+  eval.cost_ns = [](double) { return 1.0; };
+  const core::IdentifyResult cold = core::coarse_to_fine(eval);
+  core::WarmRefineOptions warm_options;
+  warm_options.halfwidth = 4;
+  warm_options.step = 1;
+  const core::IdentifyResult warm =
+      core::warm_refine(eval, cold.best_threshold, warm_options);
+  EXPECT_LE(warm.best_objective, cold.best_objective);
+  EXPECT_LT(warm.evaluations, cold.evaluations);
+}
+
+TEST(PlanService, PipelineWarmStartMatchesColdSampleSearch) {
+  // Noise-free, same seed => identical sample.  Seeding the warm search
+  // with the cold pipeline's own result must reproduce its threshold
+  // (the seed is re-probed and nothing in the bracket beats it... or a
+  // strictly better sample point wins) while spending fewer evaluations.
+  const auto problem = spmm_problem(hetsim::Platform::reference());
+  core::SamplingConfig cfg = spmm_config().sampling;
+  cfg.timing_noise_ns = 0;
+  const core::PartitionEstimate cold = core::estimate_partition(problem, cfg);
+
+  core::SamplingConfig warm_cfg = cfg;
+  warm_cfg.warm_start_cpu_share =
+      core::detail::cpu_share_of_threshold(problem, cold.threshold);
+  const core::PartitionEstimate warm =
+      core::estimate_partition(problem, warm_cfg);
+
+  EXPECT_LT(warm.evaluations, cold.evaluations);
+  EXPECT_GT(warm.evaluations, 0);
+  EXPECT_GE(warm.threshold, problem.threshold_lo());
+  EXPECT_LE(warm.threshold, problem.threshold_hi());
+}
+
+TEST(PlanService, BatchCoalescesIdenticalRequestsIdentifyRunsOnce) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  PlanService service;
+  std::vector<PlanRequest> requests;
+  for (int i = 0; i < 6; ++i)
+    requests.push_back(request("dup:" + std::to_string(i)));
+  const auto results = service.plan_all(requests);
+  obs::set_metrics_enabled(false);
+
+  ASSERT_EQ(results.size(), 6u);
+  int leaders = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, requests[i].id);  // request order preserved
+    EXPECT_EQ(results[i].threshold, results[0].threshold);
+    if (!results[i].coalesced) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+
+  const auto snapshot = obs::Registry::global().snapshot();
+  // The whole batch ran the estimation pipeline exactly once: one
+  // estimate call, one race identification.
+  EXPECT_EQ(snapshot.counters.at("estimate.calls"), 1.0);
+  EXPECT_EQ(snapshot.counters.at("identify.race_then_fine.calls"), 1.0);
+  EXPECT_EQ(snapshot.counters.at("serve.dedup.coalesced"), 5.0);
+}
+
+TEST(PlanService, MixedBatchKeepsDistinctInputsApart) {
+  PlanService service;
+  std::vector<PlanRequest> requests;
+  requests.push_back(request("a", 1));
+  requests.push_back(request("b", 2));
+  requests.push_back(request("a2", 1));
+  const auto results = service.plan_all(requests);
+  EXPECT_FALSE(results[0].coalesced);
+  EXPECT_FALSE(results[1].coalesced);
+  EXPECT_TRUE(results[2].coalesced);
+  EXPECT_EQ(results[2].threshold, results[0].threshold);
+  // The distinct input ran its own search (near-hit or miss, not copied).
+  EXPECT_GT(results[1].evaluations, 0);
+}
+
+TEST(PlanService, CacheOffPlansEveryRequestCold) {
+  PlanService::Options options;
+  options.cache_enabled = false;
+  PlanService service(options);
+  const PlannedPartition first = service.plan_one(request("a"));
+  const PlannedPartition second = service.plan_one(request("b"));
+  EXPECT_EQ(second.cache, HitKind::kMiss);
+  EXPECT_EQ(second.evaluations, first.evaluations);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(PlanService, DegradedFallbackPlansAreNotCached) {
+  hetsim::Platform platform = hetsim::Platform::reference();
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  PlanService service;
+  const PlannedPartition planned =
+      service.plan_one(request("faulted", 1, platform));
+  // The probe fault degrades the request through the fallback chain, and
+  // a fallback threshold is not an identified optimum: nothing cached.
+  EXPECT_NE(planned.stage, core::FallbackStage::kSampled);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(PlanService, PlatformKeySeparatesHealthyAndDegradedPlans) {
+  hetsim::Platform slow = hetsim::Platform::reference();
+  slow.set_fault_plan(hetsim::FaultPlan::parse("gpu-slow=4"));
+  EXPECT_NE(platform_key_of(hetsim::Platform::reference()),
+            platform_key_of(slow));
+
+  PlanService service;
+  (void)service.plan_one(request("healthy", 1));
+  // Same input on the slowed platform must not reuse the healthy plan.
+  const PlannedPartition degraded = service.plan_one(request("slow", 1, slow));
+  EXPECT_EQ(degraded.cache, HitKind::kMiss);
+}
+
+}  // namespace
+}  // namespace nbwp::serve
