@@ -161,11 +161,17 @@ BENCHMARK(BM_SpgemmEqualRowsVstack)
     ->Args({1 << 12, 4})
     ->Args({1 << 12, 8});
 
+// The PR 3 kernel, pinned to the dense SPA for every row: the baseline
+// the adaptive accumulator (BM_SpgemmParallelAdaptive) must beat on this
+// skewed input.  The committed BENCH_kernels.json snapshot and the CI
+// regression gate (scripts/check_bench_regression.py) both key on the
+// Adaptive-vs-this ratio, which is machine-independent.
 void BM_SpgemmParallel(benchmark::State& state) {
   const auto a = make_skewed_matrix(state.range(0));
   ThreadPool pool(static_cast<unsigned>(state.range(1)));
   sparse::SpgemmParallelOptions options;
   options.schedule = sparse::SpgemmSchedule::kWorkBalanced;
+  options.accumulator = sparse::SpgemmAccumulator::kForceSpa;
   uint64_t multiplies = 0;
   for (auto _ : state) {
     sparse::SpgemmCounters counters;
@@ -179,6 +185,93 @@ BENCHMARK(BM_SpgemmParallel)
     ->Args({1 << 12, 2})
     ->Args({1 << 12, 4})
     ->Args({1 << 12, 8});
+
+void BM_SpgemmParallelAdaptive(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  sparse::SpgemmParallelOptions options;
+  options.schedule = sparse::SpgemmSchedule::kWorkBalanced;
+  options.accumulator = sparse::SpgemmAccumulator::kAuto;
+  uint64_t multiplies = 0;
+  for (auto _ : state) {
+    sparse::SpgemmCounters counters;
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel(a, a, pool, &counters, options).nnz());
+    multiplies += counters.multiplies;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(multiplies));
+}
+BENCHMARK(BM_SpgemmParallelAdaptive)
+    ->Args({1 << 12, 2})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 12, 8});
+
+// Banded-FEM input: every output row lands well above the density
+// threshold, so kAuto must match ForceSpa here (acceptance: never >5%
+// slower on dense-row benches).
+void BM_SpgemmBandedParallel(benchmark::State& state) {
+  const auto a = make_bench_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  sparse::SpgemmParallelOptions options;
+  options.schedule = sparse::SpgemmSchedule::kWorkBalanced;
+  options.accumulator = state.range(2) == 0
+                            ? sparse::SpgemmAccumulator::kForceSpa
+                            : sparse::SpgemmAccumulator::kAuto;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel(a, a, pool, nullptr, options).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmBandedParallel)
+    ->ArgNames({"n", "workers", "auto"})
+    ->Args({1 << 12, 4, 0})
+    ->Args({1 << 12, 4, 1});
+
+/// Square matrix with a uniform `d` nnz per row: output rows of A*A have
+/// ~min(d^2, n) distinct columns, so sweeping d walks the output-density
+/// spectrum on fixed-width (n-column) rows.  ForceSpa vs ForceHash over
+/// the sweep locates the crossover that calibrates
+/// SpgemmParallelOptions::hash_density_threshold (docs/PERFORMANCE.md).
+sparse::CsrMatrix make_uniform_rows_matrix(sparse::Index n, unsigned d) {
+  Rng rng(19);
+  return sparse::random_uniform(n, n, uint64_t{n} * d, rng, -1.0, 1.0);
+}
+
+void BM_SpgemmAccumDensitySweep(benchmark::State& state) {
+  const auto a = make_uniform_rows_matrix(
+      static_cast<sparse::Index>(state.range(0)),
+      static_cast<unsigned>(state.range(1)));
+  ThreadPool pool(4);
+  sparse::SpgemmParallelOptions options;
+  options.schedule = sparse::SpgemmSchedule::kWorkBalanced;
+  switch (state.range(2)) {
+    case 0: options.accumulator = sparse::SpgemmAccumulator::kForceSpa; break;
+    case 1: options.accumulator = sparse::SpgemmAccumulator::kForceHash; break;
+    default: options.accumulator = sparse::SpgemmAccumulator::kAuto; break;
+  }
+  uint64_t multiplies = 0;
+  for (auto _ : state) {
+    sparse::SpgemmCounters counters;
+    benchmark::DoNotOptimize(
+        sparse::spgemm_parallel(a, a, pool, &counters, options).nnz());
+    multiplies += counters.multiplies;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(multiplies));
+}
+BENCHMARK(BM_SpgemmAccumDensitySweep)
+    ->ArgNames({"n", "row_nnz", "accum"})
+    ->Args({1 << 12, 4, 0})
+    ->Args({1 << 12, 4, 1})
+    ->Args({1 << 12, 8, 0})
+    ->Args({1 << 12, 8, 1})
+    ->Args({1 << 12, 16, 0})
+    ->Args({1 << 12, 16, 1})
+    ->Args({1 << 12, 32, 0})
+    ->Args({1 << 12, 32, 1})
+    ->Args({1 << 12, 64, 0})
+    ->Args({1 << 12, 64, 1})
+    ->Args({1 << 12, 16, 2})
+    ->Args({1 << 12, 64, 2});
 
 void BM_SpgemmParallelDynamic(benchmark::State& state) {
   const auto a = make_skewed_matrix(state.range(0));

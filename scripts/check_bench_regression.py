@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over kernels_microbench JSON output.
+
+Statistic: the *minimum* real_time over a benchmark's repetitions when
+raw repetition entries are present (the best-case run is the least
+contaminated by scheduler interference and CPU-quota throttling — by
+far the dominant noise on shared runners), falling back to the median
+aggregate when the file holds only aggregates.
+
+This is a smoke gate, not a precision instrument: tolerances are sized
+to catch sustained regressions (a misrouted accumulator, a lost
+optimization — historically 1.25x and worse) while staying quiet under
+the ±10-20 % that multi-worker wall times jitter on shared/throttled
+machines.  The controlled before/after numbers live in
+docs/PERFORMANCE.md.
+
+Two layers of checks:
+
+1. Machine-independent ratio invariants *within* --current (these are the
+   acceptance criteria of the adaptive-accumulator kernel, so they hold
+   on any machine, including noisy CI runners):
+     - BM_SpgemmParallelAdaptive/<n>/<w> must not be slower than
+       BM_SpgemmParallel/<n>/<w> (the SPA-pinned baseline) beyond the
+       ratio tolerance, at every measured worker count;
+     - BM_SpgemmBandedParallel .../auto:1 (kAuto) must stay within the
+       ratio tolerance of .../auto:0 (ForceSpa) on the dense-row input.
+
+2. Cross-file comparison vs --baseline (the committed BENCH_kernels.json):
+   the same ratios must not regress versus the snapshot, and with
+   --absolute also each benchmark's time itself must stay within
+   --absolute-tolerance.  Absolute times only mean something on the
+   machine that produced the baseline, so --absolute is off by default
+   and CI runs ratio checks only.
+
+Exit status is non-zero if any check fails; every check is printed.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_stats(path):
+    """Map benchmark run_name -> min real_time (ns) over repetitions,
+    falling back to the median aggregate where no raw entries exist."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    samples = defaultdict(list)
+    medians = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("run_name") or entry["name"]
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[name] = float(entry["real_time"])
+        else:
+            samples[name].append(float(entry["real_time"]))
+    stats = {name: min(values) for name, values in samples.items()}
+    for name, median in medians.items():
+        stats.setdefault(name, median)
+    if not stats:
+        raise SystemExit(f"{path}: no benchmark entries found")
+    return stats
+
+
+def ratio_pairs(medians):
+    """(label, adaptive_or_auto, pinned_spa) pairs present in a run."""
+    pairs = []
+    for name in sorted(medians):
+        if name.startswith("BM_SpgemmParallelAdaptive/"):
+            base = name.replace("BM_SpgemmParallelAdaptive/",
+                                "BM_SpgemmParallel/")
+            if base in medians:
+                pairs.append((f"adaptive-vs-spa {name.split('/', 1)[1]}",
+                              name, base))
+        if name.startswith("BM_SpgemmBandedParallel/") and \
+                name.endswith("/auto:1"):
+            base = name[: -len("1")] + "0"
+            if base in medians:
+                pairs.append(("banded kAuto-vs-ForceSpa", name, base))
+    return pairs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_kernels.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced benchmark JSON")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.25,
+                        help="allowed adaptive/pinned ratio above 1.0 and "
+                             "allowed ratio regression vs baseline")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also compare absolute medians vs baseline "
+                             "(same-machine runs only)")
+    parser.add_argument("--absolute-tolerance", type=float, default=0.30,
+                        help="allowed per-benchmark median slowdown vs "
+                             "baseline with --absolute")
+    args = parser.parse_args()
+
+    baseline = load_stats(args.baseline)
+    current = load_stats(args.current)
+    failures = []
+
+    def check(ok, line):
+        print(("  ok   " if ok else "  FAIL ") + line)
+        if not ok:
+            failures.append(line)
+
+    print(f"ratio invariants in {args.current}:")
+    pairs = ratio_pairs(current)
+    if not pairs:
+        check(False, "no Adaptive/Banded benchmark pairs found "
+                     "(wrong --benchmark_filter?)")
+    bound = 1.0 + args.ratio_tolerance
+    for label, fast, base in pairs:
+        ratio = current[fast] / current[base]
+        check(ratio <= bound,
+              f"{label}: ratio {ratio:.3f} (bound {bound:.2f})")
+
+    print(f"ratio drift vs {args.baseline}:")
+    for label, fast, base in pairs:
+        if fast not in baseline or base not in baseline:
+            print(f"  skip {label}: not in baseline")
+            continue
+        base_ratio = baseline[fast] / baseline[base]
+        ratio = current[fast] / current[base]
+        # A ratio that was already generous in the snapshot may not creep
+        # further; one that was comfortable may use the headroom up to the
+        # invariant bound checked above.
+        limit = max(bound, base_ratio * bound)
+        check(ratio <= limit,
+              f"{label}: ratio {ratio:.3f} vs snapshot {base_ratio:.3f} "
+              f"(limit {limit:.2f})")
+
+    if args.absolute:
+        print(f"absolute medians vs {args.baseline}:")
+        abs_bound = 1.0 + args.absolute_tolerance
+        shared = sorted(set(baseline) & set(current))
+        if not shared:
+            check(False, "baseline and current share no benchmarks")
+        for name in shared:
+            ratio = current[name] / baseline[name]
+            check(ratio <= abs_bound,
+                  f"{name}: {current[name]:.0f}ns vs "
+                  f"{baseline[name]:.0f}ns ({ratio:.2f}x)")
+
+    if failures:
+        print(f"check_bench_regression: FAIL ({len(failures)} checks)")
+        return 1
+    print("check_bench_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

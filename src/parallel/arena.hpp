@@ -1,0 +1,124 @@
+// Bump-pointer arena for kernel workspaces.
+//
+// The SpGEMM accumulators (sparse/spa.hpp, sparse/hash_accum.hpp) need a
+// handful of flat arrays whose sizes depend on the product at hand.  Giving
+// each accumulator its own std::vectors meant every growth was a separate
+// heap round-trip and the arrays of one workspace were scattered across the
+// allocator; an Arena carves all of them out of one cache-line-aligned
+// block with a bump pointer instead.  reset() rewinds the pointer without
+// releasing memory (and coalesces a fragmented arena into one block sized
+// by its high-water mark), shrink() returns everything to the OS — the
+// trim path that keeps a pooled workspace (parallel/workspace_pool.hpp)
+// from staying sized for the largest matrix it ever saw.
+//
+// Allocations are uninitialized storage for trivial types; callers
+// initialize what they read.  Not thread-safe: one arena per worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace nbwp {
+
+class Arena {
+ public:
+  /// Every allocation is aligned to this many bytes (one x86 cache line).
+  static constexpr size_t kAlignment = 64;
+
+  explicit Arena(size_t min_block_bytes = size_t{1} << 16)
+      : min_block_bytes_(round_up(min_block_bytes)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` objects of trivial type T.
+  template <typename T>
+  std::span<T> allocate(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena hands out raw storage; T must be trivial");
+    static_assert(alignof(T) <= kAlignment);
+    return {reinterpret_cast<T*>(allocate_bytes(count * sizeof(T))), count};
+  }
+
+  /// `bytes` of kAlignment-aligned storage.
+  std::byte* allocate_bytes(size_t bytes) {
+    bytes = round_up(bytes);
+    if (used_ + bytes > capacity_) grow(bytes);
+    std::byte* p = blocks_.back().data + used_ - block_base_;
+    used_ += bytes;
+    if (used_ > high_water_) high_water_ = used_;
+    return p;
+  }
+
+  /// Rewind the bump pointer; capacity is retained.  A fragmented arena
+  /// (more than one block) is coalesced into a single block sized by the
+  /// high-water mark so subsequent layouts are contiguous.
+  void reset() {
+    if (blocks_.size() > 1) {
+      const size_t target = round_up(high_water_);
+      blocks_.clear();
+      blocks_.push_back(Block::make(target));
+      capacity_ = target;
+    }
+    used_ = 0;
+    block_base_ = 0;
+  }
+
+  /// Release all memory to the OS (high-water mark is retained for
+  /// observability).
+  void shrink() {
+    blocks_.clear();
+    used_ = capacity_ = block_base_ = 0;
+  }
+
+  size_t used_bytes() const { return used_; }
+  size_t capacity_bytes() const { return capacity_; }
+  size_t high_water_bytes() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;
+    std::byte* data = nullptr;  // storage aligned up to kAlignment
+    size_t bytes = 0;
+
+    static Block make(size_t bytes) {
+      Block b;
+      b.storage = std::make_unique<std::byte[]>(bytes + kAlignment);
+      const auto raw = reinterpret_cast<uintptr_t>(b.storage.get());
+      const uintptr_t aligned = (raw + kAlignment - 1) & ~(kAlignment - 1);
+      b.data = reinterpret_cast<std::byte*>(aligned);
+      b.bytes = bytes;
+      return b;
+    }
+  };
+
+  static constexpr size_t round_up(size_t bytes) {
+    return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  void grow(size_t bytes) {
+    // Waste the tail of the current block and open a fresh one at least
+    // as large as the request and the geometric growth target.
+    size_t block = min_block_bytes_;
+    if (block < bytes) block = round_up(bytes);
+    if (block < capacity_) block = round_up(capacity_);  // ~2x growth
+    blocks_.push_back(Block::make(block));
+    block_base_ = used_ = capacity_;
+    capacity_ += block;
+    block_base_ = used_;
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t used_ = 0;        ///< bump offset in the logical address space
+  size_t block_base_ = 0;  ///< logical offset where the last block starts
+  size_t capacity_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace nbwp

@@ -1,15 +1,26 @@
-// A pool of reusable worker workspaces (sparse accumulators, scratch
-// buffers) that persist across parallel regions.
+// A pool of reusable worker workspaces (sparse accumulators, arenas,
+// scratch buffers) that persist across parallel regions.
 //
-// The SpGEMM kernels used to construct a fresh SPA — two O(cols) arrays —
-// on every call; under the estimation pipeline the sampled algorithm runs
-// hundreds of times, so the allocations dominated small products.  A
-// WorkspacePool keeps the instances alive: acquire() pops a free one (or
-// default-constructs the first time a worker shows up) and the Lease
-// returns it when the region ends.  Concurrent acquire/release from pool
-// workers is safe; a workspace is owned by exactly one lease at a time.
+// The SpGEMM kernels used to construct fresh accumulators — several
+// O(cols) arrays — on every call; under the estimation pipeline the
+// sampled algorithm runs hundreds of times, so the allocations dominated
+// small products.  A WorkspacePool keeps the instances alive: acquire()
+// pops a free one (or default-constructs the first time a worker shows
+// up) and the Lease returns it when the region ends.
+//
+// Leases carry an explicit capacity request: acquire(bytes) returns the
+// smallest idle workspace already at least that large (best fit), so a
+// small product no longer leases — and keeps growing — the giant
+// workspace a one-off large matrix left behind.  If T exposes
+// `capacity_bytes()`, releases record the actual size; trim(keep_idle)
+// destroys idle workspaces beyond the largest `keep_idle`, the shrink
+// path the old function-local pools never had.
+//
+// Concurrent acquire/release from pool workers is safe; a workspace is
+// owned by exactly one lease at a time.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -50,18 +61,54 @@ class WorkspacePool {
     bool reused_;
   };
 
-  Lease acquire() {
+  /// Lease a workspace expected to need about `capacity_hint` bytes: the
+  /// smallest idle workspace already >= the hint, else the largest idle
+  /// one (the caller grows it), else a fresh default-constructed T.
+  Lease acquire(size_t capacity_hint = 0) {
     {
       std::scoped_lock lock(mutex_);
       if (!free_.empty()) {
-        auto ws = std::move(free_.back());
-        free_.pop_back();
+        size_t pick = free_.size();  // smallest entry >= hint, if any
+        for (size_t i = 0; i < free_.size(); ++i) {
+          if (free_[i].capacity < capacity_hint) continue;
+          if (pick == free_.size() ||
+              free_[i].capacity < free_[pick].capacity)
+            pick = i;
+        }
+        if (pick == free_.size()) {  // all too small: take the largest
+          pick = 0;
+          for (size_t i = 1; i < free_.size(); ++i)
+            if (free_[i].capacity > free_[pick].capacity) pick = i;
+        }
+        auto ws = std::move(free_[pick].ws);
+        free_.erase(free_.begin() + pick);
         ++reuses_;
         return Lease(this, std::move(ws), true);
       }
       ++creations_;
     }
     return Lease(this, std::make_unique<T>(), false);
+  }
+
+  /// Destroy idle workspaces, keeping only the `keep_idle` largest.
+  /// Returns the recorded bytes released.
+  size_t trim(size_t keep_idle = 0) {
+    std::vector<Entry> victims;
+    {
+      std::scoped_lock lock(mutex_);
+      if (free_.size() > keep_idle) {
+        std::sort(free_.begin(), free_.end(),
+                  [](const Entry& a, const Entry& b) {
+                    return a.capacity > b.capacity;
+                  });
+        victims.assign(std::make_move_iterator(free_.begin() + keep_idle),
+                       std::make_move_iterator(free_.end()));
+        free_.resize(keep_idle);
+      }
+    }
+    size_t bytes = 0;
+    for (const auto& v : victims) bytes += v.capacity;
+    return bytes;  // victims destroyed here, outside the lock
   }
 
   /// Lifetime counts (for tests and the kernel.*.workspace counters).
@@ -77,15 +124,36 @@ class WorkspacePool {
     std::scoped_lock lock(mutex_);
     return free_.size();
   }
+  /// Sum of the recorded capacities of idle workspaces.
+  size_t idle_bytes() const {
+    std::scoped_lock lock(mutex_);
+    size_t bytes = 0;
+    for (const auto& e : free_) bytes += e.capacity;
+    return bytes;
+  }
 
  private:
+  struct Entry {
+    std::unique_ptr<T> ws;
+    size_t capacity = 0;
+  };
+
+  static size_t capacity_of(const T& ws) {
+    if constexpr (requires { ws.capacity_bytes(); }) {
+      return static_cast<size_t>(ws.capacity_bytes());
+    } else {
+      return 0;
+    }
+  }
+
   void release(std::unique_ptr<T> ws) {
+    const size_t capacity = capacity_of(*ws);
     std::scoped_lock lock(mutex_);
-    free_.push_back(std::move(ws));
+    free_.push_back(Entry{std::move(ws), capacity});
   }
 
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<T>> free_;
+  std::vector<Entry> free_;
   size_t creations_ = 0;
   size_t reuses_ = 0;
 };

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "obs/obs.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/workspace_pool.hpp"
+#include "sparse/hash_accum.hpp"
 #include "sparse/load_vector.hpp"
 #include "sparse/spa.hpp"
 #include "util/error.hpp"
@@ -14,15 +17,38 @@ namespace nbwp::sparse {
 
 namespace {
 
-/// Process-lifetime SPA pool: the two O(cols) accumulator arrays survive
-/// across products, so the estimation pipeline's hundreds of sampled runs
-/// stop paying an allocation + zero-fill per call.
-WorkspacePool<Spa>& spa_pool() {
-  static WorkspacePool<Spa> pool;
+/// One worker's kit: a bump-pointer arena and the accumulators laid out
+/// of it.  The arena is never reset while the workspace lives in the pool
+/// (the accumulators' spans point into it); growth wastes the superseded
+/// arrays inside the arena, which geometric block sizing bounds.
+/// spgemm_workspace_trim() destroys whole idle workspaces instead.
+struct SpgemmWorkspace {
+  Arena arena;
+  Spa spa;
+  HashAccum hash;
+  PatternBitmap bitmap;
+
+  size_t capacity_bytes() const { return arena.capacity_bytes(); }
+};
+
+/// Process-lifetime workspace pool: accumulator storage survives across
+/// products, so the estimation pipeline's hundreds of sampled runs stop
+/// paying an allocation + zero-fill per call.  Leases are best-fit by a
+/// per-product byte hint, and spgemm_workspace_trim() shrinks the pool.
+WorkspacePool<SpgemmWorkspace>& workspace_pool() {
+  static WorkspacePool<SpgemmWorkspace> pool;
   return pool;
 }
 
-void count_workspace(const WorkspacePool<Spa>::Lease& lease) {
+/// Bytes a product over `cols`-wide rows is likely to need, for best-fit
+/// leasing.  SPA-routed products dominate: values + stamps + touched.
+size_t workspace_hint(Index cols, SpgemmAccumulator mode) {
+  if (mode == SpgemmAccumulator::kForceHash) return size_t{1} << 16;
+  return static_cast<size_t>(cols) *
+         (sizeof(double) + sizeof(uint64_t) + sizeof(Index));
+}
+
+void count_workspace(const WorkspacePool<SpgemmWorkspace>::Lease& lease) {
   obs::count(lease.reused() ? "kernel.spgemm.workspace.reused"
                             : "kernel.spgemm.workspace.created");
 }
@@ -34,6 +60,72 @@ void emit_kernel_counters(const SpgemmCounters& c) {
   reg.counter("kernel.spgemm.multiplies")
       .add(static_cast<double>(c.multiplies));
   reg.counter("kernel.spgemm.c_nnz").add(static_cast<double>(c.c_nnz));
+  reg.counter("kernel.spgemm.rows_spa").add(static_cast<double>(c.rows_spa));
+  reg.counter("kernel.spgemm.rows_hash")
+      .add(static_cast<double>(c.rows_hash));
+}
+
+/// Per-row accumulator routing, resolved once per product.
+struct AccumRouter {
+  SpgemmAccumulator mode;
+  uint64_t hash_below;    ///< kAuto: hash when distinct bound < this
+  double min_span_ratio;  ///< kAuto numeric: also require span >= ratio*nnz
+
+  static AccumRouter make(const SpgemmParallelOptions& options, Index cols) {
+    AccumRouter r{options.accumulator, 0, options.hash_min_span_ratio};
+    if (r.mode == SpgemmAccumulator::kAuto && cols >= options.hash_min_cols) {
+      r.hash_below = static_cast<uint64_t>(options.hash_density_threshold *
+                                           static_cast<double>(cols));
+    }
+    return r;
+  }
+
+  /// True when kAuto needs the symbolic pass to record per-row column
+  /// spans for the numeric routing decision.
+  bool needs_span() const { return hash_below > 0; }
+
+  bool use_hash(uint64_t distinct_bound) const {
+    switch (mode) {
+      case SpgemmAccumulator::kForceSpa: return false;
+      case SpgemmAccumulator::kForceHash: return true;
+      case SpgemmAccumulator::kAuto: break;
+    }
+    return distinct_bound < hash_below;
+  }
+
+  /// Numeric-phase routing: globally sparse rows hash, *unless* their
+  /// columns are packed into a narrow band (span close to nnz), where the
+  /// SPA's contiguous arrays and run-copy extraction win outright.
+  bool use_hash_numeric(uint64_t row_nnz, uint64_t span) const {
+    switch (mode) {
+      case SpgemmAccumulator::kForceSpa: return false;
+      case SpgemmAccumulator::kForceHash: return true;
+      case SpgemmAccumulator::kAuto: break;
+    }
+    return row_nnz < hash_below &&
+           static_cast<double>(span) >=
+               min_span_ratio * static_cast<double>(row_nnz);
+  }
+};
+
+/// Accumulate A's row i times B into `acc` (Spa or HashAccum: identical
+/// first-touch semantics, so the result bits do not depend on the route).
+template <typename Acc, typename KeepRow>
+void accumulate_row(const CsrMatrix& a, const CsrMatrix& b,
+                    const KeepRow& keep_row, Index i, Acc& acc,
+                    SpgemmCounters& local) {
+  const auto acs = a.row_cols(i);
+  const auto avs = a.row_vals(i);
+  for (size_t j = 0; j < acs.size(); ++j) {
+    const Index k = acs[j];
+    if (!keep_row(k)) continue;
+    const double aik = avs[j];
+    const auto bcs = b.row_cols(k);
+    const auto bvs = b.row_vals(k);
+    for (size_t t = 0; t < bcs.size(); ++t) acc.add(bcs[t], aik * bvs[t]);
+    local.multiplies += bcs.size();
+  }
+  local.a_nnz += acs.size();
 }
 
 template <typename KeepRow>
@@ -42,81 +134,104 @@ CsrMatrix spgemm_impl(const CsrMatrix& a, const CsrMatrix& b, Index first,
                       SpgemmCounters* counters) {
   NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
   NBWP_REQUIRE(first <= last && last <= a.rows(), "row range out of bounds");
-  auto spa = spa_pool().acquire();
-  count_workspace(spa);
-  spa->ensure(b.cols());
+  auto ws = workspace_pool().acquire(
+      workspace_hint(b.cols(), SpgemmAccumulator::kForceSpa));
+  count_workspace(ws);
+  Spa& spa = ws->spa;
+  spa.ensure(ws->arena, b.cols());
   CsrBuilder builder(last - first, b.cols());
   SpgemmCounters local;
   std::vector<double> vals_out;
   for (Index i = first; i < last; ++i) {
-    spa->start_row();
-    const auto acs = a.row_cols(i);
-    const auto avs = a.row_vals(i);
-    for (size_t j = 0; j < acs.size(); ++j) {
-      const Index k = acs[j];
-      if (!keep_row(k)) continue;
-      const double aik = avs[j];
-      const auto bcs = b.row_cols(k);
-      const auto bvs = b.row_vals(k);
-      for (size_t t = 0; t < bcs.size(); ++t) spa->add(bcs[t], aik * bvs[t]);
-      local.multiplies += bcs.size();
-    }
-    local.a_nnz += acs.size();
-    const auto touched = spa->touched_sorted();
+    spa.start_row();
+    accumulate_row(a, b, keep_row, i, spa, local);
+    const auto touched = spa.touched_sorted();
     vals_out.resize(touched.size());
     for (size_t t = 0; t < touched.size(); ++t)
-      vals_out[t] = spa->value(touched[t]);
+      vals_out[t] = spa.value(touched[t]);
     builder.append_sorted_row(touched, vals_out);
     local.c_nnz += touched.size();
   }
   local.rows = last - first;
+  local.rows_spa = last - first;
   if (counters) *counters += local;
   emit_kernel_counters(local);
   return builder.finish();
 }
 
-/// Phase 1: per-row output nnz for rows [lo, hi) of A.
+/// Phase 1: per-row output nnz for rows [lo, hi) of A.  On entry
+/// row_nnz[i] still holds the row's flops bound (the load vector), which
+/// routes the row: sparse rows mark a cache-resident hash table, dense
+/// rows a 1-bit-per-column bitmap — either way a far smaller working set
+/// than the numeric SPA's value+stamp arrays.  When `row_span` is
+/// non-null it receives each row's column span (max - min + 1), the
+/// locality signal the numeric router combines with exact nnz.
 template <typename KeepRow>
 void symbolic_rows(const CsrMatrix& a, const CsrMatrix& b,
-                   const KeepRow& keep_row, Index lo, Index hi, Spa& spa,
-                   uint64_t* row_nnz) {
+                   const KeepRow& keep_row, Index lo, Index hi,
+                   SpgemmWorkspace& ws, const AccumRouter& router,
+                   uint64_t* row_nnz, Index* row_span) {
+  const Index cols = b.cols();
   for (Index i = lo; i < hi; ++i) {
-    spa.start_row();
-    for (Index k : a.row_cols(i)) {
-      if (!keep_row(k)) continue;
-      for (Index c : b.row_cols(k)) spa.mark(c);
+    const uint64_t bound = std::min<uint64_t>(row_nnz[i], cols);
+    Index cmin = cols, cmax = 0;
+    if (router.use_hash(bound)) {
+      ws.hash.ensure(ws.arena, bound);
+      ws.hash.start_row();
+      for (Index k : a.row_cols(i)) {
+        if (!keep_row(k)) continue;
+        const auto bcs = b.row_cols(k);
+        if (!bcs.empty()) {  // rows of B are column-sorted
+          cmin = std::min(cmin, bcs.front());
+          cmax = std::max(cmax, bcs.back());
+        }
+        for (Index c : bcs) ws.hash.mark(c);
+      }
+      row_nnz[i] = ws.hash.touched();
+    } else {
+      ws.bitmap.ensure(ws.arena, cols);
+      for (Index k : a.row_cols(i)) {
+        if (!keep_row(k)) continue;
+        const auto bcs = b.row_cols(k);
+        if (!bcs.empty()) {
+          cmin = std::min(cmin, bcs.front());
+          cmax = std::max(cmax, bcs.back());
+        }
+        for (Index c : bcs) ws.bitmap.mark(c);
+      }
+      row_nnz[i] = ws.bitmap.count();
+      ws.bitmap.reset();
     }
-    row_nnz[i] = spa.touched();
+    if (row_span) row_span[i] = row_nnz[i] == 0 ? 0 : cmax - cmin + 1;
   }
 }
 
 /// Phase 2: accumulate rows [lo, hi) and write them into their slots.
+/// Each row's exact output nnz is known from phase 1, so routing is by
+/// true density and the hash table is sized exactly.
 template <typename KeepRow>
 void numeric_rows(const CsrMatrix& a, const CsrMatrix& b,
-                  const KeepRow& keep_row, Index lo, Index hi, Spa& spa,
-                  std::span<const uint64_t> row_ptr, Index* col_out,
-                  double* val_out, SpgemmCounters& local) {
+                  const KeepRow& keep_row, Index lo, Index hi,
+                  SpgemmWorkspace& ws, const AccumRouter& router,
+                  std::span<const uint64_t> row_ptr, const Index* row_span,
+                  Index* col_out, double* val_out, SpgemmCounters& local) {
   for (Index i = lo; i < hi; ++i) {
-    spa.start_row();
-    const auto acs = a.row_cols(i);
-    const auto avs = a.row_vals(i);
-    for (size_t j = 0; j < acs.size(); ++j) {
-      const Index k = acs[j];
-      if (!keep_row(k)) continue;
-      const double aik = avs[j];
-      const auto bcs = b.row_cols(k);
-      const auto bvs = b.row_vals(k);
-      for (size_t t = 0; t < bcs.size(); ++t) spa.add(bcs[t], aik * bvs[t]);
-      local.multiplies += bcs.size();
-    }
-    local.a_nnz += acs.size();
-    const auto touched = spa.touched_sorted();
     const uint64_t at = row_ptr[i];
-    for (size_t t = 0; t < touched.size(); ++t) {
-      col_out[at + t] = touched[t];
-      val_out[at + t] = spa.value(touched[t]);
+    const uint64_t row_nnz = row_ptr[i + 1] - at;
+    if (router.use_hash_numeric(row_nnz, row_span ? row_span[i] : 0)) {
+      ws.hash.ensure(ws.arena, row_nnz);
+      ws.hash.start_row();
+      accumulate_row(a, b, keep_row, i, ws.hash, local);
+      ws.hash.extract_sorted(col_out + at, val_out + at);
+      ++local.rows_hash;
+    } else {
+      ws.spa.ensure(ws.arena, b.cols());
+      ws.spa.start_row();
+      accumulate_row(a, b, keep_row, i, ws.spa, local);
+      ws.spa.extract_sorted(col_out + at, val_out + at);
+      ++local.rows_spa;
     }
-    local.c_nnz += touched.size();
+    local.c_nnz += row_nnz;
   }
   local.rows += hi - lo;
 }
@@ -133,37 +248,50 @@ CsrMatrix spgemm_parallel_impl(const CsrMatrix& a, const CsrMatrix& b,
   const unsigned team = pool.size();
   const auto prefix = prefix_sums(load);
   std::vector<uint64_t> row_nnz(std::move(load));  // reuse as phase-1 output
+  const AccumRouter router = AccumRouter::make(options, b.cols());
+  // kAuto only: phase 1 records each row's column span so phase 2 can
+  // keep band-local rows on the SPA (see AccumRouter::use_hash_numeric).
+  std::vector<Index> row_span(router.needs_span() ? n : 0);
+  Index* span_data = row_span.empty() ? nullptr : row_span.data();
+  const size_t hint = workspace_hint(b.cols(), options.accumulator);
   const bool dynamic = options.schedule == SpgemmSchedule::kDynamic;
   const std::vector<Index> bounds =
       dynamic ? std::vector<Index>{} : balanced_boundaries(prefix, team);
+  std::atomic<size_t> arena_high_water{0};
 
-  // Run `work(worker, lo, hi, spa)` over all rows under the schedule.
+  // Run `work(worker, lo, hi, ws)` over all rows under the schedule.
   const auto dispatch = [&](const auto& work) {
+    const auto with_workspace = [&](unsigned w, Index lo, Index hi) {
+      auto ws = workspace_pool().acquire(hint);
+      count_workspace(ws);
+      work(w, lo, hi, *ws);
+      size_t seen = arena_high_water.load(std::memory_order_relaxed);
+      const size_t mine = ws->arena.high_water_bytes();
+      while (mine > seen && !arena_high_water.compare_exchange_weak(
+                                seen, mine, std::memory_order_relaxed)) {
+      }
+    };
     if (dynamic) {
       parallel_for_chunks(
           pool, 0, n,
           [&](unsigned w, int64_t lo, int64_t hi) {
-            auto spa = spa_pool().acquire();
-            count_workspace(spa);
-            spa->ensure(b.cols());
-            work(w, static_cast<Index>(lo), static_cast<Index>(hi), *spa);
+            with_workspace(w, static_cast<Index>(lo),
+                           static_cast<Index>(hi));
           },
           Schedule::kDynamic, options.dynamic_chunk);
     } else {
       pool.run_team([&](unsigned w) {
         if (bounds[w] >= bounds[w + 1]) return;
-        auto spa = spa_pool().acquire();
-        count_workspace(spa);
-        spa->ensure(b.cols());
-        work(w, bounds[w], bounds[w + 1], *spa);
+        with_workspace(w, bounds[w], bounds[w + 1]);
       });
     }
   };
 
   {
     obs::Span symbolic("kernel.spgemm.symbolic");
-    dispatch([&](unsigned, Index lo, Index hi, Spa& spa) {
-      symbolic_rows(a, b, keep_row, lo, hi, spa, row_nnz.data());
+    dispatch([&](unsigned, Index lo, Index hi, SpgemmWorkspace& ws) {
+      symbolic_rows(a, b, keep_row, lo, hi, ws, router, row_nnz.data(),
+                    span_data);
     });
   }
 
@@ -177,12 +305,15 @@ CsrMatrix spgemm_parallel_impl(const CsrMatrix& a, const CsrMatrix& b,
   std::vector<SpgemmCounters> part(team);
   {
     obs::Span numeric("kernel.spgemm.numeric");
-    dispatch([&](unsigned w, Index lo, Index hi, Spa& spa) {
-      numeric_rows(a, b, keep_row, lo, hi, spa, row_ptr, col_idx.data(),
-                   values.data(), part[w]);
+    dispatch([&](unsigned w, Index lo, Index hi, SpgemmWorkspace& ws) {
+      numeric_rows(a, b, keep_row, lo, hi, ws, router, row_ptr, span_data,
+                   col_idx.data(), values.data(), part[w]);
     });
   }
 
+  obs::set_gauge("kernel.spgemm.arena.high_water_bytes",
+                 static_cast<double>(
+                     arena_high_water.load(std::memory_order_relaxed)));
   SpgemmCounters total;
   for (const auto& pc : part) total += pc;
   if (counters) *counters += total;
@@ -193,6 +324,9 @@ CsrMatrix spgemm_parallel_impl(const CsrMatrix& a, const CsrMatrix& b,
 
 bool use_serial(const CsrMatrix& a, ThreadPool& pool,
                 const SpgemmParallelOptions& options) {
+  // A forced accumulator must actually be exercised, so it never takes
+  // the serial (SPA-only) shortcut.
+  if (options.accumulator != SpgemmAccumulator::kAuto) return false;
   if (pool.size() == 1) return true;
   return options.schedule == SpgemmSchedule::kAuto &&
          a.rows() < pool.size() * 4;
@@ -283,6 +417,15 @@ CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b) {
     builder.append_sorted_row(cols, vals);
   }
   return builder.finish();
+}
+
+SpgemmWorkspaceStats spgemm_workspace_stats() {
+  auto& pool = workspace_pool();
+  return {pool.created(), pool.reused(), pool.idle(), pool.idle_bytes()};
+}
+
+size_t spgemm_workspace_trim(size_t keep_idle) {
+  return workspace_pool().trim(keep_idle);
 }
 
 }  // namespace nbwp::sparse

@@ -1,8 +1,8 @@
 // Row-row (Gustavson) sparse matrix-matrix multiplication kernels.
 //
 // C = A x B computed row-wise: row i of C is the sum over k in row i of A
-// of a_ik * (row k of B), accumulated in a sparse accumulator (SPA).  This
-// is the formulation of Gustavson [13] used by the heterogeneous algorithm
+// of a_ik * (row k of B), accumulated in a sparse accumulator.  This is
+// the formulation of Gustavson [13] used by the heterogeneous algorithm
 // of Matam et al. [22] on both the CPU and the GPU.
 //
 // The parallel kernels are two-phase (symbolic/numeric): phase 1 counts
@@ -12,8 +12,15 @@
 // prefix sum (the paper's load vector L_AB, the same machinery Algorithm 2
 // uses for the CPU/GPU split), so skewed inputs no longer serialize on
 // whoever drew the dense rows; a dynamic-chunk schedule is available as a
-// fallback for adversarial load vectors.  Output is bit-identical to the
-// serial kernel under every schedule and team size.
+// fallback for adversarial load vectors.
+//
+// Accumulation is *adaptive per row*: dense output rows use the dense SPA
+// (sparse/spa.hpp), sparse rows on wide matrices use an open-addressing
+// hash accumulator (sparse/hash_accum.hpp) whose table fits in cache —
+// no single accumulator wins across the density spectrum (Nagasaka et
+// al.; Gao et al., survey).  Both accumulators share first-touch
+// insert-order semantics, so output is bit-identical to the serial kernel
+// under every schedule, team size, and forced accumulator choice.
 //
 // Counters report the structural work of the execution; the hetsim cost
 // model converts them to virtual device time (see hetalg/spmm_cost.hpp).
@@ -31,12 +38,16 @@ struct SpgemmCounters {
   uint64_t c_nnz = 0;       ///< entries in the produced rows
   uint64_t rows = 0;        ///< rows of A processed
   uint64_t a_nnz = 0;       ///< entries of A read
+  uint64_t rows_spa = 0;    ///< rows accumulated with the dense SPA
+  uint64_t rows_hash = 0;   ///< rows accumulated with the hash accumulator
 
   SpgemmCounters& operator+=(const SpgemmCounters& o) {
     multiplies += o.multiplies;
     c_nnz += o.c_nnz;
     rows += o.rows;
     a_nnz += o.a_nnz;
+    rows_spa += o.rows_spa;
+    rows_hash += o.rows_hash;
     return *this;
   }
 };
@@ -48,9 +59,31 @@ enum class SpgemmSchedule {
   kDynamic,       ///< dynamic row chunks off an atomic counter
 };
 
+/// Per-row accumulator selection for the parallel kernels.
+enum class SpgemmAccumulator {
+  kAuto,       ///< route per row by estimated density (see options below)
+  kForceSpa,   ///< every row through the dense SPA (the PR 3 behavior)
+  kForceHash,  ///< every row through the hash accumulator
+};
+
 struct SpgemmParallelOptions {
   SpgemmSchedule schedule = SpgemmSchedule::kAuto;
   int64_t dynamic_chunk = 0;  ///< rows per dynamic chunk; 0 = n/(8*team)
+  SpgemmAccumulator accumulator = SpgemmAccumulator::kAuto;
+  /// kAuto routing: a row goes to the hash accumulator when its
+  /// distinct-column bound (symbolic: min(flops, cols); numeric: exact
+  /// output nnz) is below `hash_density_threshold * cols`.  Calibrated by
+  /// the kernels_microbench density sweep (docs/PERFORMANCE.md).
+  double hash_density_threshold = 1.0 / 16.0;
+  /// kAuto routing: below this column count the SPA arrays fit low-level
+  /// cache anyway, so hashing is never worth its probe overhead.
+  Index hash_min_cols = 512;
+  /// kAuto numeric routing also requires the row's column *span* (max -
+  /// min + 1, measured by the symbolic pass) to be at least this multiple
+  /// of its nnz: rows dense inside a narrow band (banded/FEM inputs) keep
+  /// the SPA, whose contiguous arrays and run-copy extraction beat
+  /// hashing even at low global density.
+  double hash_min_span_ratio = 2.0;
 };
 
 /// Rows [first, last) of A times B.  Result has (last - first) rows.
@@ -62,8 +95,8 @@ CsrMatrix spgemm_row_range(const CsrMatrix& a, const CsrMatrix& b,
 CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
                  SpgemmCounters* counters = nullptr);
 
-/// Multicore product: two-phase, work-balanced, single output allocation.
-/// Bitwise-identical to `spgemm`.
+/// Multicore product: two-phase, work-balanced, single output allocation,
+/// per-row adaptive accumulation.  Bitwise-identical to `spgemm`.
 CsrMatrix spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
                           ThreadPool& pool,
                           SpgemmCounters* counters = nullptr,
@@ -90,5 +123,21 @@ CsrMatrix spgemm_parallel_masked(const CsrMatrix& a, const CsrMatrix& b,
 
 /// Sparse matrix addition C = A + B (same shape).
 CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Process-lifetime SpGEMM workspace pool accounting (arenas + leased
+/// accumulators; see parallel/workspace_pool.hpp).
+struct SpgemmWorkspaceStats {
+  size_t created = 0;     ///< workspaces ever constructed
+  size_t reused = 0;      ///< leases served from the idle list
+  size_t idle = 0;        ///< workspaces currently idle
+  size_t idle_bytes = 0;  ///< arena bytes held by idle workspaces
+};
+SpgemmWorkspaceStats spgemm_workspace_stats();
+
+/// Destroy idle SpGEMM workspaces beyond the `keep_idle` largest,
+/// returning their arena bytes to the OS (the pool no longer stays sized
+/// for the largest matrix the process ever multiplied).  Returns the
+/// bytes released.
+size_t spgemm_workspace_trim(size_t keep_idle = 0);
 
 }  // namespace nbwp::sparse

@@ -1,0 +1,19 @@
+// Portable vectorization hint for independent-iteration loops.
+//
+// NBWP_PRAGMA_SIMD marks the following loop's iterations as free of
+// loop-carried dependencies so the compiler vectorizes the straight-line
+// gathers/copies of the SpGEMM numeric phase without -ffast-math (the
+// hinted loops never reassociate floating-point sums — reduction order is
+// part of the kernels' bitwise-determinism contract, so only loops whose
+// iterations are independent may carry the hint).
+#pragma once
+
+#if defined(_OPENMP)
+#define NBWP_PRAGMA_SIMD _Pragma("omp simd")
+#elif defined(__clang__)
+#define NBWP_PRAGMA_SIMD _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define NBWP_PRAGMA_SIMD _Pragma("GCC ivdep")
+#else
+#define NBWP_PRAGMA_SIMD
+#endif

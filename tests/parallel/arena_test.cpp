@@ -1,0 +1,92 @@
+#include "parallel/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace nbwp {
+namespace {
+
+bool aligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, AllocationsAreCacheLineAligned) {
+  Arena arena(256);
+  EXPECT_TRUE(aligned(arena.allocate_bytes(1)));
+  EXPECT_TRUE(aligned(arena.allocate_bytes(3)));
+  EXPECT_TRUE(aligned(arena.allocate<double>(5).data()));
+  EXPECT_TRUE(aligned(arena.allocate<uint32_t>(7).data()));
+  // Forcing a new block keeps the guarantee.
+  EXPECT_TRUE(aligned(arena.allocate_bytes(10'000)));
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(1 << 12);
+  auto a = arena.allocate<uint64_t>(100);
+  auto b = arena.allocate<uint64_t>(100);
+  for (auto& v : a) v = 1;
+  for (auto& v : b) v = 2;
+  for (auto v : a) EXPECT_EQ(v, 1u);
+}
+
+TEST(Arena, UsedAndHighWaterTrackBumpProgress) {
+  Arena arena(1 << 12);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  arena.allocate_bytes(100);
+  const size_t used = arena.used_bytes();
+  EXPECT_GE(used, 100u);
+  EXPECT_EQ(arena.high_water_bytes(), used);
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.high_water_bytes(), used);  // survives reset
+  EXPECT_GT(arena.capacity_bytes(), 0u);      // capacity retained
+}
+
+TEST(Arena, ResetReusesCapacityWithoutGrowth) {
+  Arena arena(1 << 12);
+  arena.allocate_bytes(1000);
+  const size_t cap = arena.capacity_bytes();
+  for (int round = 0; round < 10; ++round) {
+    arena.reset();
+    arena.allocate_bytes(1000);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), cap);
+}
+
+TEST(Arena, ResetCoalescesFragmentedBlocks) {
+  Arena arena(256);
+  // Overflow the first block several times.
+  for (int i = 0; i < 6; ++i) arena.allocate_bytes(300);
+  const size_t high_water = arena.high_water_bytes();
+  arena.reset();
+  // One block now covers the whole former footprint contiguously.
+  auto span = arena.allocate<std::byte>(high_water);
+  std::memset(span.data(), 0xAB, span.size());
+  EXPECT_EQ(arena.used_bytes(), arena.high_water_bytes());
+}
+
+TEST(Arena, ShrinkReleasesEverything) {
+  Arena arena(1 << 12);
+  arena.allocate_bytes(5000);
+  EXPECT_GT(arena.capacity_bytes(), 0u);
+  arena.shrink();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  // Still usable afterwards.
+  auto span = arena.allocate<int>(16);
+  span[0] = 1;
+  span[15] = 2;
+  EXPECT_EQ(span[0] + span[15], 3);
+}
+
+TEST(Arena, LargeRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  auto big = arena.allocate<double>(10'000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = double(i);
+  EXPECT_EQ(big[9'999], 9'999.0);
+}
+
+}  // namespace
+}  // namespace nbwp

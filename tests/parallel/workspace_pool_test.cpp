@@ -62,5 +62,60 @@ TEST(WorkspacePool, MovedLeaseKeepsOwnership) {
   EXPECT_EQ(pool.idle(), 1u);  // released exactly once
 }
 
+/// A workspace that reports its size, like SpgemmWorkspace's arena does.
+struct SizedScratch {
+  std::vector<std::byte> buffer;
+  size_t capacity_bytes() const { return buffer.size(); }
+  void grow_to(size_t bytes) {
+    if (buffer.size() < bytes) buffer.resize(bytes);
+  }
+};
+
+TEST(WorkspacePool, CapacityHintPicksBestFit) {
+  WorkspacePool<SizedScratch> pool;
+  {
+    auto small = pool.acquire();
+    small->grow_to(1'000);
+    auto large = pool.acquire();
+    large->grow_to(100'000);
+  }
+  ASSERT_EQ(pool.idle(), 2u);
+  {
+    // A small request must not lease (and keep inflating) the giant one.
+    auto lease = pool.acquire(500);
+    EXPECT_EQ(lease->capacity_bytes(), 1'000u);
+  }
+  {
+    auto lease = pool.acquire(50'000);
+    EXPECT_EQ(lease->capacity_bytes(), 100'000u);
+  }
+  {
+    // Larger than anything idle: the largest is handed out for growth.
+    auto lease = pool.acquire(1'000'000);
+    EXPECT_EQ(lease->capacity_bytes(), 100'000u);
+    EXPECT_TRUE(lease.reused());
+  }
+}
+
+TEST(WorkspacePool, TrimDropsSmallestFirstAndReportsBytes) {
+  WorkspacePool<SizedScratch> pool;
+  {
+    std::vector<WorkspacePool<SizedScratch>::Lease> leases;
+    for (size_t bytes : {1'000u, 2'000u, 3'000u}) {
+      leases.push_back(pool.acquire());
+      leases.back()->grow_to(bytes);
+    }
+  }
+  EXPECT_EQ(pool.idle(), 3u);
+  EXPECT_EQ(pool.idle_bytes(), 6'000u);
+  // Keep the single largest workspace.
+  EXPECT_EQ(pool.trim(1), 3'000u);
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(pool.idle_bytes(), 3'000u);
+  EXPECT_EQ(pool.trim(), 3'000u);
+  EXPECT_EQ(pool.idle(), 0u);
+  EXPECT_EQ(pool.trim(), 0u);  // idempotent on an empty pool
+}
+
 }  // namespace
 }  // namespace nbwp
