@@ -20,12 +20,18 @@
 //       manifest line is `workload=<w> dataset=<d> [scale=] [seed=]
 //       [repeat=]` (see docs/SERVING.md for a worked example).
 //
+// Observability flags work with every command: --metrics, --trace-real,
+// --slo "<objectives>" [--slo-report s.json] (exit non-zero on
+// violation), --flight-recorder f.json [--flight-threshold-ms T]
+// (see docs/OBSERVABILITY.md for the SLO grammar and dump format).
+//
 // Datasets resolve against the synthetic Table II catalog, or against
 // --mtx-dir when the original files are present.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/baselines.hpp"
@@ -43,6 +49,7 @@
 #include "obs/export.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "serve/serve.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -476,6 +483,15 @@ int main(int argc, char** argv) {
   cli.add_option("plan-cache-capacity", "256",
                  "batch: total cached plans across shards");
   cli.add_option("plan-cache-shards", "4", "batch: plan cache shard count");
+  cli.add_option("slo", "",
+                 "evaluate objectives after the run, e.g. "
+                 "'serve.plan_ms p99 < 50ms'; exit 1 on violation "
+                 "(implies --metrics collection; see docs/OBSERVABILITY.md)");
+  cli.add_option("slo-report", "", "write the SLO report JSON here");
+  cli.add_option("flight-recorder", "",
+                 "dump the last-requests flight ring JSON here at exit");
+  cli.add_option("flight-threshold-ms", "0",
+                 "flag requests slower than this as breaches (0 = off)");
   cli.add_option("log-level", "info", "debug | info | warn | error");
   if (!cli.parse(argc - 1, argv + 1)) return 0;
 
@@ -501,12 +517,51 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.integer("plan-cache-capacity"));
   req.plan_cache_shards = static_cast<int>(cli.integer("plan-cache-shards"));
 
+  const std::string slo_spec = cli.str("slo");
+  const std::string slo_report_path = cli.str("slo-report");
+  const std::string flight_path = cli.str("flight-recorder");
+  const double flight_threshold_ms = cli.real("flight-threshold-ms");
+
   try {
     set_log_level(parse_log_level(cli.str("log-level")));
-    if (!req.metrics.empty()) obs::set_metrics_enabled(true);
+    // SLO evaluation and the flight recorder read the metric registry /
+    // request traces, so either flag opts into collection.
+    if (!req.metrics.empty() || !slo_spec.empty() || !flight_path.empty())
+      obs::set_metrics_enabled(true);
     if (!req.trace_real.empty()) obs::set_trace_enabled(true);
+    // Parse the SLO spec *before* the run so a typo fails in seconds,
+    // not after minutes of planning.
+    std::optional<obs::SloMonitor> slo;
+    if (!slo_spec.empty()) slo = obs::SloMonitor::parse(slo_spec);
+    if (!flight_path.empty() || flight_threshold_ms > 0) {
+      obs::FlightRecorder::Options flight;
+      flight.latency_threshold_ms = flight_threshold_ms;
+      obs::FlightRecorder::global().configure(flight);
+    }
 
-    const int rc = run_command(command, req);
+    int rc = run_command(command, req);
+
+    if (slo) {
+      const obs::SloReport report =
+          slo->evaluate(obs::Registry::global());
+      for (const auto& r : report.results) {
+        std::printf("slo %-4s %s (observed %.4g, bound %.4g, burn %.2f%s)\n",
+                    r.ok ? "ok" : "FAIL", r.objective.spec.c_str(),
+                    r.observed, r.objective.bound, r.burn_rate,
+                    r.missing ? ", metric missing" : "");
+      }
+      if (!slo_report_path.empty()) {
+        std::ofstream f(slo_report_path);
+        if (!f) throw Error("cannot open SLO report " + slo_report_path);
+        obs::write_slo_report_json(f, report);
+        std::printf("slo report written: %s\n", slo_report_path.c_str());
+      }
+      if (!report.ok() && rc == 0) rc = 1;
+    }
+    if (!flight_path.empty()) {
+      obs::FlightRecorder::global().write_json_file(flight_path);
+      std::printf("flight recorder dumped: %s\n", flight_path.c_str());
+    }
 
     if (!req.metrics.empty()) {
       obs::RunManifest manifest;

@@ -52,23 +52,28 @@ inline exp::SuiteOptions suite_options(const Cli& cli) {
 
 /// Call before returning from a bench main: writes the metric snapshot
 /// when --metrics was given, and a run manifest (tool, resolved options,
-/// outputs, metrics) next to the CSV when --csv was given, so every
-/// result file is self-describing.
-inline void finish_run(const Cli& cli, const std::string& tool) {
+/// outputs, provenance, metrics) next to `primary_output` — or next to
+/// the CSV when no primary output is named — so every result file is
+/// self-describing and committed baselines stay traceable to a commit
+/// and a machine (scripts/bench_snapshot.sh exports NBWP_GIT_SHA).
+inline void finish_run(const Cli& cli, const std::string& tool,
+                       const std::string& primary_output = "") {
   const std::string metrics_path =
       cli.has_option("metrics") ? cli.str("metrics") : "";
   const std::string csv = cli.has_option("csv") ? cli.str("csv") : "";
   if (!metrics_path.empty())
     obs::write_metrics_json_file(metrics_path,
                                  obs::Registry::global().snapshot());
-  if (csv.empty()) return;
+  const std::string anchor = primary_output.empty() ? csv : primary_output;
+  if (anchor.empty()) return;
   obs::RunManifest manifest;
   manifest.tool = tool;
   for (const auto& [k, v] : cli.items()) manifest.config[k] = v;
-  manifest.outputs["csv"] = csv;
+  if (!csv.empty()) manifest.outputs["csv"] = csv;
+  if (!primary_output.empty()) manifest.outputs["json"] = primary_output;
   if (!metrics_path.empty()) manifest.outputs["metrics"] = metrics_path;
   manifest.metrics = obs::Registry::global().snapshot();
-  obs::write_manifest_file(obs::manifest_path_for(csv), manifest);
+  obs::write_manifest_file(obs::manifest_path_for(anchor), manifest);
 }
 
 }  // namespace nbwp::bench

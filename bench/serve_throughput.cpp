@@ -1,7 +1,8 @@
-// serve_throughput — cold vs cached vs warm-started planning cost.
+// serve_throughput — cold vs cached vs warm-started planning cost, plus
+// an open-loop serving stress phase with SLO verdicts.
 //
-// Plans the same three-workload mix (cc:pwtk, spmm:cant, hh:web-BerkStan)
-// through one PlanService three times:
+// Phase 1 plans the same three-workload mix (cc:pwtk, spmm:cant,
+// hh:web-BerkStan) through one PlanService three times:
 //
 //   cold       empty cache: every request pays the full sampled search;
 //   repeat     the identical inputs again: exact fingerprint hits reuse
@@ -11,12 +12,26 @@
 //              "web crawl grown a day" case): near fingerprint hits
 //              warm-start a narrow refinement around the cached optimum.
 //
+// Phase 2 (--stress-requests, default 10000) drives an open-loop request
+// stream over a pool of base + perturbed inputs through the same
+// service.  With metrics on, every request records into the streaming
+// serve.request_ms histograms (per class: exact / near / miss /
+// degraded), so the phase demonstrates the O(1)-memory observability
+// claim at 100k+ requests and yields per-class p50/p95/p99 latencies.
+// The run ends with an SLO evaluation (--slo, docs/OBSERVABILITY.md
+// grammar) whose report embeds into the JSON and optionally lands in
+// --slo-report for the CI smoke job.
+//
 // Emits BENCH_serve.json with per-round evaluation counts, the serve.*
-// counter snapshot, and two machine-checked claims consumed by CI:
-// exact repeats return identical thresholds, and repeat/perturbed rounds
-// spend strictly fewer identify evaluations than the cold round.
+// counter snapshot, the stress-phase latency summaries and SLO report,
+// and three machine-checked claims consumed by CI: exact repeats return
+// identical thresholds, repeat/perturbed rounds spend strictly fewer
+// identify evaluations than the cold round, and the SLO holds.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -26,6 +41,8 @@
 #include "hetalg/hetero_cc.hpp"
 #include "hetalg/hetero_spmm.hpp"
 #include "hetalg/hetero_spmm_hh.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/slo.hpp"
 #include "serve/serve.hpp"
 #include "util/json.hpp"
 #include "util/strfmt.hpp"
@@ -110,8 +127,82 @@ Round run_round(serve::PlanService& service, const std::string& name,
   return round;
 }
 
+struct StressStats {
+  int requests = 0;
+  double wall_s = 0;
+  double arrival_hz = 0;  ///< 0 = back-to-back issuing
+};
+
+/// Open-loop request stream over a pool of base + perturbed inputs.
+/// PlanRequests are reusable (solve closures own their problems), so the
+/// pool is built once and requests cycle through it; after the warm-up
+/// rounds most are exact hits, the fresh perturbed seeds warm-start.
+StressStats run_stress(serve::PlanService& service,
+                       const exp::SuiteOptions& options, int n,
+                       double arrival_hz, uint64_t perturb_seed) {
+  std::vector<serve::PlanRequest> pool;
+  for (uint64_t seed : {options.seed, perturb_seed, perturb_seed + 1,
+                        perturb_seed + 2}) {
+    auto mix = make_mix(options, seed, strfmt("stress%llu",
+                                              (unsigned long long)seed));
+    for (auto& request : mix) pool.push_back(std::move(request));
+  }
+  StressStats stats;
+  stats.requests = n;
+  stats.arrival_hz = arrival_hz;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    if (arrival_hz > 0) {
+      // Open-loop pacing: arrival i is scheduled at i/rate regardless of
+      // how long earlier requests took (no coordinated omission).
+      const auto arrival =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(i / arrival_hz));
+      std::this_thread::sleep_until(arrival);
+    }
+    service.plan_one(pool[static_cast<size_t>(i) % pool.size()]);
+  }
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return stats;
+}
+
+std::string latency_classes_json() {
+  std::string out = "{";
+  bool first = true;
+  for (const char* cls : {"exact", "near", "miss", "degraded"}) {
+    const obs::Histogram* h = obs::Registry::global().find_histogram(
+        obs::labeled_name("serve.request_ms", {{"class", cls}}));
+    if (!h || h->count() == 0) continue;
+    const obs::HistogramSummary s = h->summary();
+    if (!first) out += ", ";
+    first = false;
+    out += strfmt(
+        "\"%s\": {\"count\": %zu, \"mean\": %.6g, \"p50\": %.6g, "
+        "\"p95\": %.6g, \"p99\": %.6g, \"max\": %.6g}",
+        cls, s.count, s.mean, s.p50, s.p95, s.p99, s.max);
+  }
+  out += "}";
+  return out;
+}
+
+std::string obs_footprint_json() {
+  const obs::Histogram* h =
+      obs::Registry::global().find_histogram("serve.request_ms");
+  const size_t bytes = h ? h->memory_bytes() : 0;
+  const bool streaming =
+      h && h->mode() == obs::HistogramMode::kStreaming;
+  return strfmt(
+      "{\"histogram_mode\": \"%s\", \"request_histogram_bytes\": %zu}",
+      streaming ? "streaming" : "exact", bytes);
+}
+
 void write_json(const std::string& path, const std::vector<Round>& rounds,
-                bool exact_identical, bool warm_fewer) {
+                const StressStats& stress, const std::string& latency_json,
+                const std::string& obs_json, const std::string& slo_json,
+                bool exact_identical, bool warm_fewer, bool slo_ok) {
   std::ofstream out(path);
   out << "{\n  \"tool\": \"serve_throughput\",\n  \"rounds\": [\n";
   for (size_t i = 0; i < rounds.size(); ++i) {
@@ -132,6 +223,14 @@ void write_json(const std::string& path, const std::vector<Round>& rounds,
     out << "    ]}" << (i + 1 < rounds.size() ? ",\n" : "\n");
   }
   out << "  ],\n";
+  out << strfmt(
+      "  \"stress\": {\"requests\": %d, \"wall_s\": %.4g, "
+      "\"arrival_hz\": %.4g, \"throughput_rps\": %.6g,\n"
+      "    \"latency_ms\": %s,\n    \"obs\": %s},\n",
+      stress.requests, stress.wall_s, stress.arrival_hz,
+      stress.wall_s > 0 ? stress.requests / stress.wall_s : 0.0,
+      latency_json.c_str(), obs_json.c_str());
+  if (!slo_json.empty()) out << "  \"slo\": " << slo_json << ",\n";
   const auto snapshot = obs::Registry::global().snapshot();
   out << "  \"counters\": {\n";
   bool first = true;
@@ -145,7 +244,8 @@ void write_json(const std::string& path, const std::vector<Round>& rounds,
   out << "  \"exact_repeat_identical\": "
       << (exact_identical ? "true" : "false") << ",\n";
   out << "  \"warm_fewer_evals_than_cold\": "
-      << (warm_fewer ? "true" : "false") << "\n}\n";
+      << (warm_fewer ? "true" : "false") << ",\n";
+  out << "  \"slo_ok\": " << (slo_ok ? "true" : "false") << "\n}\n";
 }
 
 }  // namespace
@@ -157,9 +257,22 @@ int main(int argc, char** argv) {
   cli.add_option("json", "BENCH_serve.json", "machine-readable output path");
   cli.add_option("perturb-seed", "7",
                  "generation seed of the perturbed round");
+  cli.add_option("stress-requests", "10000",
+                 "open-loop stress phase length (0 = skip)");
+  cli.add_option("arrival-hz", "0",
+                 "stress arrival rate; 0 = issue back-to-back");
+  cli.add_option("slo",
+                 "serve.request_ms p99 < 250ms; "
+                 "serve.requests{class=\"degraded\"} / serve.requests "
+                 "rate < 0.01",
+                 "SLO spec evaluated after the run (empty = skip)");
+  cli.add_option("slo-report", "", "also write the SLO report JSON here");
+  cli.add_option("flight-recorder", "",
+                 "dump the last-requests flight ring JSON here at exit");
   if (!cli.parse(argc, argv)) return 0;
   const exp::SuiteOptions options = bench::suite_options(cli);
   obs::set_metrics_enabled(true);  // serve.* counters feed the JSON
+  const std::string slo_spec = cli.str("slo");
 
   serve::PlanService service;
   std::vector<Round> rounds;
@@ -167,11 +280,18 @@ int main(int argc, char** argv) {
       run_round(service, "cold", make_mix(options, options.seed, "cold")));
   rounds.push_back(run_round(service, "repeat",
                              make_mix(options, options.seed, "repeat")));
+  const uint64_t perturb_seed =
+      static_cast<uint64_t>(cli.integer("perturb-seed"));
   rounds.push_back(run_round(
       service, "perturbed",
-      make_mix(options,
-               static_cast<uint64_t>(cli.integer("perturb-seed")),
-               "perturbed")));
+      make_mix(options, perturb_seed, "perturbed")));
+
+  const int stress_requests =
+      static_cast<int>(cli.integer("stress-requests"));
+  StressStats stress;
+  if (stress_requests > 0)
+    stress = run_stress(service, options, stress_requests,
+                        cli.real("arrival-hz"), perturb_seed);
 
   bool exact_identical = true;
   for (size_t i = 0; i < rounds[0].plans.size(); ++i) {
@@ -182,6 +302,29 @@ int main(int argc, char** argv) {
       rounds[1].evaluations < rounds[0].evaluations &&
       rounds[2].evaluations < rounds[0].evaluations &&
       rounds[1].evals_saved > 0 && rounds[2].evals_saved > 0;
+
+  std::string slo_json;
+  bool slo_ok = true;
+  if (!slo_spec.empty()) {
+    const obs::SloMonitor monitor = obs::SloMonitor::parse(slo_spec);
+    const obs::SloReport report =
+        monitor.evaluate(obs::Registry::global());
+    slo_ok = report.ok();
+    std::ostringstream ss;
+    obs::write_slo_report_json(ss, report);
+    slo_json = ss.str();
+    for (const auto& r : report.results)
+      std::printf("slo %-4s %s (observed %.4g, bound %.4g, burn %.2f)\n",
+                  r.ok ? "ok" : "FAIL", r.objective.spec.c_str(),
+                  r.observed, r.objective.bound, r.burn_rate);
+    if (!cli.str("slo-report").empty()) {
+      std::ofstream f(cli.str("slo-report"));
+      f << slo_json;
+    }
+  }
+  if (!cli.str("flight-recorder").empty())
+    obs::FlightRecorder::global().write_json_file(
+        cli.str("flight-recorder"));
 
   Table table("serve throughput — cold vs cached vs warm");
   table.set_header({"round", "source mix", "evals", "saved"});
@@ -195,12 +338,19 @@ int main(int argc, char** argv) {
                    Table::num(round.evals_saved, 0)});
   }
   exp::emit(table, cli.str("csv"));
-  std::printf("exact repeats identical: %s; warm rounds cheaper: %s\n",
-              exact_identical ? "yes" : "NO",
-              warm_fewer ? "yes" : "NO");
+  if (stress.requests > 0)
+    std::printf("stress: %d requests in %.2f s (%.0f rps)\n",
+                stress.requests, stress.wall_s,
+                stress.wall_s > 0 ? stress.requests / stress.wall_s : 0.0);
+  std::printf("exact repeats identical: %s; warm rounds cheaper: %s; "
+              "slo: %s\n",
+              exact_identical ? "yes" : "NO", warm_fewer ? "yes" : "NO",
+              slo_spec.empty() ? "skipped" : (slo_ok ? "ok" : "FAIL"));
 
-  write_json(cli.str("json"), rounds, exact_identical, warm_fewer);
+  write_json(cli.str("json"), rounds, stress, latency_classes_json(),
+             obs_footprint_json(), slo_json, exact_identical, warm_fewer,
+             slo_ok);
   std::printf("json written: %s\n", cli.str("json").c_str());
-  bench::finish_run(cli, "serve_throughput");
-  return exact_identical && warm_fewer ? 0 : 1;
+  bench::finish_run(cli, "serve_throughput", cli.str("json"));
+  return exact_identical && warm_fewer && slo_ok ? 0 : 1;
 }

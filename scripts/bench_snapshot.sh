@@ -16,6 +16,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 REPS="${BENCH_REPS:-5}"
 
+# Provenance for the run manifests (obs::collect_provenance): baselines
+# committed from this snapshot stay traceable to the exact commit.
+NBWP_GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo '')"
+export NBWP_GIT_SHA
+
 for exe in bench/kernels_microbench bench/serve_throughput; do
   if [[ ! -x "$BUILD_DIR/$exe" ]]; then
     echo "bench_snapshot: $BUILD_DIR/$exe not built" >&2
@@ -63,8 +68,12 @@ print(f"bench_snapshot: refreshed {len(refreshed)} gated benchmarks "
 EOF
 rm -f BENCH_pairs.tmp.json
 
+# Defaults include the 10k-request stress phase and the SLO evaluation;
+# the run also writes BENCH_serve.json.manifest.json (provenance: git
+# SHA, hostname, CPU model) next to the JSON — commit both.
 "$BUILD_DIR/bench/serve_throughput" --json BENCH_serve.json
 
 python3 scripts/check_bench_regression.py \
-  --baseline BENCH_kernels.json --current BENCH_kernels.json
-echo "bench_snapshot: wrote BENCH_kernels.json and BENCH_serve.json"
+  --baseline BENCH_kernels.json --current BENCH_kernels.json \
+  --serve-baseline BENCH_serve.json --serve-current BENCH_serve.json
+echo "bench_snapshot: wrote BENCH_kernels.json and BENCH_serve.json (+manifest)"

@@ -1,7 +1,9 @@
 #include "obs/export.hpp"
 
 #include <fstream>
+#include <map>
 #include <ostream>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -31,6 +33,114 @@ std::string prom_name(const std::string& name) {
     out += ok ? ch : '_';
   }
   return out;
+}
+
+/// HELP docstrings escape backslash and newline per the text exposition
+/// format.
+std::string prom_help_text(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Label *values* additionally escape double quotes.  Values arriving
+/// through labeled_name() are pre-escaped; this pass covers names built
+/// by hand (tests, external snapshots) without double-escaping the
+/// already-escaped sequences — so it only runs on the split-out raw
+/// value below.
+std::string prom_label_value(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// A metric key split into its family name and (possibly empty) label
+/// block.  labeled_name() encodes `base{k="v",...}`; anything after the
+/// first '{' is treated as the label block.
+struct SeriesKey {
+  std::string base;
+  std::string labels;  ///< raw inner block without braces, may be empty
+};
+
+SeriesKey split_series(const std::string& key) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  std::string inner = key.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.pop_back();
+  return {key.substr(0, brace), inner};
+}
+
+/// Re-emit a label block, unescaping labeled_name()'s encoding and
+/// re-escaping per the exposition format.  The block is a
+/// comma-separated list of k="v" pairs where v may contain escaped
+/// quotes.
+std::string prom_labels(const std::string& inner,
+                        const std::string& extra = "") {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    const auto eq = inner.find("=\"", pos);
+    if (eq == std::string::npos) break;
+    const std::string key = inner.substr(pos, eq - pos);
+    size_t end = eq + 2;
+    std::string value;
+    while (end < inner.size()) {
+      if (inner[end] == '\\' && end + 1 < inner.size()) {
+        const char esc = inner[end + 1];
+        value += esc == 'n' ? '\n' : esc;
+        end += 2;
+        continue;
+      }
+      if (inner[end] == '"') break;
+      value += inner[end++];
+    }
+    pairs.emplace_back(key, value);
+    pos = end + 1;
+    if (pos < inner.size() && inner[pos] == ',') ++pos;
+  }
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + prom_label_value(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!out.empty()) out += ',';
+    out += extra;
+  }
+  if (out.empty()) return "";
+  return "{" + out + "}";
+}
+
+/// Group snapshot entries by family so one # HELP/# TYPE header covers
+/// every labeled series of that family, as the exposition format
+/// requires.
+template <typename T>
+std::map<std::string, std::vector<std::pair<SeriesKey, T>>> families_of(
+    const std::map<std::string, T>& entries) {
+  std::map<std::string, std::vector<std::pair<SeriesKey, T>>> families;
+  for (const auto& [key, value] : entries) {
+    SeriesKey series = split_series(key);
+    families[series.base].emplace_back(std::move(series), value);
+  }
+  return families;
 }
 
 }  // namespace
@@ -73,43 +183,80 @@ void write_metrics_json_file(const std::string& path,
   write_metrics_json(f, snap);
 }
 
+namespace {
+
+/// Labeled metric keys contain commas and quotes; RFC-4180-quote any
+/// field that needs it so rows stay machine-parseable.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
   os << "kind,name,stat,value\n";
   for (const auto& [name, v] : snap.counters)
-    os << strfmt("counter,%s,value,%.17g\n", name.c_str(), v);
+    os << strfmt("counter,%s,value,%.17g\n", csv_field(name).c_str(), v);
   for (const auto& [name, v] : snap.gauges)
-    os << strfmt("gauge,%s,value,%.17g\n", name.c_str(), v);
+    os << strfmt("gauge,%s,value,%.17g\n", csv_field(name).c_str(), v);
   for (const auto& [name, h] : snap.histograms) {
-    os << strfmt("histogram,%s,count,%zu\n", name.c_str(), h.count);
-    os << strfmt("histogram,%s,sum,%.17g\n", name.c_str(), h.sum);
-    os << strfmt("histogram,%s,min,%.17g\n", name.c_str(), h.min);
-    os << strfmt("histogram,%s,max,%.17g\n", name.c_str(), h.max);
-    os << strfmt("histogram,%s,mean,%.17g\n", name.c_str(), h.mean);
-    os << strfmt("histogram,%s,p50,%.17g\n", name.c_str(), h.p50);
-    os << strfmt("histogram,%s,p95,%.17g\n", name.c_str(), h.p95);
-    os << strfmt("histogram,%s,p99,%.17g\n", name.c_str(), h.p99);
+    const std::string n = csv_field(name);
+    os << strfmt("histogram,%s,count,%zu\n", n.c_str(), h.count);
+    os << strfmt("histogram,%s,sum,%.17g\n", n.c_str(), h.sum);
+    os << strfmt("histogram,%s,min,%.17g\n", n.c_str(), h.min);
+    os << strfmt("histogram,%s,max,%.17g\n", n.c_str(), h.max);
+    os << strfmt("histogram,%s,mean,%.17g\n", n.c_str(), h.mean);
+    os << strfmt("histogram,%s,p50,%.17g\n", n.c_str(), h.p50);
+    os << strfmt("histogram,%s,p95,%.17g\n", n.c_str(), h.p95);
+    os << strfmt("histogram,%s,p99,%.17g\n", n.c_str(), h.p99);
   }
 }
 
 void write_metrics_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
-  for (const auto& [name, v] : snap.counters) {
-    const std::string n = prom_name(name);
+  // Counters: one family per base name, `_total` suffix per the naming
+  // conventions, HELP + TYPE once per family, labels re-escaped.
+  for (const auto& [base, series] : families_of(snap.counters)) {
+    const std::string n = prom_name(base) + "_total";
+    os << "# HELP " << n << ' ' << prom_help_text(base) << " (counter)\n";
     os << "# TYPE " << n << " counter\n";
-    os << strfmt("%s %.17g\n", n.c_str(), v);
+    for (const auto& [key, v] : series)
+      os << strfmt("%s%s %.17g\n", n.c_str(),
+                   prom_labels(key.labels).c_str(), v);
   }
-  for (const auto& [name, v] : snap.gauges) {
-    const std::string n = prom_name(name);
+  for (const auto& [base, series] : families_of(snap.gauges)) {
+    const std::string n = prom_name(base);
+    os << "# HELP " << n << ' ' << prom_help_text(base) << " (gauge)\n";
     os << "# TYPE " << n << " gauge\n";
-    os << strfmt("%s %.17g\n", n.c_str(), v);
+    for (const auto& [key, v] : series)
+      os << strfmt("%s%s %.17g\n", n.c_str(),
+                   prom_labels(key.labels).c_str(), v);
   }
-  for (const auto& [name, h] : snap.histograms) {
-    const std::string n = prom_name(name);
+  for (const auto& [base, series] : families_of(snap.histograms)) {
+    const std::string n = prom_name(base);
+    os << "# HELP " << n << ' ' << prom_help_text(base) << " (summary)\n";
     os << "# TYPE " << n << " summary\n";
-    os << strfmt("%s{quantile=\"0.5\"} %.17g\n", n.c_str(), h.p50);
-    os << strfmt("%s{quantile=\"0.95\"} %.17g\n", n.c_str(), h.p95);
-    os << strfmt("%s{quantile=\"0.99\"} %.17g\n", n.c_str(), h.p99);
-    os << strfmt("%s_sum %.17g\n", n.c_str(), h.sum);
-    os << strfmt("%s_count %zu\n", n.c_str(), h.count);
+    for (const auto& [key, h] : series) {
+      for (const auto& [q, v] :
+           {std::pair{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}}) {
+        os << strfmt(
+            "%s%s %.17g\n", n.c_str(),
+            prom_labels(key.labels,
+                        std::string("quantile=\"") + q + "\"")
+                .c_str(),
+            v);
+      }
+      os << strfmt("%s_sum%s %.17g\n", n.c_str(),
+                   prom_labels(key.labels).c_str(), h.sum);
+      os << strfmt("%s_count%s %zu\n", n.c_str(),
+                   prom_labels(key.labels).c_str(), h.count);
+    }
   }
 }
 

@@ -1,6 +1,9 @@
 #include "obs/manifest.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 
@@ -10,6 +13,41 @@
 #include "util/strfmt.hpp"
 
 namespace nbwp::obs {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string cpu_model_name() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    return trimmed(line.substr(colon + 1));
+  }
+  return "";
+}
+
+}  // namespace
+
+std::map<std::string, std::string> collect_provenance() {
+  std::map<std::string, std::string> out;
+  if (const char* sha = std::getenv("NBWP_GIT_SHA"); sha && *sha)
+    out["git_sha"] = sha;
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0])
+    out["hostname"] = host;
+  if (const std::string cpu = cpu_model_name(); !cpu.empty())
+    out["cpu_model"] = cpu;
+  return out;
+}
 
 void write_manifest_json(std::ostream& os, const RunManifest& manifest) {
   os << "{\"tool\":" << json_quote(manifest.tool)
@@ -23,6 +61,16 @@ void write_manifest_json(std::ostream& os, const RunManifest& manifest) {
   os << "},\"outputs\":{";
   first = true;
   for (const auto& [k, v] : manifest.outputs) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(k) << ':' << json_quote(v);
+  }
+  const auto provenance = manifest.provenance.empty()
+                              ? collect_provenance()
+                              : manifest.provenance;
+  os << "},\"provenance\":{";
+  first = true;
+  for (const auto& [k, v] : provenance) {
     if (!first) os << ',';
     first = false;
     os << json_quote(k) << ':' << json_quote(v);

@@ -22,11 +22,21 @@ struct RunManifest {
   std::map<std::string, std::string> config;
   /// Output files this run produced (csv, metrics, trace paths).
   std::map<std::string, std::string> outputs;
+  /// Where the run happened: git SHA (NBWP_GIT_SHA env, exported by
+  /// scripts/bench_snapshot.sh), hostname, CPU model.  Left empty by
+  /// callers; write_manifest_json() fills it via collect_provenance()
+  /// so every committed BENCH_*.json baseline is traceable to a commit
+  /// and a machine.
+  std::map<std::string, std::string> provenance;
   MetricsSnapshot metrics;
 };
 
+/// Best-effort environment probe: {"git_sha", "hostname", "cpu_model"}.
+/// Keys whose source is unavailable are omitted, never invented.
+std::map<std::string, std::string> collect_provenance();
+
 /// {"tool":...,"command":...,"config":{...},"outputs":{...},
-///  "written_at_unix":...,"metrics":{...}}
+///  "provenance":{...},"written_at_unix":...,"metrics":{...}}
 void write_manifest_json(std::ostream& os, const RunManifest& manifest);
 void write_manifest_file(const std::string& path,
                          const RunManifest& manifest);

@@ -6,17 +6,28 @@
 
 namespace nbwp::obs {
 
+Histogram::Histogram(HistogramMode mode) : mode_(mode) {
+  if (mode_ == HistogramMode::kStreaming)
+    stream_ = std::make_unique<StreamingHistogram>();
+}
+
 void Histogram::record(double sample) {
+  if (stream_) {
+    stream_->record(sample);
+    return;
+  }
   std::scoped_lock lock(mutex_);
   samples_.push_back(sample);
 }
 
 size_t Histogram::count() const {
+  if (stream_) return stream_->count();
   std::scoped_lock lock(mutex_);
   return samples_.size();
 }
 
 HistogramSummary Histogram::summary() const {
+  if (stream_) return stream_->summary();
   std::vector<double> xs;
   {
     std::scoped_lock lock(mutex_);
@@ -35,9 +46,55 @@ HistogramSummary Histogram::summary() const {
   return s;
 }
 
+HistogramSummary Histogram::window_summary() const {
+  if (stream_) return stream_->window_summary();
+  return summary();
+}
+
 std::vector<double> Histogram::samples() const {
+  if (stream_) return {};
   std::scoped_lock lock(mutex_);
   return samples_;
+}
+
+size_t Histogram::memory_bytes() const {
+  if (stream_) return sizeof(*this) + stream_->memory_bytes();
+  std::scoped_lock lock(mutex_);
+  return sizeof(*this) + samples_.capacity() * sizeof(double);
+}
+
+std::string labeled_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const Label& label : sorted) {
+    if (!first) out += ',';
+    first = false;
+    for (char c : label.key) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    out += "=\"";
+    for (char c : label.value) {
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
 }
 
 Registry& Registry::global() {
@@ -66,6 +123,18 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   std::scoped_lock lock(mutex_);
@@ -81,6 +150,7 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace nbwp::obs

@@ -4,15 +4,28 @@
 // would take.  This module answers the complementary question: where does
 // the reproduction itself spend wall-clock time and work?  Counters count
 // events (threshold evaluations, pool jobs), gauges hold last-written
-// values (utilization), histograms keep raw samples and summarize them as
-// p50/p95/p99 (span durations).
+// values (utilization), histograms summarize samples as p50/p95/p99
+// (span durations, request latencies).
+//
+// Histograms default to the fixed-memory streaming backend
+// (obs/streaming_histogram.hpp): million-request serving runs keep O(1)
+// memory per metric and additionally expose a sliding-window summary for
+// SLO evaluation.  The exact-sample backend survives behind
+// HistogramMode::kExact for tests that need bit-exact percentile parity
+// with util/stats.
+//
+// Metrics can carry labels (e.g. `serve.requests{class="exact"}`): a
+// label set is folded into the metric key with
+// labeled_name(), so every exporter splits series by label without new
+// storage machinery, and the Prometheus exporter re-emits them as real
+// labels.
 //
 // Collection is off by default and guarded by one relaxed atomic load, so
 // instrumented hot paths cost nothing measurable until someone opts in
 // with --metrics / --trace-real (or set_metrics_enabled in code).  All
 // types are safe to use concurrently from ThreadPool workers; metric
-// handles returned by the registry stay valid for the registry's
-// lifetime.
+// handles returned by the registry stay valid until the registry is
+// clear()ed (obs/span.hpp HistogramHandle re-resolves across clears).
 #pragma once
 
 #include <atomic>
@@ -21,7 +34,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/streaming_histogram.hpp"
 
 namespace nbwp::obs {
 
@@ -66,22 +82,69 @@ struct HistogramSummary {
   double p50 = 0, p95 = 0, p99 = 0;
 };
 
-/// Keeps every recorded sample (runs here are short; a run that records
-/// millions of samples should count instead) and summarizes on demand
-/// with the same interpolation as util/stats percentile().
+/// Which backend a Histogram uses.
+enum class HistogramMode {
+  kStreaming,  ///< fixed-memory log buckets + sliding window (default)
+  kExact,      ///< every raw sample kept; util/stats percentile parity
+};
+
+namespace detail {
+inline std::atomic<HistogramMode> g_histogram_mode{
+    HistogramMode::kStreaming};
+}  // namespace detail
+
+/// Backend newly created registry histograms use.  Tests that assert
+/// exact percentile arithmetic switch to kExact (and restore).
+inline HistogramMode default_histogram_mode() {
+  return detail::g_histogram_mode.load(std::memory_order_relaxed);
+}
+inline void set_default_histogram_mode(HistogramMode mode) {
+  detail::g_histogram_mode.store(mode, std::memory_order_relaxed);
+}
+
+/// Latency/size distribution.  The streaming backend is bounded-memory
+/// and additionally answers window_summary() over the recent sliding
+/// window; the exact backend keeps raw samples (short runs, tests).
 class Histogram {
  public:
+  Histogram() : Histogram(default_histogram_mode()) {}
+  explicit Histogram(HistogramMode mode);
+
   void record(double sample);
   size_t count() const;
   HistogramSummary summary() const;
-  std::vector<double> samples() const;  ///< copy, for tests
+  /// Streaming: summary over the sliding window (cumulative fallback
+  /// when the window is empty).  Exact: same as summary().
+  HistogramSummary window_summary() const;
+  std::vector<double> samples() const;  ///< exact mode only; else empty
+  HistogramMode mode() const { return mode_; }
+  /// Current footprint: fixed for streaming, grows with samples (exact).
+  size_t memory_bytes() const;
 
  private:
-  mutable std::mutex mutex_;
+  HistogramMode mode_;
+  std::unique_ptr<StreamingHistogram> stream_;  ///< streaming mode
+  mutable std::mutex mutex_;                    ///< exact mode
   std::vector<double> samples_;
 };
 
+/// One metric label.  Keys are sanitized to [A-Za-z0-9_]; values are
+/// escaped (backslash, quote, newline) when folded into the metric key,
+/// which makes the encoded form directly reusable by the Prometheus
+/// exporter.
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// `name{k1="v1",k2="v2"}` with labels sorted by key; empty labels
+/// return `name` unchanged.  This is the registry key for a labeled
+/// series.
+std::string labeled_name(const std::string& name, const Labels& labels);
+
 /// Everything the exporters need, decoupled from live metric objects.
+/// Labeled series appear under their encoded labeled_name().
 struct MetricsSnapshot {
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
@@ -92,7 +155,7 @@ struct MetricsSnapshot {
 };
 
 /// Name -> metric map.  Lookup takes a mutex; hold the returned reference
-/// when instrumenting a hot loop.
+/// (or an obs/span.hpp HistogramHandle) when instrumenting a hot loop.
 class Registry {
  public:
   static Registry& global();
@@ -101,13 +164,38 @@ class Registry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  Counter& counter(const std::string& name, const Labels& labels) {
+    return counter(labeled_name(name, labels));
+  }
+  Gauge& gauge(const std::string& name, const Labels& labels) {
+    return gauge(labeled_name(name, labels));
+  }
+  Histogram& histogram(const std::string& name, const Labels& labels) {
+    return histogram(labeled_name(name, labels));
+  }
+
+  /// Read-only lookups (SLO evaluation): nullptr when the metric was
+  /// never recorded.  Pass the encoded labeled_name() for labeled
+  /// series.
+  const Counter* find_counter(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
   MetricsSnapshot snapshot() const;
 
   /// Drop every registered metric (tests; between CLI subcommands).
+  /// Bumps generation() so cached handles re-resolve instead of
+  /// dangling.
   void clear();
+
+  /// Incremented by clear(); obs/span.hpp HistogramHandle compares this
+  /// to decide whether its cached pointer is still valid.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
  private:
   mutable std::mutex mutex_;
+  std::atomic<uint64_t> generation_{0};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
@@ -118,11 +206,21 @@ class Registry {
 inline void count(const std::string& name, double delta = 1.0) {
   if (metrics_enabled()) Registry::global().counter(name).add(delta);
 }
+inline void count(const std::string& name, const Labels& labels,
+                  double delta = 1.0) {
+  if (metrics_enabled())
+    Registry::global().counter(name, labels).add(delta);
+}
 inline void set_gauge(const std::string& name, double value) {
   if (metrics_enabled()) Registry::global().gauge(name).set(value);
 }
 inline void observe(const std::string& name, double sample) {
   if (metrics_enabled()) Registry::global().histogram(name).record(sample);
+}
+inline void observe(const std::string& name, const Labels& labels,
+                    double sample) {
+  if (metrics_enabled())
+    Registry::global().histogram(name, labels).record(sample);
 }
 
 }  // namespace nbwp::obs

@@ -1,8 +1,9 @@
-// Umbrella header for instrumentation sites: metrics + spans.
-// Exporters and manifests are separate includes (only frontends need
-// them).
+// Umbrella header for instrumentation sites: metrics + spans +
+// request-scoped traces.  Exporters, manifests, and SLO evaluation are
+// separate includes (only frontends need them).
 #pragma once
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/span.hpp"     // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"        // IWYU pragma: export
+#include "obs/request_trace.hpp"  // IWYU pragma: export
+#include "obs/span.hpp"           // IWYU pragma: export
+#include "obs/trace.hpp"          // IWYU pragma: export

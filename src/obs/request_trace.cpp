@@ -1,0 +1,208 @@
+#include "obs/request_trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::obs {
+
+namespace {
+
+thread_local TraceContext* t_current_trace = nullptr;
+
+uint64_t next_request_id() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::string label)
+    : active_(metrics_enabled() || trace_enabled()) {
+  if (!active_) return;
+  trace_.id = next_request_id();
+  trace_.label = std::move(label);
+  start_us_ = Tracer::global().now_us();
+  trace_.start_ms = start_us_ / 1e3;
+}
+
+TraceContext::~TraceContext() { finish(); }
+
+void TraceContext::set_class(std::string request_class) {
+  if (!active_) return;
+  std::scoped_lock lock(mutex_);
+  trace_.request_class = std::move(request_class);
+}
+
+void TraceContext::set_fault(bool fault) {
+  if (!active_) return;
+  std::scoped_lock lock(mutex_);
+  trace_.fault = fault;
+}
+
+void TraceContext::add_stage(const char* stage, double start_us,
+                             double dur_us) {
+  if (!active_) return;
+  std::scoped_lock lock(mutex_);
+  if (finished_) return;
+  trace_.stages.push_back({stage, start_us / 1e3, dur_us / 1e3});
+}
+
+double TraceContext::elapsed_ms() const {
+  if (!active_) return 0;
+  return (Tracer::global().now_us() - start_us_) / 1e3;
+}
+
+void TraceContext::finish() {
+  if (!active_) return;
+  RequestTrace done;
+  {
+    std::scoped_lock lock(mutex_);
+    if (finished_) return;
+    finished_ = true;
+    trace_.total_ms = (Tracer::global().now_us() - start_us_) / 1e3;
+    done = std::move(trace_);
+  }
+  if (trace_enabled())
+    Tracer::global().record("serve.request", start_us_, done.total_ms * 1e3);
+  FlightRecorder::global().add(std::move(done));
+}
+
+TraceContext* TraceContext::current() { return t_current_trace; }
+
+TraceContext::Scope::Scope(TraceContext& context)
+    : previous_(t_current_trace) {
+  if (context.active()) {
+    t_current_trace = &context;
+    installed_ = true;
+  }
+}
+
+TraceContext::Scope::~Scope() {
+  if (installed_) t_current_trace = previous_;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::configure(Options options) {
+  std::scoped_lock lock(mutex_);
+  options_ = std::move(options);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+FlightRecorder::Options FlightRecorder::options() const {
+  std::scoped_lock lock(mutex_);
+  return options_;
+}
+
+void FlightRecorder::add(RequestTrace trace) {
+  bool dump = false;
+  std::string dump_path;
+  {
+    std::scoped_lock lock(mutex_);
+    if (options_.capacity == 0) return;
+    trace.breach = options_.latency_threshold_ms > 0 &&
+                   trace.total_ms > options_.latency_threshold_ms;
+    dump = (trace.fault || trace.breach) && !options_.dump_path.empty();
+    dump_path = options_.dump_path;
+    if (trace.breach) count("flight.breaches");
+    if (trace.fault) count("flight.faults");
+    count("flight.recorded");
+    ++recorded_;
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(std::move(trace));
+    } else {
+      ring_[next_] = std::move(trace);
+      next_ = (next_ + 1) % ring_.size();
+    }
+  }
+  // Outside the lock: write_json re-acquires it.
+  if (dump) {
+    write_json_file(dump_path);
+    count("flight.dumps");
+  }
+}
+
+std::vector<RequestTrace> FlightRecorder::recent() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::scoped_lock lock(mutex_);
+  return recorded_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+void FlightRecorder::clear() {
+  std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void FlightRecorder::write_json(std::ostream& os) const {
+  const std::vector<RequestTrace> requests = recent();
+  Options opts;
+  uint64_t total = 0;
+  {
+    std::scoped_lock lock(mutex_);
+    opts = options_;
+    total = recorded_;
+  }
+  os << strfmt("{\"capacity\":%zu,\"recorded\":%llu,\"dropped\":%llu,"
+               "\"latency_threshold_ms\":%.17g,\"requests\":[",
+               opts.capacity, static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(total - requests.size()),
+               opts.latency_threshold_ms);
+  bool first = true;
+  for (const RequestTrace& r : requests) {
+    if (!first) os << ',';
+    first = false;
+    os << strfmt("{\"id\":%llu,\"label\":%s,\"class\":%s,"
+                 "\"start_ms\":%.3f,\"total_ms\":%.3f,"
+                 "\"fault\":%s,\"breach\":%s,\"stages\":[",
+                 static_cast<unsigned long long>(r.id),
+                 json_quote(r.label).c_str(),
+                 json_quote(r.request_class).c_str(), r.start_ms,
+                 r.total_ms, r.fault ? "true" : "false",
+                 r.breach ? "true" : "false");
+    bool first_stage = true;
+    for (const StageTiming& s : r.stages) {
+      if (!first_stage) os << ',';
+      first_stage = false;
+      os << strfmt("{\"stage\":%s,\"start_ms\":%.3f,\"dur_ms\":%.3f}",
+                   json_quote(s.stage).c_str(), s.start_ms, s.dur_ms);
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void FlightRecorder::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  NBWP_REQUIRE(f.good(), "cannot open flight-recorder output " + path);
+  write_json(f);
+}
+
+}  // namespace nbwp::obs

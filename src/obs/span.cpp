@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/request_trace.hpp"
+
 namespace nbwp::obs {
 
 void Span::finish() {
@@ -13,6 +15,8 @@ void Span::finish() {
     Registry::global().histogram(std::string("span.") + name_).record(ns);
   if (trace_enabled())
     Tracer::global().record(name_, ts_us_, ns / 1e3);
+  if (TraceContext* context = TraceContext::current())
+    context->add_stage(name_, ts_us_, ns / 1e3);
 }
 
 }  // namespace nbwp::obs

@@ -1,19 +1,30 @@
-// RAII wall-clock spans.
+// RAII wall-clock spans and cached-handle latency recording.
 //
 //   {
 //     obs::Span span("estimate.identify");
 //     ... work ...
 //   }  // records span.estimate.identify into the histogram registry and,
 //      // when real-time tracing is on, an event on this thread's track.
+//      // When a TraceContext is installed on the thread (request-scoped
+//      // tracing, obs/request_trace.hpp), the closed span is also
+//      // appended to that request's stage list.
 //
 // A span is active when either metrics collection or tracing is enabled
 // at construction; otherwise the constructor is one relaxed load and the
 // destructor a branch.  Spans may nest freely (including across threads:
 // each thread gets its own trace track) — Perfetto renders the nesting
 // from the timestamps.
+//
+// Per-request hot paths that would otherwise pay the Registry name-lookup
+// mutex on every observe() use a HistogramHandle (resolve once, cached
+// across calls, re-resolved after Registry::clear()) and ScopedLatency
+// (RAII milliseconds into a handle picked at scope entry — or at scope
+// exit, for call sites that only learn the request class midway).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +52,79 @@ class Span {
   const char* name_;
   bool active_ = false;
   double ts_us_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A lazily resolved, cached reference to a registry histogram.  The
+/// first get() pays the Registry mutex once; later calls are two relaxed
+/// atomic loads.  Registry::clear() bumps the registry generation, which
+/// invalidates the cache and forces a re-resolve — so handles may be
+/// long-lived members (e.g. per PlanService) without dangling across
+/// test/CLI-subcommand clears.
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(std::string name, Labels labels = {})
+      : key_(labeled_name(name, labels)) {}
+
+  Histogram& get() {
+    const uint64_t generation = Registry::global().generation();
+    if (generation_.load(std::memory_order_acquire) == generation)
+      return *cached_.load(std::memory_order_relaxed);
+    Histogram& h = Registry::global().histogram(key_);
+    cached_.store(&h, std::memory_order_relaxed);
+    generation_.store(generation, std::memory_order_release);
+    return h;
+  }
+
+  /// record() through the cache, gated like obs::observe().
+  void observe(double sample) {
+    if (metrics_enabled()) get().record(sample);
+  }
+
+  const std::string& key() const { return key_; }
+
+ private:
+  std::string key_;
+  std::atomic<Histogram*> cached_{nullptr};
+  std::atomic<uint64_t> generation_{~uint64_t{0}};
+};
+
+/// RAII latency scope recording elapsed *milliseconds* into a
+/// HistogramHandle on destruction.  The handle may be bound late
+/// (set_handle) for call sites that only know which series to hit —
+/// e.g. the request class — after the work ran; scopes with no handle
+/// record nothing.  Inert (one relaxed load) while metrics are off.
+class ScopedLatency {
+ public:
+  ScopedLatency() {
+    if (!metrics_enabled()) return;
+    active_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+  explicit ScopedLatency(HistogramHandle& handle) : ScopedLatency() {
+    handle_ = &handle;
+  }
+
+  ~ScopedLatency() {
+    if (active_ && handle_) handle_->get().record(elapsed_ms());
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  void set_handle(HistogramHandle& handle) { handle_ = &handle; }
+  bool active() const { return active_; }
+
+  double elapsed_ms() const {
+    if (!active_) return 0;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  bool active_ = false;
+  HistogramHandle* handle_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 };
 

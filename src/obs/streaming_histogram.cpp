@@ -1,0 +1,196 @@
+#include "obs/streaming_histogram.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace nbwp::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void StreamingHistogram::Slice::add(int bucket, double sample) {
+  buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(sample, std::memory_order_relaxed);
+  atomic_min(min, sample);
+  atomic_max(max, sample);
+}
+
+void StreamingHistogram::Slice::reset(double now_s) {
+  for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0.0, std::memory_order_relaxed);
+  min.store(kInf, std::memory_order_relaxed);
+  max.store(-kInf, std::memory_order_relaxed);
+  start_s.store(now_s, std::memory_order_relaxed);
+}
+
+StreamingHistogram::StreamingHistogram(Options options,
+                                       std::function<double()> clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : steady_seconds) {
+  options_.slices = std::max(1, options_.slices);
+  options_.slice_seconds = std::max(1e-6, options_.slice_seconds);
+  const double now = clock_();
+  total_.reset(now);
+  slices_.reserve(static_cast<size_t>(options_.slices));
+  for (int i = 0; i < options_.slices; ++i) {
+    slices_.push_back(std::make_unique<Slice>());
+    // Only slice 0 starts live; the others report an ancient start so an
+    // early window_summary() does not count never-used slices as fresh.
+    slices_.back()->reset(i == 0 ? now : -kInf);
+  }
+  slice_expiry_s_.store(now + options_.slice_seconds,
+                        std::memory_order_relaxed);
+}
+
+int StreamingHistogram::bucket_of(double sample) {
+  if (!(sample > 0)) return 0;  // zero, negative, NaN clamp low
+  const double idx = std::floor(std::log2(sample) * kSubBucketsPerOctave) -
+                     static_cast<double>(kMinExponent * kSubBucketsPerOctave);
+  if (idx < 0) return 0;
+  if (idx >= kBucketCount) return kBucketCount - 1;
+  return static_cast<int>(idx);
+}
+
+double StreamingHistogram::bucket_value(int bucket) {
+  return std::exp2((bucket + 0.5) / kSubBucketsPerOctave + kMinExponent);
+}
+
+void StreamingHistogram::rotate(double now_s) {
+  std::scoped_lock lock(rotate_mutex_);
+  double expiry = slice_expiry_s_.load(std::memory_order_relaxed);
+  if (now_s < expiry) return;  // another thread already rotated
+  const double window =
+      options_.slice_seconds * static_cast<double>(options_.slices);
+  size_t cur = current_.load(std::memory_order_relaxed);
+  if (now_s - expiry > window) {
+    // Idle longer than the whole window: every slice is stale.
+    for (auto& slice : slices_) slice->reset(-kInf);
+    cur = 0;
+    slices_[0]->reset(now_s);
+    expiry = now_s + options_.slice_seconds;
+  } else {
+    while (expiry <= now_s) {
+      cur = (cur + 1) % slices_.size();
+      slices_[cur]->reset(expiry);
+      expiry += options_.slice_seconds;
+    }
+  }
+  current_.store(cur, std::memory_order_release);
+  slice_expiry_s_.store(expiry, std::memory_order_relaxed);
+}
+
+void StreamingHistogram::record(double sample) {
+  const double now = clock_();
+  if (now >= slice_expiry_s_.load(std::memory_order_relaxed)) rotate(now);
+  const int bucket = bucket_of(sample);
+  total_.add(bucket, sample);
+  slices_[current_.load(std::memory_order_acquire)]->add(bucket, sample);
+}
+
+size_t StreamingHistogram::count() const {
+  return total_.count.load(std::memory_order_relaxed);
+}
+
+HistogramSummary StreamingHistogram::summarize_slices(
+    const std::vector<const Slice*>& parts) const {
+  HistogramSummary s;
+  std::vector<uint64_t> merged(kBucketCount, 0);
+  double min = kInf, max = -kInf;
+  for (const Slice* part : parts) {
+    const uint64_t n = part->count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    s.count += n;
+    s.sum += part->sum.load(std::memory_order_relaxed);
+    min = std::min(min, part->min.load(std::memory_order_relaxed));
+    max = std::max(max, part->max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBucketCount; ++b)
+      merged[b] += part->buckets[b].load(std::memory_order_relaxed);
+  }
+  if (s.count == 0) return s;
+  s.min = min;
+  s.max = max;
+  s.mean = s.sum / static_cast<double>(s.count);
+  auto percentile = [&](double p) {
+    const double target =
+        p / 100.0 * static_cast<double>(s.count - 1);
+    uint64_t cum = 0;
+    for (int b = 0; b < kBucketCount; ++b) {
+      cum += merged[b];
+      if (static_cast<double>(cum) > target)
+        return std::clamp(bucket_value(b), min, max);
+    }
+    return max;
+  };
+  s.p50 = percentile(50.0);
+  s.p95 = percentile(95.0);
+  s.p99 = percentile(99.0);
+  return s;
+}
+
+HistogramSummary StreamingHistogram::summary() const {
+  return summarize_slices({&total_});
+}
+
+HistogramSummary StreamingHistogram::window_summary() const {
+  const double now = clock_();
+  const double window =
+      options_.slice_seconds * static_cast<double>(options_.slices);
+  std::vector<const Slice*> live;
+  for (const auto& slice : slices_) {
+    const double start = slice->start_s.load(std::memory_order_relaxed);
+    if (now - start <= window) live.push_back(slice.get());
+  }
+  HistogramSummary s = summarize_slices(live);
+  if (s.count == 0) return summary();
+  return s;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  const uint64_t n = other.total_.count.load(std::memory_order_relaxed);
+  if (n == 0) return;
+  for (int b = 0; b < kBucketCount; ++b) {
+    const uint64_t c =
+        other.total_.buckets[b].load(std::memory_order_relaxed);
+    if (c) total_.buckets[b].fetch_add(c, std::memory_order_relaxed);
+  }
+  total_.count.fetch_add(n, std::memory_order_relaxed);
+  total_.sum.fetch_add(other.total_.sum.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  atomic_min(total_.min, other.total_.min.load(std::memory_order_relaxed));
+  atomic_max(total_.max, other.total_.max.load(std::memory_order_relaxed));
+}
+
+size_t StreamingHistogram::memory_bytes() const {
+  const size_t per_slice = sizeof(Slice) + kBucketCount * sizeof(uint64_t);
+  return sizeof(*this) + (slices_.size() + 1) * per_slice;
+}
+
+}  // namespace nbwp::obs

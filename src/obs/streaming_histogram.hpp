@@ -1,0 +1,126 @@
+// Fixed-memory streaming histograms (HDR-style log bucketing).
+//
+// The exact-sample obs::Histogram keeps every recorded value, which is
+// fine for short experiment runs and hopeless for serving traffic: one
+// million requests through `serve.request_ms` would hold one million
+// doubles per metric.  StreamingHistogram bounds memory by construction:
+// samples land in geometrically spaced buckets (16 per power of two, so
+// a reported percentile is within ~2.2 % of the bucketed order statistic
+// and within one bucket width — relative_error() — of the exact value),
+// and the bucket array size never depends on the sample count.
+//
+// Two views are maintained concurrently:
+//
+//   * a cumulative histogram over the instance's lifetime (summary());
+//   * a sliding time window of `slices` sub-histograms, each covering
+//     `slice_seconds` of wall clock (window_summary()).  record() lands
+//     in the current slice; slices older than the window are recycled
+//     in place, so a long run always answers "what were the percentiles
+//     over the last slices x slice_seconds" — the signal SloMonitor
+//     evaluates burn rates against.
+//
+// All mutation is lock-free in the common case (relaxed atomics per
+// bucket; min/max via CAS); only slice rotation takes a mutex, at most
+// once per slice_seconds.  merge() folds another instance's cumulative
+// counts in, so sharded or per-thread histograms can be combined.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nbwp::obs {
+
+struct HistogramSummary;  // metrics.hpp
+
+class StreamingHistogram {
+ public:
+  /// Geometric bucketing: 16 sub-buckets per power of two covering
+  /// [2^-20, 2^40) ~ [9.5e-7, 1.1e12).  Values outside clamp into the
+  /// first/last bucket; zero, negative and NaN samples clamp low.
+  static constexpr int kSubBucketsPerOctave = 16;
+  static constexpr int kMinExponent = -20;
+  static constexpr int kMaxExponent = 40;
+  static constexpr int kBucketCount =
+      (kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
+
+  struct Options {
+    int slices = 8;              ///< sub-histograms in the sliding window
+    double slice_seconds = 0.5;  ///< wall-clock span of one slice
+  };
+
+  /// `clock` returns seconds since an arbitrary epoch; the default reads
+  /// std::chrono::steady_clock.  Tests inject a fake clock to drive
+  /// slice rotation deterministically.  (Two overloads rather than a
+  /// defaulted Options argument: GCC rejects `= {}` for a nested
+  /// aggregate with member initializers inside the enclosing class.)
+  StreamingHistogram() : StreamingHistogram(Options{}) {}
+  explicit StreamingHistogram(Options options,
+                              std::function<double()> clock = {});
+
+  void record(double sample);
+
+  size_t count() const;
+
+  /// Cumulative lifetime summary.  count/sum/min/max are exact;
+  /// percentiles are bucket midpoints (see relative_error()).
+  HistogramSummary summary() const;
+
+  /// Summary over the sliding window (the last slices x slice_seconds).
+  /// Falls back to the cumulative summary when the window is empty, so a
+  /// just-finished run still evaluates.
+  HistogramSummary window_summary() const;
+
+  /// Fold `other`'s cumulative counts into this instance (windows are
+  /// not merged — merge combines lifetime views across shards).
+  void merge(const StreamingHistogram& other);
+
+  /// Worst-case relative error of a reported percentile vs the bucketed
+  /// order statistic: half a bucket in log space, ~2.2 %.  Against the
+  /// exact interpolated percentile the bound is one full bucket width
+  /// (~4.4 %).
+  static double relative_error() {
+    return std::exp2(0.5 / kSubBucketsPerOctave) - 1.0;
+  }
+
+  /// Fixed footprint in bytes, independent of how many samples were
+  /// recorded — the memory-bound claim tests pin.
+  size_t memory_bytes() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slice {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<double> start_s{0.0};  ///< when this slice became current
+
+    Slice() : buckets(kBucketCount) {}
+    void add(int bucket, double sample);
+    void reset(double now_s);
+  };
+
+  static int bucket_of(double sample);
+  static double bucket_value(int bucket);
+
+  void rotate(double now_s);
+  HistogramSummary summarize_slices(
+      const std::vector<const Slice*>& parts) const;
+
+  Options options_;
+  std::function<double()> clock_;
+  Slice total_;
+  std::vector<std::unique_ptr<Slice>> slices_;
+  std::atomic<size_t> current_{0};
+  std::atomic<double> slice_expiry_s_;
+  std::mutex rotate_mutex_;
+};
+
+}  // namespace nbwp::obs

@@ -67,14 +67,43 @@ uint64_t platform_key_of(const hetsim::Platform& platform) {
 PlanService::PlanService(Options options)
     : options_(options), cache_(options.cache) {}
 
+obs::HistogramHandle& PlanService::class_series(
+    const PlannedPartition& result) {
+  if (result.stage != core::FallbackStage::kSampled) return degraded_ms_;
+  switch (result.cache) {
+    case HitKind::kExact: return exact_ms_;
+    case HitKind::kNear: return near_ms_;
+    case HitKind::kMiss: return miss_ms_;
+  }
+  return miss_ms_;
+}
+
+namespace {
+
+const char* class_name(const PlannedPartition& result) {
+  if (result.stage != core::FallbackStage::kSampled) return "degraded";
+  return hit_kind_name(result.cache);
+}
+
+}  // namespace
+
 PlannedPartition PlanService::run_job(const PlanRequest& request) {
-  const double start_ms = now_ms();
+  // The trace follows this request through lookup, solve (whose
+  // estimate.* spans attach as stages) and insert, and lands in the
+  // flight recorder on finish; the latency scopes feed serve.plan_ms and
+  // the per-class serve.request_ms series through cached handles.
+  obs::TraceContext trace(request.id);
+  obs::TraceContext::Scope scope(trace);
+  obs::ScopedLatency plan_latency(plan_ms_);
+  obs::ScopedLatency class_latency;
   PlannedPartition out;
   out.id = request.id;
 
   CacheLookup hit;
-  if (options_.cache_enabled)
+  if (options_.cache_enabled) {
+    obs::Span span("serve.lookup");
     hit = cache_.lookup(request.key(), request.fingerprint);
+  }
   out.cache = hit.kind;
 
   if (hit.kind == HitKind::kExact) {
@@ -85,14 +114,21 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
     out.stage = hit.plan.stage;
     out.evaluations = 0;
     out.evals_saved = hit.plan.cold_evaluations;
-    obs::observe("serve.plan_ms", now_ms() - start_ms);
+    obs::count("serve.requests", {{"class", class_name(out)}});
+    trace.set_class(class_name(out));
+    class_latency.set_handle(class_series(out));
+    request_ms_.observe(plan_latency.elapsed_ms());
     return out;
   }
 
   const double warm_share =
       hit.kind == HitKind::kNear ? hit.plan.cpu_share : -1.0;
   if (hit.kind == HitKind::kNear) obs::count("serve.warm_starts");
-  const PlanOutcome planned = request.solve(warm_share);
+  PlanOutcome planned;
+  {
+    obs::Span span("serve.solve");
+    planned = request.solve(warm_share);
+  }
 
   out.threshold = planned.threshold;
   out.objective_ns = planned.objective_ns;
@@ -111,6 +147,7 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
   // carry no identified optimum to warm-start from.
   if (options_.cache_enabled &&
       planned.stage == core::FallbackStage::kSampled) {
+    obs::Span span("serve.insert");
     PartitionPlan plan;
     plan.threshold = planned.threshold;
     plan.objective_ns = planned.objective_ns;
@@ -125,7 +162,11 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
     plan.provenance = request.id;
     cache_.insert(request.key(), request.fingerprint, plan);
   }
-  obs::observe("serve.plan_ms", now_ms() - start_ms);
+  obs::count("serve.requests", {{"class", class_name(out)}});
+  trace.set_class(class_name(out));
+  trace.set_fault(out.stage != core::FallbackStage::kSampled);
+  class_latency.set_handle(class_series(out));
+  request_ms_.observe(plan_latency.elapsed_ms());
   return out;
 }
 
@@ -151,18 +192,21 @@ std::vector<PlannedPartition> PlanService::plan_all(
   };
   std::map<std::pair<uint64_t, uint64_t>, size_t> group_of;
   std::vector<Group> groups;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    uint64_t key_hash = combine_str(0x73657276, requests[i].algorithm);
-    key_hash = mix64(key_hash ^ requests[i].platform_key);
-    key_hash = mix64(key_hash ^ requests[i].fingerprint.bucket);
-    const std::pair<uint64_t, uint64_t> ident{
-        key_hash, requests[i].fingerprint.exact_hash};
-    auto [it, inserted] = group_of.try_emplace(ident, groups.size());
-    if (inserted) {
-      groups.push_back({i, {}});
-    } else {
-      groups[it->second].followers.push_back(i);
-      obs::count("serve.dedup.coalesced");
+  {
+    obs::Span dedup_span("serve.dedup");
+    for (size_t i = 0; i < requests.size(); ++i) {
+      uint64_t key_hash = combine_str(0x73657276, requests[i].algorithm);
+      key_hash = mix64(key_hash ^ requests[i].platform_key);
+      key_hash = mix64(key_hash ^ requests[i].fingerprint.bucket);
+      const std::pair<uint64_t, uint64_t> ident{
+          key_hash, requests[i].fingerprint.exact_hash};
+      auto [it, inserted] = group_of.try_emplace(ident, groups.size());
+      if (inserted) {
+        groups.push_back({i, {}});
+      } else {
+        groups[it->second].followers.push_back(i);
+        obs::count("serve.dedup.coalesced");
+      }
     }
   }
 
@@ -190,10 +234,16 @@ std::vector<PlannedPartition> PlanService::plan_all(
       follower.evals_saved = lead.evals_saved + lead.evaluations;
       saved += follower.evals_saved;
       results[fi] = std::move(follower);
+      // Followers never ran a job; give each a zero-work trace so the
+      // flight recorder still accounts for every request in the batch.
+      obs::TraceContext trace(requests[fi].id);
+      trace.set_class("coalesced");
+      trace.finish();
+      obs::count("serve.requests", {{"class", "coalesced"}});
     }
   }
   obs::count("serve.evals_saved", saved);
-  obs::observe("serve.batch_ms", now_ms() - start_ms);
+  batch_ms_.observe(now_ms() - start_ms);
   log_debug(strfmt(
       "plan_all: %zu requests, %zu distinct jobs, %.0f evaluations saved",
       requests.size(), groups.size(), saved));

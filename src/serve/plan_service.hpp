@@ -42,6 +42,7 @@
 
 #include "core/robust_estimate.hpp"
 #include "hetsim/platform.hpp"
+#include "obs/span.hpp"
 #include "parallel/parallel_for.hpp"
 #include "serve/plan_cache.hpp"
 
@@ -119,9 +120,25 @@ class PlanService {
 
  private:
   PlannedPartition run_job(const PlanRequest& request);
+  /// The per-class latency series a finished job records into, e.g.
+  /// serve.request_ms{class="exact"}.
+  obs::HistogramHandle& class_series(const PlannedPartition& result);
 
   Options options_;
   PlanCache cache_;
+  // Cached histogram handles: every request records latency into
+  // serve.request_ms plus its per-class series, and re-resolving those
+  // names through the Registry mutex per request would put a lock on the
+  // serving hot path.  Handles resolve once and survive Registry::clear()
+  // (they re-resolve on generation change).
+  obs::HistogramHandle request_ms_{"serve.request_ms"};
+  obs::HistogramHandle exact_ms_{"serve.request_ms", {{"class", "exact"}}};
+  obs::HistogramHandle near_ms_{"serve.request_ms", {{"class", "near"}}};
+  obs::HistogramHandle miss_ms_{"serve.request_ms", {{"class", "miss"}}};
+  obs::HistogramHandle degraded_ms_{"serve.request_ms",
+                                    {{"class", "degraded"}}};
+  obs::HistogramHandle plan_ms_{"serve.plan_ms"};
+  obs::HistogramHandle batch_ms_{"serve.batch_ms"};
 };
 
 /// Bind a problem to a PlanRequest.  The problem is moved into the

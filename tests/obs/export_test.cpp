@@ -131,6 +131,8 @@ obs::MetricsSnapshot sample_snapshot() {
   obs::MetricsSnapshot snap;
   snap.counters["identify.coarse_to_fine.evaluations"] = 42;
   snap.counters["weird \"name\"\t"] = 1;  // must be escaped
+  snap.counters[obs::labeled_name("serve.requests",
+                                  {{"class", "exact"}})] = 7;
   snap.gauges["pool.utilization"] = 0.875;
   obs::HistogramSummary h;
   h.count = 3;
@@ -174,21 +176,93 @@ TEST(Export, CsvHasHeaderAndOneRowPerStat) {
     ++rows;
     EXPECT_GE(std::count(line.begin(), line.end(), ','), 3);
   }
-  // 2 counters + 1 gauge + 8 histogram stats.
-  EXPECT_EQ(rows, 11u);
+  // 3 counters + 1 gauge + 8 histogram stats.
+  EXPECT_EQ(rows, 12u);
+  // Labeled names contain commas and quotes: the field must be
+  // RFC-4180-quoted so the row still parses into four fields.
+  EXPECT_NE(os.str().find("counter,\"serve.requests{class=\"\"exact\"\"}\""),
+            std::string::npos)
+      << os.str();
 }
 
 TEST(Export, PrometheusSanitizesNamesAndEmitsQuantiles) {
   std::ostringstream os;
   obs::write_metrics_prometheus(os, sample_snapshot());
   const std::string out = os.str();
-  EXPECT_NE(out.find("nbwp_identify_coarse_to_fine_evaluations 42"),
+  // Counters carry the conventional _total suffix.
+  EXPECT_NE(out.find("nbwp_identify_coarse_to_fine_evaluations_total 42"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("nbwp_identify_coarse_to_fine_evaluations 42"),
             std::string::npos);
   EXPECT_NE(out.find("nbwp_pool_utilization 0.875"), std::string::npos);
   EXPECT_NE(out.find("nbwp_span_estimate{quantile=\"0.99\"}"),
             std::string::npos);
   EXPECT_NE(out.find("nbwp_span_estimate_count 3"), std::string::npos);
   EXPECT_NE(out.find("nbwp_span_estimate_sum 6"), std::string::npos);
+}
+
+TEST(Export, PrometheusEmitsHelpAndTypePerFamily) {
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os, sample_snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(
+      out.find("# HELP nbwp_identify_coarse_to_fine_evaluations_total"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("# TYPE nbwp_identify_coarse_to_fine_evaluations_total "
+               "counter"),
+      std::string::npos);
+  EXPECT_NE(out.find("# TYPE nbwp_pool_utilization gauge"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE nbwp_span_estimate summary"),
+            std::string::npos);
+  // Every sample line's metric belongs to the family most recently
+  // declared by a # TYPE line (exposition-format requirement).
+  std::istringstream in(out);
+  std::string line, family;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line);
+      std::string hash, type;
+      fields >> hash >> type >> family;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::string metric = line.substr(0, line.find_first_of("{ "));
+    const bool in_family =
+        metric == family || metric == family + "_sum" ||
+        metric == family + "_count";
+    EXPECT_TRUE(in_family) << metric << " outside family " << family;
+  }
+}
+
+TEST(Export, PrometheusLabeledSeriesShareFamilyAndEscapeValues) {
+  obs::MetricsSnapshot snap;
+  snap.counters[obs::labeled_name("serve.requests",
+                                  {{"class", "exact"}})] = 7;
+  snap.counters[obs::labeled_name("serve.requests",
+                                  {{"class", "mi\"ss\\"}})] = 2;
+  snap.counters["serve.requests"] = 9;
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os, snap);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("nbwp_serve_requests_total{class=\"exact\"} 7"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(
+      out.find("nbwp_serve_requests_total{class=\"mi\\\"ss\\\\\"} 2"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("nbwp_serve_requests_total 9"), std::string::npos);
+  // One HELP header covers the whole family, labeled and unlabeled.
+  size_t helps = 0, pos = 0;
+  while ((pos = out.find("# HELP nbwp_serve_requests_total", pos)) !=
+         std::string::npos) {
+    ++helps;
+    ++pos;
+  }
+  EXPECT_EQ(helps, 1u);
 }
 
 TEST(Export, ManifestJsonIsValidAndSelfDescribing) {

@@ -79,8 +79,13 @@ TEST_F(MetricsFixture, RegistryLookupRacesAreSafe) {
   EXPECT_EQ(snap.histograms.at("samples").count, 4000u);
 }
 
-TEST_F(MetricsFixture, HistogramSummaryMatchesUtilStats) {
+TEST_F(MetricsFixture, ExactModeHistogramSummaryMatchesUtilStats) {
+  // Streaming is the default; exact-sample mode stays available for
+  // tests that need bit-exact percentiles.
+  obs::set_default_histogram_mode(obs::HistogramMode::kExact);
   obs::Histogram& h = obs::Registry::global().histogram("lat");
+  obs::set_default_histogram_mode(obs::HistogramMode::kStreaming);
+  ASSERT_EQ(h.mode(), obs::HistogramMode::kExact);
   std::vector<double> xs;
   for (int i = 0; i < 997; ++i) {
     const double v = std::fmod(i * 37.0, 101.0);
@@ -94,6 +99,37 @@ TEST_F(MetricsFixture, HistogramSummaryMatchesUtilStats) {
   EXPECT_DOUBLE_EQ(s.p99, percentile(std::span<const double>(xs), 99.0));
   EXPECT_DOUBLE_EQ(s.min, 0.0);
   EXPECT_DOUBLE_EQ(s.mean, mean(std::span<const double>(xs)));
+}
+
+TEST_F(MetricsFixture, DefaultHistogramIsStreamingWithBoundedSamples) {
+  obs::Histogram& h = obs::Registry::global().histogram("stream_lat");
+  ASSERT_EQ(h.mode(), obs::HistogramMode::kStreaming);
+  const size_t bytes_before = h.memory_bytes();
+  for (int i = 0; i < 50000; ++i) h.record(1.0 + (i % 100));
+  EXPECT_EQ(h.count(), 50000u);
+  EXPECT_TRUE(h.samples().empty());  // no per-sample storage
+  EXPECT_EQ(h.memory_bytes(), bytes_before);
+}
+
+TEST_F(MetricsFixture, LabeledCountersAreDistinctSeries) {
+  obs::count("serve.requests", {{"class", "exact"}});
+  obs::count("serve.requests", {{"class", "exact"}});
+  obs::count("serve.requests", {{"class", "miss"}});
+  obs::count("serve.requests");
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("serve.requests{class=\"exact\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.counters.at("serve.requests{class=\"miss\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.counters.at("serve.requests"), 1.0);
+}
+
+TEST_F(MetricsFixture, LabeledNameSortsKeysAndEscapesValues) {
+  EXPECT_EQ(obs::labeled_name("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(obs::labeled_name("m", {{"k", "a\"b\\c"}}),
+            "m{k=\"a\\\"b\\\\c\"}");
+  EXPECT_EQ(obs::labeled_name("m", {{"bad key!", "v"}}),
+            "m{bad_key_=\"v\"}");
+  EXPECT_EQ(obs::labeled_name("m", {}), "m");
 }
 
 TEST_F(MetricsFixture, PoolRegionsReportUtilization) {
