@@ -12,14 +12,17 @@
 #include <utility>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/sampling.hpp"
 #include "sparse/load_vector.hpp"
 #include "sparse/spgemm.hpp"
+#include "sparse/spgemm_plan.hpp"
 #include "sparse/spmv.hpp"
 #include "sort/sort_kernels.hpp"
 #include "graph/list_ranking.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 using namespace nbwp;
@@ -62,6 +65,46 @@ void BM_CcUnionFind(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
 BENCHMARK(BM_CcUnionFind)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+graph::CsrGraph make_scalefree_graph(int64_t n) {
+  Rng rng(7);
+  return graph::preferential_attachment(static_cast<graph::Vertex>(n), 8,
+                                        rng);
+}
+
+// Args: {vertices, workers}.  Label propagation floods min-labels over
+// every edge per round; the sampling-based adaptive kernel links a couple
+// of neighbors per vertex, finds the giant component from a 1k sample,
+// and skips its vertices in phase 2.  The committed BENCH_kernels.json
+// and the CI gate (scripts/check_bench_regression.py) key on the
+// Adaptive-vs-LabelProp ratio per worker count, which is
+// machine-independent.
+void BM_CcLabelProp(benchmark::State& state) {
+  const auto g = make_scalefree_graph(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::cc_label_propagation(g, pool).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcLabelProp)
+    ->Args({1 << 14, 2})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 8});
+
+void BM_CcAdaptive(benchmark::State& state) {
+  const auto g = make_scalefree_graph(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::cc_adaptive(g, pool).num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcAdaptive)
+    ->Args({1 << 14, 2})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 8});
 
 void BM_PrefixCutProfile(benchmark::State& state) {
   const auto g = make_bench_graph(state.range(0));
@@ -327,6 +370,93 @@ void BM_Spmv(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_Spmv)->Arg(1 << 12)->Arg(1 << 16);
+
+/// The pre-blocking parallel SpMV, copied verbatim from the seed kernel it
+/// replaced: one parallel_for index per row, each calling a row-range
+/// helper that re-validates the operands (as the seed's spmv_row_range
+/// did) before the scalar left-to-right dot product.  Kept bench-local so
+/// the row-blocked + SIMD kernel always has the kernel it replaced to
+/// beat; the CI gate keys on the Blocked-vs-this ratio per worker count.
+void spmv_row_range_seed(const sparse::CsrMatrix& a, std::span<const double> x,
+                         std::span<double> y, sparse::Index first,
+                         sparse::Index last) {
+  NBWP_REQUIRE(x.size() == a.cols(), "x size mismatch");
+  NBWP_REQUIRE(y.size() == a.rows(), "y size mismatch");
+  NBWP_REQUIRE(first <= last && last <= a.rows(), "row range invalid");
+  for (sparse::Index r = first; r < last; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    double acc = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i) acc += vals[i] * x[cols[i]];
+    y[r] = acc;
+  }
+}
+
+std::vector<double> spmv_parallel_rowwise(const sparse::CsrMatrix& a,
+                                          std::span<const double> x,
+                                          ThreadPool& pool) {
+  std::vector<double> y(a.rows(), 0.0);
+  parallel_for(pool, 0, a.rows(), [&](int64_t r) {
+    spmv_row_range_seed(a, x, y, static_cast<sparse::Index>(r),
+                        static_cast<sparse::Index>(r) + 1);
+  });
+  return y;
+}
+
+// Args: {rows, workers}, on the skewed scale-free matrix (a few rows hold
+// most of the nnz, so equal row counts starve the team and short rows
+// dominate the row count).
+void BM_SpmvParallelRowwise(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  std::vector<double> x(a.cols(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv_parallel_rowwise(a, x, pool).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvParallelRowwise)
+    ->Args({1 << 14, 2})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 8});
+
+void BM_SpmvParallelBlocked(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  std::vector<double> x(a.cols(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmv_parallel(a, x, pool).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvParallelBlocked)
+    ->Args({1 << 14, 2})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 8});
+
+// Fixed-pattern re-multiply, the HeteroSpmm threshold-sweep scenario:
+// the full kernel pays symbolic + numeric every time, the planned kernel
+// builds the symbolic plan once outside the loop and replays numeric-only
+// products over it.  Acceptance (and the CI ratio gate): numeric-only
+// re-multiplies at least 1.5x faster.
+void BM_SpgemmFullRemultiply(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spgemm_parallel(a, a, pool).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmFullRemultiply)->Arg(1 << 12);
+
+void BM_SpgemmNumericRemultiply(benchmark::State& state) {
+  const auto a = make_skewed_matrix(state.range(0));
+  ThreadPool pool(4);
+  const sparse::SpgemmPlan plan = sparse::spgemm_plan(a, a, pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spgemm_numeric(a, a, plan, pool).nnz());
+  }
+}
+BENCHMARK(BM_SpgemmNumericRemultiply)->Arg(1 << 12);
 
 void BM_GpuRadixSort(benchmark::State& state) {
   Rng rng(7);

@@ -44,6 +44,7 @@
 #include "obs/request_trace.hpp"
 #include "obs/slo.hpp"
 #include "serve/serve.hpp"
+#include "sparse/spgemm.hpp"
 #include "util/json.hpp"
 #include "util/strfmt.hpp"
 #include "util/table.hpp"
@@ -289,9 +290,13 @@ int main(int argc, char** argv) {
   const int stress_requests =
       static_cast<int>(cli.integer("stress-requests"));
   StressStats stress;
-  if (stress_requests > 0)
+  if (stress_requests > 0) {
+    // Phase boundary: the stress phase's manifest gauges must report its
+    // own arena peak, not the planning rounds'.
+    sparse::spgemm_workspace_reset_high_water();
     stress = run_stress(service, options, stress_requests,
                         cli.real("arrival-hz"), perturb_seed);
+  }
 
   bool exact_identical = true;
   for (size_t i = 0; i < rounds[0].plans.size(); ++i) {

@@ -47,7 +47,7 @@ echo "bench_snapshot: loadavg $(cut -d' ' -f1-3 /proc/loadavg 2>/dev/null || ech
 # gate keys on the min over repetitions.  These entries replace the
 # full-suite ones in the snapshot.
 "$BUILD_DIR/bench/kernels_microbench" \
-  --benchmark_filter='BM_SpgemmParallel(Adaptive)?/|BM_SpgemmBandedParallel' \
+  --benchmark_filter='BM_SpgemmParallel(Adaptive)?/|BM_SpgemmBandedParallel|BM_Cc(LabelProp|Adaptive)/|BM_SpmvParallel(Rowwise|Blocked)/|BM_Spgemm(Full|Numeric)Remultiply' \
   --benchmark_min_time=0.3 \
   --benchmark_repetitions="$REPS" \
   --benchmark_enable_random_interleaving=true \

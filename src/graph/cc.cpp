@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace nbwp::graph {
 
@@ -66,7 +67,150 @@ void dfs_range(const CsrGraph& g, Vertex first, Vertex last,
   }
 }
 
+// ---- cc_adaptive internals (Afforest-style min-hooking union-find) ----
+//
+// The concurrent phases touch `parent` only through std::atomic_ref with
+// relaxed ordering: hooks always attach the larger root under the smaller
+// (parent[v] <= v is an invariant, values only ever decrease), so chases
+// terminate under concurrent writes and converged roots are component
+// minima — which makes the final labels deterministic regardless of team
+// size or interleaving.
+
+inline Vertex load_parent(std::span<Vertex> parent, Vertex v) {
+  return std::atomic_ref<Vertex>(parent[v]).load(std::memory_order_relaxed);
+}
+
+inline Vertex find_root(std::span<Vertex> parent, Vertex v) {
+  Vertex p = load_parent(parent, v);
+  for (;;) {
+    const Vertex gp = load_parent(parent, p);
+    if (gp == p) return p;
+    p = gp;
+  }
+}
+
+/// Union the components of u and v, hooking the larger root under the
+/// smaller (GAPBS Afforest's Link, arbitration by CAS).
+void link_min(std::span<Vertex> parent, Vertex u, Vertex v) {
+  Vertex p1 = load_parent(parent, u);
+  Vertex p2 = load_parent(parent, v);
+  while (p1 != p2) {
+    const Vertex high = std::max(p1, p2);
+    const Vertex low = std::min(p1, p2);
+    std::atomic_ref<Vertex> ph(parent[high]);
+    Vertex p_high = ph.load(std::memory_order_relaxed);
+    if (p_high == low) break;
+    if (p_high == high &&
+        ph.compare_exchange_strong(p_high, low, std::memory_order_relaxed))
+      break;
+    p1 = load_parent(parent, load_parent(parent, high));
+    p2 = load_parent(parent, low);
+  }
+}
+
+/// parent[v] <- root of v for every vertex (parallel; concurrent stores
+/// only move pointers further toward roots, so chases stay finite).
+void compress_parallel(std::span<Vertex> parent, ThreadPool& pool) {
+  parallel_for(pool, 0, static_cast<int64_t>(parent.size()), [&](int64_t v) {
+    const Vertex root = find_root(parent, static_cast<Vertex>(v));
+    std::atomic_ref<Vertex>(parent[static_cast<size_t>(v)])
+        .store(root, std::memory_order_relaxed);
+  });
+}
+
+struct GiantEstimate {
+  Vertex root = 0;
+  double fraction = 0.0;
+};
+
+/// Mode root among sample_size vertices drawn with replacement.
+GiantEstimate sample_giant(std::span<Vertex> parent, uint32_t sample_size,
+                           uint64_t seed) {
+  const auto n = static_cast<Vertex>(parent.size());
+  const uint32_t samples = static_cast<uint32_t>(
+      std::min<uint64_t>(sample_size == 0 ? 1 : sample_size, n));
+  Rng rng(seed);
+  std::vector<Vertex> roots(samples);
+  for (auto& r : roots)
+    r = find_root(parent, static_cast<Vertex>(rng.uniform(n)));
+  std::sort(roots.begin(), roots.end());
+  GiantEstimate best;
+  size_t i = 0;
+  while (i < roots.size()) {
+    size_t j = i;
+    while (j < roots.size() && roots[j] == roots[i]) ++j;
+    if (static_cast<double>(j - i) > best.fraction) {
+      best.root = roots[i];
+      best.fraction = static_cast<double>(j - i);
+    }
+    i = j;
+  }
+  best.fraction /= static_cast<double>(samples);
+  return best;
+}
+
 }  // namespace
+
+CcResult cc_adaptive(const CsrGraph& g, ThreadPool& pool,
+                     const CcAdaptiveOptions& options) {
+  obs::Span span("kernel.cc.adaptive");
+  const Vertex n = g.num_vertices();
+  CcResult r;
+  if (n == 0) return r;
+  r.labels.resize(n);
+  std::iota(r.labels.begin(), r.labels.end(), Vertex{0});
+  const std::span<Vertex> parent(r.labels);
+
+  // Phase 1: round k links every vertex to its k-th neighbor.  A couple
+  // of rounds is enough to collapse nearly all of a scale-free graph's
+  // giant component without touching the full edge list.
+  for (uint32_t round = 0; round < options.neighbor_rounds; ++round) {
+    parallel_for(pool, 0, n, [&](int64_t u) {
+      const auto nbrs = g.neighbors(static_cast<Vertex>(u));
+      if (round < nbrs.size())
+        link_min(parent, static_cast<Vertex>(u), nbrs[round]);
+    });
+  }
+  compress_parallel(parent, pool);
+
+  const GiantEstimate est =
+      sample_giant(parent, options.sample_size, options.seed);
+  obs::set_gauge("kernel.cc.adaptive.sampled_fraction", est.fraction);
+
+  if (est.fraction < options.giant_threshold) {
+    // No giant intermediate component: the skip phase would save little,
+    // so hand the whole graph to label propagation instead.
+    obs::count("kernel.cc.adaptive.fallback_lp");
+    return cc_label_propagation(g, pool);
+  }
+  obs::count("kernel.cc.adaptive.giant_skip");
+
+  // Phase 2: only vertices outside the giant component process their
+  // remaining edges.  Every skipped edge either has its other endpoint
+  // outside the giant (that side links it) or connects two vertices
+  // already known to be in the same component.
+  const bool metrics = obs::metrics_enabled();
+  std::atomic<uint64_t> phase2{0};
+  parallel_for_chunks(pool, 0, n, [&](unsigned, int64_t lo, int64_t hi) {
+    uint64_t local = 0;
+    for (int64_t u = lo; u < hi; ++u) {
+      if (load_parent(parent, static_cast<Vertex>(u)) == est.root) continue;
+      ++local;
+      const auto nbrs = g.neighbors(static_cast<Vertex>(u));
+      for (size_t i = options.neighbor_rounds; i < nbrs.size(); ++i)
+        link_min(parent, static_cast<Vertex>(u), nbrs[i]);
+    }
+    if (metrics) phase2.fetch_add(local, std::memory_order_relaxed);
+  });
+  compress_parallel(parent, pool);
+  if (metrics)
+    obs::count("kernel.cc.adaptive.phase2_vertices",
+               static_cast<double>(phase2.load(std::memory_order_relaxed)));
+
+  r.iterations = options.neighbor_rounds;
+  r.num_components = count_components(r.labels);
+  return r;
+}
 
 CcResult cc_bfs(const CsrGraph& g) {
   const Vertex n = g.num_vertices();

@@ -43,6 +43,35 @@ CcResult cc_chunked_parallel(const CsrGraph& g, ThreadPool& pool,
 CcResult cc_label_propagation(const CsrGraph& g, ThreadPool& pool,
                               uint64_t max_iters = 0);
 
+/// Tuning for cc_adaptive.
+struct CcAdaptiveOptions {
+  /// Phase-1 link rounds: round k links every vertex to its k-th neighbor.
+  /// Two rounds collapse almost all of a scale-free graph's giant
+  /// component (the Afforest observation).
+  uint32_t neighbor_rounds = 2;
+  /// Vertices sampled (with replacement) to estimate the largest
+  /// intermediate component after phase 1.
+  uint32_t sample_size = 1024;
+  /// Minimum sampled fraction of the mode component for the skip phase to
+  /// pay off; below it the kernel falls back to cc_label_propagation.
+  /// <= 0 forces the skip phase, > 1 forces the fallback (used by tests).
+  double giant_threshold = 0.10;
+  /// Seed of the sampling RNG (the estimate, not the output, depends on it).
+  uint64_t seed = 0x5eedULL;
+};
+
+/// Sampling-based two-phase adaptive CC (Afforest-style), the CPU-side
+/// multicore kernel: phase 1 links a few neighbors per vertex with an
+/// atomic min-hooking union-find, a cheap sampled estimate then locates
+/// the giant intermediate component, and phase 2 only processes the
+/// remaining edges of vertices outside it.  When the sample finds no
+/// giant component (fraction < giant_threshold) the kernel falls back to
+/// cc_label_propagation.  Labels are deterministic (each component is
+/// labelled by its minimum vertex id on the afforest path) and
+/// labels_equivalent to the serial reference under every team size.
+CcResult cc_adaptive(const CsrGraph& g, ThreadPool& pool,
+                     const CcAdaptiveOptions& options = {});
+
 /// Shiloach–Vishkin hook + pointer-jumping — the GPU-side kernel.  Runs the
 /// PRAM algorithm's rounds sequentially here; `iterations` reports the
 /// number of rounds a CRCW machine would execute.

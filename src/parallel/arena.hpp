@@ -76,6 +76,12 @@ class Arena {
     used_ = capacity_ = block_base_ = 0;
   }
 
+  /// Restart high-water tracking from the current usage.  reset() and
+  /// shrink() deliberately keep the mark (it feeds sizing decisions and
+  /// the kernel gauges); phase boundaries call this so one phase's peak
+  /// is not reported as the next phase's.
+  void reset_high_water() { high_water_ = used_; }
+
   size_t used_bytes() const { return used_; }
   size_t capacity_bytes() const { return capacity_; }
   size_t high_water_bytes() const { return high_water_; }

@@ -111,6 +111,16 @@ class WorkspacePool {
     return bytes;  // victims destroyed here, outside the lock
   }
 
+  /// Visit every idle workspace under the pool lock (leased workspaces
+  /// are not visible).  For maintenance passes at phase boundaries —
+  /// resetting per-arena gauges, pre-faulting — where tearing a
+  /// workspace down (trim) would throw away warm capacity.
+  template <typename Visitor>
+  void for_each_idle(const Visitor& visit) {
+    std::scoped_lock lock(mutex_);
+    for (auto& e : free_) visit(*e.ws);
+  }
+
   /// Lifetime counts (for tests and the kernel.*.workspace counters).
   size_t created() const {
     std::scoped_lock lock(mutex_);

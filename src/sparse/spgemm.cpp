@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <vector>
+
+#include "sparse/spgemm_plan.hpp"
 
 #include "obs/obs.hpp"
 #include "parallel/arena.hpp"
@@ -18,10 +21,12 @@ namespace nbwp::sparse {
 namespace {
 
 /// One worker's kit: a bump-pointer arena and the accumulators laid out
-/// of it.  The arena is never reset while the workspace lives in the pool
-/// (the accumulators' spans point into it); growth wastes the superseded
+/// of it.  The arena is never reset while a lease is live (the
+/// accumulators' spans point into it); growth wastes the superseded
 /// arrays inside the arena, which geometric block sizing bounds.
-/// spgemm_workspace_trim() destroys whole idle workspaces instead.
+/// spgemm_workspace_trim() destroys whole idle workspaces;
+/// spgemm_workspace_reset_high_water() rewinds idle arenas (detaching
+/// the accumulators first) at phase boundaries.
 struct SpgemmWorkspace {
   Arena arena;
   Spa spa;
@@ -322,6 +327,127 @@ CsrMatrix spgemm_parallel_impl(const CsrMatrix& a, const CsrMatrix& b,
                                std::move(col_idx), std::move(values));
 }
 
+// ---- SpgemmPlan internals -------------------------------------------------
+
+/// Shared scheduling shell of the plan paths: run `work(worker, lo, hi,
+/// ws)` over all n rows under the requested schedule with one leased
+/// workspace per block, folding each lease's arena high-water into
+/// `arena_high_water` when non-null.  Mirrors spgemm_parallel_impl's
+/// dispatch.
+template <typename Work>
+void dispatch_planned(ThreadPool& pool, Index n,
+                      std::span<const Index> bounds, bool dynamic,
+                      int64_t dynamic_chunk, size_t hint,
+                      std::atomic<size_t>* arena_high_water,
+                      const Work& work) {
+  const auto with_workspace = [&](unsigned w, Index lo, Index hi) {
+    auto ws = workspace_pool().acquire(hint);
+    count_workspace(ws);
+    work(w, lo, hi, *ws);
+    if (arena_high_water == nullptr) return;
+    size_t seen = arena_high_water->load(std::memory_order_relaxed);
+    const size_t mine = ws->arena.high_water_bytes();
+    while (mine > seen && !arena_high_water->compare_exchange_weak(
+                              seen, mine, std::memory_order_relaxed)) {
+    }
+  };
+  if (dynamic) {
+    parallel_for_chunks(
+        pool, 0, n,
+        [&](unsigned w, int64_t lo, int64_t hi) {
+          with_workspace(w, static_cast<Index>(lo), static_cast<Index>(hi));
+        },
+        Schedule::kDynamic, dynamic_chunk);
+  } else {
+    pool.run_team([&](unsigned w) {
+      if (bounds[w] >= bounds[w + 1]) return;
+      with_workspace(w, bounds[w], bounds[w + 1]);
+    });
+  }
+}
+
+/// Pattern-extraction pass of the plan build: per row, mark the output
+/// columns (no values) and write them, sorted, into their plan slot.
+void pattern_rows(const CsrMatrix& a, const CsrMatrix& b, Index lo, Index hi,
+                  SpgemmWorkspace& ws, const SpgemmPlan& plan,
+                  Index* col_out) {
+  for (Index i = lo; i < hi; ++i) {
+    const uint64_t at = plan.row_ptr[i];
+    const uint64_t row_nnz = plan.row_ptr[i + 1] - at;
+    if (plan.row_use_hash[i]) {
+      ws.hash.ensure(ws.arena, row_nnz);
+      ws.hash.start_row();
+      for (Index k : a.row_cols(i))
+        for (Index c : b.row_cols(k)) ws.hash.mark(c);
+      ws.hash.extract_sorted(col_out + at, nullptr);
+    } else {
+      ws.spa.ensure(ws.arena, b.cols());
+      ws.spa.start_row();
+      for (Index k : a.row_cols(i))
+        for (Index c : b.row_cols(k)) ws.spa.mark(c);
+      const auto touched = ws.spa.touched_sorted();
+      std::memcpy(col_out + at, touched.data(),
+                  touched.size() * sizeof(Index));
+    }
+  }
+}
+
+/// Numeric phase over a plan for rows [lo, hi): accumulate exactly as the
+/// full kernel would, validate the row's nnz against the plan, then
+/// *gather* values by the plan's known sorted pattern — no per-row sort.
+/// Gathering reads the same accumulated doubles extract_sorted would
+/// write, so the result stays bitwise identical to the full product.
+void numeric_rows_planned(const CsrMatrix& a, const CsrMatrix& b,
+                          const SpgemmPlan& plan, Index lo, Index hi,
+                          SpgemmWorkspace& ws, double* val_out,
+                          SpgemmCounters& local) {
+  const auto keep_all = [](Index) { return true; };
+  for (Index i = lo; i < hi; ++i) {
+    const uint64_t at = plan.row_ptr[i];
+    const uint64_t row_nnz = plan.row_ptr[i + 1] - at;
+    const Index* cols = plan.col_idx.data() + at;
+    if (plan.row_use_hash[i]) {
+      ws.hash.ensure(ws.arena, row_nnz);
+      ws.hash.start_row();
+      accumulate_row(a, b, keep_all, i, ws.hash, local);
+      NBWP_REQUIRE(ws.hash.touched() == row_nnz,
+                   "spgemm plan stale: row pattern changed");
+      for (uint64_t t = 0; t < row_nnz; ++t)
+        val_out[at + t] = ws.hash.value(cols[t]);
+      ++local.rows_hash;
+    } else {
+      ws.spa.ensure(ws.arena, b.cols());
+      ws.spa.start_row();
+      accumulate_row(a, b, keep_all, i, ws.spa, local);
+      NBWP_REQUIRE(ws.spa.touched() == row_nnz,
+                   "spgemm plan stale: row pattern changed");
+      NBWP_PRAGMA_SIMD
+      for (uint64_t t = 0; t < row_nnz; ++t)
+        val_out[at + t] = ws.spa.value(cols[t]);
+      ++local.rows_spa;
+    }
+    local.c_nnz += row_nnz;
+  }
+  local.rows += hi - lo;
+}
+
+/// Cheap per-call compatibility check of the numeric-only entry points
+/// (full pattern validation is SpgemmPlan::matches).
+void require_plan_compatible(const SpgemmPlan& plan, const CsrMatrix& a,
+                             const CsrMatrix& b) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
+  NBWP_REQUIRE(plan.rows == a.rows() && plan.cols == b.cols(),
+               "spgemm plan shape mismatch");
+  NBWP_REQUIRE(plan.a_nnz == a.nnz() && plan.b_nnz == b.nnz(),
+               "spgemm plan nnz mismatch");
+  NBWP_REQUIRE(
+      plan.row_ptr.size() == static_cast<size_t>(plan.rows) + 1 &&
+          plan.row_use_hash.size() == static_cast<size_t>(plan.rows) &&
+          plan.load_prefix.size() == static_cast<size_t>(plan.rows) + 1 &&
+          plan.col_idx.size() == plan.nnz(),
+      "spgemm plan internally inconsistent");
+}
+
 bool use_serial(const CsrMatrix& a, ThreadPool& pool,
                 const SpgemmParallelOptions& options) {
   // A forced accumulator must actually be exercised, so it never takes
@@ -419,6 +545,164 @@ CsrMatrix sp_add(const CsrMatrix& a, const CsrMatrix& b) {
   return builder.finish();
 }
 
+uint64_t csr_pattern_hash(const CsrMatrix& m) {
+  uint64_t h = 0x243F6A8885A308D3ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(m.rows());
+  mix(m.cols());
+  for (const uint64_t p : m.row_ptr()) mix(p);
+  for (const Index c : m.col_idx()) mix(c);
+  return h;
+}
+
+bool SpgemmPlan::matches(const CsrMatrix& a, const CsrMatrix& b) const {
+  return rows == a.rows() && cols == b.cols() && a_nnz == a.nnz() &&
+         b_nnz == b.nnz() && a_pattern_hash == csr_pattern_hash(a) &&
+         b_pattern_hash == csr_pattern_hash(b);
+}
+
+SpgemmPlan spgemm_plan(const CsrMatrix& a, const CsrMatrix& b,
+                       ThreadPool& pool,
+                       const SpgemmParallelOptions& options) {
+  NBWP_REQUIRE(a.cols() == b.rows(), "spgemm shape mismatch");
+  obs::Span span("kernel.spgemm.plan.build");
+  obs::count("kernel.spgemm.plan.built");
+  const Index n = a.rows();
+  const unsigned team = pool.size();
+
+  SpgemmPlan plan;
+  plan.rows = n;
+  plan.cols = b.cols();
+  plan.a_nnz = a.nnz();
+  plan.b_nnz = b.nnz();
+  plan.a_pattern_hash = csr_pattern_hash(a);
+  plan.b_pattern_hash = csr_pattern_hash(b);
+
+  std::vector<uint64_t> load = load_vector(a, row_nnz_vector(b));
+  plan.load_prefix = prefix_sums(load);
+  plan.flops = plan.load_prefix.empty() ? 0 : plan.load_prefix.back();
+
+  const AccumRouter router = AccumRouter::make(options, b.cols());
+  std::vector<uint64_t> row_nnz(std::move(load));
+  // Spans are always recorded: the captured routes replay the numeric
+  // router's density + locality decision on every future re-multiply.
+  std::vector<Index> row_span(n);
+  const size_t hint = workspace_hint(b.cols(), options.accumulator);
+  const bool dynamic = options.schedule == SpgemmSchedule::kDynamic;
+  const std::vector<Index> bounds =
+      dynamic ? std::vector<Index>{}
+              : balanced_boundaries(plan.load_prefix, team);
+  const auto keep_all = [](Index) { return true; };
+
+  dispatch_planned(pool, n, bounds, dynamic, options.dynamic_chunk, hint,
+                   nullptr,
+                   [&](unsigned, Index lo, Index hi, SpgemmWorkspace& ws) {
+                     symbolic_rows(a, b, keep_all, lo, hi, ws, router,
+                                   row_nnz.data(), row_span.data());
+                   });
+
+  plan.row_ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (Index i = 0; i < n; ++i)
+    plan.row_ptr[i + 1] = plan.row_ptr[i] + row_nnz[i];
+  plan.row_use_hash.resize(n);
+  for (Index i = 0; i < n; ++i)
+    plan.row_use_hash[i] =
+        router.use_hash_numeric(row_nnz[i], row_span[i]) ? 1 : 0;
+
+  plan.col_idx.resize(plan.nnz());
+  dispatch_planned(pool, n, bounds, dynamic, options.dynamic_chunk, hint,
+                   nullptr,
+                   [&](unsigned, Index lo, Index hi, SpgemmWorkspace& ws) {
+                     pattern_rows(a, b, lo, hi, ws, plan,
+                                  plan.col_idx.data());
+                   });
+  return plan;
+}
+
+CsrMatrix spgemm_numeric(const CsrMatrix& a, const CsrMatrix& b,
+                         const SpgemmPlan& plan, ThreadPool& pool,
+                         SpgemmCounters* counters,
+                         const SpgemmParallelOptions& options) {
+  require_plan_compatible(plan, a, b);
+  obs::Span span("kernel.spgemm.numeric_only");
+  obs::count("kernel.spgemm.plan.reused");
+  const Index n = plan.rows;
+  const unsigned team = pool.size();
+  std::vector<uint64_t> row_ptr(plan.row_ptr);
+  std::vector<Index> col_idx(plan.col_idx);
+  std::vector<double> values(plan.nnz());
+
+  const size_t hint = workspace_hint(plan.cols, options.accumulator);
+  const bool dynamic = options.schedule == SpgemmSchedule::kDynamic;
+  const std::vector<Index> bounds =
+      dynamic ? std::vector<Index>{}
+              : balanced_boundaries(plan.load_prefix, team);
+  std::atomic<size_t> arena_high_water{0};
+  std::vector<SpgemmCounters> part(team);
+  dispatch_planned(pool, n, bounds, dynamic, options.dynamic_chunk, hint,
+                   &arena_high_water,
+                   [&](unsigned w, Index lo, Index hi, SpgemmWorkspace& ws) {
+                     numeric_rows_planned(a, b, plan, lo, hi, ws,
+                                          values.data(), part[w]);
+                   });
+  obs::set_gauge("kernel.spgemm.arena.high_water_bytes",
+                 static_cast<double>(
+                     arena_high_water.load(std::memory_order_relaxed)));
+  SpgemmCounters total;
+  for (const auto& pc : part) total += pc;
+  if (counters) *counters += total;
+  emit_kernel_counters(total);
+  return CsrMatrix::from_parts(n, plan.cols, std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
+CsrMatrix spgemm_numeric_row_range(const CsrMatrix& a, const CsrMatrix& b,
+                                   const SpgemmPlan& plan, Index first,
+                                   Index last, SpgemmCounters* counters) {
+  require_plan_compatible(plan, a, b);
+  NBWP_REQUIRE(first <= last && last <= a.rows(), "row range out of bounds");
+  obs::Span span("kernel.spgemm.numeric_only.range");
+  obs::count("kernel.spgemm.plan.reused");
+  auto ws = workspace_pool().acquire(
+      workspace_hint(b.cols(), SpgemmAccumulator::kForceSpa));
+  count_workspace(ws);
+  Spa& spa = ws->spa;
+  spa.ensure(ws->arena, b.cols());
+
+  const uint64_t base = plan.row_ptr[first];
+  const uint64_t nnz = plan.row_ptr[last] - base;
+  std::vector<uint64_t> row_ptr(static_cast<size_t>(last - first) + 1);
+  for (Index r = 0; r <= last - first; ++r)
+    row_ptr[r] = plan.row_ptr[first + r] - base;
+  std::vector<Index> col_idx(plan.col_idx.begin() + base,
+                             plan.col_idx.begin() + base + nnz);
+  std::vector<double> values(nnz);
+
+  SpgemmCounters local;
+  const auto keep_all = [](Index) { return true; };
+  for (Index i = first; i < last; ++i) {
+    const uint64_t at = plan.row_ptr[i] - base;
+    const uint64_t row_nnz = plan.row_ptr[i + 1] - plan.row_ptr[i];
+    spa.start_row();
+    accumulate_row(a, b, keep_all, i, spa, local);
+    NBWP_REQUIRE(spa.touched() == row_nnz,
+                 "spgemm plan stale: row pattern changed");
+    const Index* cols = col_idx.data() + at;
+    NBWP_PRAGMA_SIMD
+    for (uint64_t t = 0; t < row_nnz; ++t)
+      values[at + t] = spa.value(cols[t]);
+    local.c_nnz += row_nnz;
+  }
+  local.rows = last - first;
+  local.rows_spa = last - first;
+  if (counters) *counters += local;
+  emit_kernel_counters(local);
+  return CsrMatrix::from_parts(last - first, b.cols(), std::move(row_ptr),
+                               std::move(col_idx), std::move(values));
+}
+
 SpgemmWorkspaceStats spgemm_workspace_stats() {
   auto& pool = workspace_pool();
   return {pool.created(), pool.reused(), pool.idle(), pool.idle_bytes()};
@@ -426,6 +710,22 @@ SpgemmWorkspaceStats spgemm_workspace_stats() {
 
 size_t spgemm_workspace_trim(size_t keep_idle) {
   return workspace_pool().trim(keep_idle);
+}
+
+void spgemm_workspace_reset_high_water() {
+  workspace_pool().for_each_idle([](SpgemmWorkspace& ws) {
+    // Detach the accumulators before rewinding the arena: their spans
+    // point into the superseded layout.  The next lease re-lays them
+    // through ensure() exactly like a fresh workspace, but from the
+    // retained (warm) capacity — so the next phase's gauge measures that
+    // phase's own layout, not the footprint history.
+    ws.spa = Spa{};
+    ws.hash = HashAccum{};
+    ws.bitmap = PatternBitmap{};
+    ws.arena.reset();
+    ws.arena.reset_high_water();
+  });
+  obs::set_gauge("kernel.spgemm.arena.high_water_bytes", 0.0);
 }
 
 }  // namespace nbwp::sparse

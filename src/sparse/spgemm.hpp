@@ -140,4 +140,10 @@ SpgemmWorkspaceStats spgemm_workspace_stats();
 /// bytes released.
 size_t spgemm_workspace_trim(size_t keep_idle = 0);
 
+/// Restart arena high-water tracking on every idle workspace and zero the
+/// "kernel.spgemm.arena.high_water_bytes" gauge.  Call at bench/serve
+/// phase boundaries so a phase's manifest reports its own peak, not the
+/// largest product any earlier phase ran.
+void spgemm_workspace_reset_high_water();
+
 }  // namespace nbwp::sparse

@@ -3,23 +3,45 @@
 #include <algorithm>
 #include <cmath>
 
-#include "parallel/parallel_for.hpp"
+#include "obs/obs.hpp"
+#include "sparse/load_vector.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace nbwp::sparse {
+
+namespace {
+
+// Routing split for the counters: rows at or under simd::kShortRowMax nnz
+// take the unrolled path, the rest the 4-lane blocked path.
+void emit_spmv_counters(const CsrMatrix& a, std::span<const Index> bounds) {
+  if (!obs::metrics_enabled()) return;
+  uint64_t short_rows = 0;
+  for (Index r = 0; r < a.rows(); ++r)
+    if (a.row_nnz(r) <= simd::kShortRowMax) ++short_rows;
+  auto& reg = obs::Registry::global();
+  reg.counter("kernel.spmv.rows").add(static_cast<double>(a.rows()));
+  reg.counter("kernel.spmv.nnz").add(static_cast<double>(a.nnz()));
+  reg.counter("kernel.spmv.rows_short").add(static_cast<double>(short_rows));
+  reg.counter("kernel.spmv.rows_blocked")
+      .add(static_cast<double>(a.rows() - short_rows));
+  // Worker row-blocks with actual work under the balanced boundaries
+  // (empty when the serial path ran).
+  uint64_t blocks = 0;
+  for (size_t w = 0; w + 1 < bounds.size(); ++w)
+    if (bounds[w] < bounds[w + 1]) ++blocks;
+  reg.counter("kernel.spmv.row_blocks").add(static_cast<double>(blocks));
+}
+
+}  // namespace
 
 void spmv_row_range(const CsrMatrix& a, std::span<const double> x,
                     std::span<double> y, Index first, Index last) {
   NBWP_REQUIRE(x.size() == a.cols(), "x size mismatch");
   NBWP_REQUIRE(y.size() == a.rows(), "y size mismatch");
   NBWP_REQUIRE(first <= last && last <= a.rows(), "row range invalid");
-  for (Index r = first; r < last; ++r) {
-    const auto cols = a.row_cols(r);
-    const auto vals = a.row_vals(r);
-    double acc = 0.0;
-    for (size_t i = 0; i < cols.size(); ++i) acc += vals[i] * x[cols[i]];
-    y[r] = acc;
-  }
+  for (Index r = first; r < last; ++r)
+    y[r] = simd::dot_gather(a.row_vals(r), a.row_cols(r), x);
 }
 
 std::vector<double> spmv(const CsrMatrix& a, std::span<const double> x) {
@@ -32,10 +54,25 @@ std::vector<double> spmv_parallel(const CsrMatrix& a,
                                   std::span<const double> x,
                                   ThreadPool& pool) {
   std::vector<double> y(a.rows(), 0.0);
-  parallel_for(pool, 0, a.rows(), [&](int64_t r) {
-    spmv_row_range(a, x, y, static_cast<Index>(r),
-                   static_cast<Index>(r) + 1);
+  const unsigned team = pool.size();
+  if (team <= 1 || a.rows() == 0) {
+    spmv_row_range(a, x, y, 0, a.rows());
+    emit_spmv_counters(a, {});
+    return y;
+  }
+  obs::Span span("kernel.spmv.parallel");
+  // Row blocks balanced by nnz volume: the CSR row pointer IS the flops
+  // prefix sum for SpMV (one multiply-add per stored entry), so the
+  // load_vector machinery applies with zero extra passes.  Each worker
+  // owns one contiguous block — disjoint writes, no reduction, and the
+  // per-row bit pattern is the serial one because every row still goes
+  // through simd::dot_gather.
+  const std::vector<Index> bounds = balanced_boundaries(a.row_ptr(), team);
+  pool.run_team([&](unsigned w) {
+    if (bounds[w] >= bounds[w + 1]) return;
+    spmv_row_range(a, x, y, bounds[w], bounds[w + 1]);
   });
+  emit_spmv_counters(a, bounds);
   return y;
 }
 

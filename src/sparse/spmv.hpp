@@ -17,13 +17,20 @@
 namespace nbwp::sparse {
 
 /// y[first..last) = A[first..last) * x (rows outside the range untouched).
+/// Every row goes through simd::dot_gather (src/util/simd.hpp): short rows
+/// take an unrolled path, longer rows a fixed 4-lane-blocked SIMD sum, so
+/// the per-row bit pattern is identical no matter how rows are batched.
 void spmv_row_range(const CsrMatrix& a, std::span<const double> x,
                     std::span<double> y, Index first, Index last);
 
 /// y = A * x.
 std::vector<double> spmv(const CsrMatrix& a, std::span<const double> x);
 
-/// Multicore y = A * x on the pool (bitwise identical to spmv).
+/// Multicore y = A * x on the pool, bitwise identical to spmv under every
+/// team size.  Rows are grouped into one contiguous block per worker with
+/// boundaries balanced by nnz volume (the CSR row pointer is the flops
+/// prefix sum, fed straight to balanced_boundaries), replacing the old
+/// row-at-a-time parallel_for and its per-row dispatch overhead.
 std::vector<double> spmv_parallel(const CsrMatrix& a,
                                   std::span<const double> x,
                                   ThreadPool& pool);

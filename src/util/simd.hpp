@@ -1,12 +1,35 @@
-// Portable vectorization hint for independent-iteration loops.
+// Portable vectorization for the sparse kernels' inner loops.
 //
-// NBWP_PRAGMA_SIMD marks the following loop's iterations as free of
-// loop-carried dependencies so the compiler vectorizes the straight-line
-// gathers/copies of the SpGEMM numeric phase without -ffast-math (the
-// hinted loops never reassociate floating-point sums — reduction order is
-// part of the kernels' bitwise-determinism contract, so only loops whose
-// iterations are independent may carry the hint).
+// Two layers live here:
+//
+//  1. NBWP_PRAGMA_SIMD — a hint that marks the following loop's iterations
+//     as free of loop-carried dependencies so the compiler vectorizes the
+//     straight-line gathers/copies of the SpGEMM numeric phase without
+//     -ffast-math (the hinted loops never reassociate floating-point sums).
+//
+//  2. nbwp::simd — explicit SIMD routines for the SpMV dot product.  A
+//     sparse dot product IS a reduction, so vectorizing it reassociates the
+//     sum; the kernels' bitwise-determinism contract therefore pins ONE
+//     fixed reassociation — four independent lane accumulators (element i
+//     feeds lane i % 4), tail elements folded into their lane, final
+//     combine (l0+l1)+(l2+l3) — and every implementation (vector-extension
+//     or scalar fallback) realizes exactly that order.  Serial spmv and
+//     every parallel/blocked variant call the same routines, so "bitwise
+//     identical to serial" keeps holding by construction.
+//
+//     Rows are routed by length bucket: nnz <= kShortRowMax takes an
+//     unrolled strict left-to-right path (lane blocking has nothing to
+//     amortize there); longer rows take the 4-lane blocked path.  Routing
+//     depends only on nnz, so all callers agree on the bit pattern.
+//
+//     FP contraction (fma fusing a*b+c) could silently differ between the
+//     vector and scalar paths; see NBWP_SIMD_NO_CONTRACT below for how the
+//     build keeps it off without paying an inlining penalty.
 #pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
 
 #if defined(_OPENMP)
 #define NBWP_PRAGMA_SIMD _Pragma("omp simd")
@@ -17,3 +40,154 @@
 #else
 #define NBWP_PRAGMA_SIMD
 #endif
+
+// Pin FP contraction off inside the dot-product implementations so the
+// vector-extension and scalar paths cannot diverge by one of them fusing
+// a*b+c into an fma.  Clang has a statement-scoped pragma; GCC's only
+// per-function mechanism (__attribute__((optimize))) is an inlining
+// barrier that costs ~30 % on the hot SpMV loop, so on GCC we instead
+// rely on the build never enabling an FMA target ISA (no -march/-mfma
+// anywhere): without fma instructions contraction cannot happen, and the
+// shared-routine design keeps serial == parallel bitwise regardless.
+#if defined(__clang__)
+#define NBWP_SIMD_NO_CONTRACT _Pragma("clang fp contract(off)")
+#else
+#define NBWP_SIMD_NO_CONTRACT
+#endif
+
+namespace nbwp::simd {
+
+/// Lane count of the fixed reassociation (and of the widest vector the
+/// explicit path uses: 4 x double = 256 bits).
+inline constexpr std::size_t kDoubleLanes = 4;
+
+/// Rows with nnz <= kShortRowMax take the unrolled strict-order path.
+inline constexpr std::size_t kShortRowMax = 4;
+
+// The explicit 256-bit body is only worth compiling when the target really
+// has 256-bit registers (__AVX__): on baseline x86-64 the compiler emulates
+// Vd4 with paired SSE2 ops and the scalar lane-inserts around the gather
+// dominate, losing ~10-40 % to the plain 4-accumulator loop below.  Either
+// body realizes the identical reassociation, so this is a pure compile-time
+// speed choice with no effect on the bit pattern.
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__AVX__)
+#define NBWP_SIMD_VECTOR_EXT 1
+namespace detail {
+typedef double Vd4 __attribute__((vector_size(4 * sizeof(double))));
+}  // namespace detail
+#endif
+
+/// Strict left-to-right sum_i vals[i] * x[cols[i]] for n <= kShortRowMax,
+/// fully unrolled.  n > kShortRowMax is the caller's bug (checked only by
+/// the routing wrappers below).
+inline double dot_gather_short(const double* vals,
+                                            const std::uint32_t* cols,
+                                            std::size_t n, const double* x) {
+  NBWP_SIMD_NO_CONTRACT
+  switch (n) {
+    case 0:
+      return 0.0;
+    case 1:
+      return vals[0] * x[cols[0]];
+    case 2:
+      return vals[0] * x[cols[0]] + vals[1] * x[cols[1]];
+    case 3:
+      return vals[0] * x[cols[0]] + vals[1] * x[cols[1]] +
+             vals[2] * x[cols[2]];
+    default:
+      return ((vals[0] * x[cols[0]] + vals[1] * x[cols[1]]) +
+              vals[2] * x[cols[2]]) +
+             vals[3] * x[cols[3]];
+  }
+}
+
+/// 4-lane blocked sum_i vals[i] * x[cols[i]]: element i feeds lane i % 4,
+/// tail elements fold into their lane, lanes combine as (l0+l1)+(l2+l3).
+/// Scalar reference — bit-identical to dot_gather_blocked by contract.
+inline double dot_gather_blocked_scalar(const double* vals,
+                                                     const std::uint32_t* cols,
+                                                     std::size_t n,
+                                                     const double* x) {
+  NBWP_SIMD_NO_CONTRACT
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + kDoubleLanes <= n; i += kDoubleLanes) {
+    l0 += vals[i] * x[cols[i]];
+    l1 += vals[i + 1] * x[cols[i + 1]];
+    l2 += vals[i + 2] * x[cols[i + 2]];
+    l3 += vals[i + 3] * x[cols[i + 3]];
+  }
+  switch (n - i) {
+    case 3:
+      l2 += vals[i + 2] * x[cols[i + 2]];
+      [[fallthrough]];
+    case 2:
+      l1 += vals[i + 1] * x[cols[i + 1]];
+      [[fallthrough]];
+    case 1:
+      l0 += vals[i] * x[cols[i]];
+      break;
+    default:
+      break;
+  }
+  return (l0 + l1) + (l2 + l3);
+}
+
+/// Same reassociation via GCC/Clang vector extensions (256-bit multiply-add
+/// per step; the gather itself stays scalar — baseline x86-64 has no
+/// hardware gather).  Compiles to the scalar reference unless the target
+/// has native 256-bit registers (see NBWP_SIMD_VECTOR_EXT above).
+inline double dot_gather_blocked(const double* vals,
+                                              const std::uint32_t* cols,
+                                              std::size_t n, const double* x) {
+  NBWP_SIMD_NO_CONTRACT
+#if defined(NBWP_SIMD_VECTOR_EXT)
+  detail::Vd4 acc = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + kDoubleLanes <= n; i += kDoubleLanes) {
+    const detail::Vd4 v = {vals[i], vals[i + 1], vals[i + 2], vals[i + 3]};
+    const detail::Vd4 g = {x[cols[i]], x[cols[i + 1]], x[cols[i + 2]],
+                           x[cols[i + 3]]};
+    acc += v * g;
+  }
+  for (std::size_t r = 0; i + r < n; ++r) acc[r] += vals[i + r] * x[cols[i + r]];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+#else
+  return dot_gather_blocked_scalar(vals, cols, n, x);
+#endif
+}
+
+/// Routed dot product: short rows unrolled, long rows 4-lane blocked.
+/// This is THE per-row SpMV kernel — serial spmv, spmv_row_range, and the
+/// blocked parallel kernel all route through here, so their outputs are
+/// bitwise identical by construction.
+inline double dot_gather(const double* vals, const std::uint32_t* cols,
+                         std::size_t n, const double* x) {
+  if (n <= kShortRowMax) return dot_gather_short(vals, cols, n, x);
+  return dot_gather_blocked(vals, cols, n, x);
+}
+
+/// Scalar-fallback twin of dot_gather (same routing, scalar blocked path).
+/// Exists so tests can assert vector/scalar parity on the routed entry
+/// point, and as the behavioural spec of dot_gather on any target.
+inline double dot_gather_scalar(const double* vals, const std::uint32_t* cols,
+                                std::size_t n, const double* x) {
+  if (n <= kShortRowMax) return dot_gather_short(vals, cols, n, x);
+  return dot_gather_blocked_scalar(vals, cols, n, x);
+}
+
+/// Span convenience wrapper (vals/cols must have equal length; x is the
+/// full dense operand).
+inline double dot_gather(std::span<const double> vals,
+                         std::span<const std::uint32_t> cols,
+                         std::span<const double> x) {
+  return dot_gather(vals.data(), cols.data(), vals.size(), x.data());
+}
+
+inline double dot_gather_scalar(std::span<const double> vals,
+                                std::span<const std::uint32_t> cols,
+                                std::span<const double> x) {
+  return dot_gather_scalar(vals.data(), cols.data(), vals.size(), x.data());
+}
+
+}  // namespace nbwp::simd

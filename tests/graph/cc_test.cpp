@@ -58,6 +58,24 @@ TEST_P(CcKernelsTest, AllKernelsAgreeWithReference) {
   const CcResult lp = cc_label_propagation(g, pool);
   EXPECT_EQ(lp.num_components, ref.num_components);
   EXPECT_TRUE(labels_equivalent(g, lp.labels));
+
+  // Adaptive kernel: both strategies (forced skip phase, forced LP
+  // fallback) and the default heuristic, under several team sizes.
+  for (unsigned team : {1u, 2u, 4u, 8u}) {
+    ThreadPool tp(team);
+    for (double threshold : {-1.0, 2.0}) {
+      CcAdaptiveOptions opt;
+      opt.giant_threshold = threshold;
+      const CcResult ad = cc_adaptive(g, tp, opt);
+      EXPECT_EQ(ad.num_components, ref.num_components)
+          << "team=" << team << " threshold=" << threshold;
+      EXPECT_TRUE(labels_equivalent(g, ad.labels))
+          << "team=" << team << " threshold=" << threshold;
+    }
+    const CcResult ad = cc_adaptive(g, tp);
+    EXPECT_EQ(ad.num_components, ref.num_components) << "team=" << team;
+    EXPECT_TRUE(labels_equivalent(g, ad.labels)) << "team=" << team;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -69,6 +87,67 @@ INSTANTIATE_TEST_SUITE_P(
                       CcCase{"pieces", make_pieces},
                       CcCase{"no_edges", make_empty_edges}),
     [](const auto& info) { return info.param.name; });
+
+TEST(CcAdaptive, DeterministicMinLabelsAcrossTeamSizes) {
+  // On the skip-phase path the component label is the component's minimum
+  // vertex id, so full label vectors (not just the partition) must agree
+  // across team sizes and repeated runs.
+  Rng rng(11);
+  const CsrGraph g = preferential_attachment(3000, 6, rng);
+  CcAdaptiveOptions opt;
+  opt.giant_threshold = -1.0;  // force the skip phase
+  ThreadPool p1(1);
+  const CcResult ref = cc_adaptive(g, p1, opt);
+  // Serial BFS also roots components at their minimum vertex.
+  EXPECT_EQ(ref.labels, cc_bfs(g).labels);
+  for (unsigned team : {2u, 4u, 8u}) {
+    ThreadPool pool(team);
+    EXPECT_EQ(ref.labels, cc_adaptive(g, pool, opt).labels)
+        << "team=" << team;
+    EXPECT_EQ(ref.labels, cc_adaptive(g, pool, opt).labels)
+        << "team=" << team << " (repeat)";
+  }
+}
+
+TEST(CcAdaptive, HeuristicPicksSkipPhaseOnScaleFree) {
+  // A scale-free graph is one giant component after two neighbor rounds;
+  // the sampled estimate must see it and keep the afforest path (which
+  // reports iterations = neighbor_rounds, unlike the LP fallback whose
+  // iteration count tracks flooding rounds over a high-diameter graph).
+  Rng rng(12);
+  const CsrGraph g = preferential_attachment(4000, 8, rng);
+  ThreadPool pool(4);
+  const CcResult r = cc_adaptive(g, pool);
+  const CcAdaptiveOptions defaults;
+  EXPECT_EQ(r.iterations, defaults.neighbor_rounds);
+  EXPECT_TRUE(labels_equivalent(g, r.labels));
+}
+
+TEST(CcAdaptive, FallsBackToLabelPropagationOnFragmentedGraph) {
+  // 64 equal pieces: the mode component holds ~1/64 of sampled vertices,
+  // far below the default 10% threshold.
+  Rng rng(13);
+  const CsrGraph g = with_components(banded_mesh(2048, 6, 12, rng), 64);
+  ThreadPool pool(4);
+  const CcResult r = cc_adaptive(g, pool);
+  // The LP fallback floods until a fixpoint: at least one iteration, and
+  // its iteration count is what CcResult reports (not neighbor_rounds).
+  EXPECT_GE(r.iterations, 1u);
+  EXPECT_TRUE(labels_equivalent(g, r.labels));
+  EXPECT_EQ(r.num_components, cc_union_find(g).num_components);
+}
+
+TEST(CcAdaptive, EmptyGraphAndNoEdges) {
+  ThreadPool pool(2);
+  const CsrGraph empty;
+  EXPECT_EQ(cc_adaptive(empty, pool).num_components, 0u);
+  const CsrGraph isolated = CsrGraph::from_undirected_edges(7, {});
+  CcAdaptiveOptions opt;
+  opt.giant_threshold = -1.0;
+  const CcResult r = cc_adaptive(isolated, pool, opt);
+  EXPECT_EQ(r.num_components, 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(r.labels[v], v);
+}
 
 TEST(ShiloachVishkin, IterationsLogarithmic) {
   Rng rng(7);

@@ -44,6 +44,23 @@ TEST(Arena, UsedAndHighWaterTrackBumpProgress) {
   EXPECT_GT(arena.capacity_bytes(), 0u);      // capacity retained
 }
 
+TEST(Arena, ResetHighWaterRestartsTracking) {
+  Arena arena(1 << 12);
+  arena.allocate_bytes(5000);
+  arena.reset();
+  EXPECT_GE(arena.high_water_bytes(), 5000u);  // reset keeps the mark
+  arena.reset_high_water();
+  EXPECT_EQ(arena.high_water_bytes(), 0u);  // phase boundary clears it
+  // The next phase's peak is tracked from scratch.
+  arena.allocate_bytes(100);
+  const size_t used = arena.used_bytes();
+  EXPECT_EQ(arena.high_water_bytes(), used);
+  // With live allocations the mark restarts at the current usage, never
+  // below it.
+  arena.reset_high_water();
+  EXPECT_EQ(arena.high_water_bytes(), used);
+}
+
 TEST(Arena, ResetReusesCapacityWithoutGrowth) {
   Arena arena(1 << 12);
   arena.allocate_bytes(1000);

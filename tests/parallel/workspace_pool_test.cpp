@@ -117,5 +117,22 @@ TEST(WorkspacePool, TrimDropsSmallestFirstAndReportsBytes) {
   EXPECT_EQ(pool.trim(), 0u);  // idempotent on an empty pool
 }
 
+TEST(WorkspacePool, ForEachIdleVisitsIdleOnly) {
+  WorkspacePool<SizedScratch> pool;
+  auto held = pool.acquire();  // leased: must stay invisible
+  held->grow_to(500);
+  { auto idle1 = pool.acquire(); auto idle2 = pool.acquire(); }
+  EXPECT_EQ(pool.idle(), 2u);
+  size_t visited = 0;
+  pool.for_each_idle([&](SizedScratch& ws) {
+    ++visited;
+    ws.grow_to(42);  // the visitor may mutate the workspace
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(pool.idle_bytes(), 0u);  // recorded capacity unchanged...
+  pool.for_each_idle(
+      [](SizedScratch& ws) { EXPECT_EQ(ws.capacity_bytes(), 42u); });
+}
+
 }  // namespace
 }  // namespace nbwp

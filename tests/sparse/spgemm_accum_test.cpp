@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/rng.hpp"
@@ -185,6 +186,39 @@ TEST(SpgemmWorkspace, TrimReleasesIdleArenasAndKernelRecovers) {
   // itself after the trim.
   EXPECT_TRUE(before == spgemm_parallel(a, b, pool));
   EXPECT_GT(spgemm_workspace_stats().idle, 0u);
+}
+
+TEST(SpgemmWorkspace, ResetHighWaterClearsGaugeBetweenPhases) {
+  Rng rng(45);
+  const CsrMatrix big = random_uniform(2000, 2000, 12000, rng, -1, 1);
+  const CsrMatrix small = random_uniform(40, 40, 200, rng, -1, 1);
+  ThreadPool pool(2);
+  // Start from an empty pool so both workers lease arenas whose
+  // high-water marks come from the "big" phase, not earlier tests.
+  spgemm_workspace_trim();
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  spgemm_parallel(big, big, pool);
+  const auto gauge = [] {
+    return obs::Registry::global().snapshot().gauges.at(
+        "kernel.spgemm.arena.high_water_bytes");
+  };
+  const double big_peak = gauge();
+  EXPECT_GT(big_peak, 0.0);
+
+  // Without the phase-boundary reset a small product still reports the
+  // big phase's footprint (the arenas remember it); with it, the gauge
+  // reflects only the small product.
+  spgemm_parallel(small, small, pool);
+  EXPECT_GE(gauge(), big_peak);
+  spgemm_workspace_reset_high_water();
+  EXPECT_DOUBLE_EQ(gauge(), 0.0);
+  spgemm_parallel(small, small, pool);
+  const double small_peak = gauge();
+  EXPECT_GT(small_peak, 0.0);
+  EXPECT_LT(small_peak, big_peak);
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
 }
 
 TEST(SpgemmWorkspace, TrimKeepsRequestedNumberIdle) {

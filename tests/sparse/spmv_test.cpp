@@ -46,6 +46,52 @@ TEST(Spmv, ParallelMatchesSequential) {
   EXPECT_EQ(spmv(a, x), spmv_parallel(a, x, pool));
 }
 
+// The blocked+SIMD parallel kernel must stay bitwise identical to serial
+// spmv under every team size — including teams larger than the row count
+// and inputs whose row-length distribution exercises both the short-row
+// unrolled path and the 4-lane blocked path.
+TEST(Spmv, BlockedParallelBitwiseIdenticalAcrossTeamSizes) {
+  Rng rng(3);
+  const CsrMatrix a = scale_free(600, 9, 2.0, rng);
+  std::vector<double> x(a.cols());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform_real(-2, 2);
+  const auto serial = spmv(a, x);
+  for (unsigned team : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(team);
+    EXPECT_EQ(serial, spmv_parallel(a, x, pool)) << "team=" << team;
+  }
+}
+
+TEST(Spmv, BlockedParallelHandlesEmptyAndShortRows) {
+  // Rows 0..9 empty, then alternating 1-, 3- and 40-entry rows: routing
+  // crosses the short/blocked bucket boundary inside one matrix.
+  std::vector<Triplet> trips;
+  Rng rng(4);
+  const Index rows = 64, cols = 50;
+  for (Index r = 10; r < rows; ++r) {
+    const int nnz = (r % 3 == 0) ? 1 : (r % 3 == 1) ? 3 : 40;
+    for (int i = 0; i < nnz; ++i)
+      trips.push_back({r, static_cast<Index>(rng.uniform(cols)),
+                       rng.uniform_real(-1, 1)});
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(rows, cols, trips);
+  std::vector<double> x(cols);
+  for (auto& v : x) v = rng.uniform_real(-1, 1);
+  const auto serial = spmv(a, x);
+  for (Index r = 0; r < 10; ++r) EXPECT_EQ(serial[r], 0.0);
+  for (unsigned team : {2u, 5u, 16u}) {
+    ThreadPool pool(team);
+    EXPECT_EQ(serial, spmv_parallel(a, x, pool)) << "team=" << team;
+  }
+}
+
+TEST(Spmv, EmptyMatrix) {
+  const CsrMatrix a(0, 0);
+  ThreadPool pool(4);
+  EXPECT_TRUE(spmv(a, {}).empty());
+  EXPECT_TRUE(spmv_parallel(a, {}, pool).empty());
+}
+
 TEST(Spmv, ShapeMismatchThrows) {
   const CsrMatrix a(2, 3);
   const std::vector<double> wrong(4, 0.0);

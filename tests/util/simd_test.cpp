@@ -1,0 +1,166 @@
+#include "util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nbwp {
+namespace {
+
+// Bitwise comparison: the contract between the vector-extension and scalar
+// paths is exact bit equality, not closeness.
+uint64_t bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+struct GatherInput {
+  std::vector<double> vals;
+  std::vector<uint32_t> cols;
+  std::vector<double> x;
+};
+
+// Random gather problem of length n over a dense operand of x_size
+// entries, with values spread over several magnitudes so reassociation
+// differences cannot hide in exact arithmetic.
+GatherInput make_input(size_t n, size_t x_size, uint64_t seed) {
+  Rng rng(seed);
+  GatherInput in;
+  in.x.resize(x_size);
+  for (auto& v : in.x) v = rng.uniform_real(-3.0, 3.0);
+  in.vals.resize(n);
+  in.cols.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.vals[i] = rng.uniform_real(-1.0, 1.0) * static_cast<double>(1 + i % 7);
+    in.cols[i] = static_cast<uint32_t>(rng.uniform(static_cast<uint64_t>(x_size)));
+  }
+  return in;
+}
+
+TEST(Simd, EmptySpansAreZero) {
+  EXPECT_EQ(simd::dot_gather(nullptr, nullptr, 0, nullptr), 0.0);
+  EXPECT_EQ(simd::dot_gather_scalar(nullptr, nullptr, 0, nullptr), 0.0);
+  EXPECT_EQ(simd::dot_gather_short(nullptr, nullptr, 0, nullptr), 0.0);
+  EXPECT_EQ(simd::dot_gather_blocked(nullptr, nullptr, 0, nullptr), 0.0);
+  EXPECT_EQ(simd::dot_gather_blocked_scalar(nullptr, nullptr, 0, nullptr), 0.0);
+  const std::vector<double> x = {1.0};
+  EXPECT_EQ(simd::dot_gather(std::span<const double>{},
+                             std::span<const uint32_t>{}, x),
+            0.0);
+}
+
+TEST(Simd, ShortPathMatchesStrictOrder) {
+  const auto in = make_input(simd::kShortRowMax, 16, 11);
+  for (size_t n = 0; n <= simd::kShortRowMax; ++n) {
+    double strict = 0.0;
+    // The short bucket's spec: pairwise-left association over at most
+    // four products — for n <= 2 that IS strict left-to-right.
+    switch (n) {
+      case 4:
+        strict = ((in.vals[0] * in.x[in.cols[0]] +
+                   in.vals[1] * in.x[in.cols[1]]) +
+                  in.vals[2] * in.x[in.cols[2]]) +
+                 in.vals[3] * in.x[in.cols[3]];
+        break;
+      case 3:
+        strict = in.vals[0] * in.x[in.cols[0]] +
+                 in.vals[1] * in.x[in.cols[1]] + in.vals[2] * in.x[in.cols[2]];
+        break;
+      case 2:
+        strict =
+            in.vals[0] * in.x[in.cols[0]] + in.vals[1] * in.x[in.cols[1]];
+        break;
+      case 1:
+        strict = in.vals[0] * in.x[in.cols[0]];
+        break;
+      default:
+        strict = 0.0;
+    }
+    EXPECT_EQ(bits(simd::dot_gather_short(in.vals.data(), in.cols.data(), n,
+                                          in.x.data())),
+              bits(strict))
+        << "n=" << n;
+  }
+}
+
+// Scalar-fallback parity on every routed/hinted routine: blocked vs its
+// scalar reference, and the routed entry point vs its scalar twin, across
+// every tail residue n % kDoubleLanes (incl. n smaller than one lane
+// block) and across many random inputs.
+TEST(Simd, BlockedMatchesScalarReferenceBitwise) {
+  for (size_t n = 0; n <= 67; ++n) {
+    const auto in = make_input(n, 32, 100 + n);
+    const double vec =
+        simd::dot_gather_blocked(in.vals.data(), in.cols.data(), n, in.x.data());
+    const double ref = simd::dot_gather_blocked_scalar(in.vals.data(),
+                                                       in.cols.data(), n,
+                                                       in.x.data());
+    EXPECT_EQ(bits(vec), bits(ref)) << "n=" << n << " value " << vec;
+  }
+}
+
+TEST(Simd, RoutedEntryMatchesScalarTwinBitwise) {
+  for (size_t n = 0; n <= 67; ++n) {
+    const auto in = make_input(n, 24, 300 + n);
+    EXPECT_EQ(bits(simd::dot_gather(in.vals.data(), in.cols.data(), n,
+                                    in.x.data())),
+              bits(simd::dot_gather_scalar(in.vals.data(), in.cols.data(), n,
+                                           in.x.data())))
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, TailResiduesFoldIntoTheirLane) {
+  // n = 4k + r for r in 1..3: element 4k+j must land in lane j.  Build
+  // inputs where each lane's sum is a distinct power of two so any lane
+  // mix-up changes the exact result.
+  for (size_t r = 1; r < simd::kDoubleLanes; ++r) {
+    const size_t n = 8 + r;
+    std::vector<double> vals(n);
+    std::vector<uint32_t> cols(n, 0);
+    const std::vector<double> x = {1.0};
+    for (size_t i = 0; i < n; ++i)
+      vals[i] = static_cast<double>(1u << (i % simd::kDoubleLanes));
+    double lanes[simd::kDoubleLanes] = {0, 0, 0, 0};
+    for (size_t i = 0; i < n; ++i) lanes[i % simd::kDoubleLanes] += vals[i];
+    const double expect = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    EXPECT_EQ(bits(simd::dot_gather_blocked(vals.data(), cols.data(), n,
+                                            x.data())),
+              bits(expect))
+        << "r=" << r;
+    EXPECT_EQ(bits(simd::dot_gather_blocked_scalar(vals.data(), cols.data(),
+                                                   n, x.data())),
+              bits(expect))
+        << "r=" << r;
+  }
+}
+
+TEST(Simd, RoutingBoundary) {
+  // n == kShortRowMax goes short, n == kShortRowMax + 1 goes blocked;
+  // both routers agree on the boundary.
+  const auto in = make_input(simd::kShortRowMax + 1, 16, 42);
+  const double* v = in.vals.data();
+  const uint32_t* c = in.cols.data();
+  const double* x = in.x.data();
+  EXPECT_EQ(bits(simd::dot_gather(v, c, simd::kShortRowMax, x)),
+            bits(simd::dot_gather_short(v, c, simd::kShortRowMax, x)));
+  EXPECT_EQ(bits(simd::dot_gather(v, c, simd::kShortRowMax + 1, x)),
+            bits(simd::dot_gather_blocked(v, c, simd::kShortRowMax + 1, x)));
+  EXPECT_EQ(bits(simd::dot_gather_scalar(v, c, simd::kShortRowMax + 1, x)),
+            bits(simd::dot_gather_blocked_scalar(v, c, simd::kShortRowMax + 1,
+                                                 x)));
+}
+
+TEST(Simd, SpanOverloadMatchesPointerForm) {
+  const auto in = make_input(19, 16, 77);
+  EXPECT_EQ(bits(simd::dot_gather(in.vals, in.cols, in.x)),
+            bits(simd::dot_gather(in.vals.data(), in.cols.data(),
+                                  in.vals.size(), in.x.data())));
+  EXPECT_EQ(bits(simd::dot_gather_scalar(in.vals, in.cols, in.x)),
+            bits(simd::dot_gather_scalar(in.vals.data(), in.cols.data(),
+                                         in.vals.size(), in.x.data())));
+}
+
+}  // namespace
+}  // namespace nbwp
