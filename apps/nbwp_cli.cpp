@@ -15,10 +15,15 @@
 //       breakdown, optionally write a Chrome trace.
 //   nbwp_cli batch      --batch <manifest> [--plan-cache on|off]
 //                       [--plan-cache-capacity N] [--plan-cache-shards N]
+//                       [--cache-snapshot s.txt] [--cache-restore s.txt]
 //       plan every request in the manifest through the serve layer
 //       (fingerprint cache + warm starts + in-flight dedup); each
 //       manifest line is `workload=<w> dataset=<d> [scale=] [seed=]
-//       [repeat=]` (see docs/SERVING.md for a worked example).
+//       [repeat=]` (see docs/SERVING.md for a worked example).  Malformed
+//       lines are reported individually and the rest of the batch still
+//       plans; the exit code is non-zero when any line was bad.
+//       --cache-snapshot/--cache-restore persist the plan cache across
+//       invocations (warm boot).
 //
 // Observability flags work with every command: --metrics, --trace-real,
 // --slo "<objectives>" [--slo-report s.json] (exit non-zero on
@@ -76,6 +81,8 @@ struct Request {
   bool plan_cache = true;           ///< --plan-cache on|off
   int plan_cache_capacity = 256;    ///< --plan-cache-capacity
   int plan_cache_shards = 4;        ///< --plan-cache-shards
+  std::string cache_snapshot;       ///< --cache-snapshot: save path
+  std::string cache_restore;        ///< --cache-restore: load path
 };
 
 core::FallbackStage parse_fallback_stage(const std::string& s) {
@@ -181,63 +188,7 @@ int drive(const char* command, const Request& req, const Problem& problem,
   return 0;
 }
 
-struct BatchEntry {
-  std::string workload;
-  std::string dataset;
-  double scale = 0;
-  uint64_t seed = 1;
-  int repeat = 1;
-};
-
-/// One request per non-empty, non-comment line; fields are key=value
-/// tokens separated by whitespace.  Unknown keys are rejected so typos
-/// don't silently plan the default dataset.
-std::vector<BatchEntry> parse_batch_manifest(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open batch manifest '" + path + "'");
-  std::vector<BatchEntry> entries;
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::istringstream tokens(line);
-    std::string token;
-    BatchEntry entry;
-    bool any = false;
-    while (tokens >> token) {
-      if (token[0] == '#') break;
-      const auto eq = token.find('=');
-      if (eq == std::string::npos)
-        throw Error(strfmt("%s:%d: expected key=value, got '%s'",
-                           path.c_str(), lineno, token.c_str()));
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      if (key == "workload") {
-        entry.workload = value;
-      } else if (key == "dataset") {
-        entry.dataset = value;
-      } else if (key == "scale") {
-        entry.scale = std::stod(value);
-      } else if (key == "seed") {
-        entry.seed = std::stoull(value);
-      } else if (key == "repeat") {
-        entry.repeat = std::stoi(value);
-      } else {
-        throw Error(strfmt("%s:%d: unknown key '%s'", path.c_str(), lineno,
-                           key.c_str()));
-      }
-      any = true;
-    }
-    if (!any) continue;
-    if (entry.workload.empty() || entry.dataset.empty())
-      throw Error(strfmt("%s:%d: workload= and dataset= are required",
-                         path.c_str(), lineno));
-    entries.push_back(std::move(entry));
-  }
-  return entries;
-}
-
-serve::PlanRequest make_batch_request(const BatchEntry& entry,
+serve::PlanRequest make_batch_request(const serve::BatchEntry& entry,
                                       const std::string& id,
                                       const Request& req,
                                       const hetsim::Platform& platform) {
@@ -288,7 +239,14 @@ int run_batch(const Request& req) {
     platform.set_fault_plan(plan);
     log_info("fault plan: " + plan.summary());
   }
-  const auto entries = parse_batch_manifest(req.batch_manifest);
+  // One bad manifest line must not abort the batch: plan every line that
+  // parses, report every line that does not, exit non-zero if any did.
+  const serve::BatchManifest manifest =
+      serve::parse_batch_manifest(req.batch_manifest);
+  for (const auto& error : manifest.errors)
+    std::fprintf(stderr, "manifest error: %s\n",
+                 error.format(req.batch_manifest).c_str());
+  const auto& entries = manifest.entries;
   std::vector<serve::PlanRequest> requests;
   for (size_t i = 0; i < entries.size(); ++i) {
     for (int r = 0; r < entries[i].repeat; ++r) {
@@ -304,6 +262,14 @@ int run_batch(const Request& req) {
   options.cache.capacity = static_cast<size_t>(req.plan_cache_capacity);
   options.cache.shards = static_cast<size_t>(req.plan_cache_shards);
   serve::PlanService service(options);
+  if (!req.cache_restore.empty()) {
+    const serve::SnapshotResult restored =
+        serve::restore_plan_cache(service.cache(), req.cache_restore);
+    std::printf("cache restore: %s (%zu entries%s%s)\n",
+                restored.ok ? "ok" : "FAILED — cold start",
+                restored.entries, restored.error.empty() ? "" : "; ",
+                restored.error.c_str());
+  }
   const auto results = service.plan_all(requests);
 
   Table table(strfmt("batch plan — %zu requests, cache %s",
@@ -326,7 +292,15 @@ int run_batch(const Request& req) {
   std::printf("identify evaluations: %.0f spent, %.0f saved "
               "(cache entries: %zu)\n",
               evaluations, saved, service.cache().size());
-  return 0;
+  if (!req.cache_snapshot.empty()) {
+    const serve::SnapshotResult saved_snap =
+        serve::save_plan_cache(service.cache(), req.cache_snapshot);
+    if (!saved_snap.ok)
+      throw Error("cache snapshot failed: " + saved_snap.error);
+    std::printf("cache snapshot written: %s (%zu entries)\n",
+                saved_snap.path.c_str(), saved_snap.entries);
+  }
+  return manifest.ok() ? 0 : 1;
 }
 
 int run_command(const char* command, const Request& req) {
@@ -483,6 +457,12 @@ int main(int argc, char** argv) {
   cli.add_option("plan-cache-capacity", "256",
                  "batch: total cached plans across shards");
   cli.add_option("plan-cache-shards", "4", "batch: plan cache shard count");
+  cli.add_option("cache-snapshot", "",
+                 "batch: save the plan cache here after planning "
+                 "(versioned, checksummed; see docs/SERVING.md)");
+  cli.add_option("cache-restore", "",
+                 "batch: warm-boot the plan cache from this snapshot; a "
+                 "corrupt file logs a warning and starts cold");
   cli.add_option("slo", "",
                  "evaluate objectives after the run, e.g. "
                  "'serve.plan_ms p99 < 50ms'; exit 1 on violation "
@@ -516,6 +496,8 @@ int main(int argc, char** argv) {
   req.plan_cache_capacity =
       static_cast<int>(cli.integer("plan-cache-capacity"));
   req.plan_cache_shards = static_cast<int>(cli.integer("plan-cache-shards"));
+  req.cache_snapshot = cli.str("cache-snapshot");
+  req.cache_restore = cli.str("cache-restore");
 
   const std::string slo_spec = cli.str("slo");
   const std::string slo_report_path = cli.str("slo-report");

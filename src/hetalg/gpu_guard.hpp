@@ -3,12 +3,18 @@
 // Every GPU piece of the three case studies funnels through
 // run_gpu_or_reroute(): on a healthy platform (no fault injector) it is a
 // zero-cost passthrough; under an injected fault the invocation is retried
-// once and, if the device still fails, *rerouted* — the same kernel lambda
-// runs on the CPU instead.  The lambda executes exactly once on every
-// path, so the computed output is bitwise-identical to a healthy run; only
-// the virtual-time accounting changes (the caller charges the rerouted
-// piece at CPU cost, non-overlapped).  Counters: robustness.retry,
-// robustness.retry.success, robustness.reroute(.<what>).
+// (FaultPlan::gpu_retry_limit times, default 1) with exponential backoff
+// and deterministic seeded jitter between attempts, and if the device
+// still fails, *rerouted* — the same kernel lambda runs on the CPU
+// instead.  A hard fault short-circuits the remaining retries: a dead
+// device cannot come back, so waiting on it would only burn the deadline.
+// The lambda executes exactly once on every path, so the computed output
+// is bitwise-identical to a healthy run; only the virtual-time accounting
+// changes (the caller charges the rerouted piece at CPU cost,
+// non-overlapped; backoff accrues on the injector's host-side backoff
+// clock, not the GPU busy clock).  Counters: robustness.retry,
+// robustness.retry.success, robustness.retry.backoff_ns,
+// robustness.reroute(.<what>).
 #pragma once
 
 #include <string>
@@ -17,6 +23,7 @@
 #include "hetsim/platform.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
+#include "util/strfmt.hpp"
 
 namespace nbwp::hetalg {
 
@@ -30,25 +37,31 @@ bool run_gpu_or_reroute(const hetsim::Platform& platform, const char* what,
                         double expected_ns, Kernel&& kernel) {
   hetsim::FaultInjector* injector = platform.faults();
   if (injector) {
+    const int retry_limit = injector->plan().gpu_retry_limit;
+    const int max_attempts = 1 + (retry_limit > 0 ? retry_limit : 0);
     bool retried = false;
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       try {
         injector->gpu_kernel(what, expected_ns);
         if (retried) obs::count("robustness.retry.success");
         kernel();
         return true;
       } catch (const hetsim::DeviceFault& fault) {
-        if (attempt == 0) {
+        if (attempt < max_attempts && !injector->gpu_dead()) {
           retried = true;
+          const double backoff_ns = injector->retry_backoff_ns(attempt);
+          injector->charge_backoff(backoff_ns);
           obs::count("robustness.retry");
-          log_warn(std::string("gpu kernel '") + what +
-                   "' failed: " + fault.what() + "; retrying");
+          obs::count("robustness.retry.backoff_ns", backoff_ns);
+          log_warn(strfmt("gpu kernel '%s' failed: %s; retry %d after "
+                          "%.1f us backoff",
+                          what, fault.what(), attempt, backoff_ns / 1e3));
           continue;
         }
         obs::count("robustness.reroute");
         obs::count(std::string("robustness.reroute.") + what);
         log_warn(std::string("gpu kernel '") + what +
-                 "' failed again: " + fault.what() + "; rerouting to cpu");
+                 "' failed: " + fault.what() + "; rerouting to cpu");
         kernel();
         return false;
       }

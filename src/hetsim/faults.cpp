@@ -106,6 +106,14 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.noise_spike_factor = parse_double(key, value);
       NBWP_REQUIRE(plan.noise_spike_factor >= 1.0,
                    "fault plan: noise-factor wants a factor >= 1");
+    } else if (key == "retries") {
+      const int64_t n = parse_int(key, value);
+      NBWP_REQUIRE(n >= 0, "fault plan: retries wants a count >= 0");
+      plan.gpu_retry_limit = static_cast<int>(n);
+    } else if (key == "retry-backoff-us") {
+      plan.retry_backoff_base_us = parse_double(key, value);
+      NBWP_REQUIRE(plan.retry_backoff_base_us >= 0,
+                   "fault plan: retry-backoff-us wants us >= 0");
     } else if (key == "seed") {
       plan.seed = static_cast<uint64_t>(parse_int(key, value));
     } else {
@@ -138,6 +146,9 @@ std::string FaultPlan::summary() const {
   if (noise_spike_rate > 0)
     item(strfmt("noise spikes %.3g@%.3gx", noise_spike_rate,
                 noise_spike_factor));
+  if (gpu_retry_limit != 1 || retry_backoff_base_us != 50.0)
+    item(strfmt("retry %dx backoff %.3g us", gpu_retry_limit,
+                retry_backoff_base_us));
   return os.str();
 }
 
@@ -204,11 +215,46 @@ double FaultInjector::gpu_busy_ms() const {
   return gpu_busy_ns_ / 1e6;
 }
 
+namespace {
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double FaultInjector::retry_backoff_ns(int attempt) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int k = attempt < 1 ? 1 : attempt;
+  // gpu_invocations_ already counts the failed attempt, so the hash input
+  // is stable from the catch block that computes the backoff.
+  const uint64_t h = mix64(plan_.seed ^ mix64(gpu_invocations_) ^
+                           mix64(static_cast<uint64_t>(k) * 0x9e37ULL));
+  const double jitter =
+      0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;  // [0.5, 1.5)
+  return plan_.retry_backoff_base_us * 1e3 *
+         static_cast<double>(1ULL << (k - 1 > 62 ? 62 : k - 1)) * jitter;
+}
+
+void FaultInjector::charge_backoff(double ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ns > 0) backoff_ns_ += ns;
+}
+
+double FaultInjector::backoff_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backoff_ns_ / 1e6;
+}
+
 void FaultInjector::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   rng_.reseed(plan_.seed);
   gpu_invocations_ = 0;
   gpu_busy_ns_ = 0.0;
+  backoff_ns_ = 0.0;
   gpu_dead_ = false;
 }
 

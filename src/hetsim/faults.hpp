@@ -74,6 +74,14 @@ struct FaultPlan {
   double noise_spike_rate = 0.0;
   double noise_spike_factor = 10.0;
 
+  /// Retry policy for the executors' retry-then-reroute path
+  /// (hetalg/gpu_guard.hpp): how many times a faulted kernel is retried
+  /// before rerouting, and the base of the exponential backoff between
+  /// attempts.  Retry `k` (1-based) waits base * 2^(k-1) * jitter with a
+  /// deterministic seeded jitter in [0.5, 1.5).
+  int gpu_retry_limit = 1;
+  double retry_backoff_base_us = 50.0;
+
   bool empty() const;
 
   /// Parse a comma-separated plan spec, e.g.
@@ -82,6 +90,7 @@ struct FaultPlan {
   ///   "gpu-hard-after=5"        hard fault after 5 virtual ms of GPU work
   ///   "gpu-transient-rate=0.1"  10% transient failures per invocation
   ///   "gpu-slow=3,pcie-degrade=4,noise-spikes=0.2,seed=7"
+  ///   "retries=3,retry-backoff-us=100"  retry policy for gpu_guard
   /// "none" and "" yield an empty plan.  Throws nbwp::Error on unknown
   /// keys or malformed values.
   static FaultPlan parse(const std::string& spec);
@@ -117,8 +126,23 @@ class FaultInjector {
   uint64_t gpu_invocations() const;
   double gpu_busy_ms() const;
 
+  /// Exponential backoff before retry `attempt` (1-based) of the failed
+  /// invocation: retry_backoff_base_us * 2^(attempt-1) * jitter with
+  /// jitter in [0.5, 1.5), derived by hashing (plan seed, invocation
+  /// index, attempt).  Pure — no Rng state is consumed, so computing a
+  /// backoff never perturbs the fault schedule, and the same run always
+  /// backs off identically.
+  double retry_backoff_ns(int attempt) const;
+
+  /// Account `ns` of virtual host time spent backing off before a retry.
+  /// Deliberately does NOT advance the GPU busy clock — the device sits
+  /// idle while the host waits, so gpu-hard-after trigger points are
+  /// unaffected.
+  void charge_backoff(double ns);
+  double backoff_ms() const;
+
   /// Restore pristine state (same plan, reseeded Rng): invocation counter,
-  /// virtual clock, and device liveness all reset.
+  /// virtual clock, backoff accounting, and device liveness all reset.
   void reset();
 
  private:
@@ -127,6 +151,7 @@ class FaultInjector {
   Rng rng_;
   uint64_t gpu_invocations_ = 0;
   double gpu_busy_ns_ = 0.0;
+  double backoff_ns_ = 0.0;
   bool gpu_dead_ = false;
 };
 

@@ -120,6 +120,10 @@ class Histogram {
   HistogramMode mode() const { return mode_; }
   /// Current footprint: fixed for streaming, grows with samples (exact).
   size_t memory_bytes() const;
+  /// The streaming backend, for tests that drive slice rotation with a
+  /// fake clock (StreamingHistogram::set_clock_for_test).  nullptr in
+  /// exact mode.
+  StreamingHistogram* stream_for_test() { return stream_.get(); }
 
  private:
   HistogramMode mode_;

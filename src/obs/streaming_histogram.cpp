@@ -188,6 +188,17 @@ void StreamingHistogram::merge(const StreamingHistogram& other) {
   atomic_max(total_.max, other.total_.max.load(std::memory_order_relaxed));
 }
 
+void StreamingHistogram::set_clock_for_test(std::function<double()> clock) {
+  std::scoped_lock lock(rotate_mutex_);
+  clock_ = clock ? std::move(clock) : steady_seconds;
+  const double now = clock_();
+  for (size_t i = 0; i < slices_.size(); ++i)
+    slices_[i]->reset(i == 0 ? now : -kInf);
+  current_.store(0, std::memory_order_release);
+  slice_expiry_s_.store(now + options_.slice_seconds,
+                        std::memory_order_relaxed);
+}
+
 size_t StreamingHistogram::memory_bytes() const {
   const size_t per_slice = sizeof(Slice) + kBucketCount * sizeof(uint64_t);
   return sizeof(*this) + (slices_.size() + 1) * per_slice;

@@ -93,6 +93,12 @@ class StreamingHistogram {
 
   const Options& options() const { return options_; }
 
+  /// Swap in a fake clock mid-life (tests only): resets every slice and
+  /// the expiry to the new clock's "now", so rotation behaves as if the
+  /// instance had been constructed with this clock.  Not thread-safe
+  /// against concurrent record()s.
+  void set_clock_for_test(std::function<double()> clock);
+
  private:
   struct Slice {
     std::vector<std::atomic<uint64_t>> buckets;

@@ -1,0 +1,72 @@
+// Batch-manifest parsing with typed per-line errors.
+//
+// A manifest drives `nbwp_cli batch`: one planning request per non-empty,
+// non-comment line, `workload=<w> dataset=<d> [scale=] [seed=] [repeat=]`
+// (docs/SERVING.md).  Production manifests are machine-generated and
+// occasionally wrong, and one bad line must not abort the other thousand:
+// the parser collects every valid entry AND every defect, each defect
+// typed and pinned to its line, so the driver can plan what parses,
+// report what does not, and exit non-zero to flag the partial batch.
+//
+// Defect taxonomy (ManifestErrorKind): unreadable file, a token without
+// '=', an unknown key (typos must not silently plan the default dataset),
+// an unparsable or out-of-range value, a line missing workload=/dataset=,
+// an exact duplicate of an earlier line (same workload, dataset, scale
+// and seed — almost always a generator bug; use repeat= for intentional
+// repetition), and a manifest with no entries at all.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nbwp::serve {
+
+/// One parsed manifest line (= one planning request template).
+struct BatchEntry {
+  std::string workload;
+  std::string dataset;
+  double scale = 0;
+  uint64_t seed = 1;
+  int repeat = 1;
+  int line = 0;  ///< 1-based manifest line for diagnostics
+};
+
+enum class ManifestErrorKind {
+  kIo,             ///< manifest unreadable
+  kMalformedToken, ///< token without key=value shape
+  kUnknownKey,     ///< key not in the grammar
+  kBadValue,       ///< value failed to parse or out of range
+  kMissingField,   ///< workload= or dataset= absent
+  kDuplicate,      ///< same (workload, dataset, scale, seed) as earlier line
+  kEmpty,          ///< no entries in the whole manifest
+};
+
+const char* manifest_error_kind_name(ManifestErrorKind kind);
+
+struct ManifestError {
+  int line = 0;  ///< 1-based; 0 for file-level defects (kIo, kEmpty)
+  ManifestErrorKind kind = ManifestErrorKind::kMalformedToken;
+  std::string message;
+
+  /// "path:line: [kind] message" (line omitted when 0).
+  std::string format(const std::string& path) const;
+};
+
+struct BatchManifest {
+  std::vector<BatchEntry> entries;  ///< every line that parsed cleanly
+  std::vector<ManifestError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse the manifest at `path`.  Never throws on manifest content —
+/// defects land in `errors`, valid lines in `entries`, and both can be
+/// non-empty at once.
+BatchManifest parse_batch_manifest(const std::string& path);
+
+/// Stream variant (testable without touching the filesystem).
+BatchManifest parse_batch_manifest_stream(std::istream& in);
+
+}  // namespace nbwp::serve

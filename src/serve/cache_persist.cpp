@@ -1,0 +1,271 @@
+#include "serve/cache_persist.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::serve {
+
+namespace {
+
+constexpr const char* kMagic = "nbwp-plan-cache";
+constexpr const char* kVersion = "v1";
+
+uint64_t fnv1a(const std::string& s, uint64_t h) {
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+/// Tokens live on one whitespace-split line, so embedded whitespace must
+/// not survive serialization.  Provenance and algorithm are the only
+/// free-text fields; both are labels, not data, so mangling is fine.
+std::string token_of(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out = s;
+  for (char& c : out)
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  return out;
+}
+
+std::string sketch_fields(const StructuralSketch& s) {
+  return strfmt("%.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g",
+                s.n, s.nnz, s.deg_mean, s.deg_p50, s.deg_p90, s.deg_p99,
+                s.deg_max, s.gini, s.hub_mass, s.bandedness);
+}
+
+std::string entry_line(const PlanCache::ExportedEntry& e) {
+  return strfmt("plan %s %llu %llu %llu %s %.17g %.17g %.17g %d %s %s",
+                token_of(e.key.algorithm).c_str(),
+                static_cast<unsigned long long>(e.key.platform_key),
+                static_cast<unsigned long long>(e.key.bucket),
+                static_cast<unsigned long long>(e.fp.exact_hash),
+                sketch_fields(e.fp.sketch).c_str(), e.plan.threshold,
+                e.plan.objective_ns, e.plan.cpu_share,
+                e.plan.cold_evaluations,
+                core::fallback_stage_name(e.plan.stage),
+                token_of(e.plan.provenance).c_str());
+}
+
+/// Strict parse of one whitespace token stream.  Each helper throws
+/// nbwp::Error with the field name on malformed input.
+struct TokenReader {
+  std::istringstream in;
+  explicit TokenReader(const std::string& line) : in(line) {}
+
+  std::string str(const char* field) {
+    std::string tok;
+    NBWP_REQUIRE(static_cast<bool>(in >> tok),
+                 std::string("missing field '") + field + "'");
+    return tok;
+  }
+  uint64_t u64(const char* field) {
+    const std::string tok = str(field);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    NBWP_REQUIRE(end != tok.c_str() && *end == '\0',
+                 std::string("bad integer for '") + field + "': " + tok);
+    return static_cast<uint64_t>(v);
+  }
+  double real(const char* field) {
+    const std::string tok = str(field);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    NBWP_REQUIRE(end != tok.c_str() && *end == '\0' && !std::isnan(v),
+                 std::string("bad number for '") + field + "': " + tok);
+    return v;
+  }
+  bool done() {
+    std::string tok;
+    return !(in >> tok);
+  }
+};
+
+core::FallbackStage parse_stage(const std::string& name) {
+  for (core::FallbackStage stage :
+       {core::FallbackStage::kSampled, core::FallbackStage::kRace,
+        core::FallbackStage::kNaiveStatic, core::FallbackStage::kDegraded}) {
+    if (name == core::fallback_stage_name(stage)) return stage;
+  }
+  throw Error("unknown fallback stage '" + name + "'");
+}
+
+PlanCache::ExportedEntry parse_entry(const std::string& line) {
+  TokenReader r(line);
+  const std::string tag = r.str("tag");
+  NBWP_REQUIRE(tag == "plan", "entry line must start with 'plan', got '" +
+                                  tag + "'");
+  PlanCache::ExportedEntry e;
+  e.key.algorithm = r.str("algorithm");
+  e.key.platform_key = r.u64("platform_key");
+  e.key.bucket = r.u64("bucket");
+  e.fp.exact_hash = r.u64("exact_hash");
+  e.fp.bucket = e.key.bucket;
+  StructuralSketch& s = e.fp.sketch;
+  s.n = r.real("n");
+  s.nnz = r.real("nnz");
+  s.deg_mean = r.real("deg_mean");
+  s.deg_p50 = r.real("deg_p50");
+  s.deg_p90 = r.real("deg_p90");
+  s.deg_p99 = r.real("deg_p99");
+  s.deg_max = r.real("deg_max");
+  s.gini = r.real("gini");
+  s.hub_mass = r.real("hub_mass");
+  s.bandedness = r.real("bandedness");
+  e.plan.threshold = r.real("threshold");
+  e.plan.objective_ns = r.real("objective_ns");
+  e.plan.cpu_share = r.real("cpu_share");
+  e.plan.cold_evaluations = static_cast<int>(r.u64("cold_evaluations"));
+  e.plan.stage = parse_stage(r.str("stage"));
+  e.plan.provenance = r.str("provenance");
+  if (e.plan.provenance == "-") e.plan.provenance.clear();
+  NBWP_REQUIRE(r.done(), "trailing tokens after provenance");
+  return e;
+}
+
+SnapshotResult fail_restore(const std::string& path,
+                            const std::string& why) {
+  obs::count("serve.cache.snapshot.restore_failed");
+  log_warn("plan-cache snapshot '" + path + "' rejected (" + why +
+           "); starting cold");
+  SnapshotResult result;
+  result.path = path;
+  result.error = why;
+  return result;
+}
+
+}  // namespace
+
+SnapshotResult save_plan_cache(const PlanCache& cache,
+                               const std::string& path) {
+  SnapshotResult result;
+  result.path = path;
+  const std::vector<PlanCache::ExportedEntry> entries = cache.entries();
+
+  std::ostringstream body;
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const PlanCache::ExportedEntry& e : entries) {
+    const std::string line = entry_line(e) + "\n";
+    checksum = fnv1a(line, checksum);
+    body << line;
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      result.error = "cannot open '" + tmp + "' for writing";
+      return result;
+    }
+    out << kMagic << ' ' << kVersion << " entries=" << entries.size()
+        << '\n'
+        << body.str() << "checksum=" << strfmt("%016llx",
+                                               static_cast<unsigned long long>(
+                                                   checksum))
+        << '\n';
+    out.flush();
+    if (!out) {
+      result.error = "write to '" + tmp + "' failed";
+      std::remove(tmp.c_str());
+      return result;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    result.error = "rename '" + tmp + "' -> '" + path + "' failed";
+    std::remove(tmp.c_str());
+    return result;
+  }
+  result.ok = true;
+  result.entries = entries.size();
+  obs::count("serve.cache.snapshot.saved", static_cast<double>(entries.size()));
+  return result;
+}
+
+SnapshotResult restore_plan_cache(PlanCache& cache,
+                                  const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail_restore(path, "cannot open file");
+
+  std::string header;
+  if (!std::getline(in, header)) return fail_restore(path, "empty file");
+  TokenReader hr(header);
+  std::string magic, version, count_tok;
+  try {
+    magic = hr.str("magic");
+    version = hr.str("version");
+    count_tok = hr.str("entries");
+  } catch (const Error& e) {
+    return fail_restore(path, std::string("bad header: ") + e.what());
+  }
+  if (magic != kMagic) return fail_restore(path, "bad magic '" + magic + "'");
+  if (version != kVersion)
+    return fail_restore(path, "unsupported version '" + version + "'");
+  if (count_tok.rfind("entries=", 0) != 0)
+    return fail_restore(path, "bad header entry count '" + count_tok + "'");
+  char* end = nullptr;
+  const std::string count_str = count_tok.substr(8);
+  const unsigned long long expected =
+      std::strtoull(count_str.c_str(), &end, 10);
+  if (end == count_str.c_str() || *end != '\0')
+    return fail_restore(path, "bad header entry count '" + count_tok + "'");
+
+  // Parse everything before touching the cache: restore is all-or-nothing.
+  std::vector<PlanCache::ExportedEntry> entries;
+  entries.reserve(static_cast<size_t>(expected));
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::string line;
+  bool saw_checksum = false;
+  uint64_t stored_checksum = 0;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("checksum=", 0) == 0) {
+      const std::string hex = line.substr(9);
+      char* hend = nullptr;
+      stored_checksum = std::strtoull(hex.c_str(), &hend, 16);
+      if (hend == hex.c_str() || *hend != '\0')
+        return fail_restore(path,
+                            strfmt("line %zu: bad checksum token", line_no));
+      saw_checksum = true;
+      break;
+    }
+    try {
+      entries.push_back(parse_entry(line));
+    } catch (const Error& e) {
+      return fail_restore(path,
+                          strfmt("line %zu: %s", line_no, e.what()));
+    }
+    checksum = fnv1a(line + "\n", checksum);
+  }
+  if (!saw_checksum) return fail_restore(path, "missing checksum footer");
+  if (entries.size() != expected)
+    return fail_restore(path, strfmt("entry count mismatch: header says "
+                                     "%llu, found %zu",
+                                     expected, entries.size()));
+  if (checksum != stored_checksum)
+    return fail_restore(path,
+                        strfmt("checksum mismatch: stored %016llx, computed "
+                               "%016llx",
+                               static_cast<unsigned long long>(stored_checksum),
+                               static_cast<unsigned long long>(checksum)));
+
+  for (const PlanCache::ExportedEntry& e : entries)
+    cache.insert(e.key, e.fp, e.plan);
+  obs::count("serve.cache.snapshot.restored",
+             static_cast<double>(entries.size()));
+  log_info(strfmt("plan-cache snapshot '%s' restored: %zu entries",
+                  path.c_str(), entries.size()));
+  SnapshotResult result;
+  result.ok = true;
+  result.entries = entries.size();
+  result.path = path;
+  return result;
+}
+
+}  // namespace nbwp::serve

@@ -1,0 +1,63 @@
+// Plan-cache persistence: versioned snapshot/restore for warm boots.
+//
+// The PlanCache amortizes identify cost *within* a process lifetime; a
+// serving restart used to throw the whole working set away and re-pay
+// every cold search.  A snapshot captures the cache as a small versioned
+// text file so the next boot starts warm:
+//
+//   nbwp-plan-cache v1 entries=<N>
+//   plan <algorithm> <platform_key> <bucket> <exact_hash>
+//        <10 sketch fields> <threshold> <objective_ns> <cpu_share>
+//        <cold_evaluations> <stage> <provenance>     (one line per entry)
+//   ...
+//   checksum=<fnv1a over the entry lines>
+//
+// Doubles are written with %.17g so the restored sketch is bitwise equal
+// to the saved one — an exact_hash hit after restore reproduces the
+// in-process exact hit, zero identify evaluations.  Invalidation needs no
+// extra machinery: the platform_key is part of every entry's cache key,
+// so a snapshot restored onto a changed machine (different specs,
+// slowdowns, fault plan) simply never matches (docs/SERVING.md).
+//
+// Durability rules:
+//   * save writes to `path + ".tmp"` then std::rename()s into place — a
+//     crash mid-save leaves the previous snapshot intact, never a torn
+//     file;
+//   * restore is strict: wrong magic/version, malformed entry, entry
+//     count or checksum mismatch all fail the restore *loudly* (log_warn
+//     + serve.cache.snapshot.restore_failed) and leave the cache
+//     untouched — a corrupt snapshot means a cold start, not a crash and
+//     not a silently half-warm cache;
+//   * entries are exported least recently used first, so restoring
+//     rebuilds the same LRU recency order the saving process had.
+#pragma once
+
+#include <string>
+
+#include "serve/plan_cache.hpp"
+
+namespace nbwp::serve {
+
+/// What a snapshot save/restore did.  `ok == false` means the operation
+/// had no effect (restore: cache untouched; save: no file replaced) and
+/// `error` says why.
+struct SnapshotResult {
+  bool ok = false;
+  size_t entries = 0;  ///< entries written / inserted
+  std::string path;
+  std::string error;
+};
+
+/// Serialize every cache entry to `path` (atomic replace).  Counters:
+/// serve.cache.snapshot.saved on success.
+SnapshotResult save_plan_cache(const PlanCache& cache,
+                               const std::string& path);
+
+/// Load a snapshot into `cache` (entries are insert()ed, so capacity and
+/// LRU rules apply as if the plans had just been produced).  On any
+/// corruption the cache is left untouched and the result carries the
+/// parse error.  Counters: serve.cache.snapshot.restored on success,
+/// serve.cache.snapshot.restore_failed on failure.
+SnapshotResult restore_plan_cache(PlanCache& cache, const std::string& path);
+
+}  // namespace nbwp::serve

@@ -93,6 +93,19 @@ void PlanCache::insert(const PlanKey& key, const Fingerprint& fp,
   }
 }
 
+std::vector<PlanCache::ExportedEntry> PlanCache::entries() const {
+  std::vector<ExportedEntry> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    // Back-to-front: oldest first, so replaying through insert() leaves
+    // the most recently used entry at the front again.
+    for (auto it = shard->entries.rbegin(); it != shard->entries.rend();
+         ++it)
+      out.push_back({it->key, it->fp, it->plan});
+  }
+  return out;
+}
+
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

@@ -100,6 +100,18 @@ class PlanCache {
   size_t size() const;
   const Options& options() const { return options_; }
 
+  /// One cache entry as exported for persistence (serve/cache_persist.hpp).
+  struct ExportedEntry {
+    PlanKey key;
+    Fingerprint fp;
+    PartitionPlan plan;
+  };
+
+  /// Snapshot every entry, least recently used first within each shard,
+  /// so that re-insert()-ing the entries in order rebuilds the same
+  /// recency ranking (insert places at the MRU front).
+  std::vector<ExportedEntry> entries() const;
+
  private:
   struct Entry {
     PlanKey key;

@@ -87,7 +87,8 @@ const char* class_name(const PlannedPartition& result) {
 
 }  // namespace
 
-PlannedPartition PlanService::run_job(const PlanRequest& request) {
+PlannedPartition PlanService::run_job(const PlanRequest& request,
+                                      const PlanConstraints& constraints) {
   // The trace follows this request through lookup, solve (whose
   // estimate.* spans attach as stages) and insert, and lands in the
   // flight recorder on finish; the latency scopes feed serve.plan_ms and
@@ -104,6 +105,10 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
     obs::Span span("serve.lookup");
     hit = cache_.lookup(request.key(), request.fingerprint);
   }
+  // A demoted request skips the sampled search, so a near hit has
+  // nothing to warm-start; only the free exact reuse survives demotion.
+  if (constraints.demoted() && hit.kind == HitKind::kNear)
+    hit = CacheLookup{};
   out.cache = hit.kind;
 
   if (hit.kind == HitKind::kExact) {
@@ -121,13 +126,16 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
     return out;
   }
 
-  const double warm_share =
+  SolveOptions solve_options;
+  solve_options.warm_cpu_share =
       hit.kind == HitKind::kNear ? hit.plan.cpu_share : -1.0;
+  solve_options.start_stage = constraints.start_stage;
+  solve_options.identify_deadline_ns = constraints.identify_deadline_ns;
   if (hit.kind == HitKind::kNear) obs::count("serve.warm_starts");
   PlanOutcome planned;
   {
     obs::Span span("serve.solve");
-    planned = request.solve(warm_share);
+    planned = request.solve(solve_options);
   }
 
   out.threshold = planned.threshold;
@@ -171,8 +179,13 @@ PlannedPartition PlanService::run_job(const PlanRequest& request) {
 }
 
 PlannedPartition PlanService::plan_one(const PlanRequest& request) {
+  return plan_one(request, PlanConstraints{});
+}
+
+PlannedPartition PlanService::plan_one(const PlanRequest& request,
+                                       const PlanConstraints& constraints) {
   obs::count("serve.requests");
-  PlannedPartition out = run_job(request);
+  PlannedPartition out = run_job(request, constraints);
   obs::count("serve.evals_saved", out.evals_saved);
   return out;
 }

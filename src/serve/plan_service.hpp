@@ -34,6 +34,7 @@
 // pool is only used by run()/execution kernels).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -64,21 +65,52 @@ struct PlanOutcome {
   std::string reason;       ///< fallback trail, empty when sampled cleanly
 };
 
+/// How one solve invocation is allowed to spend effort.  The service
+/// fills warm_cpu_share from the cache; the admission layer
+/// (serve/admission.hpp) supplies the other two to demote a request down
+/// the sampled -> race -> naive_static chain under overload.
+struct SolveOptions {
+  /// Negative = cold; a value in [0, 1] warm-starts the identify search
+  /// at that CPU work share.
+  double warm_cpu_share = -1.0;
+  /// Demotion floor: the cheapest stage the chain may *start* at.  The
+  /// solve closure combines it with the request's own configured
+  /// start_stage (the later of the two wins), so a request configured
+  /// for `race` stays at race even when admitted cleanly.
+  core::FallbackStage start_stage = core::FallbackStage::kSampled;
+  /// Remaining wall-clock budget for the identify search; 0 keeps the
+  /// request's own configured deadline, a positive value min-combines
+  /// with it (PR-4 deadline budgets — an exhausted identify degrades to
+  /// the race estimate instead of failing).
+  double identify_deadline_ns = 0;
+};
+
 /// One planning request: the fingerprint/key pair that addresses the
 /// cache plus a type-erased `solve` closure owning the bound problem.
-/// `solve(warm_cpu_share)` runs the robust estimation pipeline; a
-/// negative argument means cold, a value in [0, 1] warm-starts the
-/// identify search at that CPU work share.  Build with
+/// `solve(options)` runs the robust estimation pipeline under the given
+/// warm-start / demotion / deadline constraints.  Build with
 /// make_plan_request().
 struct PlanRequest {
   std::string id;         ///< caller label, e.g. "cc:pwtk:0"
   std::string algorithm;  ///< cache-key component, e.g. "cc"
   Fingerprint fingerprint;
   uint64_t platform_key = 0;
-  std::function<PlanOutcome(double)> solve;
+  std::function<PlanOutcome(const SolveOptions&)> solve;
 
   PlanKey key() const {
     return {algorithm, platform_key, fingerprint.bucket};
+  }
+};
+
+/// Per-submission constraints the admission layer imposes on plan_one():
+/// everything in SolveOptions except the warm share, which stays the
+/// cache's business.
+struct PlanConstraints {
+  core::FallbackStage start_stage = core::FallbackStage::kSampled;
+  double identify_deadline_ns = 0;
+
+  bool demoted() const {
+    return start_stage != core::FallbackStage::kSampled;
   }
 };
 
@@ -109,6 +141,15 @@ class PlanService {
   /// Plan one request through the cache (no batching machinery).
   PlannedPartition plan_one(const PlanRequest& request);
 
+  /// Plan one request under admission constraints: the solve starts no
+  /// earlier than `constraints.start_stage` and inherits the remaining
+  /// identify deadline.  Exact cache hits are still served — a stored
+  /// threshold is cheaper than any fallback stage — but near hits are
+  /// treated as misses (warm starts need the sampled search the
+  /// constraints just skipped), and demoted outcomes are never cached.
+  PlannedPartition plan_one(const PlanRequest& request,
+                            const PlanConstraints& constraints);
+
   /// Plan a batch: requests with identical (key, exact fingerprint) are
   /// coalesced onto one job, jobs run concurrently on the pool, results
   /// come back in request order.
@@ -119,7 +160,8 @@ class PlanService {
   const Options& options() const { return options_; }
 
  private:
-  PlannedPartition run_job(const PlanRequest& request);
+  PlannedPartition run_job(const PlanRequest& request,
+                           const PlanConstraints& constraints = {});
   /// The per-class latency series a finished job records into, e.g.
   /// serve.request_ms{class="exact"}.
   obs::HistogramHandle& class_series(const PlannedPartition& result);
@@ -161,10 +203,23 @@ PlanRequest make_plan_request(std::string id, std::string algorithm,
   req.platform_key = platform_key_of(core::detail::platform_of(problem));
   req.solve = [problem = std::make_shared<const P>(std::move(problem)),
                config = std::move(config),
-               rich_extrapolate =
-                   std::move(rich_extrapolate)](double warm_cpu_share) {
+               rich_extrapolate = std::move(rich_extrapolate)](
+                  const SolveOptions& opts) {
     core::RobustConfig cfg = config;
-    cfg.sampling.warm_start_cpu_share = warm_cpu_share;
+    cfg.sampling.warm_start_cpu_share = opts.warm_cpu_share;
+    // The later (cheaper) of the configured start stage and the admission
+    // floor wins; kDegraded is not a startable stage, so cap at
+    // naive_static (which cannot fail).
+    cfg.start_stage =
+        std::min(std::max(cfg.start_stage, opts.start_stage),
+                 core::FallbackStage::kNaiveStatic);
+    if (opts.identify_deadline_ns > 0) {
+      cfg.sampling.identify_wall_deadline_ns =
+          cfg.sampling.identify_wall_deadline_ns > 0
+              ? std::min(cfg.sampling.identify_wall_deadline_ns,
+                         opts.identify_deadline_ns)
+              : opts.identify_deadline_ns;
+    }
     const core::RobustEstimate est =
         core::robust_estimate_partition(*problem, cfg, rich_extrapolate);
     PlanOutcome out;

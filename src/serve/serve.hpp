@@ -1,7 +1,12 @@
-// Umbrella header for the serving layer: fingerprints, the plan cache,
-// and the batched PlanService.  See docs/SERVING.md.
+// Umbrella header for the serving layer: fingerprints, the plan cache
+// (+ snapshot persistence), the batched PlanService, the overload-safe
+// AdmissionController, and batch-manifest parsing.  See docs/SERVING.md
+// and docs/ROBUSTNESS.md.
 #pragma once
 
-#include "serve/fingerprint.hpp"   // IWYU pragma: export
-#include "serve/plan_cache.hpp"    // IWYU pragma: export
-#include "serve/plan_service.hpp"  // IWYU pragma: export
+#include "serve/admission.hpp"       // IWYU pragma: export
+#include "serve/batch_manifest.hpp"  // IWYU pragma: export
+#include "serve/cache_persist.hpp"   // IWYU pragma: export
+#include "serve/fingerprint.hpp"     // IWYU pragma: export
+#include "serve/plan_cache.hpp"      // IWYU pragma: export
+#include "serve/plan_service.hpp"    // IWYU pragma: export

@@ -10,6 +10,7 @@
 #include "hetalg/hetero_cc.hpp"
 #include "hetalg/hetero_spmm.hpp"
 #include "hetalg/hetero_spmm_hh.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/generators.hpp"
 
 namespace nbwp::hetalg {
@@ -105,6 +106,50 @@ TEST(FaultReroute, TransientFaultRecoversWithoutReroute) {
   const hetsim::RunReport report = problem.run(25.0, &labels);
   EXPECT_EQ(labels, healthy);
   EXPECT_EQ(report.counter("gpu_rerouted"), 0.0);  // retry succeeded
+}
+
+TEST(FaultReroute, RetryBacksOffThenSucceedsAndCountsIt) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  const graph::CsrGraph g = test_graph();
+  std::vector<graph::Vertex> healthy;
+  HeteroCc(g, hetsim::Platform::reference()).run(25.0, &healthy);
+
+  const hetsim::Platform platform = faulty("gpu-transient@0,retries=2");
+  std::vector<graph::Vertex> labels;
+  const hetsim::RunReport report =
+      HeteroCc(g, platform).run(25.0, &labels);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(labels, healthy);
+  EXPECT_EQ(report.counter("gpu_rerouted"), 0.0);  // retry recovered it
+  const auto snapshot = obs::Registry::global().snapshot();
+  EXPECT_GE(snapshot.counters.at("robustness.retry"), 1.0);
+  EXPECT_GE(snapshot.counters.at("robustness.retry.success"), 1.0);
+  EXPECT_GT(snapshot.counters.at("robustness.retry.backoff_ns"), 0.0);
+  // The backoff accrued on the injector's host-side clock, not the GPU
+  // busy clock.
+  ASSERT_NE(platform.faults(), nullptr);
+  EXPECT_GT(platform.faults()->backoff_ms(), 0.0);
+  obs::Registry::global().clear();
+}
+
+TEST(FaultReroute, DeadDeviceShortCircuitsRetriesAndReroutes) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  const graph::CsrGraph g = test_graph();
+  const hetsim::Platform platform = faulty("gpu-hard@0,retries=3");
+  const hetsim::RunReport report = HeteroCc(g, platform).run(25.0);
+  obs::set_metrics_enabled(false);
+
+  // A hard fault kills the device; waiting out three backoffs on a dead
+  // device would only burn the deadline, so no retry is attempted.
+  EXPECT_GE(report.counter("gpu_rerouted"), 1.0);
+  const auto snapshot = obs::Registry::global().snapshot();
+  EXPECT_EQ(snapshot.counters.count("robustness.retry"), 0u);
+  ASSERT_NE(platform.faults(), nullptr);
+  EXPECT_DOUBLE_EQ(platform.faults()->backoff_ms(), 0.0);
+  obs::Registry::global().clear();
 }
 
 TEST(FaultReroute, ReroutedRunChargesCpuTime) {

@@ -53,6 +53,63 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("gpu-hard-after=-2"), Error);
 }
 
+TEST(FaultPlan, ParsesRetryPolicyDirectives) {
+  const FaultPlan p = FaultPlan::parse("retries=3,retry-backoff-us=100");
+  EXPECT_EQ(p.gpu_retry_limit, 3);
+  EXPECT_DOUBLE_EQ(p.retry_backoff_base_us, 100.0);
+  // A retry-only plan injects no adversity: still "empty", so a Platform
+  // given one removes its injector rather than gating healthy kernels.
+  EXPECT_TRUE(p.empty());
+
+  const FaultPlan combined =
+      FaultPlan::parse("gpu-transient-rate=0.1,retries=2");
+  EXPECT_FALSE(combined.empty());
+  EXPECT_NE(combined.summary().find("retry"), std::string::npos)
+      << combined.summary();
+}
+
+TEST(FaultPlan, RejectsBadRetryValues) {
+  EXPECT_THROW(FaultPlan::parse("retries=-1"), Error);
+  EXPECT_THROW(FaultPlan::parse("retries=two"), Error);
+  EXPECT_THROW(FaultPlan::parse("retry-backoff-us=-5"), Error);
+  EXPECT_THROW(FaultPlan::parse("retry-backoff-us=abc"), Error);
+}
+
+TEST(FaultInjector, BackoffIsDeterministicExponentialWithBoundedJitter) {
+  FaultInjector inj(
+      FaultPlan::parse("gpu-transient-rate=0.5,retries=4,"
+                       "retry-backoff-us=100,seed=9"));
+  const double base_ns = 100.0 * 1e3;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double scale = static_cast<double>(1 << (attempt - 1));
+    const double backoff = inj.retry_backoff_ns(attempt);
+    // base * 2^(k-1) * jitter with jitter in [0.5, 1.5).
+    EXPECT_GE(backoff, 0.5 * base_ns * scale) << attempt;
+    EXPECT_LT(backoff, 1.5 * base_ns * scale) << attempt;
+    // Pure and deterministic: recomputing changes nothing.
+    EXPECT_DOUBLE_EQ(inj.retry_backoff_ns(attempt), backoff) << attempt;
+  }
+  // Computing backoffs consumed no injector state: the fault schedule
+  // (Rng stream, invocation counter) is unperturbed.
+  EXPECT_EQ(inj.gpu_invocations(), 0u);
+  FaultInjector fresh(
+      FaultPlan::parse("gpu-transient-rate=0.5,retries=4,"
+                       "retry-backoff-us=100,seed=9"));
+  EXPECT_DOUBLE_EQ(fresh.retry_backoff_ns(2), inj.retry_backoff_ns(2));
+}
+
+TEST(FaultInjector, BackoffChargesHostClockNotGpuBusyClock) {
+  FaultInjector inj(FaultPlan::parse("gpu-transient-rate=0.1"));
+  inj.charge_backoff(2e6);
+  inj.charge_backoff(0.5e6);
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(), 2.5);
+  // The device sat idle during the backoff: gpu-hard-after trigger
+  // points must be unaffected.
+  EXPECT_DOUBLE_EQ(inj.gpu_busy_ms(), 0.0);
+  inj.reset();
+  EXPECT_DOUBLE_EQ(inj.backoff_ms(), 0.0);
+}
+
 TEST(FaultInjector, HardFaultAtIndexKillsDevice) {
   FaultInjector inj(FaultPlan::parse("gpu-hard@1"));
   EXPECT_NO_THROW(inj.gpu_kernel("k", 1e6));  // invocation #0

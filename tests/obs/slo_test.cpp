@@ -106,6 +106,88 @@ TEST_F(SloFixture, MissingMetricsFailClosed) {
   EXPECT_FALSE(report.ok());
 }
 
+TEST_F(SloFixture, LabeledLatencyMetricParsesAndEvaluates) {
+  // The admission layer's overload SLO targets a labeled series; the
+  // unit suffix must be recognized through the label block.
+  obs::observe("serve.e2e_ms", {{"class", "interactive"}}, 2.0);
+  const auto monitor = obs::SloMonitor::parse(
+      "serve.e2e_ms{class=\"interactive\"} p99 < 250ms");
+  EXPECT_DOUBLE_EQ(monitor.objectives()[0].bound, 250.0);
+  const auto report = monitor.evaluate(obs::Registry::global());
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_FALSE(report.results[0].missing);
+  EXPECT_TRUE(report.results[0].ok);
+}
+
+TEST_F(SloFixture, EmptyWindowFallsBackToCumulativeInsteadOfMissing) {
+  auto& h = obs::Registry::global().histogram("serve.request_ms");
+  ASSERT_NE(h.stream_for_test(), nullptr);
+  double t = 0.0;
+  h.stream_for_test()->set_clock_for_test([&t] { return t; });
+  h.record(5.0);
+  t = 1e6;  // far past the sliding window: every slice is stale
+  const auto monitor =
+      obs::SloMonitor::parse("serve.request_ms max < 10ms");
+  const auto report = monitor.evaluate(obs::Registry::global());
+  ASSERT_EQ(report.results.size(), 1u);
+  // An idle-but-lived series still evaluates against its lifetime
+  // summary rather than failing closed as missing.
+  EXPECT_FALSE(report.results[0].missing);
+  EXPECT_DOUBLE_EQ(report.results[0].observed, 5.0);
+  EXPECT_TRUE(report.results[0].ok);
+}
+
+TEST_F(SloFixture, ZeroTotalErrorRateFailsClosed) {
+  // The denominator exists but has never counted: the rate is undefined,
+  // and an undefined SLO must read as violated, not as a free pass.
+  obs::count("serve.requests", 0.0);
+  obs::count("serve.requests", {{"class", "degraded"}}, 3.0);
+  const auto monitor = obs::SloMonitor::parse(
+      "serve.requests{class=\"degraded\"} / serve.requests rate < 0.5");
+  const auto report = monitor.evaluate(obs::Registry::global());
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.results[0].missing);
+  EXPECT_FALSE(report.results[0].ok);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(SloFixture, BurnExactlyAtThresholdStillMeetsTheObjective) {
+  // `max` is tracked exactly (no bucketing error), so the boundary is
+  // testable: observed == bound -> ok, burn rate exactly 1.
+  obs::observe("serve.request_ms", 5.0);
+  const auto monitor = obs::SloMonitor::parse("serve.request_ms max < 5ms");
+  const auto report = monitor.evaluate(obs::Registry::global());
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_DOUBLE_EQ(report.results[0].burn_rate, 1.0);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(SloFixture, WindowRolloverExpelsOldSamplesFromTheVerdict) {
+  auto& h = obs::Registry::global().histogram("serve.request_ms");
+  ASSERT_NE(h.stream_for_test(), nullptr);
+  const auto opts = h.stream_for_test()->options();
+  const double window = opts.slice_seconds * opts.slices;
+  double t = 0.0;
+  h.stream_for_test()->set_clock_for_test([&t] { return t; });
+
+  h.record(100.0);  // a spike at t=0
+  t = 0.75 * window;
+  h.record(1.0);
+  const auto monitor =
+      obs::SloMonitor::parse("serve.request_ms max < 10ms");
+  // The spike is still inside the window: the objective is violated.
+  EXPECT_FALSE(monitor.evaluate(obs::Registry::global()).ok());
+
+  t = 1.2 * window;  // the spike's slice has aged out; t=0.75w has not
+  h.record(1.0);
+  const auto report = monitor.evaluate(obs::Registry::global());
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_FALSE(report.results[0].missing);
+  EXPECT_DOUBLE_EQ(report.results[0].observed, 1.0);
+  EXPECT_TRUE(report.results[0].ok);  // recovered: the window moved on
+}
+
 TEST_F(SloFixture, ReportJsonCarriesVerdictAndBurnRate) {
   obs::observe("serve.request_ms", 1.0);
   const auto monitor =

@@ -1,0 +1,384 @@
+// AdmissionController semantics: healthy requests plan at full quality;
+// overload (token exhaustion, queue pressure, SLO burn) degrades
+// interactive/batch to a cheaper fallback floor and sheds best-effort
+// with a typed rejection; backpressure evicts the oldest best-effort
+// request rather than blocking a higher class; deadlines that die in the
+// queue produce a late-but-valid naive-static plan (or a typed shed);
+// queue-depth gauges reset at phase boundaries.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <optional>
+#include <thread>
+
+#include "core/identify.hpp"
+#include "hetalg/hetero_spmm.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nbwp::serve {
+namespace {
+
+hetalg::HeteroSpmm spmm_problem(const hetsim::Platform& platform,
+                                uint64_t seed = 1) {
+  Rng rng(seed);
+  return hetalg::HeteroSpmm(sparse::random_uniform(1500, 1500, 12000, rng),
+                            platform);
+}
+
+core::RobustConfig spmm_config() {
+  core::RobustConfig cfg;
+  cfg.sampling.sample_factor = 0.25;
+  cfg.sampling.method = core::IdentifyMethod::kRaceThenFine;
+  cfg.sampling.warm.halfwidth = 3;
+  cfg.sampling.warm.step = 3;
+  return cfg;
+}
+
+PlanRequest request(const std::string& id, uint64_t seed = 1) {
+  return make_plan_request(id, "spmm",
+                           spmm_problem(hetsim::Platform::reference(), seed),
+                           spmm_config());
+}
+
+/// A request whose solve blocks on `gate` — pins a worker so queue-full,
+/// eviction and deadline paths can be exercised deterministically.
+/// `started` (optional) fires once the worker has entered the solve.
+PlanRequest blocking_request(const std::string& id, uint64_t seed,
+                             std::shared_future<void> gate,
+                             std::promise<void>* started = nullptr) {
+  PlanRequest req = request(id, seed);
+  auto inner = req.solve;
+  req.solve = [gate = std::move(gate), started,
+               inner = std::move(inner)](const SolveOptions& opts) {
+    if (started) started->set_value();
+    gate.wait();
+    return inner(opts);
+  };
+  return req;
+}
+
+PlanService::Options cache_off() {
+  PlanService::Options options;
+  options.cache_enabled = false;
+  return options;
+}
+
+TEST(Admission, HealthyRequestPlansAtFullQuality) {
+  PlanService service;
+  AdmissionController controller(service, {});
+  const AdmitOutcome out =
+      controller.plan(request("a"), Priority::kInteractive);
+  EXPECT_EQ(out.status, AdmitStatus::kPlanned);
+  EXPECT_EQ(out.priority, Priority::kInteractive);
+  EXPECT_EQ(out.shed_reason, ShedReason::kNone);
+  EXPECT_EQ(out.floor, core::FallbackStage::kSampled);
+  EXPECT_TRUE(out.detail.empty()) << out.detail;
+  EXPECT_EQ(out.plan.id, "a");
+  EXPECT_EQ(out.plan.stage, core::FallbackStage::kSampled);
+  EXPECT_TRUE(std::isfinite(out.plan.threshold));
+  EXPECT_GE(out.e2e_ms, 0.0);
+
+  // A generous deadline changes nothing: still full quality.
+  const AdmitOutcome bounded =
+      controller.plan(request("b", 2), Priority::kBatch, 60'000.0);
+  EXPECT_EQ(bounded.status, AdmitStatus::kPlanned);
+  EXPECT_EQ(bounded.floor, core::FallbackStage::kSampled);
+
+  const auto counts = controller.counts(Priority::kInteractive);
+  EXPECT_EQ(counts.submitted, 1u);
+  EXPECT_EQ(counts.admitted, 1u);
+  EXPECT_EQ(counts.degraded, 0u);
+  EXPECT_EQ(counts.shed, 0u);
+}
+
+TEST(Admission, TokenExhaustionDegradesClassesAndShedsBestEffort) {
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.tokens_per_sec = 1e-9;  // effectively no refill
+  options.bucket_capacity = 1;
+  AdmissionController controller(service, options);
+
+  // The single token admits the first request cleanly.
+  EXPECT_EQ(controller.plan(request("warm", 1), Priority::kInteractive).status,
+            AdmitStatus::kPlanned);
+
+  const AdmitOutcome interactive =
+      controller.plan(request("i", 2), Priority::kInteractive);
+  EXPECT_EQ(interactive.status, AdmitStatus::kDegraded);
+  EXPECT_EQ(interactive.floor, core::FallbackStage::kRace);
+  EXPECT_NE(interactive.detail.find("tokens"), std::string::npos)
+      << interactive.detail;
+  EXPECT_EQ(interactive.plan.stage, core::FallbackStage::kRace);
+  EXPECT_TRUE(std::isfinite(interactive.plan.threshold));
+
+  const AdmitOutcome batch = controller.plan(request("b", 3), Priority::kBatch);
+  EXPECT_EQ(batch.status, AdmitStatus::kDegraded);
+  EXPECT_EQ(batch.floor, core::FallbackStage::kRace);
+
+  const AdmitOutcome best =
+      controller.plan(request("be", 4), Priority::kBestEffort);
+  EXPECT_EQ(best.status, AdmitStatus::kShed);
+  EXPECT_EQ(best.shed_reason, ShedReason::kOverload);
+  EXPECT_NE(best.detail.find("tokens"), std::string::npos) << best.detail;
+  EXPECT_EQ(best.plan.id, "be");  // typed rejection still names the request
+
+  EXPECT_EQ(controller.counts(Priority::kInteractive).degraded, 1u);
+  EXPECT_EQ(controller.counts(Priority::kBatch).degraded, 1u);
+  EXPECT_EQ(controller.counts(Priority::kBestEffort).shed, 1u);
+}
+
+TEST(Admission, SevereBurnRateDemotesToNaiveStaticFloor) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  // A latency series far over its objective: burn rate 100x.
+  for (int i = 0; i < 64; ++i) obs::observe("serve.request_ms", 100.0);
+
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.slo = "serve.request_ms p99 < 1ms";
+  options.slo_refresh_interval = 1;
+  AdmissionController controller(service, options);
+
+  const AdmitOutcome interactive =
+      controller.plan(request("i", 1), Priority::kInteractive);
+  EXPECT_EQ(interactive.status, AdmitStatus::kDegraded);
+  EXPECT_EQ(interactive.floor, core::FallbackStage::kNaiveStatic);
+  EXPECT_NE(interactive.detail.find("burn_rate"), std::string::npos)
+      << interactive.detail;
+  EXPECT_EQ(interactive.plan.stage, core::FallbackStage::kNaiveStatic);
+  EXPECT_TRUE(std::isfinite(interactive.plan.threshold));
+
+  const AdmitOutcome best =
+      controller.plan(request("be", 2), Priority::kBestEffort);
+  EXPECT_EQ(best.status, AdmitStatus::kShed);
+  EXPECT_EQ(best.shed_reason, ShedReason::kOverload);
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+}
+
+TEST(Admission, QueueFullShedsBatchAndDegradesInteractiveInline) {
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.workers = 1;
+  options.interactive_queue = 1;
+  options.batch_queue = 1;
+  options.best_effort_queue = 1;
+  options.total_queue = 8;
+  AdmissionController controller(service, options);
+
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto b0 = controller.submit(
+      blocking_request("b0", 10, gate.get_future().share(), &started),
+      Priority::kBatch);
+  started.get_future().wait();  // the lone worker is pinned on b0
+
+  auto b1 = controller.submit(request("b1", 11), Priority::kBatch);
+  auto b2 = controller.submit(request("b2", 12), Priority::kBatch);
+  const AdmitOutcome shed = b2.get();  // resolved immediately: queue full
+  EXPECT_EQ(shed.status, AdmitStatus::kShed);
+  EXPECT_EQ(shed.shed_reason, ShedReason::kQueueFull);
+
+  auto i1 = controller.submit(request("i1", 13), Priority::kInteractive);
+  auto i2 = controller.submit(request("i2", 14), Priority::kInteractive);
+  // Interactive never waits on a full queue: i2 degrades inline on the
+  // submitting thread, so its future is already resolved.
+  ASSERT_EQ(i2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const AdmitOutcome inline_degraded = i2.get();
+  EXPECT_EQ(inline_degraded.status, AdmitStatus::kDegraded);
+  EXPECT_EQ(inline_degraded.floor, core::FallbackStage::kNaiveStatic);
+  EXPECT_NE(inline_degraded.detail.find("queue_full"), std::string::npos)
+      << inline_degraded.detail;
+  EXPECT_TRUE(std::isfinite(inline_degraded.plan.threshold));
+
+  gate.set_value();
+  controller.drain();
+  EXPECT_EQ(b0.get().status, AdmitStatus::kPlanned);
+  EXPECT_EQ(b1.get().status, AdmitStatus::kPlanned);
+  EXPECT_EQ(i1.get().status, AdmitStatus::kPlanned);
+}
+
+TEST(Admission, FullBacklogEvictsOldestBestEffortForHigherClass) {
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.workers = 1;
+  options.interactive_queue = 4;
+  options.batch_queue = 4;
+  options.best_effort_queue = 4;
+  options.total_queue = 2;
+  options.queue_pressure = 1.0;
+  AdmissionController controller(service, options);
+
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto b0 = controller.submit(
+      blocking_request("b0", 20, gate.get_future().share(), &started),
+      Priority::kBatch);
+  started.get_future().wait();
+
+  auto be1 = controller.submit(request("be1", 21), Priority::kBestEffort);
+  auto be2 = controller.submit(request("be2", 22), Priority::kBestEffort);
+  // Backlog is now at total_queue; the interactive arrival evicts the
+  // oldest queued best-effort request instead of waiting or shedding.
+  auto i1 = controller.submit(request("i1", 23), Priority::kInteractive);
+  const AdmitOutcome evicted = be1.get();
+  EXPECT_EQ(evicted.status, AdmitStatus::kShed);
+  EXPECT_EQ(evicted.shed_reason, ShedReason::kEvicted);
+  EXPECT_NE(evicted.detail.find("total_backlog"), std::string::npos)
+      << evicted.detail;
+
+  // Best-effort into a saturated backlog is shed outright.
+  const AdmitOutcome rejected =
+      controller.submit(request("be3", 24), Priority::kBestEffort).get();
+  EXPECT_EQ(rejected.status, AdmitStatus::kShed);
+  EXPECT_EQ(rejected.shed_reason, ShedReason::kOverload);
+
+  gate.set_value();
+  controller.drain();
+  EXPECT_EQ(b0.get().status, AdmitStatus::kPlanned);
+  const AdmitOutcome admitted = i1.get();
+  EXPECT_NE(admitted.status, AdmitStatus::kShed);
+  EXPECT_TRUE(std::isfinite(admitted.plan.threshold));
+  EXPECT_EQ(be2.get().status, AdmitStatus::kPlanned);
+
+  const auto counts = controller.counts(Priority::kBestEffort);
+  EXPECT_EQ(counts.submitted, 3u);
+  EXPECT_EQ(counts.admitted, 1u);
+  EXPECT_EQ(counts.shed, 2u);
+}
+
+TEST(Admission, DeadlineExpiredInQueueFloorsOrShedsByClass) {
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.workers = 1;
+  AdmissionController controller(service, options);
+
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto b0 = controller.submit(
+      blocking_request("b0", 30, gate.get_future().share(), &started),
+      Priority::kBatch);
+  started.get_future().wait();
+
+  auto i1 =
+      controller.submit(request("i1", 31), Priority::kInteractive, 1.0);
+  auto be1 =
+      controller.submit(request("be1", 32), Priority::kBestEffort, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+  controller.drain();
+
+  // Interactive gets a late-but-valid plan at the cheapest floor...
+  const AdmitOutcome late = i1.get();
+  EXPECT_EQ(late.status, AdmitStatus::kDegraded);
+  EXPECT_EQ(late.floor, core::FallbackStage::kNaiveStatic);
+  EXPECT_NE(late.detail.find("deadline"), std::string::npos) << late.detail;
+  EXPECT_EQ(late.plan.stage, core::FallbackStage::kNaiveStatic);
+  EXPECT_TRUE(std::isfinite(late.plan.threshold));
+
+  // ...while best-effort is shed with the typed deadline rejection.
+  const AdmitOutcome dropped = be1.get();
+  EXPECT_EQ(dropped.status, AdmitStatus::kShed);
+  EXPECT_EQ(dropped.shed_reason, ShedReason::kDeadline);
+
+  EXPECT_EQ(b0.get().status, AdmitStatus::kPlanned);
+}
+
+TEST(Admission, ShutdownShedsStillQueuedRequestsWithTypedReason) {
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.workers = 1;
+  std::optional<AdmissionController> controller;
+  controller.emplace(service, options);
+
+  std::promise<void> gate;
+  std::promise<void> started;
+  auto b0 = controller->submit(
+      blocking_request("b0", 40, gate.get_future().share(), &started),
+      Priority::kBatch);
+  started.get_future().wait();
+  auto b1 = controller->submit(request("b1", 41), Priority::kBatch);
+  auto be1 = controller->submit(request("be1", 42), Priority::kBestEffort);
+
+  // The destructor raises stop_ before the worker can dequeue b1/be1;
+  // release the gate only after destruction has begun so the in-flight
+  // job finishes but the queued ones are shed, not silently dropped.
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.set_value();
+  });
+  controller.reset();
+  releaser.join();
+
+  EXPECT_EQ(b0.get().status, AdmitStatus::kPlanned);
+  const AdmitOutcome s1 = b1.get();
+  EXPECT_EQ(s1.status, AdmitStatus::kShed);
+  EXPECT_EQ(s1.shed_reason, ShedReason::kShutdown);
+  const AdmitOutcome s2 = be1.get();
+  EXPECT_EQ(s2.status, AdmitStatus::kShed);
+  EXPECT_EQ(s2.shed_reason, ShedReason::kShutdown);
+}
+
+TEST(Admission, QueueDepthHighWaterGaugesResetAtPhaseBoundary) {
+  obs::Registry::global().clear();
+  obs::set_metrics_enabled(true);
+  PlanService service(cache_off());
+  AdmissionController::Options options;
+  options.workers = 1;
+  {
+    AdmissionController controller(service, options);
+    std::promise<void> gate;
+    std::promise<void> started;
+    auto b0 = controller.submit(
+        blocking_request("b0", 50, gate.get_future().share(), &started),
+        Priority::kBatch);
+    started.get_future().wait();
+    std::vector<std::future<AdmitOutcome>> queued;
+    for (int i = 0; i < 3; ++i)
+      queued.push_back(controller.submit(request("b" + std::to_string(i), 51),
+                                         Priority::kBatch));
+
+    auto& depth = obs::Registry::global().gauge("serve.queue.depth",
+                                                {{"class", "batch"}});
+    auto& high_water = obs::Registry::global().gauge(
+        "serve.queue.depth.high_water", {{"class", "batch"}});
+    EXPECT_EQ(high_water.value(), 3.0);
+
+    gate.set_value();
+    controller.drain();
+    EXPECT_EQ(depth.value(), 0.0);
+    // The peak survives the drain (that is the point of a high-water
+    // mark) until the phase boundary resets it.
+    EXPECT_EQ(high_water.value(), 3.0);
+    controller.reset_queue_gauges();
+    EXPECT_EQ(high_water.value(), 0.0);
+    (void)b0.get();
+    for (auto& f : queued) (void)f.get();
+  }
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().clear();
+}
+
+TEST(Admission, NamesAreStableForLogsAndMetrics) {
+  EXPECT_STREQ(priority_name(Priority::kInteractive), "interactive");
+  EXPECT_STREQ(priority_name(Priority::kBatch), "batch");
+  EXPECT_STREQ(priority_name(Priority::kBestEffort), "best_effort");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kPlanned), "planned");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kDegraded), "degraded");
+  EXPECT_STREQ(admit_status_name(AdmitStatus::kShed), "shed");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kOverload), "overload");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kEvicted), "evicted");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kDeadline), "deadline");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace nbwp::serve

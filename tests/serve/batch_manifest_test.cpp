@@ -1,0 +1,139 @@
+// Batch-manifest parsing: every defect kind is typed and pinned to its
+// line, defective lines never abort the rest of the manifest, and the
+// formatted diagnostics carry path:line so a thousand-line production
+// manifest stays debuggable.
+#include "serve/batch_manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nbwp::serve {
+namespace {
+
+BatchManifest parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_batch_manifest_stream(in);
+}
+
+TEST(BatchManifest, ParsesValidLinesWithDefaults) {
+  const BatchManifest m = parse(
+      "workload=cc dataset=mesh\n"
+      "workload=spmm dataset=uniform scale=0.5 seed=9 repeat=3\n"
+      "# a comment line\n"
+      "\n"
+      "workload=hh dataset=web # trailing comment\n");
+  EXPECT_TRUE(m.ok());
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_EQ(m.entries[0].workload, "cc");
+  EXPECT_EQ(m.entries[0].dataset, "mesh");
+  EXPECT_EQ(m.entries[0].scale, 0.0);
+  EXPECT_EQ(m.entries[0].seed, 1u);
+  EXPECT_EQ(m.entries[0].repeat, 1);
+  EXPECT_EQ(m.entries[0].line, 1);
+  EXPECT_EQ(m.entries[1].scale, 0.5);
+  EXPECT_EQ(m.entries[1].seed, 9u);
+  EXPECT_EQ(m.entries[1].repeat, 3);
+  EXPECT_EQ(m.entries[2].workload, "hh");
+  EXPECT_EQ(m.entries[2].line, 5);
+}
+
+TEST(BatchManifest, MalformedTokenIsTypedAndOnlyThatLineIsDropped) {
+  const BatchManifest m = parse(
+      "workload=cc dataset=mesh bogus\n"
+      "workload=spmv dataset=banded\n");
+  EXPECT_FALSE(m.ok());
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].workload, "spmv");
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kMalformedToken);
+  EXPECT_EQ(m.errors[0].line, 1);
+  EXPECT_NE(m.errors[0].message.find("bogus"), std::string::npos);
+}
+
+TEST(BatchManifest, UnknownKeyDoesNotSilentlyPlanDefaults) {
+  const BatchManifest m = parse("workload=cc dataset=mesh sale=0.5\n");
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.entries.empty());
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kUnknownKey);
+  EXPECT_NE(m.errors[0].message.find("sale"), std::string::npos);
+}
+
+TEST(BatchManifest, BadValuesAreTypedPerLine) {
+  const BatchManifest m = parse(
+      "workload=gemm dataset=mesh\n"
+      "workload=cc dataset=mesh scale=-1\n"
+      "workload=cc dataset=mesh seed=abc\n"
+      "workload=cc dataset=mesh repeat=0\n"
+      "workload=cc dataset=\n");
+  EXPECT_TRUE(m.entries.empty());
+  ASSERT_EQ(m.errors.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.errors[i].kind, ManifestErrorKind::kBadValue) << i;
+    EXPECT_EQ(m.errors[i].line, i + 1) << i;
+  }
+}
+
+TEST(BatchManifest, MissingRequiredFieldsRejected) {
+  const BatchManifest m = parse(
+      "workload=cc scale=1\n"
+      "dataset=mesh\n");
+  EXPECT_TRUE(m.entries.empty());
+  ASSERT_EQ(m.errors.size(), 2u);
+  EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kMissingField);
+  EXPECT_EQ(m.errors[1].kind, ManifestErrorKind::kMissingField);
+}
+
+TEST(BatchManifest, ExactDuplicatesAreFlaggedRepeatIsNot) {
+  const BatchManifest m = parse(
+      "workload=cc dataset=mesh scale=1 seed=4\n"
+      "workload=cc dataset=mesh scale=1 seed=4\n"
+      "workload=cc dataset=mesh scale=1 seed=5\n"
+      "workload=cc dataset=other scale=1 seed=4 repeat=8\n");
+  EXPECT_FALSE(m.ok());
+  ASSERT_EQ(m.entries.size(), 3u);  // the duplicate is dropped
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kDuplicate);
+  EXPECT_EQ(m.errors[0].line, 2);
+  EXPECT_NE(m.errors[0].message.find("duplicates line 1"),
+            std::string::npos)
+      << m.errors[0].message;
+  EXPECT_NE(m.errors[0].message.find("repeat="), std::string::npos);
+}
+
+TEST(BatchManifest, EmptyManifestIsItsOwnDefect) {
+  for (const char* text : {"", "# only comments\n\n", "   \n"}) {
+    const BatchManifest m = parse(text);
+    EXPECT_TRUE(m.entries.empty()) << text;
+    ASSERT_EQ(m.errors.size(), 1u) << text;
+    EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kEmpty);
+    EXPECT_EQ(m.errors[0].line, 0);
+  }
+  // A manifest whose every line is defective is not "empty": the real
+  // defects are reported instead.
+  const BatchManifest defective = parse("workload=cc\n");
+  ASSERT_EQ(defective.errors.size(), 1u);
+  EXPECT_EQ(defective.errors[0].kind, ManifestErrorKind::kMissingField);
+}
+
+TEST(BatchManifest, UnreadableFileIsAnIoError) {
+  const BatchManifest m =
+      parse_batch_manifest("/nonexistent/nbwp-batch.manifest");
+  EXPECT_TRUE(m.entries.empty());
+  ASSERT_EQ(m.errors.size(), 1u);
+  EXPECT_EQ(m.errors[0].kind, ManifestErrorKind::kIo);
+}
+
+TEST(BatchManifest, FormatPinsPathAndLine) {
+  ManifestError lined{3, ManifestErrorKind::kBadValue, "scale= wants..."};
+  EXPECT_EQ(lined.format("m.txt"), "m.txt:3: [bad-value] scale= wants...");
+  ManifestError filewide{0, ManifestErrorKind::kEmpty, "no request lines"};
+  EXPECT_EQ(filewide.format("m.txt"), "m.txt: [empty] no request lines");
+  EXPECT_STREQ(manifest_error_kind_name(ManifestErrorKind::kDuplicate),
+               "duplicate");
+  EXPECT_STREQ(manifest_error_kind_name(ManifestErrorKind::kIo), "io");
+}
+
+}  // namespace
+}  // namespace nbwp::serve
