@@ -25,6 +25,11 @@
 //       --cache-snapshot/--cache-restore persist the plan cache across
 //       invocations (warm boot).
 //
+// K-way partitioning (docs/PARTITIONING.md): --devices K grows the
+// simulated platform with K-2 extra accelerators (--accel-spec scale
+// factors) and routes estimate/run through a PartitionDescriptor searched
+// under --objective (spmm only).
+//
 // Observability flags work with every command: --metrics, --trace-real,
 // --slo "<objectives>" [--slo-report s.json] (exit non-zero on
 // violation), --flight-recorder f.json [--flight-threshold-ms T]
@@ -32,6 +37,7 @@
 //
 // Datasets resolve against the synthetic Table II catalog, or against
 // --mtx-dir when the original files are present.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +48,7 @@
 #include "core/baselines.hpp"
 #include "core/exhaustive.hpp"
 #include "core/extrapolate.hpp"
+#include "core/kway.hpp"
 #include "core/robust_estimate.hpp"
 #include "core/sampling_partitioner.hpp"
 #include "exp/experiment.hpp"
@@ -83,6 +90,9 @@ struct Request {
   int plan_cache_shards = 4;        ///< --plan-cache-shards
   std::string cache_snapshot;       ///< --cache-snapshot: save path
   std::string cache_restore;        ///< --cache-restore: load path
+  int devices = 2;                  ///< --devices: partition K ways
+  std::string accel_spec;           ///< --accel-spec: accel scale factors
+  std::string objective = "balanced";  ///< --objective: K-way cost objective
 };
 
 core::FallbackStage parse_fallback_stage(const std::string& s) {
@@ -303,6 +313,84 @@ int run_batch(const Request& req) {
   return manifest.ok() ? 0 : 1;
 }
 
+/// Grow the platform to `devices` by appending scaled copies of the
+/// primary GPU (throughput-like fields multiplied by the factor, one
+/// comma-separated factor per accelerator; missing factors default to
+/// successive halvings: 0.5, 0.25, ...).
+void add_accels(hetsim::Platform& platform, int devices,
+                const std::string& spec_csv) {
+  std::vector<double> scales;
+  std::istringstream in(spec_csv);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (tok.empty()) continue;
+    const double s = std::stod(tok);
+    if (!(s > 0))
+      throw Error("--accel-spec scale factors must be positive");
+    scales.push_back(s);
+  }
+  for (int i = 0; i + 2 < devices; ++i) {
+    const double scale = static_cast<size_t>(i) < scales.size()
+                             ? scales[static_cast<size_t>(i)]
+                             : std::pow(0.5, i + 1);
+    hetsim::GpuSpec gpu = hetsim::kTeslaK40c;
+    gpu.sm_count *= scale;
+    gpu.cores *= scale;
+    gpu.bw_stream_bps *= scale;
+    gpu.bw_random_bps *= scale;
+    gpu.full_occupancy_items *= scale;
+    platform.add_accel(gpu, hetsim::kPcie3x16);
+  }
+}
+
+/// estimate/run over a K > 2 PartitionDescriptor (spmm only — the other
+/// executors stay scalar; see docs/PARTITIONING.md).
+int run_kway_command(const char* command, const Request& req,
+                     const hetsim::Platform& platform) {
+  if (req.workload != "spmm")
+    throw Error("--devices > 2 currently supports --workload spmm only");
+  if (std::strcmp(command, "estimate") != 0 &&
+      std::strcmp(command, "run") != 0)
+    throw Error("--devices > 2 supports the estimate and run commands only");
+
+  const auto& spec = datasets::spec_by_name(req.dataset);
+  const hetalg::HeteroSpmm problem(exp::load_matrix(spec, req.options),
+                                   platform);
+
+  core::KwayConfig kcfg;
+  kcfg.devices = req.devices;
+  kcfg.objective = core::parse_cost_objective(req.objective);
+  kcfg.robust.sampling = config_for("spmm", req.options.sampling_seed);
+  kcfg.robust.sampling.identify_wall_deadline_ns =
+      req.identify_deadline_ms * 1e6;
+  if (req.fallback != "off")
+    kcfg.robust.start_stage = parse_fallback_stage(req.fallback);
+
+  const core::KwayEstimate est =
+      core::robust_estimate_partition_kway(problem, kcfg);
+  std::printf("%d-way descriptor (%s): %s\n", req.devices,
+              core::cost_objective_name(kcfg.objective),
+              est.descriptor.to_string().c_str());
+  std::printf("stage: %s%s%s\n", core::fallback_stage_name(est.stage),
+              est.reason.empty() ? "" : " — after ", est.reason.c_str());
+  std::printf("modeled makespan: %.3f ms  (estimation cost %.3f ms over "
+              "%d evaluations)\n",
+              problem.kway_time_ns(est.descriptor) / 1e6,
+              est.estimation_cost_ns / 1e6, est.evaluations);
+  if (std::strcmp(command, "run") == 0) {
+    const auto report = problem.run_kway(est.descriptor);
+    std::printf("execution: %s\n", report.summary().c_str());
+    for (const auto& [k, v] : report.counters())
+      std::printf("  %-18s %.0f\n", k.c_str(), v);
+    if (!req.trace.empty()) {
+      hetsim::write_chrome_trace_file(req.trace, report,
+                                      req.workload + ":" + req.dataset);
+      std::printf("trace written: %s\n", req.trace.c_str());
+    }
+  }
+  return 0;
+}
+
 int run_command(const char* command, const Request& req) {
   if (std::strcmp(command, "batch") == 0) return run_batch(req);
   // A by-value copy of the reference platform so an injected fault plan
@@ -312,6 +400,12 @@ int run_command(const char* command, const Request& req) {
     const auto plan = hetsim::FaultPlan::parse(req.fault_plan);
     platform.set_fault_plan(plan);
     log_info("fault plan: " + plan.summary());
+  }
+  if (req.devices < 2)
+    throw Error("--devices must be at least 2 (CPU + primary GPU)");
+  if (req.devices > 2) {
+    add_accels(platform, req.devices, req.accel_spec);
+    return run_kway_command(command, req, platform);
   }
   const auto& spec = datasets::spec_by_name(req.dataset);
   auto cfg = config_for(req.workload, req.options.sampling_seed);
@@ -439,6 +533,15 @@ int main(int argc, char** argv) {
   cli.add_option("sampling-seed", "24301", "sampling seed");
   cli.add_option("mtx-dir", "", "directory with original .mtx files");
   cli.add_option("threshold", "-1", "run: threshold (default: estimate)");
+  cli.add_option("devices", "2",
+                 "partition across K devices (2 = the scalar CPU/GPU "
+                 "threshold; >2 adds simulated accelerators, spmm only)");
+  cli.add_option("accel-spec", "",
+                 "comma-separated throughput scale factors for the extra "
+                 "accelerators, e.g. 0.5,0.25 (default: halving)");
+  cli.add_option("objective", "balanced",
+                 "K-way cost objective: balanced | critical-path | greedy "
+                 "| minmax (see docs/PARTITIONING.md)");
   cli.add_option("csv", "", "sweep: CSV output path");
   cli.add_option("trace", "", "run: virtual-time Chrome trace output path");
   cli.add_option("metrics", "", "write a metric snapshot JSON here");
@@ -484,6 +587,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(cli.integer("sampling-seed"));
   req.options.mtx_dir = cli.str("mtx-dir");
   req.threshold = cli.real("threshold");
+  req.devices = static_cast<int>(cli.integer("devices"));
+  req.accel_spec = cli.str("accel-spec");
+  req.objective = cli.str("objective");
   req.csv = cli.str("csv");
   req.trace = cli.str("trace");
   req.metrics = cli.str("metrics");

@@ -4,7 +4,12 @@
 #      and docs/*.md resolves to a file in the repo;
 #   2. every inline-code file path mentioned in docs/*.md exists, either
 #      as written or under src/ (docs use include-style paths like
-#      `util/rng.hpp` for src/util/rng.hpp).
+#      `util/rng.hpp` for src/util/rng.hpp);
+#   3. every `--flag` mentioned in inline code in the checked files is
+#      actually registered by a binary (apps/bench cli.add_option) or a
+#      script (argparse add_argument), and every nbwp_cli flag appears in
+#      the docs/ARCHITECTURE.md flag table — stale flag tables were how
+#      renamed options went unnoticed.
 # Exits non-zero listing every dangling reference.  No dependencies
 # beyond python3.
 set -euo pipefail
@@ -37,6 +42,28 @@ def strip_fenced(text):
         out.append("" if fenced else line)
     return "\n".join(out)
 
+# --- CLI flag inventory ----------------------------------------------------
+# nbwp_cli flags are checked strictly (docs must match apps/nbwp_cli.cpp);
+# bench binaries and python scripts contribute to the known set so their
+# documented flags are verified too.
+ADD_OPTION = re.compile(r'add_option\("([a-z0-9-]+)"')
+ADD_ARGUMENT = re.compile(r'add_argument\("--([a-z0-9-]+)"')
+
+def flags_in(paths, pattern):
+    found = set()
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            found.update(pattern.findall(f.read()))
+    return found
+
+cli_flags = flags_in(["apps/nbwp_cli.cpp"], ADD_OPTION) | {"help"}
+known_flags = (cli_flags
+               | flags_in(glob.glob("bench/*.cpp"), ADD_OPTION)
+               | flags_in(glob.glob("scripts/*.py"), ADD_ARGUMENT)
+               | {"flag", "opt", "json"}   # util/cli.hpp generics + bench
+               | {"build", "output-on-failure"})  # cmake/ctest invocations
+FLAG = re.compile(r"--([a-z][a-z0-9-]*)")
+
 errors = []
 for md in md_files:
     with open(md, encoding="utf-8") as f:
@@ -52,6 +79,13 @@ for md in md_files:
         if not os.path.exists(os.path.normpath(os.path.join(base, target))):
             errors.append(f"{md}: dangling link ({target})")
 
+    for span in CODE.findall(text):
+        # google-benchmark's own flags are not ours to verify.
+        for flag in FLAG.findall(span):
+            if flag.startswith("benchmark") or flag in known_flags:
+                continue
+            errors.append(f"{md}: unknown CLI flag (--{flag})")
+
     if not md.startswith("docs/"):
         continue
     for span in CODE.findall(text):
@@ -59,6 +93,16 @@ for md in md_files:
             continue
         if not (os.path.exists(span) or os.path.exists(os.path.join("src", span))):
             errors.append(f"{md}: missing code path ({span})")
+
+# Reverse direction: the nbwp_cli flag table in docs/ARCHITECTURE.md must
+# cover every registered option.
+if os.path.exists("docs/ARCHITECTURE.md"):
+    with open("docs/ARCHITECTURE.md", encoding="utf-8") as f:
+        documented = set(FLAG.findall(f.read()))
+    for flag in sorted(cli_flags - documented - {"help"}):
+        errors.append(
+            f"docs/ARCHITECTURE.md: nbwp_cli flag --{flag} missing from "
+            "the flag table")
 
 if errors:
     print("check_docs: FAIL")

@@ -1,0 +1,145 @@
+#include "core/partition_descriptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace nbwp::core {
+
+bool PartitionDescriptor::valid(double tol) const {
+  if (shares.empty()) return false;
+  double sum = 0;
+  for (double s : shares) {
+    if (!(s >= 0.0) || !std::isfinite(s)) return false;
+    sum += s;
+  }
+  return std::abs(sum - 1.0) <= tol;
+}
+
+void PartitionDescriptor::normalize() {
+  double sum = 0;
+  for (double s : shares) sum += s;
+  if (sum <= 0 || !std::isfinite(sum)) return;
+  for (double& s : shares) s /= sum;
+}
+
+std::vector<double> PartitionDescriptor::cumulative_pct() const {
+  std::vector<double> cum;
+  if (shares.size() < 2) return cum;
+  cum.reserve(shares.size() - 1);
+  double run = 0;
+  for (size_t i = 0; i + 1 < shares.size(); ++i) {
+    run += shares[i];
+    cum.push_back(std::clamp(run * 100.0, 0.0, 100.0));
+  }
+  return cum;
+}
+
+std::string PartitionDescriptor::to_string() const {
+  if (shares.empty()) return "(none)";
+  std::string out;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (i > 0) out += " | ";
+    const std::string name =
+        i == 0 ? "cpu" : (i == 1 ? "gpu" : strfmt("acc%zu", i - 1));
+    out += strfmt("%s %.1f%%", name.c_str(), shares[i] * 100.0);
+  }
+  return out;
+}
+
+PartitionDescriptor PartitionDescriptor::two_way(double cpu_share) {
+  cpu_share = std::clamp(cpu_share, 0.0, 1.0);
+  return {{cpu_share, 1.0 - cpu_share}};
+}
+
+PartitionDescriptor PartitionDescriptor::even(int devices) {
+  NBWP_REQUIRE(devices >= 1, "descriptor needs at least one device");
+  return {std::vector<double>(static_cast<size_t>(devices),
+                              1.0 / devices)};
+}
+
+PartitionDescriptor PartitionDescriptor::all_cpu(int devices) {
+  NBWP_REQUIRE(devices >= 1, "descriptor needs at least one device");
+  PartitionDescriptor d;
+  d.shares.assign(static_cast<size_t>(devices), 0.0);
+  d.shares[0] = 1.0;
+  return d;
+}
+
+PartitionDescriptor PartitionDescriptor::from_cumulative_pct(
+    const std::vector<double>& cum_pct) {
+  PartitionDescriptor d;
+  d.shares.reserve(cum_pct.size() + 1);
+  double prev = 0;
+  for (double c : cum_pct) {
+    const double clamped = std::clamp(c, prev, 100.0);
+    d.shares.push_back((clamped - prev) / 100.0);
+    prev = clamped;
+  }
+  d.shares.push_back((100.0 - prev) / 100.0);
+  return d;
+}
+
+PartitionDescriptor PartitionDescriptor::from_weights(
+    const std::vector<double>& weights) {
+  NBWP_REQUIRE(!weights.empty(), "descriptor needs at least one weight");
+  PartitionDescriptor d;
+  d.shares.assign(weights.begin(), weights.end());
+  for (double w : d.shares)
+    NBWP_REQUIRE(w >= 0 && std::isfinite(w), "weights must be >= 0");
+  d.normalize();
+  return d;
+}
+
+const char* cost_objective_name(CostObjective objective) {
+  switch (objective) {
+    case CostObjective::kBalanced:
+      return "balanced";
+    case CostObjective::kCriticalPath:
+      return "critical-path";
+    case CostObjective::kGreedy:
+      return "greedy";
+    case CostObjective::kMinMaxWorkloads:
+      return "minmax";
+  }
+  return "unknown";
+}
+
+CostObjective parse_cost_objective(const std::string& name) {
+  for (CostObjective o :
+       {CostObjective::kBalanced, CostObjective::kCriticalPath,
+        CostObjective::kGreedy, CostObjective::kMinMaxWorkloads}) {
+    if (name == cost_objective_name(o)) return o;
+  }
+  throw Error("unknown cost objective '" + name +
+              "' (balanced | critical-path | greedy | minmax)");
+}
+
+double descriptor_cost(CostObjective objective,
+                       const std::vector<double>& device_work_ns) {
+  NBWP_REQUIRE(!device_work_ns.empty(), "empty device work vector");
+  const auto [min_it, max_it] =
+      std::minmax_element(device_work_ns.begin(), device_work_ns.end());
+  double sum = 0;
+  for (double w : device_work_ns) sum += w;
+  const double mean = sum / static_cast<double>(device_work_ns.size());
+  switch (objective) {
+    case CostObjective::kBalanced:
+      return *max_it - *min_it;
+    case CostObjective::kCriticalPath:
+      return *max_it;
+    case CostObjective::kGreedy: {
+      double overload = 0;
+      for (double w : device_work_ns)
+        if (w > mean) overload += w - mean;
+      return overload;
+    }
+    case CostObjective::kMinMaxWorkloads:
+      return mean > 0 ? *max_it / mean : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace nbwp::core

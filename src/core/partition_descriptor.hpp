@@ -1,0 +1,104 @@
+// PartitionDescriptor: the K-way generalization of the scalar threshold.
+//
+// The paper's framework assumes one CPU attached to one GPU, so a plan is
+// a single split point.  A PartitionDescriptor instead carries one work
+// share per device — device 0 is the CPU, device 1 the primary GPU,
+// devices 2.. extra accelerators (hetsim::Platform::add_accel) — and the
+// scalar threshold becomes the K = 2 special case: a threshold t maps to
+// the descriptor {cpu_share(t), 1 - cpu_share(t)} through
+// core::detail::cpu_share_of_threshold / threshold_for_cpu_share
+// (core/sampling_partitioner.hpp), and back without loss.
+//
+// Searches over descriptors minimize a pluggable CostObjective over the
+// per-device marginal work vector (docs/PARTITIONING.md):
+//
+//   kBalanced          max - min spread        (the paper's balance,
+//                                               generalized; at K = 2 it
+//                                               is exactly |cpu - gpu|)
+//   kCriticalPath      the K-way makespan (threshold-independent
+//                      overheads included — the exhaustive oracle's view)
+//   kGreedy            total overload above the ideal mean,
+//                      sum_i max(0, t_i - mean)
+//   kMinMaxWorkloads   max / mean, the dimensionless imbalance factor
+//
+// The identify/robust search over descriptors lives in core/kway.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbwp::core {
+
+struct PartitionDescriptor {
+  /// Per-device work shares in [0, 1], summing to 1.  Index 0 = CPU,
+  /// 1 = primary GPU, 2.. = extra accelerators.  Empty = "no descriptor"
+  /// (a legacy scalar-only plan, e.g. restored from an old snapshot
+  /// field that predates descriptors).
+  std::vector<double> shares;
+
+  int devices() const { return static_cast<int>(shares.size()); }
+  bool empty() const { return shares.empty(); }
+
+  /// The CPU's share (device 0); 1 for an empty descriptor (all-CPU is
+  /// the only safe reading of "no plan").
+  double cpu_share() const { return shares.empty() ? 1.0 : shares[0]; }
+
+  /// Shares are non-negative and sum to 1 within `tol`.
+  bool valid(double tol = 1e-9) const;
+
+  /// Rescale so the shares sum to exactly 1 (no-op on an all-zero or
+  /// empty descriptor).
+  void normalize();
+
+  /// Interior cumulative boundaries in percent: K-1 values, the j-th being
+  /// 100 * (shares[0] + ... + shares[j]).  This is the coordinate system
+  /// the K-way identify search walks (and the K = 2 case's single value is
+  /// the scalar percent threshold of share-style problems).
+  std::vector<double> cumulative_pct() const;
+
+  /// Bytes this descriptor contributes to a serialized plan-cache entry
+  /// (the serve.cache.descriptor_bytes gauge).
+  size_t serialized_bytes() const {
+    return sizeof(uint32_t) + sizeof(double) * shares.size();
+  }
+
+  std::string to_string() const;
+
+  /// The K = 2 embedding of a scalar plan: {share, 1 - share}.
+  static PartitionDescriptor two_way(double cpu_share);
+  /// K devices, equal shares.
+  static PartitionDescriptor even(int devices);
+  /// K devices, everything on the CPU (the degraded fallback).
+  static PartitionDescriptor all_cpu(int devices);
+  /// Inverse of cumulative_pct(): boundaries (monotone, in [0, 100]) to
+  /// shares.
+  static PartitionDescriptor from_cumulative_pct(
+      const std::vector<double>& cum_pct);
+  /// Shares proportional to non-negative weights (device throughputs for
+  /// the K-way naive-static fallback).
+  static PartitionDescriptor from_weights(const std::vector<double>& weights);
+
+  bool operator==(const PartitionDescriptor&) const = default;
+};
+
+/// Pluggable cost functions over the per-device marginal work vector; see
+/// the header comment for semantics.
+enum class CostObjective { kBalanced, kCriticalPath, kGreedy,
+                           kMinMaxWorkloads };
+
+const char* cost_objective_name(CostObjective objective);
+
+/// Parse "balanced" | "critical-path" | "greedy" | "minmax" (throws
+/// nbwp::Error on anything else).
+CostObjective parse_cost_objective(const std::string& name);
+
+/// Evaluate `objective` on a per-device work vector (ns).  kCriticalPath
+/// here is the plain max; searches that want the true K-way makespan
+/// (overheads included) evaluate the problem's kway_time_ns instead
+/// (core/kway.hpp does).
+double descriptor_cost(CostObjective objective,
+                       const std::vector<double>& device_work_ns);
+
+}  // namespace nbwp::core

@@ -142,6 +142,120 @@ hetsim::RunReport HeteroSpmm::run(double r_cpu_pct,
   return report;
 }
 
+std::vector<Index> HeteroSpmm::kway_row_boundaries(
+    const core::PartitionDescriptor& d) const {
+  const size_t k = d.devices();
+  NBWP_REQUIRE(k >= 2, "descriptor needs at least two devices");
+  NBWP_REQUIRE(k <= platform_->device_count(),
+               "descriptor has more devices than the platform");
+  std::vector<Index> b(k + 1, 0);
+  const std::vector<double> cum = d.cumulative_pct();
+  for (size_t j = 0; j < cum.size(); ++j)
+    b[j + 1] = std::max(b[j], split_row(cum[j]));
+  b[k] = a_.rows();
+  NBWP_REQUIRE(b[k - 1] <= b[k], "descriptor boundaries not monotone");
+  return b;
+}
+
+SpmmKwayStructure HeteroSpmm::kway_structure(
+    const core::PartitionDescriptor& d) const {
+  const std::vector<Index> b = kway_row_boundaries(d);
+  const size_t k = d.devices();
+  SpmmKwayStructure s;
+  s.work.resize(k);
+  s.a_dev_bytes.assign(k, 0.0);
+  s.b_dev_bytes.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    const Index first = b[i], last = b[i + 1];
+    SpgemmWork& w = s.work[i];
+    w.rows = last - first;
+    w.a_nnz = a_nnz_prefix_[last] - a_nnz_prefix_[first];
+    w.multiplies = work_prefix_[last] - work_prefix_[first];
+    if (i == 0) {
+      w.inflation = 1.0;
+      continue;  // the CPU reads A and B in place
+    }
+    const hetsim::GpuDevice& dev =
+        i == 1 ? platform_->gpu() : platform_->accel(i - 2).device;
+    w.inflation = hetsim::simd_inflation_range(row_work_, first, last,
+                                               dev.spec().warp_size);
+    s.a_dev_bytes[i] = static_cast<double>(w.a_nnz) * 12.0 +
+                       static_cast<double>(w.rows) * 8.0;
+    s.b_dev_bytes[i] = w.rows > 0 ? b_.bytes() : 0.0;
+  }
+  return s;
+}
+
+std::vector<double> HeteroSpmm::kway_marginal_work_ns(
+    const core::PartitionDescriptor& d) const {
+  return spmm_kway_times(*platform_, kway_structure(d)).marginal_ns;
+}
+
+double HeteroSpmm::kway_time_ns(const core::PartitionDescriptor& d) const {
+  return spmm_kway_times(*platform_, kway_structure(d)).total_ns();
+}
+
+hetsim::RunReport HeteroSpmm::run_kway(const core::PartitionDescriptor& d,
+                                       CsrMatrix* c_out) const {
+  const std::vector<Index> b = kway_row_boundaries(d);
+  const size_t k = d.devices();
+  const SpmmKwayStructure s = kway_structure(d);
+  const SpmmKwayTimes times = spmm_kway_times(*platform_, s);
+
+  const bool plan_built = plan_ == nullptr;
+  if (plan_built) {
+    plan_ = std::make_shared<const sparse::SpgemmPlan>(
+        sparse::spgemm_plan(a_, b_, ThreadPool::global()));
+  }
+
+  // Execute every range with the numeric-only kernel; offload ranges go
+  // through the fault gate individually, so one dead device reroutes only
+  // its own rows.
+  CsrMatrix c;
+  double on_device_ns = 0.0;  // slowest offload range still on its device
+  double reroute_ns = 0.0;    // rerouted ranges re-priced at CPU cost
+  int rerouted = 0;
+  for (size_t i = 0; i < k; ++i) {
+    sparse::SpgemmCounters counters;
+    CsrMatrix part;
+    auto kernel = [&] {
+      part = sparse::spgemm_numeric_row_range(a_, b_, *plan_, b[i], b[i + 1],
+                                              &counters);
+    };
+    bool on_gpu = false;
+    if (i == 0 || b[i] == b[i + 1]) {
+      kernel();
+    } else {
+      const std::string what = strfmt("spmm.kway.d%zu", i);
+      on_gpu = run_gpu_or_reroute(*platform_, what.c_str(),
+                                  times.device_ns[i], kernel);
+      if (on_gpu) {
+        on_device_ns = std::max(on_device_ns, times.device_ns[i]);
+      } else {
+        ++rerouted;
+        reroute_ns += spgemm_cpu_work_ns(*platform_, s.work[i]);
+      }
+    }
+    NBWP_REQUIRE(counters.multiplies == s.work[i].multiplies,
+                 "executed work disagrees with the load vector");
+    c = i == 0 ? std::move(part) : CsrMatrix::vstack(c, part);
+  }
+
+  hetsim::RunReport report;
+  report.add_phase("phase1", times.phase1_ns);
+  report.add_overlapped_phase("phase2", times.device_ns[0], on_device_ns);
+  if (rerouted > 0) report.add_phase("phase2.reroute", reroute_ns);
+  report.add_phase("stitch", times.stitch_ns);
+  report.set_counter("devices", static_cast<double>(k));
+  report.set_counter("gpu_rerouted", static_cast<double>(rerouted));
+  report.set_counter("plan_built", plan_built ? 1.0 : 0.0);
+  report.set_counter("c_nnz", static_cast<double>(c.nnz()));
+  report.set_counter("split_row", static_cast<double>(b[1]));
+  report.set_counter("work_total", static_cast<double>(total_work()));
+  if (c_out) *c_out = std::move(c);
+  return report;
+}
+
 double HeteroSpmm::range_cost_cpu_ns(Index first, Index last) const {
   NBWP_REQUIRE(first <= last && last <= a_.rows(), "range out of bounds");
   SpgemmWork w;

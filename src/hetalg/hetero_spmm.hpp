@@ -17,6 +17,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/partition_descriptor.hpp"
 #include "hetalg/spmm_cost.hpp"
 #include "hetsim/platform.hpp"
 #include "sparse/csr_matrix.hpp"
@@ -91,6 +92,36 @@ class HeteroSpmm {
   sparse::Index sample_rows(double frac) const;
 
   SpmmStructure structure_at(double r_cpu_pct) const;
+
+  // --- K-way descriptor interface (core/kway.hpp) -------------------------
+  // Device 0 is the CPU, 1 the primary GPU, 2.. the platform accelerators.
+  // At K = 2 every function reproduces the scalar path exactly:
+  // kway_time_ns(two_way(r/100)) == time_ns(r) and run_kway produces a
+  // bitwise-identical C (the numeric kernel is deterministic per row and
+  // the split only moves range boundaries).
+
+  /// Row boundaries of the descriptor's contiguous ranges: K+1 values with
+  /// boundaries[0] == 0 and boundaries[K] == rows; device i owns rows
+  /// [boundaries[i], boundaries[i+1]).  Monotone by construction.
+  std::vector<sparse::Index> kway_row_boundaries(
+      const core::PartitionDescriptor& d) const;
+
+  SpmmKwayStructure kway_structure(const core::PartitionDescriptor& d) const;
+
+  /// Per-device marginal costs (work + share-dependent transfers) — the
+  /// cost-objective inputs of the K-way identify search.
+  std::vector<double> kway_marginal_work_ns(
+      const core::PartitionDescriptor& d) const;
+
+  /// Analytic K-way makespan (equals run_kway(d).total_ns()).
+  double kway_time_ns(const core::PartitionDescriptor& d) const;
+
+  /// Execute Algorithm 2 under a K-way descriptor.  Each offload range is
+  /// gated through the fault injector ("spmm.kway.d<i>"); rerouted ranges
+  /// are re-priced at CPU cost under "phase2.reroute".  Counters add
+  /// "devices" and "gpu_rerouted" (count of rerouted offload ranges).
+  hetsim::RunReport run_kway(const core::PartitionDescriptor& d,
+                             sparse::CsrMatrix* c_out = nullptr) const;
 
   /// Device cost of processing rows [first, last) in isolation — work plus
   /// the range-dependent transfers for the GPU.  Used by the dynamic-

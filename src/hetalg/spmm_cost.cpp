@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace nbwp::hetalg {
 
 namespace {
@@ -62,7 +64,8 @@ double spgemm_cpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
   return p.cpu().time_ns(prof);
 }
 
-double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
+double spgemm_gpu_work_ns(const hetsim::GpuDevice& gpu,
+                          const SpgemmWork& w) {
   if (w.rows == 0 || w.multiplies == 0) return 0.0;
   hetsim::WorkProfile prof;
   const auto mult = static_cast<double>(w.multiplies);
@@ -74,11 +77,15 @@ double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
   // Hash-SpGEMM kernels launch a warp (or more) per row and bin rows by
   // work, so even a sqrt(n)-row sample fills the SMX units; the kernel is
   // not occupancy-limited by the row count.
-  prof.parallel_items = p.gpu().spec().full_occupancy_items;
+  prof.parallel_items = gpu.spec().full_occupancy_items;
   prof.simd_inflation =
       std::pow(std::max(1.0, w.inflation), kGpuBinningExponent);
   prof.steps = 0;  // launches charged as overhead by the caller
-  return p.gpu().time_ns(prof);
+  return gpu.time_ns(prof);
+}
+
+double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w) {
+  return spgemm_gpu_work_ns(p.gpu(), w);
 }
 
 SpmmTimes spmm_times(const hetsim::Platform& platform,
@@ -128,6 +135,87 @@ SpmmTimes spmm_times(const hetsim::Platform& platform,
         kStitchStreamPerCByte * c_bytes_estimate(s.gpu.multiplies);
     p.parallel_items = platform.cpu_threads();
     p.steps = s.gpu.rows > 0 ? 1.0 : 0.0;
+    t.stitch_ns = platform.cpu().time_ns(p);
+  }
+  return t;
+}
+
+double SpmmKwayTimes::total_ns() const {
+  double phase2 = 0;
+  for (double d : device_ns) phase2 = d > phase2 ? d : phase2;
+  return phase1_ns + phase2 + stitch_ns;
+}
+
+SpmmKwayTimes spmm_kway_times(const hetsim::Platform& platform,
+                              const SpmmKwayStructure& s) {
+  using hetsim::WorkProfile;
+  const size_t k = s.work.size();
+  NBWP_REQUIRE(k >= 2 && k == s.a_dev_bytes.size() &&
+                   k == s.b_dev_bytes.size(),
+               "malformed k-way structure");
+  NBWP_REQUIRE(k <= platform.device_count(),
+               "k-way structure has more devices than the platform");
+  SpmmKwayTimes t;
+  t.device_ns.assign(k, 0.0);
+  t.marginal_ns.assign(k, 0.0);
+
+  uint64_t rows_total = 0, a_nnz_total = 0;
+  for (const SpgemmWork& w : s.work) {
+    rows_total += w.rows;
+    a_nnz_total += w.a_nnz;
+  }
+
+  // Phase I on the primary GPU: load vector, prefix scan, split search —
+  // the identical formula as spmm_times (it depends only on totals).
+  {
+    const auto a_nnz = static_cast<double>(a_nnz_total);
+    WorkProfile p;
+    p.bytes_random = kP1RandomPerANnz * a_nnz;
+    p.bytes_stream = kP1StreamPerANnz * a_nnz +
+                     8.0 * static_cast<double>(rows_total);
+    p.ops = 2.0 * a_nnz;
+    p.parallel_items = static_cast<double>(rows_total);
+    p.steps = kP1Launches;
+    t.phase1_ns = platform.gpu().time_ns(p);
+  }
+
+  t.marginal_ns[0] = t.device_ns[0] = spgemm_cpu_work_ns(platform, s.work[0]);
+  if (s.work[0].rows > 0) {
+    WorkProfile barriers;
+    barriers.steps = kCpuBarriers;
+    t.device_ns[0] += platform.cpu().time_ns(barriers);
+  }
+
+  uint64_t offload_multiplies = 0;
+  bool any_offload = false;
+  for (size_t i = 1; i < k; ++i) {
+    const hetsim::GpuDevice& dev =
+        i == 1 ? platform.gpu() : platform.accel(i - 2).device;
+    const hetsim::PcieLink& link =
+        i == 1 ? platform.link() : platform.accel(i - 2).link;
+    const double work = spgemm_gpu_work_ns(dev, s.work[i]);
+    double transfer_var = 0, overhead = 0;
+    if (s.work[i].rows > 0) {
+      WorkProfile launches;
+      launches.steps = kGpuLaunches;
+      transfer_var = (s.a_dev_bytes[i] +
+                      c_bytes_estimate(s.work[i].multiplies)) /
+                     link.spec().bandwidth_bps * 1e9;
+      overhead = dev.time_ns(launches) + link.transfer_ns(s.b_dev_bytes[i]) +
+                 link.spec().latency_ns;
+      offload_multiplies += s.work[i].multiplies;
+      any_offload = true;
+    }
+    t.marginal_ns[i] = work + transfer_var;
+    t.device_ns[i] = work + transfer_var + overhead;
+  }
+
+  {
+    WorkProfile p;
+    p.bytes_stream =
+        kStitchStreamPerCByte * c_bytes_estimate(offload_multiplies);
+    p.parallel_items = platform.cpu_threads();
+    p.steps = any_offload ? 1.0 : 0.0;
     t.stitch_ns = platform.cpu().time_ns(p);
   }
   return t;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "hetsim/platform.hpp"
 
@@ -25,7 +26,10 @@ struct SpgemmWork {
 
 /// CPU row-row SpGEMM (SPA accumulator), work portion only.
 double spgemm_cpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w);
-/// GPU row-per-thread hash SpGEMM, work portion only.
+/// GPU row-per-thread hash SpGEMM, work portion only.  The device overload
+/// prices the same kernel on any offload device (primary GPU or an
+/// hetsim::AccelDevice); the Platform overload forwards to the primary.
+double spgemm_gpu_work_ns(const hetsim::GpuDevice& gpu, const SpgemmWork& w);
 double spgemm_gpu_work_ns(const hetsim::Platform& p, const SpgemmWork& w);
 
 /// Structural summary of one Algorithm 2 split.
@@ -67,6 +71,33 @@ struct SpmmTimes {
 
 SpmmTimes spmm_times(const hetsim::Platform& platform,
                      const SpmmStructure& s);
+
+/// Structural summary of a K-way row-range decomposition: index 0 is the
+/// CPU range, 1 the primary GPU, 2.. the platform's accelerators.  The
+/// byte vectors are zero at index 0 (the CPU reads A/B in place).
+struct SpmmKwayStructure {
+  std::vector<SpgemmWork> work;
+  std::vector<double> a_dev_bytes;  ///< CSR bytes of each device's A slice
+  std::vector<double> b_dev_bytes;  ///< B shipment per offload device
+};
+
+/// Per-device phase-II times of a K-way decomposition.  At K = 2 every
+/// field reproduces spmm_times() exactly: device_ns == {cpu_ns, gpu_ns},
+/// marginal_ns == {cpu_work, gpu_work + transfer_var}, and total_ns()
+/// equals SpmmTimes::total_ns() — the descriptor path prices identically
+/// to the scalar path (asserted in tests/hetalg/hetero_spmm_kway_test).
+struct SpmmKwayTimes {
+  double phase1_ns = 0;
+  std::vector<double> device_ns;    ///< work + transfers + overheads
+  std::vector<double> marginal_ns;  ///< work + split-dependent transfers
+                                    ///< (the cost-objective inputs)
+  double stitch_ns = 0;
+
+  double total_ns() const;
+};
+
+SpmmKwayTimes spmm_kway_times(const hetsim::Platform& platform,
+                              const SpmmKwayStructure& s);
 
 /// Modeled bytes of the C rows produced from `multiplies` intermediate
 /// products (constant compression factor; see header comment).

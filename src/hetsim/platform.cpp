@@ -1,11 +1,29 @@
 #include "hetsim/platform.hpp"
 
+#include "util/error.hpp"
+
 namespace nbwp::hetsim {
 
 double Platform::naive_static_gpu_share_pct() const {
   const double g = gpu_.effective_ops_per_s();
   const double c = cpu_.effective_ops_per_s();
   return 100.0 * g / (g + c);
+}
+
+void Platform::add_accel(const GpuSpec& spec, const PcieSpec& link) {
+  accels_.push_back({GpuDevice(spec), PcieLink(link)});
+}
+
+std::vector<double> Platform::device_ops_per_s(size_t devices) const {
+  NBWP_REQUIRE(devices >= 1 && devices <= device_count(),
+               "platform has fewer devices than requested");
+  std::vector<double> ops;
+  ops.reserve(devices);
+  ops.push_back(cpu_.effective_ops_per_s());
+  if (devices >= 2) ops.push_back(gpu_.effective_ops_per_s());
+  for (size_t i = 2; i < devices; ++i)
+    ops.push_back(accels_[i - 2].device.effective_ops_per_s());
+  return ops;
 }
 
 void Platform::set_fault_plan(const FaultPlan& plan) {

@@ -1,12 +1,17 @@
-// Platform: one CPU + one GPU + the PCIe link between them.
+// Platform: one CPU + one GPU + the PCIe link between them, optionally
+// extended with additional accelerators.
 //
-// This is the "simple heterogeneous system with one CPU attached to one
-// GPU" of Section II.  The framework itself treats thresholds as scalars;
-// extending to more devices would turn them into vectors (the paper notes
-// the same).
+// The base pair is the "simple heterogeneous system with one CPU attached
+// to one GPU" of Section II.  The paper notes that more devices turn the
+// scalar threshold into a vector; add_accel() grows the device list for
+// exactly that: K-way PartitionDescriptors (core/partition_descriptor.hpp)
+// address device 0 = CPU, device 1 = the primary GPU, devices 2.. = the
+// accelerators in insertion order, each with its own host link.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "hetsim/cpu_device.hpp"
 #include "hetsim/faults.hpp"
@@ -15,6 +20,14 @@
 #include "hetsim/report.hpp"
 
 namespace nbwp::hetsim {
+
+/// One extra offload device beyond the primary GPU, with its own host
+/// link.  Accelerators share the GPU cost model (GpuDevice); a differently
+/// calibrated GpuSpec makes one slower, smaller, or bandwidth-starved.
+struct AccelDevice {
+  GpuDevice device;
+  PcieLink link;
+};
 
 class Platform {
  public:
@@ -25,6 +38,20 @@ class Platform {
   const CpuDevice& cpu() const { return cpu_; }
   const GpuDevice& gpu() const { return gpu_; }
   const PcieLink& link() const { return link_; }
+
+  /// Append an extra accelerator (descriptor device index 2 + #accels so
+  /// far) with its own host link.
+  void add_accel(const GpuSpec& spec, const PcieSpec& link);
+
+  /// CPU + primary GPU + accelerators.
+  size_t device_count() const { return 2 + accels_.size(); }
+  const std::vector<AccelDevice>& accels() const { return accels_; }
+  const AccelDevice& accel(size_t i) const { return accels_.at(i); }
+
+  /// Effective (slowdown-adjusted) throughput of the first `devices`
+  /// devices in descriptor order — the weight vector behind the K-way
+  /// naive-static shares.
+  std::vector<double> device_ops_per_s(size_t devices) const;
 
   unsigned cpu_threads() const {
     return static_cast<unsigned>(cpu_.spec().cores);
@@ -54,6 +81,7 @@ class Platform {
   CpuDevice cpu_;
   GpuDevice gpu_;
   PcieLink link_;
+  std::vector<AccelDevice> accels_;
   std::shared_ptr<FaultInjector> faults_;
 };
 

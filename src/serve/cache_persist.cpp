@@ -16,7 +16,11 @@ namespace nbwp::serve {
 namespace {
 
 constexpr const char* kMagic = "nbwp-plan-cache";
-constexpr const char* kVersion = "v1";
+// v2 added the partition descriptor (`<devices> <share>...`) between
+// cpu_share and cold_evaluations.  Restore fails closed on any other
+// version — a v1 snapshot has no descriptor to execute, so the server
+// starts cold rather than guessing one (docs/SERVING.md).
+constexpr const char* kVersion = "v2";
 
 uint64_t fnv1a(const std::string& s, uint64_t h) {
   for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
@@ -40,14 +44,21 @@ std::string sketch_fields(const StructuralSketch& s) {
                 s.deg_max, s.gini, s.hub_mass, s.bandedness);
 }
 
+std::string descriptor_fields(const core::PartitionDescriptor& d) {
+  std::string out = strfmt("%d", d.devices());
+  for (double share : d.shares) out += strfmt(" %.17g", share);
+  return out;
+}
+
 std::string entry_line(const PlanCache::ExportedEntry& e) {
-  return strfmt("plan %s %llu %llu %llu %s %.17g %.17g %.17g %d %s %s",
+  return strfmt("plan %s %llu %llu %llu %s %.17g %.17g %.17g %s %d %s %s",
                 token_of(e.key.algorithm).c_str(),
                 static_cast<unsigned long long>(e.key.platform_key),
                 static_cast<unsigned long long>(e.key.bucket),
                 static_cast<unsigned long long>(e.fp.exact_hash),
                 sketch_fields(e.fp.sketch).c_str(), e.plan.threshold,
                 e.plan.objective_ns, e.plan.cpu_share,
+                descriptor_fields(e.plan.descriptor).c_str(),
                 e.plan.cold_evaluations,
                 core::fallback_stage_name(e.plan.stage),
                 token_of(e.plan.provenance).c_str());
@@ -121,6 +132,13 @@ PlanCache::ExportedEntry parse_entry(const std::string& line) {
   e.plan.threshold = r.real("threshold");
   e.plan.objective_ns = r.real("objective_ns");
   e.plan.cpu_share = r.real("cpu_share");
+  const uint64_t devices = r.u64("devices");
+  NBWP_REQUIRE(devices <= 64, "implausible descriptor device count");
+  e.plan.descriptor.shares.reserve(static_cast<size_t>(devices));
+  for (uint64_t i = 0; i < devices; ++i)
+    e.plan.descriptor.shares.push_back(r.real("share"));
+  NBWP_REQUIRE(devices == 0 || e.plan.descriptor.valid(1e-6),
+               "descriptor shares do not form a partition");
   e.plan.cold_evaluations = static_cast<int>(r.u64("cold_evaluations"));
   e.plan.stage = parse_stage(r.str("stage"));
   e.plan.provenance = r.str("provenance");

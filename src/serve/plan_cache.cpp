@@ -73,12 +73,24 @@ CacheLookup PlanCache::lookup(const PlanKey& key, const Fingerprint& fp) {
   return {};
 }
 
+void PlanCache::add_descriptor_bytes(int64_t delta) {
+  const size_t now =
+      static_cast<size_t>(static_cast<int64_t>(descriptor_bytes_.load(
+                              std::memory_order_relaxed)) +
+                          delta);
+  descriptor_bytes_.store(now, std::memory_order_relaxed);
+  obs::set_gauge("serve.cache.descriptor_bytes", static_cast<double>(now));
+}
+
 void PlanCache::insert(const PlanKey& key, const Fingerprint& fp,
                        const PartitionPlan& plan) {
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
   for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
     if (it->key == key && it->fp.exact_hash == fp.exact_hash) {
+      add_descriptor_bytes(
+          static_cast<int64_t>(plan.descriptor.serialized_bytes()) -
+          static_cast<int64_t>(it->plan.descriptor.serialized_bytes()));
       it->plan = plan;
       shard.entries.splice(shard.entries.begin(), shard.entries, it);
       obs::count("serve.cache.insertions");
@@ -86,8 +98,12 @@ void PlanCache::insert(const PlanKey& key, const Fingerprint& fp,
     }
   }
   shard.entries.push_front({key, fp, plan});
+  add_descriptor_bytes(
+      static_cast<int64_t>(plan.descriptor.serialized_bytes()));
   obs::count("serve.cache.insertions");
   while (shard.entries.size() > per_shard_capacity_) {
+    add_descriptor_bytes(-static_cast<int64_t>(
+        shard.entries.back().plan.descriptor.serialized_bytes()));
     shard.entries.pop_back();
     obs::count("serve.cache.evictions");
   }

@@ -25,6 +25,7 @@
 // parallel.  All serve.cache.* counters fire here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -32,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/partition_descriptor.hpp"
 #include "core/robust_estimate.hpp"
 #include "serve/fingerprint.hpp"
 
@@ -51,6 +53,10 @@ struct PartitionPlan {
                              ///< spent (the savings baseline)
   core::FallbackStage stage = core::FallbackStage::kSampled;
   std::string provenance;  ///< request id that produced the plan
+  /// K-way work-share descriptor the plan executes under.  For scalar
+  /// (two-device) requests this is two_way(cpu_share) — the threshold and
+  /// the descriptor describe the same partition (docs/PARTITIONING.md).
+  core::PartitionDescriptor descriptor;
 
   bool operator==(const PartitionPlan&) const = default;
 };
@@ -100,6 +106,13 @@ class PlanCache {
   size_t size() const;
   const Options& options() const { return options_; }
 
+  /// Bytes of descriptor payload currently resident (the variable-size
+  /// part of the cache).  Mirrored to the serve.cache.descriptor_bytes
+  /// gauge on every mutation.
+  size_t descriptor_bytes() const {
+    return descriptor_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// One cache entry as exported for persistence (serve/cache_persist.hpp).
   struct ExportedEntry {
     PlanKey key;
@@ -124,10 +137,12 @@ class PlanCache {
   };
 
   Shard& shard_for(const PlanKey& key);
+  void add_descriptor_bytes(int64_t delta);
 
   Options options_;
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> descriptor_bytes_{0};
 };
 
 }  // namespace nbwp::serve

@@ -53,6 +53,20 @@ uint64_t platform_key_of(const hetsim::Platform& platform) {
                    static_cast<double>(g.warp_size)})
     h = combine(h, v);
   for (double v : {p.bandwidth_bps, p.latency_ns}) h = combine(h, v);
+  // Extra accelerators extend the device list (K-way descriptors); a
+  // platform with a different accelerator roster plans differently.
+  for (const hetsim::AccelDevice& a : platform.accels()) {
+    const hetsim::GpuSpec& ag = a.device.spec();
+    for (double v : {ag.sm_count, ag.cores, ag.freq_hz, ag.ops_per_cycle,
+                     ag.bw_stream_bps, ag.bw_random_bps, ag.launch_ns,
+                     ag.full_occupancy_items, ag.parallel_eff, ag.ipc_scalar,
+                     static_cast<double>(ag.warp_size)})
+      h = combine(h, v);
+    const hetsim::PcieSpec& al = a.link.spec();
+    for (double v : {al.bandwidth_bps, al.latency_ns}) h = combine(h, v);
+    h = combine(h, a.device.slowdown());
+    h = combine(h, a.link.degradation());
+  }
   // Injected adversity changes what a good threshold is: slowdowns and
   // link degradation shift the device ratio, and a fault plan can kill
   // probes mid-search.  All of it lands in the key.
@@ -117,6 +131,7 @@ PlannedPartition PlanService::run_job(const PlanRequest& request,
     out.threshold = hit.plan.threshold;
     out.objective_ns = hit.plan.objective_ns;
     out.stage = hit.plan.stage;
+    out.descriptor = hit.plan.descriptor;
     out.evaluations = 0;
     out.evals_saved = hit.plan.cold_evaluations;
     obs::count("serve.requests", {{"class", class_name(out)}});
@@ -142,6 +157,7 @@ PlannedPartition PlanService::run_job(const PlanRequest& request,
   out.objective_ns = planned.objective_ns;
   out.stage = planned.stage;
   out.reason = planned.reason;
+  out.descriptor = planned.descriptor;
   out.evaluations = planned.evaluations;
   if (hit.kind == HitKind::kNear) {
     out.evals_saved = std::max(
@@ -168,6 +184,7 @@ PlannedPartition PlanService::run_job(const PlanRequest& request,
                                 : planned.evaluations;
     plan.stage = planned.stage;
     plan.provenance = request.id;
+    plan.descriptor = planned.descriptor;
     cache_.insert(request.key(), request.fingerprint, plan);
   }
   obs::count("serve.requests", {{"class", class_name(out)}});

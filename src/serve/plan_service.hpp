@@ -63,6 +63,8 @@ struct PlanOutcome {
   int evaluations = 0;      ///< identify evaluations actually spent
   core::FallbackStage stage = core::FallbackStage::kSampled;
   std::string reason;       ///< fallback trail, empty when sampled cleanly
+  /// K-way work shares of the plan; two_way(cpu_share) on the scalar path.
+  core::PartitionDescriptor descriptor;
 };
 
 /// How one solve invocation is allowed to spend effort.  The service
@@ -125,6 +127,9 @@ struct PlannedPartition {
   bool coalesced = false;  ///< deduplicated onto an identical in-flight job
   int evaluations = 0;     ///< identify evaluations this request spent
   double evals_saved = 0;  ///< evaluations avoided vs a cold plan
+  /// K-way work shares of the plan (two_way(cpu_share) for scalar solves;
+  /// may be empty on plans restored from descriptor-less producers).
+  core::PartitionDescriptor descriptor;
 };
 
 class PlanService {
@@ -230,6 +235,7 @@ PlanRequest make_plan_request(std::string id, std::string algorithm,
     out.evaluations = est.evaluations;
     out.stage = est.stage;
     out.reason = est.reason;
+    out.descriptor = core::PartitionDescriptor::two_way(out.cpu_share);
     return out;
   };
   return req;

@@ -1,0 +1,156 @@
+// PartitionDescriptor: the K-way plan representation (constructors,
+// validity, the cumulative-percent coordinate system of the identify
+// search) and the pluggable cost objectives over device work vectors.
+#include "core/partition_descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace nbwp::core {
+namespace {
+
+TEST(PartitionDescriptor, TwoWayEmbedsScalarShare) {
+  const PartitionDescriptor d = PartitionDescriptor::two_way(0.35);
+  ASSERT_EQ(d.devices(), 2);
+  EXPECT_DOUBLE_EQ(d.shares[0], 0.35);
+  EXPECT_DOUBLE_EQ(d.shares[1], 0.65);
+  EXPECT_DOUBLE_EQ(d.cpu_share(), 0.35);
+  EXPECT_TRUE(d.valid());
+  // Out-of-range shares clamp rather than throw (thresholds already do).
+  EXPECT_DOUBLE_EQ(PartitionDescriptor::two_way(1.5).cpu_share(), 1.0);
+  EXPECT_DOUBLE_EQ(PartitionDescriptor::two_way(-0.5).cpu_share(), 0.0);
+}
+
+TEST(PartitionDescriptor, EvenAndAllCpu) {
+  const PartitionDescriptor even = PartitionDescriptor::even(4);
+  ASSERT_EQ(even.devices(), 4);
+  for (double s : even.shares) EXPECT_DOUBLE_EQ(s, 0.25);
+  EXPECT_TRUE(even.valid());
+
+  const PartitionDescriptor cpu = PartitionDescriptor::all_cpu(3);
+  ASSERT_EQ(cpu.devices(), 3);
+  EXPECT_DOUBLE_EQ(cpu.cpu_share(), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.shares[1], 0.0);
+  EXPECT_DOUBLE_EQ(cpu.shares[2], 0.0);
+  EXPECT_TRUE(cpu.valid());
+
+  EXPECT_THROW(PartitionDescriptor::even(0), Error);
+  EXPECT_THROW(PartitionDescriptor::all_cpu(0), Error);
+}
+
+TEST(PartitionDescriptor, EmptyDescriptorReadsAllCpu) {
+  const PartitionDescriptor d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.devices(), 0);
+  EXPECT_DOUBLE_EQ(d.cpu_share(), 1.0);
+  EXPECT_FALSE(d.valid());
+  EXPECT_EQ(d.to_string(), "(none)");
+}
+
+TEST(PartitionDescriptor, ValidRejectsBadShares) {
+  const PartitionDescriptor short_sum{{0.5, 0.4}};
+  const PartitionDescriptor negative{{1.5, -0.5}};
+  const PartitionDescriptor near_one{{0.5, 0.5 + 1e-12}};
+  EXPECT_FALSE(short_sum.valid());
+  EXPECT_FALSE(negative.valid());
+  EXPECT_TRUE(near_one.valid());
+  EXPECT_FALSE(near_one.valid(1e-15));
+}
+
+TEST(PartitionDescriptor, NormalizeRescalesToUnitSum) {
+  PartitionDescriptor d{{2.0, 1.0, 1.0}};
+  EXPECT_FALSE(d.valid());
+  d.normalize();
+  EXPECT_TRUE(d.valid());
+  EXPECT_DOUBLE_EQ(d.shares[0], 0.5);
+  // All-zero weights stay put instead of producing NaNs.
+  PartitionDescriptor zero{{0.0, 0.0}};
+  zero.normalize();
+  EXPECT_DOUBLE_EQ(zero.shares[0], 0.0);
+}
+
+TEST(PartitionDescriptor, CumulativePctRoundTrips) {
+  const PartitionDescriptor d{{0.2, 0.3, 0.4, 0.1}};
+  const std::vector<double> cum = d.cumulative_pct();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_DOUBLE_EQ(cum[0], 20.0);
+  EXPECT_DOUBLE_EQ(cum[1], 50.0);
+  EXPECT_DOUBLE_EQ(cum[2], 90.0);
+  const PartitionDescriptor back = PartitionDescriptor::from_cumulative_pct(cum);
+  ASSERT_EQ(back.devices(), 4);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(back.shares[static_cast<size_t>(i)],
+                d.shares[static_cast<size_t>(i)], 1e-12);
+  // K = 2: the single boundary IS the scalar percent threshold.
+  EXPECT_DOUBLE_EQ(PartitionDescriptor::two_way(0.35).cumulative_pct()[0],
+                   35.0);
+}
+
+TEST(PartitionDescriptor, FromCumulativeClampsNonMonotoneBoundaries) {
+  // A boundary below its predecessor collapses that device to zero share.
+  const PartitionDescriptor d =
+      PartitionDescriptor::from_cumulative_pct({60.0, 40.0});
+  ASSERT_EQ(d.devices(), 3);
+  EXPECT_DOUBLE_EQ(d.shares[0], 0.6);
+  EXPECT_DOUBLE_EQ(d.shares[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.shares[2], 0.4);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(PartitionDescriptor, FromWeightsNormalizes) {
+  const PartitionDescriptor d =
+      PartitionDescriptor::from_weights({1.0, 2.0, 1.0});
+  ASSERT_EQ(d.devices(), 3);
+  EXPECT_DOUBLE_EQ(d.shares[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.shares[1], 0.5);
+  EXPECT_DOUBLE_EQ(d.shares[2], 0.25);
+  EXPECT_THROW(PartitionDescriptor::from_weights({}), Error);
+  EXPECT_THROW(PartitionDescriptor::from_weights({1.0, -1.0}), Error);
+}
+
+TEST(PartitionDescriptor, SerializedBytesCountsHeaderAndShares) {
+  EXPECT_EQ(PartitionDescriptor{}.serialized_bytes(), sizeof(uint32_t));
+  EXPECT_EQ(PartitionDescriptor::even(4).serialized_bytes(),
+            sizeof(uint32_t) + 4 * sizeof(double));
+}
+
+TEST(PartitionDescriptor, ToStringNamesDevices) {
+  const std::string s = PartitionDescriptor{{0.5, 0.25, 0.25}}.to_string();
+  EXPECT_NE(s.find("cpu 50.0%"), std::string::npos);
+  EXPECT_NE(s.find("gpu 25.0%"), std::string::npos);
+  EXPECT_NE(s.find("acc1 25.0%"), std::string::npos);
+}
+
+TEST(CostObjective, NamesRoundTripThroughParse) {
+  for (CostObjective o :
+       {CostObjective::kBalanced, CostObjective::kCriticalPath,
+        CostObjective::kGreedy, CostObjective::kMinMaxWorkloads}) {
+    EXPECT_EQ(parse_cost_objective(cost_objective_name(o)), o);
+  }
+  EXPECT_THROW(parse_cost_objective("fastest"), Error);
+}
+
+TEST(CostObjective, DescriptorCostSemantics) {
+  const std::vector<double> work = {10.0, 40.0, 30.0, 20.0};  // mean 25
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kBalanced, work), 30.0);
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kCriticalPath, work), 40.0);
+  // Overload above the mean: (40 - 25) + (30 - 25).
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kGreedy, work), 20.0);
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kMinMaxWorkloads, work),
+                   40.0 / 25.0);
+  EXPECT_THROW(descriptor_cost(CostObjective::kBalanced, {}), Error);
+}
+
+TEST(CostObjective, PerfectBalanceIsTheMinimumOfEveryObjective) {
+  const std::vector<double> flat = {25.0, 25.0, 25.0, 25.0};
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kBalanced, flat), 0.0);
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kGreedy, flat), 0.0);
+  EXPECT_DOUBLE_EQ(descriptor_cost(CostObjective::kMinMaxWorkloads, flat),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace nbwp::core

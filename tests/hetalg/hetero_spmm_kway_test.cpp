@@ -1,0 +1,210 @@
+// HeteroSpmm under K-way PartitionDescriptors: the K = 2 embedding must
+// reproduce the scalar path bitwise (plan, cost, product), the analytic
+// K-way makespan must equal the executed run, and K = 4 must plan and
+// execute end to end on a platform with extra accelerators — including
+// the fallback and degraded paths of the K-way robust chain.
+#include "hetalg/hetero_spmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kway.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace nbwp::hetalg {
+namespace {
+
+using core::CostObjective;
+using core::PartitionDescriptor;
+using sparse::CsrMatrix;
+
+CsrMatrix test_matrix(uint64_t seed = 1) {
+  Rng rng(seed);
+  return sparse::banded_fem(800, 14, 24, 3, rng);
+}
+
+/// Reference CPU + GPU plus `extra` accelerators: scaled-down K40c
+/// copies (half, quarter, ... throughput), mirroring the CLI's
+/// --accel-spec defaults.
+hetsim::Platform accel_platform(int extra) {
+  hetsim::Platform platform = hetsim::Platform::reference();
+  for (int i = 0; i < extra; ++i) {
+    const double scale = std::pow(0.5, i + 1);
+    hetsim::GpuSpec gpu = hetsim::kTeslaK40c;
+    gpu.sm_count *= scale;
+    gpu.cores *= scale;
+    gpu.bw_stream_bps *= scale;
+    gpu.bw_random_bps *= scale;
+    gpu.full_occupancy_items *= scale;
+    platform.add_accel(gpu, hetsim::kPcie3x16);
+  }
+  return platform;
+}
+
+// Dyadic shares: r/100 is exactly representable, so two_way(r / 100.0)
+// carries the identical split row as the scalar call with no
+// double-rounding slack in the comparison.
+class KwayTwoWayBitwiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KwayTwoWayBitwiseTest, RunKwayReproducesScalarRun) {
+  const HeteroSpmm problem(test_matrix(), hetsim::Platform::reference());
+  const double r = GetParam();
+  const PartitionDescriptor d = PartitionDescriptor::two_way(r / 100.0);
+
+  EXPECT_DOUBLE_EQ(problem.kway_time_ns(d), problem.time_ns(r));
+
+  CsrMatrix c_scalar, c_kway;
+  const hetsim::RunReport scalar = problem.run(r, &c_scalar);
+  const hetsim::RunReport kway = problem.run_kway(d, &c_kway);
+  EXPECT_EQ(c_kway, c_scalar);
+  EXPECT_DOUBLE_EQ(kway.total_ns(), scalar.total_ns());
+  EXPECT_EQ(kway.counter("c_nnz"), scalar.counter("c_nnz"));
+  EXPECT_EQ(kway.counter("split_row"), scalar.counter("split_row"));
+}
+
+INSTANTIATE_TEST_SUITE_P(DyadicShares, KwayTwoWayBitwiseTest,
+                         ::testing::Values(0.0, 6.25, 25.0, 50.0, 93.75,
+                                           100.0));
+
+TEST(HeteroSpmmKway, BoundariesPartitionTheRows) {
+  const hetsim::Platform platform = accel_platform(2);
+  const HeteroSpmm problem(test_matrix(), platform);
+  const PartitionDescriptor d{{0.1, 0.5, 0.25, 0.15}};
+  const std::vector<sparse::Index> b = problem.kway_row_boundaries(d);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), problem.a().rows());
+  for (size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+  // The ranges cover every multiply exactly once.
+  uint64_t multiplies = 0;
+  const SpmmKwayStructure s = problem.kway_structure(d);
+  for (const auto& w : s.work) multiplies += w.multiplies;
+  EXPECT_EQ(multiplies, problem.total_work());
+}
+
+TEST(HeteroSpmmKway, AnalyticTimeMatchesExecutedRun) {
+  const hetsim::Platform platform = accel_platform(2);
+  const HeteroSpmm problem(test_matrix(), platform);
+  for (const PartitionDescriptor& d :
+       {PartitionDescriptor::even(4), PartitionDescriptor{{0.1, 0.6, 0.2, 0.1}},
+        PartitionDescriptor::all_cpu(4)}) {
+    EXPECT_NEAR(problem.run_kway(d).total_ns(), problem.kway_time_ns(d),
+                problem.kway_time_ns(d) * 1e-9);
+  }
+}
+
+TEST(HeteroSpmmKway, KwayProductIsCorrect) {
+  const hetsim::Platform platform = accel_platform(2);
+  const CsrMatrix a = test_matrix();
+  const CsrMatrix expected = sparse::spgemm(a, a);
+  const HeteroSpmm problem(a, platform);
+  CsrMatrix c;
+  const auto report = problem.run_kway(PartitionDescriptor::even(4), &c);
+  EXPECT_EQ(c, expected);
+  EXPECT_EQ(report.counter("devices"), 4.0);
+  EXPECT_EQ(report.counter("c_nnz"), static_cast<double>(expected.nnz()));
+}
+
+TEST(HeteroSpmmKway, MarginalVectorHasOneEntryPerDevice) {
+  const hetsim::Platform platform = accel_platform(2);
+  const HeteroSpmm problem(test_matrix(), platform);
+  const std::vector<double> w =
+      problem.kway_marginal_work_ns(PartitionDescriptor::even(4));
+  ASSERT_EQ(w.size(), 4u);
+  for (double v : w) EXPECT_GT(v, 0.0);
+}
+
+TEST(HeteroSpmmKway, DescriptorBeyondPlatformDevicesThrows) {
+  const HeteroSpmm problem(test_matrix(), hetsim::Platform::reference());
+  EXPECT_THROW(problem.kway_time_ns(PartitionDescriptor::even(4)), Error);
+  EXPECT_THROW(problem.run_kway(PartitionDescriptor::even(1)), Error);
+}
+
+core::KwayConfig four_way_config() {
+  core::KwayConfig cfg;
+  cfg.devices = 4;
+  cfg.objective = CostObjective::kCriticalPath;
+  cfg.robust.sampling.sample_factor = 0.25;
+  return cfg;
+}
+
+TEST(HeteroSpmmKway, FourWayPlansAndExecutesEndToEnd) {
+  const hetsim::Platform platform = accel_platform(2);
+  Rng rng(1);
+  const CsrMatrix a = sparse::random_uniform(1500, 1500, 12000, rng);
+  const HeteroSpmm problem(a, platform);
+  const core::KwayEstimate est =
+      core::robust_estimate_partition_kway(problem, four_way_config());
+  EXPECT_EQ(est.stage, core::FallbackStage::kSampled);
+  ASSERT_EQ(est.descriptor.devices(), 4);
+  ASSERT_TRUE(est.descriptor.valid());
+  EXPECT_GT(est.evaluations, 0);
+  CsrMatrix c;
+  const auto report = problem.run_kway(est.descriptor, &c);
+  EXPECT_EQ(c, sparse::spgemm(a, a));
+  EXPECT_NEAR(report.total_ns(), problem.kway_time_ns(est.descriptor),
+              problem.kway_time_ns(est.descriptor) * 1e-9);
+  // A sampled 4-way plan should beat parking everything on one device.
+  EXPECT_LT(problem.kway_time_ns(est.descriptor),
+            problem.kway_time_ns(PartitionDescriptor::all_cpu(4)));
+}
+
+TEST(HeteroSpmmKway, FourWayEstimateIsDeterministicPerSeed) {
+  const hetsim::Platform platform = accel_platform(2);
+  const HeteroSpmm problem(test_matrix(), platform);
+  const core::KwayEstimate a =
+      core::robust_estimate_partition_kway(problem, four_way_config());
+  const core::KwayEstimate b =
+      core::robust_estimate_partition_kway(problem, four_way_config());
+  EXPECT_EQ(a.descriptor, b.descriptor);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(HeteroSpmmKway, IdentifyDeadlineFallsBackToThroughputShares) {
+  const hetsim::Platform platform = accel_platform(2);
+  const HeteroSpmm problem(test_matrix(), platform);
+  core::KwayConfig cfg = four_way_config();
+  cfg.robust.sampling.identify_max_evaluations = 1;
+  const core::KwayEstimate est =
+      core::robust_estimate_partition_kway(problem, cfg);
+  EXPECT_EQ(est.stage, core::FallbackStage::kNaiveStatic);
+  EXPECT_NE(est.reason.find("identify_deadline"), std::string::npos);
+  EXPECT_EQ(est.descriptor,
+            PartitionDescriptor::from_weights(platform.device_ops_per_s(4)));
+}
+
+TEST(HeteroSpmmKway, DeadGpuDegradesToAllCpuDescriptor) {
+  hetsim::Platform platform = accel_platform(2);
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  ASSERT_THROW(platform.faults()->gpu_kernel("warmup", 0.0),
+               hetsim::DeviceFault);
+  const CsrMatrix a = test_matrix();
+  const HeteroSpmm problem(a, platform);
+  const core::KwayEstimate est =
+      core::robust_estimate_partition_kway(problem, four_way_config());
+  EXPECT_EQ(est.stage, core::FallbackStage::kDegraded);
+  EXPECT_EQ(est.reason, "gpu_offline");
+  EXPECT_EQ(est.descriptor, PartitionDescriptor::all_cpu(4));
+  // The all-CPU descriptor still multiplies correctly (no offload ranges).
+  CsrMatrix c;
+  problem.run_kway(est.descriptor, &c);
+  EXPECT_EQ(c, sparse::spgemm(a, a));
+}
+
+TEST(HeteroSpmmKway, OffloadRangesRerouteOnPersistentFault) {
+  hetsim::Platform platform = accel_platform(2);
+  platform.set_fault_plan(hetsim::FaultPlan::parse("gpu-hard@0"));
+  const CsrMatrix a = test_matrix();
+  const HeteroSpmm problem(a, platform);
+  CsrMatrix c;
+  const auto report = problem.run_kway(PartitionDescriptor::even(4), &c);
+  // Every offload range hit the dead GPU and was re-executed on the CPU —
+  // with an identical product.
+  EXPECT_EQ(report.counter("gpu_rerouted"), 3.0);
+  EXPECT_EQ(c, sparse::spgemm(a, a));
+}
+
+}  // namespace
+}  // namespace nbwp::hetalg

@@ -77,6 +77,8 @@ PlanCache::ExportedEntry entry(uint64_t hash,
   e.plan.threshold = 1234.5678901234567 + static_cast<double>(hash);
   e.plan.objective_ns = 9.87e6;
   e.plan.cpu_share = 1.0 / 3.0;
+  e.plan.descriptor = core::PartitionDescriptor{
+      {1.0 / 3.0, 1.0 / 3.0 + 1e-16, 1.0 - 2.0 / 3.0 - 1e-16}};
   e.plan.cold_evaluations = 17;
   e.plan.stage = core::FallbackStage::kSampled;
   e.plan.provenance = provenance;
@@ -203,7 +205,7 @@ TEST(CachePersist, WrongMagicOrVersionRejected) {
   const std::string bytes = read_file(path);
 
   std::string wrong_version = bytes;
-  const auto v = wrong_version.find(" v1 ");
+  const auto v = wrong_version.find(" v2 ");
   ASSERT_NE(v, std::string::npos);
   wrong_version.replace(v, 4, " v9 ");
   write_file(path, wrong_version);
@@ -215,6 +217,64 @@ TEST(CachePersist, WrongMagicOrVersionRejected) {
   PlanCache b;
   EXPECT_FALSE(restore_plan_cache(b, path).ok);
   EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(CachePersist, LegacyV1SnapshotFailsClosedToColdStart) {
+  // A pre-descriptor (v1) snapshot carries no shares to execute; restore
+  // must reject it on the version token — before ever parsing entries —
+  // so the server starts cold instead of guessing a descriptor.
+  const std::string path = temp_path("legacy_v1");
+  write_file(path,
+             "nbwp-plan-cache v1 entries=1\n"
+             "plan spmm 4276996814 7 1 1500 12000 8 8 12 17 23 0.101 0.037 "
+             "0.33333333333333331 1235.5678901234567 9870000 "
+             "0.33333333333333331 17 sampled req\n"
+             "checksum=0000000000000000\n");
+  PlanCache restored;
+  const SnapshotResult result = restore_plan_cache(restored, path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unsupported version 'v1'"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(CachePersist, DescriptorSharesRoundTripBitwise) {
+  PlanCache cache;
+  const auto e = entry(1);
+  cache.insert(e.key, e.fp, e.plan);
+  const std::string path = temp_path("descriptor");
+  ASSERT_TRUE(save_plan_cache(cache, path).ok);
+  PlanCache restored;
+  ASSERT_TRUE(restore_plan_cache(restored, path).ok);
+  const auto got = restored.entries();
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].plan.descriptor.devices(), 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[0].plan.descriptor.shares[i], e.plan.descriptor.shares[i])
+        << i;  // bitwise, thanks to %.17g
+  }
+}
+
+TEST(CachePersist, InvalidDescriptorSharesRejected) {
+  PlanCache cache;
+  const auto e = entry(1);
+  cache.insert(e.key, e.fp, e.plan);
+  const std::string path = temp_path("bad_shares");
+  ASSERT_TRUE(save_plan_cache(cache, path).ok);
+
+  // Replace one share so the descriptor no longer sums to 1; the entry
+  // parser rejects it before the checksum is even consulted.
+  std::string bytes = read_file(path);
+  const auto at = bytes.rfind("0.33333333333333331");  // descriptor share 0
+  ASSERT_NE(at, std::string::npos);
+  bytes.replace(at, 19, "0.93333333333333331");
+  write_file(path, bytes);
+  PlanCache restored;
+  const SnapshotResult result = restore_plan_cache(restored, path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("descriptor"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(restored.size(), 0u);
 }
 
 TEST(CachePersist, HeaderEntryCountMismatchRejected) {
